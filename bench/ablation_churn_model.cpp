@@ -1,0 +1,50 @@
+// Ablation: exponential vs Pareto (heavy-tailed) on/off durations at
+// equal availability — both models appear in Yao et al., the paper
+// evaluates only the exponential one.
+//
+// Expected outcome: at equal alpha, heavy-tailed churn produces some
+// very long offline stretches (pseudonyms of those nodes expire, like
+// temporary permanent departures) balanced by many short ones; the
+// overlay remains robust, with mildly worse connectivity for small
+// Pareto shapes (heavier tails).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppo;
+  const Cli cli(argc, argv);
+  bench::apply_logging(cli);
+  experiments::Workbench bench(bench::workbench_options(cli));
+  bench::print_header("Ablation", "exponential vs Pareto churn at equal alpha",
+                      bench);
+
+  const auto scale = bench::figure_scale(cli);
+  const graph::Graph& trust = bench.trust_graph(0.5);
+
+  TextTable table({"alpha", "churn model", "disconnected", "norm-APL",
+                   "replacements"});
+  for (const double alpha : {0.25, 0.5}) {
+    for (const int model : {0, 1, 2}) {
+      experiments::OverlayScenario scenario;
+      scenario.churn.alpha = alpha;
+      scenario.window = scale.window;
+      scenario.seed =
+          scale.seed ^ static_cast<std::uint64_t>(model * 77 + alpha * 512);
+      std::string name = "exponential";
+      if (model > 0) {
+        scenario.churn.pareto = true;
+        scenario.churn.pareto_shape = (model == 1) ? 3.0 : 1.5;
+        name = "pareto(shape=" +
+               TextTable::num(scenario.churn.pareto_shape, 1) + ")";
+      }
+      const auto run = experiments::run_overlay(trust, scenario);
+      table.add_row({TextTable::num(alpha), name,
+                     TextTable::num(run.stats.frac_disconnected.mean()),
+                     TextTable::num(run.stats.norm_apl.mean(), 2),
+                     std::to_string(run.replacements)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation (paper §III-D): the target number of overlay links per
+// node "governs the balance between potentially higher overhead and
+// better overlay robustness". Sweeps the target at alpha = 0.25.
+//
+// Expected outcome: connectivity improves rapidly with the target and
+// saturates; overlay size (edges -> maintenance traffic) grows
+// roughly linearly — the paper's default of 50 sits on the flat part
+// of the robustness curve.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppo;
+  const Cli cli(argc, argv);
+  bench::apply_logging(cli);
+  experiments::Workbench bench(bench::workbench_options(cli));
+  bench::print_header("Ablation", "sensitivity to target links per node",
+                      bench);
+
+  const auto scale = bench::figure_scale(cli);
+  const graph::Graph& trust = bench.trust_graph(0.5);
+
+  const std::size_t repeats =
+      static_cast<std::size_t>(cli.get_int("repeats", 3));
+  TextTable table({"target-links", "disconnected", "norm-APL",
+                   "overlay-edges", "replacements"});
+  for (const std::size_t target : {5u, 10u, 20u, 30u, 50u, 80u}) {
+    RunningStats disc, napl, edges, repl;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      experiments::OverlayScenario scenario;
+      scenario.churn.alpha = 0.25;
+      scenario.window = scale.window;
+      scenario.seed = scale.seed ^ target ^ (rep * 0x9711);
+      scenario.params.target_links = target;
+      const auto run = experiments::run_overlay(trust, scenario);
+      disc.add(run.stats.frac_disconnected.mean());
+      napl.add(run.stats.norm_apl.mean());
+      edges.add(run.stats.total_edges.mean());
+      repl.add(static_cast<double>(run.replacements));
+    }
+    table.add_row({std::to_string(target), TextTable::num(disc.mean()),
+                   TextTable::num(napl.mean(), 2),
+                   TextTable::num(edges.mean(), 0),
+                   TextTable::num(repl.mean(), 0)});
+  }
+  table.print(std::cout);
+  return 0;
+}

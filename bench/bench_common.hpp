@@ -1,0 +1,56 @@
+// Shared scaffolding for the figure-reproduction benches: CLI → scale
+// knobs, workbench construction, and uniform header printing. Every
+// flag can also come from the environment as PPO_<FLAG> (see Cli), so
+// `PPO_BASE_NODES=8000 ./fig3_connectivity` scales a run down without
+// editing commands.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/logging.hpp"
+#include "experiments/figures.hpp"
+#include "experiments/workbench.hpp"
+
+namespace ppo::bench {
+
+inline experiments::WorkbenchOptions workbench_options(const Cli& cli) {
+  experiments::WorkbenchOptions opts;
+  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  opts.social.num_nodes =
+      static_cast<std::size_t>(cli.get_int("base-nodes", 50'000));
+  opts.trust_nodes = static_cast<std::size_t>(cli.get_int("nodes", 1000));
+  return opts;
+}
+
+inline experiments::FigureScale figure_scale(const Cli& cli) {
+  experiments::FigureScale scale;
+  scale.window.warmup = cli.get_double("warmup", 300.0);
+  scale.window.measure = cli.get_double("measure", 50.0);
+  scale.window.sample_every = cli.get_double("sample-every", 10.0);
+  scale.window.apl_sources =
+      static_cast<std::size_t>(cli.get_int("apl-sources", 48));
+  scale.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  return scale;
+}
+
+inline void apply_logging(const Cli& cli) {
+  set_log_level(parse_log_level(cli.get_string("log", "warn")));
+}
+
+/// Prints the bench banner: which paper artefact this reproduces and
+/// the effective scale.
+inline void print_header(const std::string& artefact,
+                         const std::string& description,
+                         const experiments::Workbench& bench) {
+  std::cout << "==============================================================\n"
+            << artefact << " — " << description << "\n"
+            << "trust graphs: " << bench.options().trust_nodes
+            << " nodes sampled from a " << bench.options().social.num_nodes
+            << "-node synthetic social graph (seed "
+            << bench.options().seed << ")\n"
+            << "==============================================================\n\n";
+}
+
+}  // namespace ppo::bench

@@ -1,0 +1,68 @@
+// Substrate study: the DHT-backed pseudonym service of §III-B.
+// Reports Chord lookup cost (hops ~ log2 n) across ring sizes and
+// registration survival under storage-node failures at different
+// replication factors.
+#include <iostream>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "dht/chord.hpp"
+#include "dht/dht_pseudonym_service.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppo;
+  const Cli cli(argc, argv);
+  bench::apply_logging(cli);
+  std::cout << "==============================================================\n"
+               "Substrate — DHT-backed pseudonym service (paper §III-B)\n"
+               "==============================================================\n\n";
+
+  TextTable hops_table({"ring size", "mean hops", "max hops", "log2(n)"});
+  for (const std::size_t n : {16u, 64u, 256u, 1024u, 4096u}) {
+    Rng rng(1);
+    dht::ChordRing ring({.num_nodes = n}, rng);
+    Rng keys(2);
+    RunningStats hops;
+    for (int trial = 0; trial < 400; ++trial) {
+      const auto res =
+          ring.lookup(keys.next_u64(), keys.uniform_u64(n));
+      if (res.ok) hops.add(static_cast<double>(res.hops));
+    }
+    hops_table.add_row({std::to_string(n), TextTable::num(hops.mean(), 2),
+                        TextTable::num(hops.max(), 0),
+                        TextTable::num(std::log2(static_cast<double>(n)), 1)});
+  }
+  hops_table.print(std::cout);
+
+  std::cout << "\nregistration survival under storage failures "
+               "(ring 128, 200 pseudonyms):\n";
+  TextTable surv({"replication", "failed 10%", "failed 25%", "failed 50%"});
+  for (const std::size_t repl : {1u, 2u, 4u}) {
+    std::vector<std::string> row{std::to_string(repl)};
+    for (const double failure : {0.10, 0.25, 0.50}) {
+      Rng rng(3);
+      dht::ChordRing ring({.num_nodes = 128, .replication = repl}, rng);
+      dht::DhtPseudonymService service(ring);
+      Rng prng(4);
+      std::vector<dht::PseudonymRecord> records;
+      for (dht::NodeId owner = 0; owner < 200; ++owner)
+        records.push_back(service.create(owner, 0.0, 1000.0, prng));
+      Rng pick(5);
+      const auto to_kill = static_cast<std::size_t>(failure * 128);
+      for (std::size_t k = 0; k < to_kill; ++k)
+        ring.fail_node(pick.uniform_u64(128));
+      std::size_t alive = 0;
+      for (dht::NodeId owner = 0; owner < 200; ++owner)
+        alive += (service.resolve(records[owner].value, 1.0) ==
+                  std::optional<dht::NodeId>(owner));
+      row.push_back(TextTable::num(static_cast<double>(alive) / 200.0, 3));
+    }
+    surv.add_row(std::move(row));
+  }
+  surv.print(std::cout);
+  std::cout << "\nexpected: hops grow ~log2(n); replication >= 3 keeps "
+               "(nearly) all registrations resolvable at 25% failures.\n";
+  return 0;
+}

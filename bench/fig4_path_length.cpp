@@ -1,0 +1,26 @@
+// Figure 4 reproduction: normalized average path length (APL in the
+// largest component / component size * total nodes, §IV-C) vs
+// availability, for the same series as Figure 3.
+//
+// Expected shape (paper §V-A): the overlay closely tracks the random
+// graph for all availabilities; the trust graphs sit above it and
+// explode (fragment-dominated) at low alpha.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppo;
+  const Cli cli(argc, argv);
+  bench::apply_logging(cli);
+  experiments::Workbench bench(bench::workbench_options(cli));
+  bench::print_header("Figure 4",
+                      "normalized average path length for different trust graphs",
+                      bench);
+
+  const auto fig = experiments::availability_sweep(bench, bench::figure_scale(cli));
+  print_series_table(std::cout,
+                     "normalized average path length vs availability",
+                     "alpha", fig.alphas, fig.napl, 2);
+  return 0;
+}

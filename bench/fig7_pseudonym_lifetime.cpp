@@ -1,0 +1,30 @@
+// Figure 7 reproduction: connectivity vs availability for pseudonym
+// lifetime ratios r = lifetime / Toff in {1, 3, 9, infinity}, against
+// the trust-graph and random baselines (f = 0.5).
+//
+// Expected shape (paper §V-B): larger r -> more robust; r >= 9 tracks
+// the random graph; r = 3 degrades at alpha = 0.125; r = 1 already
+// degrades at 0.25 and behaves trust-graph-like at low alpha.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppo;
+  const Cli cli(argc, argv);
+  bench::apply_logging(cli);
+  experiments::Workbench bench(bench::workbench_options(cli));
+  bench::print_header("Figure 7",
+                      "connectivity for different pseudonym lifetimes (f = 0.5)",
+                      bench);
+
+  const auto fig = experiments::lifetime_sweep(bench, bench::figure_scale(cli));
+  print_series_table(std::cout,
+                     "fraction of disconnected nodes vs availability",
+                     "alpha", fig.alphas, fig.connectivity);
+  print_series_table(std::cout,
+                     "normalized average path length vs availability "
+                     "(companion data, not a separate paper figure)",
+                     "alpha", fig.alphas, fig.napl, 2);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// The privacy-preserving link layer with REAL cryptography: builds a
+// mix network (relays with X25519 keypairs), onion-wraps a message
+// through a 3-hop circuit (per-hop ChaCha20-Poly1305 layers), shows
+// what each relay can and cannot see, and demonstrates the tamper and
+// replay defences.
+//
+//   ./mix_tunnel [--hops=3] [--relays=8]
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "crypto/bytes.hpp"
+#include "privacylink/mix_network.hpp"
+#include "sim/simulator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppo;
+  const Cli cli(argc, argv);
+  const auto hops = static_cast<std::size_t>(cli.get_int("hops", 3));
+  const auto relays = static_cast<std::size_t>(cli.get_int("relays", 8));
+
+  sim::Simulator sim;
+  privacylink::MixNetwork mix(sim, {.num_relays = relays}, Rng(3));
+  Rng rng(5);
+
+  const auto route = mix.random_route(hops, rng);
+  std::cout << "circuit: sender";
+  for (const auto r : route) std::cout << " -> relay" << r;
+  std::cout << " -> receiver\n";
+
+  const crypto::Bytes payload =
+      crypto::to_bytes("meet at the usual place, 21:00");
+
+  // Show the layer sizes: each relay strips exactly one layer and
+  // learns only the next hop.
+  std::vector<privacylink::HopSpec> specs;
+  for (std::size_t i = 0; i < route.size(); ++i)
+    specs.push_back({i + 1 < route.size() ? route[i + 1]
+                                          : privacylink::kFinalHop,
+                     mix.relay_public_key(route[i])});
+  const crypto::Bytes wrapped = privacylink::onion_wrap(
+      specs, crypto::BytesView(payload.data(), payload.size()), rng);
+  std::cout << "payload " << payload.size() << " bytes -> onion "
+            << wrapped.size() << " bytes (" << hops << " layers, "
+            << privacylink::kOnionLayerOverhead << " bytes each: eph-X25519 "
+            << "pubkey + nonce + AEAD tag + next-hop)\n\n";
+
+  // End-to-end delivery through the simulated network.
+  mix.send(route, payload, [&](crypto::Bytes delivered) {
+    std::cout << "delivered at t=" << sim.now() << ": \""
+              << std::string(delivered.begin(), delivered.end()) << "\"\n";
+  }, rng);
+  sim.run_all();
+
+  // An external observer tampering with a layer gets the message
+  // silently dropped (AEAD authentication).
+  crypto::Bytes tampered = privacylink::onion_wrap(
+      specs, crypto::BytesView(payload.data(), payload.size()), rng);
+  tampered[60] ^= 0x01;
+  bool leaked = false;
+  mix.inject(route[0], tampered, [&](crypto::Bytes) { leaked = true; });
+  sim.run_all();
+  std::cout << "tampered copy: " << (leaked ? "DELIVERED (bug!)" : "dropped")
+            << "\n";
+
+  // Replaying a captured message is blocked at the first relay
+  // (§III-C replay defence: relays remember message fingerprints).
+  const crypto::Bytes captured = privacylink::onion_wrap(
+      specs, crypto::BytesView(payload.data(), payload.size()), rng);
+  int deliveries = 0;
+  mix.inject(route[0], captured, [&](crypto::Bytes) { ++deliveries; });
+  mix.inject(route[0], captured, [&](crypto::Bytes) { ++deliveries; });
+  sim.run_all();
+  std::cout << "replayed copy: delivered " << deliveries
+            << "x (second copy blocked), replays blocked so far: "
+            << mix.replays_blocked() << "\n";
+  return 0;
+}

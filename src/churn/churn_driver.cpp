@@ -1,0 +1,95 @@
+#include "churn/churn_driver.hpp"
+
+namespace ppo::churn {
+
+ChurnDriver::ChurnDriver(sim::Simulator& sim, std::size_t num_nodes,
+                         const ChurnModel& model, Rng rng)
+    : ChurnDriver(sim, std::vector<const ChurnModel*>(num_nodes, &model),
+                  rng) {}
+
+ChurnDriver::ChurnDriver(sim::Simulator& sim,
+                         std::vector<const ChurnModel*> models, Rng rng)
+    : sim_(sim),
+      num_nodes_(models.size()),
+      models_(std::move(models)),
+      rng_(rng),
+      online_(num_nodes_, false),
+      failed_(num_nodes_, 0),
+      epoch_(num_nodes_, 0) {
+  for (const ChurnModel* model : models_)
+    PPO_CHECK_MSG(model != nullptr, "null churn model");
+}
+
+void ChurnDriver::start(ChurnCallbacks callbacks, bool fire_initial) {
+  PPO_CHECK_MSG(!started_, "churn driver already started");
+  started_ = true;
+  callbacks_ = std::move(callbacks);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    const bool starts_online = rng_.bernoulli(models_[v]->availability());
+    online_.set(v, starts_online);
+    if (starts_online && fire_initial && callbacks_.on_online)
+      callbacks_.on_online(v);
+    schedule_transition(v);
+  }
+}
+
+void ChurnDriver::schedule_transition(NodeId v) {
+  if (failed_[v]) return;
+  const bool currently_online = online_.contains(v);
+  // Exponential durations are memoryless, so drawing a fresh duration
+  // for the initial residual state is exact; for other models it is a
+  // standard approximation that converges after the first transition.
+  const double dwell = currently_online
+                           ? models_[v]->next_online_duration(rng_)
+                           : models_[v]->next_offline_duration(rng_);
+  const std::uint64_t my_epoch = epoch_[v];
+  sim_.schedule_after(dwell, [this, v, my_epoch, currently_online] {
+    if (epoch_[v] != my_epoch || failed_[v]) return;
+    if (currently_online)
+      go_offline(v);
+    else
+      go_online(v);
+    schedule_transition(v);
+  });
+}
+
+void ChurnDriver::go_online(NodeId v) {
+  online_.set(v, true);
+  if (callbacks_.on_online) callbacks_.on_online(v);
+}
+
+void ChurnDriver::go_offline(NodeId v) {
+  online_.set(v, false);
+  if (callbacks_.on_offline) callbacks_.on_offline(v);
+}
+
+NodeId ChurnDriver::add_node(const ChurnModel* model) {
+  PPO_CHECK_MSG(started_, "start the driver before adding nodes");
+  PPO_CHECK_MSG(!models_.empty(), "no base model to inherit");
+  const auto v = static_cast<NodeId>(num_nodes_++);
+  models_.push_back(model != nullptr ? model : models_.front());
+  online_.resize(num_nodes_, false);
+  failed_.push_back(0);
+  epoch_.push_back(0);
+  go_online(v);
+  schedule_transition(v);
+  return v;
+}
+
+void ChurnDriver::fail_permanently(NodeId v) {
+  PPO_CHECK_MSG(v < num_nodes_, "node out of range");
+  ++epoch_[v];  // invalidate any pending transition
+  failed_[v] = 1;
+  if (online_.contains(v)) go_offline(v);
+}
+
+void ChurnDriver::revive(NodeId v) {
+  PPO_CHECK_MSG(v < num_nodes_, "node out of range");
+  PPO_CHECK_MSG(failed_[v], "revive() is only for failed nodes");
+  failed_[v] = 0;
+  ++epoch_[v];
+  go_online(v);
+  schedule_transition(v);
+}
+
+}  // namespace ppo::churn

@@ -1,0 +1,78 @@
+// Drives per-node online/offline transitions inside the simulator and
+// maintains the online mask the metric collectors consume.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "churn/churn_model.hpp"
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "sim/simulator.hpp"
+
+namespace ppo::churn {
+
+using NodeId = graph::NodeId;
+
+/// Hooks fired on every state transition (after the mask is updated).
+struct ChurnCallbacks {
+  std::function<void(NodeId)> on_online;
+  std::function<void(NodeId)> on_offline;
+};
+
+class ChurnDriver {
+ public:
+  /// Homogeneous population: all nodes share `model` (the paper gives
+  /// every node the same availability parameters, §IV-B).
+  ChurnDriver(sim::Simulator& sim, std::size_t num_nodes,
+              const ChurnModel& model, Rng rng);
+
+  /// Heterogeneous population (Yao et al.'s general setting): node v
+  /// follows *models[v]. All pointers must outlive the driver.
+  ChurnDriver(sim::Simulator& sim,
+              std::vector<const ChurnModel*> models, Rng rng);
+
+  /// Samples initial states from each node's stationary distribution
+  /// (online with probability alpha_v) and schedules the first
+  /// transitions. `on_online` fires immediately for initially-online
+  /// nodes if `fire_initial` is true.
+  void start(ChurnCallbacks callbacks, bool fire_initial = true);
+
+  bool is_online(NodeId v) const { return online_.contains(v); }
+  const graph::NodeMask& online_mask() const { return online_; }
+  std::size_t online_count() const { return online_.count(num_nodes_); }
+  std::size_t num_nodes() const { return num_nodes_; }
+
+  /// Failure injection: the node goes offline now and never returns
+  /// (until revive()).
+  void fail_permanently(NodeId v);
+
+  /// Brings a permanently-failed node back: it comes online now and
+  /// resumes normal churn.
+  void revive(NodeId v);
+
+  /// Dynamic membership: registers one more node following `model`
+  /// (defaults to node 0's model). The node starts online (its join
+  /// moment) and then churns like everyone else. Driver must be
+  /// started. Returns the new node id.
+  NodeId add_node(const ChurnModel* model = nullptr);
+
+ private:
+  void go_online(NodeId v);
+  void go_offline(NodeId v);
+  void schedule_transition(NodeId v);
+
+  sim::Simulator& sim_;
+  std::size_t num_nodes_;
+  std::vector<const ChurnModel*> models_;  // one per node
+  Rng rng_;
+  graph::NodeMask online_;
+  std::vector<char> failed_;
+  /// Epoch counter per node: cancels stale transitions after
+  /// fail_permanently.
+  std::vector<std::uint64_t> epoch_;
+  ChurnCallbacks callbacks_;
+  bool started_ = false;
+};
+
+}  // namespace ppo::churn

@@ -1,0 +1,101 @@
+#include "churn/churn_model.hpp"
+
+#include "common/check.hpp"
+
+namespace ppo::churn {
+
+double ChurnModel::availability() const {
+  const double on = mean_online_time();
+  const double off = mean_offline_time();
+  PPO_CHECK_MSG(on + off > 0.0, "degenerate churn model");
+  return on / (on + off);
+}
+
+ExponentialChurn::ExponentialChurn(double mean_online, double mean_offline)
+    : mean_online_(mean_online), mean_offline_(mean_offline) {
+  PPO_CHECK_MSG(mean_online > 0.0 && mean_offline >= 0.0,
+                "churn means must be positive");
+}
+
+double ExponentialChurn::next_online_duration(Rng& rng) const {
+  return rng.exponential(mean_online_);
+}
+
+double ExponentialChurn::next_offline_duration(Rng& rng) const {
+  return mean_offline_ == 0.0 ? 0.0 : rng.exponential(mean_offline_);
+}
+
+ExponentialChurn ExponentialChurn::from_availability(double alpha,
+                                                     double mean_offline) {
+  PPO_CHECK_MSG(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+  if (alpha >= 1.0) {
+    // Fully available: infinite sessions approximated by a huge mean
+    // and zero offline time.
+    return ExponentialChurn(1e18, 0.0);
+  }
+  // alpha = Ton / (Ton + Toff)  =>  Ton = Toff * alpha / (1 - alpha)
+  return ExponentialChurn(mean_offline * alpha / (1.0 - alpha), mean_offline);
+}
+
+ParetoChurn::ParetoChurn(double shape, double mean_online,
+                         double mean_offline)
+    : shape_(shape), mean_online_(mean_online), mean_offline_(mean_offline) {
+  PPO_CHECK_MSG(shape > 1.0, "Pareto shape must exceed 1 for finite mean");
+  PPO_CHECK_MSG(mean_online > 0.0 && mean_offline > 0.0,
+                "churn means must be positive");
+  // mean = scale * shape / (shape - 1)
+  scale_online_ = mean_online * (shape - 1.0) / shape;
+  scale_offline_ = mean_offline * (shape - 1.0) / shape;
+}
+
+double ParetoChurn::next_online_duration(Rng& rng) const {
+  return rng.pareto(shape_, scale_online_);
+}
+
+double ParetoChurn::next_offline_duration(Rng& rng) const {
+  return rng.pareto(shape_, scale_offline_);
+}
+
+ParetoChurn ParetoChurn::from_availability(double shape, double alpha,
+                                           double mean_offline) {
+  PPO_CHECK_MSG(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+  return ParetoChurn(shape, mean_offline * alpha / (1.0 - alpha),
+                     mean_offline);
+}
+
+TraceChurn::TraceChurn(std::vector<double> online_durations,
+                       std::vector<double> offline_durations)
+    : online_(std::move(online_durations)),
+      offline_(std::move(offline_durations)) {
+  PPO_CHECK_MSG(!online_.empty() && !offline_.empty(),
+                "trace churn needs at least one duration per state");
+  for (double d : online_) PPO_CHECK_MSG(d > 0.0, "durations must be positive");
+  for (double d : offline_)
+    PPO_CHECK_MSG(d >= 0.0, "durations must be non-negative");
+}
+
+double TraceChurn::next_online_duration(Rng&) const {
+  const double d = online_[online_pos_];
+  online_pos_ = (online_pos_ + 1) % online_.size();
+  return d;
+}
+
+double TraceChurn::next_offline_duration(Rng&) const {
+  const double d = offline_[offline_pos_];
+  offline_pos_ = (offline_pos_ + 1) % offline_.size();
+  return d;
+}
+
+double TraceChurn::mean_online_time() const {
+  double s = 0.0;
+  for (double d : online_) s += d;
+  return s / static_cast<double>(online_.size());
+}
+
+double TraceChurn::mean_offline_time() const {
+  double s = 0.0;
+  for (double d : offline_) s += d;
+  return s / static_cast<double>(offline_.size());
+}
+
+}  // namespace ppo::churn

@@ -1,0 +1,95 @@
+// Churn models after Yao et al. (ICNP 2006), the scheme the paper
+// adopts (§IV-B): each node alternates between online and offline
+// states with independently drawn durations. The paper's experiments
+// use exponential durations; Yao et al. also propose Pareto, which we
+// provide for the churn-model ablation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ppo::churn {
+
+/// Alternating-renewal churn process parameters. Durations are in
+/// shuffling periods (the paper's time unit).
+class ChurnModel {
+ public:
+  virtual ~ChurnModel() = default;
+
+  virtual double next_online_duration(Rng& rng) const = 0;
+  virtual double next_offline_duration(Rng& rng) const = 0;
+
+  virtual double mean_online_time() const = 0;
+  virtual double mean_offline_time() const = 0;
+
+  /// Stationary availability alpha = Ton / (Ton + Toff)  (paper §IV-B).
+  double availability() const;
+};
+
+/// Exponential on/off durations (the paper's default). Memoryless, so
+/// stationary residual lifetimes equal fresh draws.
+class ExponentialChurn final : public ChurnModel {
+ public:
+  ExponentialChurn(double mean_online, double mean_offline);
+
+  double next_online_duration(Rng& rng) const override;
+  double next_offline_duration(Rng& rng) const override;
+  double mean_online_time() const override { return mean_online_; }
+  double mean_offline_time() const override { return mean_offline_; }
+
+  /// Convenience: builds the model from target availability and mean
+  /// offline time, the way the paper parameterizes experiments
+  /// (Toff fixed at 30 sp, Ton adjusted to hit alpha).
+  static ExponentialChurn from_availability(double alpha,
+                                            double mean_offline);
+
+ private:
+  double mean_online_;
+  double mean_offline_;
+};
+
+/// Pareto on/off durations with common shape; heavy-tailed session
+/// lengths as observed in deployed P2P systems.
+class ParetoChurn final : public ChurnModel {
+ public:
+  /// `shape` must be > 1 so the means exist.
+  ParetoChurn(double shape, double mean_online, double mean_offline);
+
+  double next_online_duration(Rng& rng) const override;
+  double next_offline_duration(Rng& rng) const override;
+  double mean_online_time() const override { return mean_online_; }
+  double mean_offline_time() const override { return mean_offline_; }
+
+  static ParetoChurn from_availability(double shape, double alpha,
+                                       double mean_offline);
+
+ private:
+  double shape_;
+  double scale_online_;
+  double scale_offline_;
+  double mean_online_;
+  double mean_offline_;
+};
+
+/// Replays fixed duration sequences (cyclically): deterministic churn
+/// for tests and failure-injection scenarios.
+class TraceChurn final : public ChurnModel {
+ public:
+  TraceChurn(std::vector<double> online_durations,
+             std::vector<double> offline_durations);
+
+  double next_online_duration(Rng& rng) const override;
+  double next_offline_duration(Rng& rng) const override;
+  double mean_online_time() const override;
+  double mean_offline_time() const override;
+
+ private:
+  std::vector<double> online_;
+  std::vector<double> offline_;
+  mutable std::size_t online_pos_ = 0;
+  mutable std::size_t offline_pos_ = 0;
+};
+
+}  // namespace ppo::churn

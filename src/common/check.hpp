@@ -1,0 +1,49 @@
+// Lightweight invariant checking used across the library.
+//
+// PPO_CHECK is always on (cheap, used for API misuse and protocol
+// invariants); PPO_DCHECK compiles out in NDEBUG builds and is used on
+// hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ppo {
+
+/// Thrown when a PPO_CHECK invariant fails. Carries the failing
+/// expression text and location so tests can assert on misuse.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace ppo
+
+#define PPO_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::ppo::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define PPO_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::ppo::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define PPO_DCHECK(expr) ((void)0)
+#else
+#define PPO_DCHECK(expr) PPO_CHECK(expr)
+#endif

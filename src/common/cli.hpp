@@ -1,0 +1,42 @@
+// Minimal command-line flag parsing for the benches and examples.
+//
+// Flags take the form --name=value or --name value; bare --name is a
+// boolean true. Unknown positional arguments are collected. Every
+// flag can also be supplied via environment variable PPO_<NAME>
+// (upper-cased, dashes to underscores), which the benchmark loop uses
+// to scale runs without editing commands.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ppo {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// True if the flag was given on the command line or via env.
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  /// Returns the raw value for `name`, checking command line first,
+  /// then the PPO_<NAME> environment variable. Empty optional-like
+  /// behaviour is signalled through `found`.
+  std::string raw(const std::string& name, bool& found) const;
+
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ppo

@@ -1,0 +1,92 @@
+#include "common/flat_map.hpp"
+
+namespace ppo {
+
+namespace {
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+FlatMap64::FlatMap64(std::size_t expected) {
+  // Cap load factor around 0.5 for short probe chains.
+  const std::size_t capacity = next_pow2(std::max<std::size_t>(16, expected * 2));
+  slots_.resize(capacity);
+  mask_ = capacity - 1;
+}
+
+std::uint64_t FlatMap64::mix(std::uint64_t key) {
+  // SplitMix64 finalizer: full-avalanche mixing of the key.
+  key ^= key >> 30;
+  key *= 0xBF58476D1CE4E5B9ULL;
+  key ^= key >> 27;
+  key *= 0x94D049BB133111EBULL;
+  key ^= key >> 31;
+  return key;
+}
+
+std::uint32_t* FlatMap64::find(std::uint64_t key) {
+  std::size_t i = probe_start(key);
+  while (slots_[i].occupied) {
+    if (slots_[i].key == key) return &slots_[i].value;
+    i = (i + 1) & mask_;
+  }
+  return nullptr;
+}
+
+const std::uint32_t* FlatMap64::find(std::uint64_t key) const {
+  return const_cast<FlatMap64*>(this)->find(key);
+}
+
+void FlatMap64::insert(std::uint64_t key, std::uint32_t value) {
+  PPO_DCHECK(find(key) == nullptr);
+  if ((size_ + 1) * 2 > slots_.size()) grow();
+  std::size_t i = probe_start(key);
+  while (slots_[i].occupied) i = (i + 1) & mask_;
+  slots_[i] = Slot{key, value, true};
+  ++size_;
+}
+
+bool FlatMap64::erase(std::uint64_t key) {
+  std::size_t i = probe_start(key);
+  while (slots_[i].occupied && slots_[i].key != key) i = (i + 1) & mask_;
+  if (!slots_[i].occupied) return false;
+
+  // Backward-shift deletion: close the gap so probe chains stay
+  // unbroken without tombstones.
+  std::size_t gap = i;
+  std::size_t j = (i + 1) & mask_;
+  while (slots_[j].occupied) {
+    const std::size_t home = probe_start(slots_[j].key);
+    // Move j into the gap if its home position does not lie strictly
+    // between the gap and j (cyclically) — standard Robin-Hood shift.
+    const bool between = ((gap < j) ? (home > gap && home <= j)
+                                    : (home > gap || home <= j));
+    if (!between) {
+      slots_[gap] = slots_[j];
+      gap = j;
+    }
+    j = (j + 1) & mask_;
+  }
+  slots_[gap] = Slot{};
+  --size_;
+  return true;
+}
+
+void FlatMap64::clear() {
+  for (auto& slot : slots_) slot = Slot{};
+  size_ = 0;
+}
+
+void FlatMap64::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  mask_ = slots_.size() - 1;
+  size_ = 0;
+  for (const Slot& slot : old)
+    if (slot.occupied) insert(slot.key, slot.value);
+}
+
+}  // namespace ppo

@@ -1,0 +1,54 @@
+// Small open-addressing hash map from uint64 keys to uint32 values,
+// built for simulation hot paths: contiguous storage, no per-node
+// allocation, linear probing with backward-shift deletion. Used by
+// the pseudonym cache, where std::unordered_map's node allocations
+// dominated the profile.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ppo {
+
+class FlatMap64 {
+ public:
+  /// Sizes the table for about `expected` entries without growth.
+  explicit FlatMap64(std::size_t expected = 16);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Pointer to the value for `key`, or nullptr when absent. Valid
+  /// until the next insert/erase.
+  std::uint32_t* find(std::uint64_t key);
+  const std::uint32_t* find(std::uint64_t key) const;
+
+  /// Inserts (key, value); the key must not be present.
+  void insert(std::uint64_t key, std::uint32_t value);
+
+  /// Removes `key`; returns false when absent.
+  bool erase(std::uint64_t key);
+
+  void clear();
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint32_t value = 0;
+    bool occupied = false;
+  };
+
+  static std::uint64_t mix(std::uint64_t key);
+  std::size_t probe_start(std::uint64_t key) const {
+    return static_cast<std::size_t>(mix(key)) & mask_;
+  }
+  void grow();
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ppo

@@ -1,0 +1,52 @@
+#include "common/histogram.hpp"
+
+#include "common/check.hpp"
+
+namespace ppo {
+
+void Histogram::add(std::size_t value, std::size_t count) {
+  counts_[value] += count;
+  total_ += count;
+}
+
+std::size_t Histogram::count(std::size_t value) const {
+  const auto it = counts_.find(value);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Histogram::bins() const {
+  return {counts_.begin(), counts_.end()};
+}
+
+double Histogram::mean() const {
+  if (total_ == 0) return 0.0;
+  double s = 0.0;
+  for (const auto& [v, c] : counts_)
+    s += static_cast<double>(v) * static_cast<double>(c);
+  return s / static_cast<double>(total_);
+}
+
+std::size_t Histogram::quantile(double q) const {
+  PPO_CHECK_MSG(total_ > 0, "quantile of empty histogram");
+  PPO_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  const auto target = static_cast<std::size_t>(
+      q * static_cast<double>(total_));
+  std::size_t cum = 0;
+  for (const auto& [v, c] : counts_) {
+    cum += c;
+    if (cum > target || cum == total_) return v;
+  }
+  return counts_.rbegin()->first;
+}
+
+std::size_t Histogram::min_value() const {
+  PPO_CHECK_MSG(total_ > 0, "min_value of empty histogram");
+  return counts_.begin()->first;
+}
+
+std::size_t Histogram::max_value() const {
+  PPO_CHECK_MSG(total_ > 0, "max_value of empty histogram");
+  return counts_.rbegin()->first;
+}
+
+}  // namespace ppo

@@ -1,0 +1,39 @@
+// Integer-valued histogram (e.g. node degrees) with helpers for the
+// paper's "number of nodes vs degree" plots.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+namespace ppo {
+
+/// Sparse histogram over non-negative integer values.
+class Histogram {
+ public:
+  void add(std::size_t value, std::size_t count = 1);
+
+  /// Count at exactly `value` (0 if absent).
+  std::size_t count(std::size_t value) const;
+
+  std::size_t total() const { return total_; }
+  bool empty() const { return total_ == 0; }
+
+  /// Sorted (value, count) pairs.
+  std::vector<std::pair<std::size_t, std::size_t>> bins() const;
+
+  /// Mean of the distribution.
+  double mean() const;
+
+  /// Smallest value v such that at least q of the mass is <= v.
+  std::size_t quantile(double q) const;
+
+  std::size_t min_value() const;
+  std::size_t max_value() const;
+
+ private:
+  std::map<std::size_t, std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ppo

@@ -1,0 +1,48 @@
+#include "common/logging.hpp"
+
+#include <cctype>
+#include <iostream>
+
+namespace ppo {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+LogLevel parse_log_level(const std::string& name) {
+  std::string s;
+  for (char c : name) s += static_cast<char>(std::tolower(c));
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn" || s == "warning") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+namespace detail {
+void emit(LogLevel level, const std::string& message) {
+  std::cerr << "[" << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace ppo

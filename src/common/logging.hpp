@@ -1,0 +1,55 @@
+// Leveled logging to stderr. Off by default above WARN so simulation
+// hot paths stay quiet; benches flip the level via --log or PPO_LOG.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ppo {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style logger: LogMessage(LogLevel::kInfo) << "x=" << x;
+/// emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { detail::emit(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace ppo
+
+#define PPO_LOG(level)                                  \
+  if (static_cast<int>(level) < static_cast<int>(::ppo::log_level())) \
+    ;                                                   \
+  else                                                  \
+    ::ppo::LogMessage(level)
+
+#define PPO_LOG_INFO PPO_LOG(::ppo::LogLevel::kInfo)
+#define PPO_LOG_WARN PPO_LOG(::ppo::LogLevel::kWarn)
+#define PPO_LOG_ERROR PPO_LOG(::ppo::LogLevel::kError)
+#define PPO_LOG_DEBUG PPO_LOG(::ppo::LogLevel::kDebug)

@@ -1,0 +1,92 @@
+// Deterministic, splittable random number generation.
+//
+// Every stochastic component in the library draws from an Rng seeded
+// from a single root seed, so whole experiments are bit-reproducible.
+// The generator is xoshiro256**, seeded via SplitMix64 as its authors
+// recommend; `split()` derives statistically independent child streams
+// so subsystems cannot perturb each other's draws.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ppo {
+
+/// SplitMix64 step: advances `state` and returns the next 64-bit output.
+/// Used for seeding and for deriving child stream seeds.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG wrapped with the distribution helpers the library
+/// needs. Not thread-safe; use one Rng per logical component.
+class Rng {
+ public:
+  /// Seeds the generator deterministically from `seed`.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t uniform_u64(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform_double(double lo, double hi);
+
+  /// true with probability `p` (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (= 1/rate).
+  double exponential(double mean);
+
+  /// Pareto(shape, scale) with support [scale, inf).
+  /// mean = scale * shape / (shape - 1) for shape > 1.
+  double pareto(double shape, double scale);
+
+  /// Standard normal via Box-Muller (no cached spare; simple & stateless).
+  double normal(double mean, double stddev);
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_u64(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Reservoir-samples `k` distinct elements from `v` (order unspecified).
+  /// If k >= v.size(), returns a shuffled copy of `v`.
+  template <typename T>
+  std::vector<T> sample(const std::vector<T>& v, std::size_t k) {
+    if (k >= v.size()) {
+      std::vector<T> all = v;
+      shuffle(all);
+      return all;
+    }
+    std::vector<T> out(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k));
+    for (std::size_t i = k; i < v.size(); ++i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_u64(i + 1));
+      if (j < k) out[j] = v[i];
+    }
+    return out;
+  }
+
+  /// Derives an independent child generator. Children with different
+  /// call orders on the parent have uncorrelated streams.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace ppo

@@ -1,0 +1,47 @@
+// Streaming and batch descriptive statistics used by the metric
+// collectors and the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ppo {
+
+/// Welford online accumulator: mean/variance/min/max without storing
+/// the samples.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample set with linear interpolation between order
+/// statistics. `q` in [0,1]. Sorts a copy; fine for metric-sized data.
+double percentile(std::vector<double> values, double q);
+
+/// Arithmetic mean of a vector (0 for empty input).
+double mean_of(const std::vector<double>& values);
+
+/// Pearson chi-square statistic of `observed` counts against uniform
+/// expectation. Used by the sampler-uniformity property tests.
+double chi_square_uniform(const std::vector<std::size_t>& observed);
+
+}  // namespace ppo

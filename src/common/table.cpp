@@ -1,0 +1,85 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ppo {
+
+namespace {
+std::string format_value(double v, int precision) {
+  if (std::isnan(v)) return "-";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  std::string s = os.str();
+  if (s.find('.') != std::string::npos) {
+    while (s.back() == '0') s.pop_back();
+    if (s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+void print_aligned(std::ostream& os,
+                   const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return;
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << '\n';
+  }
+}
+}  // namespace
+
+void print_series_table(std::ostream& os, const std::string& title,
+                        const std::string& x_label,
+                        const std::vector<double>& xs,
+                        const std::vector<Series>& series, int precision) {
+  for (const auto& s : series)
+    PPO_CHECK_MSG(s.values.size() == xs.size(),
+                  "series '" + s.name + "' length mismatch with x axis");
+  os << "# " << title << '\n';
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header{x_label};
+  for (const auto& s : series) header.push_back(s.name);
+  rows.push_back(std::move(header));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::vector<std::string> row{format_value(xs[i], precision)};
+    for (const auto& s : series)
+      row.push_back(format_value(s.values[i], precision));
+    rows.push_back(std::move(row));
+  }
+  print_aligned(os, rows);
+  os << '\n';
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  PPO_CHECK_MSG(row.size() == header_.size(), "row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::vector<std::string>> all;
+  all.push_back(header_);
+  for (const auto& r : rows_) all.push_back(r);
+  print_aligned(os, all);
+}
+
+std::string TextTable::num(double v, int precision) {
+  return format_value(v, precision);
+}
+
+}  // namespace ppo

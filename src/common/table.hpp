@@ -1,0 +1,47 @@
+// Console table / data-series printing shared by the benchmark
+// harnesses, so every figure reproduction prints the same layout the
+// paper's plots encode (x column + one column per series).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ppo {
+
+/// A named y-series over a shared x axis; NaN marks "no value here".
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Prints a figure-style data block:
+///
+///   # <title>
+///   <x_label>  <series-1>  <series-2> ...
+///   0.125      0.70        0.01
+///
+/// Missing values (NaN) print as "-". Column widths auto-fit.
+void print_series_table(std::ostream& os, const std::string& title,
+                        const std::string& x_label,
+                        const std::vector<double>& xs,
+                        const std::vector<Series>& series,
+                        int precision = 4);
+
+/// Prints an aligned key/value or multi-column table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  void print(std::ostream& os) const;
+
+  /// Formats a double with fixed precision, trimming trailing zeros.
+  static std::string num(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ppo

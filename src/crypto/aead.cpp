@@ -1,0 +1,61 @@
+#include "crypto/aead.hpp"
+
+namespace ppo::crypto {
+
+namespace {
+
+/// One-time Poly1305 key: first 32 bytes of the ChaCha20 keystream at
+/// counter 0 (RFC 8439 §2.6).
+PolyKey derive_poly_key(const ChaChaKey& key, const ChaChaNonce& nonce) {
+  const auto block = chacha20_block(key, nonce, 0);
+  PolyKey pk;
+  std::copy(block.begin(), block.begin() + kPolyKeySize, pk.begin());
+  return pk;
+}
+
+void append_padded(Bytes& buf, BytesView data) {
+  buf.insert(buf.end(), data.begin(), data.end());
+  const std::size_t rem = data.size() % 16;
+  if (rem != 0) buf.insert(buf.end(), 16 - rem, 0);
+}
+
+void append_le64(Bytes& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+PolyTag compute_tag(const ChaChaKey& key, const ChaChaNonce& nonce,
+                    BytesView aad, BytesView ciphertext) {
+  const PolyKey pk = derive_poly_key(key, nonce);
+  Bytes mac_data;
+  mac_data.reserve(aad.size() + ciphertext.size() + 48);
+  append_padded(mac_data, aad);
+  append_padded(mac_data, ciphertext);
+  append_le64(mac_data, aad.size());
+  append_le64(mac_data, ciphertext.size());
+  return poly1305(pk, BytesView(mac_data.data(), mac_data.size()));
+}
+
+}  // namespace
+
+Bytes aead_seal(const ChaChaKey& key, const ChaChaNonce& nonce, BytesView aad,
+                BytesView plaintext) {
+  Bytes ciphertext = chacha20_xor(key, nonce, 1, plaintext);
+  const PolyTag tag =
+      compute_tag(key, nonce, aad, BytesView(ciphertext.data(), ciphertext.size()));
+  ciphertext.insert(ciphertext.end(), tag.begin(), tag.end());
+  return ciphertext;
+}
+
+std::optional<Bytes> aead_open(const ChaChaKey& key, const ChaChaNonce& nonce,
+                               BytesView aad, BytesView sealed) {
+  if (sealed.size() < kAeadTagSize) return std::nullopt;
+  const BytesView ciphertext = sealed.subspan(0, sealed.size() - kAeadTagSize);
+  const BytesView tag = sealed.subspan(sealed.size() - kAeadTagSize);
+  const PolyTag expected = compute_tag(key, nonce, aad, ciphertext);
+  if (!ct_equal(BytesView(expected.data(), expected.size()), tag))
+    return std::nullopt;
+  return chacha20_xor(key, nonce, 1, ciphertext);
+}
+
+}  // namespace ppo::crypto

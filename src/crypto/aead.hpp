@@ -1,0 +1,24 @@
+// ChaCha20-Poly1305 AEAD (RFC 8439 §2.8) — the per-layer seal/open
+// operation of the onion message format.
+#pragma once
+
+#include <optional>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/poly1305.hpp"
+
+namespace ppo::crypto {
+
+inline constexpr std::size_t kAeadTagSize = kPolyTagSize;
+
+/// Encrypts `plaintext` and appends the 16-byte tag. `aad` is
+/// authenticated but not encrypted.
+Bytes aead_seal(const ChaChaKey& key, const ChaChaNonce& nonce, BytesView aad,
+                BytesView plaintext);
+
+/// Verifies and decrypts. Returns nullopt on authentication failure
+/// (tampered ciphertext, wrong key/nonce/aad).
+std::optional<Bytes> aead_open(const ChaChaKey& key, const ChaChaNonce& nonce,
+                               BytesView aad, BytesView sealed);
+
+}  // namespace ppo::crypto

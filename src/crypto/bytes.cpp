@@ -1,0 +1,42 @@
+#include "crypto/bytes.hpp"
+
+#include "common/check.hpp"
+
+namespace ppo::crypto {
+
+namespace {
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Bytes from_hex(const std::string& hex) {
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  int hi = -1;
+  for (char c : hex) {
+    if (c == ' ' || c == '\n' || c == '\t') continue;
+    const int digit = hex_digit(c);
+    PPO_CHECK_MSG(digit >= 0, "invalid hex character");
+    if (hi < 0) {
+      hi = digit;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((hi << 4) | digit));
+      hi = -1;
+    }
+  }
+  PPO_CHECK_MSG(hi < 0, "odd-length hex string");
+  return out;
+}
+
+bool ct_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace ppo::crypto

@@ -1,0 +1,38 @@
+// Byte-buffer aliases and helpers shared by the crypto primitives.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ppo::crypto {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Converts a string literal (e.g. test-vector plaintext) to bytes.
+inline Bytes to_bytes(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Lowercase hex encoding (for test-vector comparison and debugging).
+inline std::string to_hex(BytesView data) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out += digits[b >> 4];
+    out += digits[b & 0xF];
+  }
+  return out;
+}
+
+/// Parses lowercase/uppercase hex; ignores spaces. Returns empty on
+/// malformed input length.
+Bytes from_hex(const std::string& hex);
+
+/// Constant-time equality (length leaks, content does not).
+bool ct_equal(BytesView a, BytesView b);
+
+}  // namespace ppo::crypto

@@ -1,0 +1,28 @@
+// ChaCha20 stream cipher (RFC 8439). The mix network's per-layer
+// encryption; also usable as a fast deterministic byte stream.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.hpp"
+
+namespace ppo::crypto {
+
+inline constexpr std::size_t kChaChaKeySize = 32;
+inline constexpr std::size_t kChaChaNonceSize = 12;
+
+using ChaChaKey = std::array<std::uint8_t, kChaChaKeySize>;
+using ChaChaNonce = std::array<std::uint8_t, kChaChaNonceSize>;
+
+/// One 64-byte keystream block for (key, nonce, counter).
+std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key,
+                                            const ChaChaNonce& nonce,
+                                            std::uint32_t counter);
+
+/// XORs `data` with the keystream starting at block `initial_counter`
+/// (encryption == decryption).
+Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                   std::uint32_t initial_counter, BytesView data);
+
+}  // namespace ppo::crypto

@@ -1,0 +1,34 @@
+#include "crypto/hkdf.hpp"
+
+#include "common/check.hpp"
+
+namespace ppo::crypto {
+
+Sha256Digest hkdf_extract(BytesView salt, BytesView ikm) {
+  return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length) {
+  PPO_CHECK_MSG(length <= 255 * kSha256DigestSize, "HKDF output too long");
+  Bytes out;
+  out.reserve(length);
+  Bytes block;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    Bytes input = block;
+    input.insert(input.end(), info.begin(), info.end());
+    input.push_back(counter++);
+    const Sha256Digest t = hmac_sha256(prk, BytesView(input.data(), input.size()));
+    block.assign(t.begin(), t.end());
+    const std::size_t take = std::min(block.size(), length - out.size());
+    out.insert(out.end(), block.begin(), block.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length) {
+  const Sha256Digest prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(BytesView(prk.data(), prk.size()), info, length);
+}
+
+}  // namespace ppo::crypto

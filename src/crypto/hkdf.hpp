@@ -1,0 +1,19 @@
+// HKDF with SHA-256 (RFC 5869): extract-and-expand key derivation for
+// the mix-network per-hop keys.
+#pragma once
+
+#include "crypto/hmac.hpp"
+
+namespace ppo::crypto {
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Sha256Digest hkdf_extract(BytesView salt, BytesView ikm);
+
+/// HKDF-Expand: derives `length` bytes (<= 255 * 32) from `prk` with
+/// context `info`.
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length);
+
+/// Full extract-then-expand convenience.
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length);
+
+}  // namespace ppo::crypto

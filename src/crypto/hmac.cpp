@@ -1,0 +1,33 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+
+namespace ppo::crypto {
+
+Sha256Digest hmac_sha256(BytesView key, BytesView data) {
+  std::array<std::uint8_t, kSha256BlockSize> key_block{};
+  if (key.size() > kSha256BlockSize) {
+    const Sha256Digest digest = sha256(key);
+    std::copy(digest.begin(), digest.end(), key_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), key_block.begin());
+  }
+
+  std::array<std::uint8_t, kSha256BlockSize> ipad, opad;
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(BytesView(ipad.data(), ipad.size()));
+  inner.update(data);
+  const Sha256Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(BytesView(opad.data(), opad.size()));
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+}  // namespace ppo::crypto

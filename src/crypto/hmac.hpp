@@ -1,0 +1,11 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+#pragma once
+
+#include "crypto/sha256.hpp"
+
+namespace ppo::crypto {
+
+/// HMAC-SHA256 of `data` under `key` (any key length).
+Sha256Digest hmac_sha256(BytesView key, BytesView data);
+
+}  // namespace ppo::crypto

@@ -1,0 +1,159 @@
+#include "crypto/poly1305.hpp"
+
+// 26-bit-limb implementation in the style of poly1305-donna:
+// the accumulator and r are held in five 26-bit limbs, products fit in
+// 64 bits, and reduction mod 2^130 - 5 folds the top limb back with a
+// factor of 5.
+
+namespace ppo::crypto {
+
+namespace {
+
+inline std::uint32_t load32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+PolyTag poly1305(const PolyKey& key, BytesView data) {
+  // r with the RFC clamping folded into the limb masks.
+  const std::uint32_t r0 = load32(key.data() + 0) & 0x3ffffff;
+  const std::uint32_t r1 = (load32(key.data() + 3) >> 2) & 0x3ffff03;
+  const std::uint32_t r2 = (load32(key.data() + 6) >> 4) & 0x3ffc0ff;
+  const std::uint32_t r3 = (load32(key.data() + 9) >> 6) & 0x3f03fff;
+  const std::uint32_t r4 = (load32(key.data() + 12) >> 8) & 0x00fffff;
+
+  const std::uint32_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+
+  std::uint32_t h0 = 0, h1 = 0, h2 = 0, h3 = 0, h4 = 0;
+
+  std::size_t offset = 0;
+  const std::size_t len = data.size();
+  while (offset < len) {
+    std::uint8_t block[17] = {0};
+    const std::size_t take = std::min<std::size_t>(16, len - offset);
+    for (std::size_t i = 0; i < take; ++i) block[i] = data[offset + i];
+    std::uint32_t hibit;
+    if (take == 16) {
+      hibit = 1u << 24;
+    } else {
+      block[take] = 1;  // RFC padding for the final partial block
+      hibit = 0;
+    }
+
+    h0 += load32(block + 0) & 0x3ffffff;
+    h1 += (load32(block + 3) >> 2) & 0x3ffffff;
+    h2 += (load32(block + 6) >> 4) & 0x3ffffff;
+    h3 += (load32(block + 9) >> 6) & 0x3ffffff;
+    h4 += (load32(block + 12) >> 8) | hibit;
+
+    using u64 = std::uint64_t;
+    const u64 d0 = static_cast<u64>(h0) * r0 + static_cast<u64>(h1) * s4 +
+                   static_cast<u64>(h2) * s3 + static_cast<u64>(h3) * s2 +
+                   static_cast<u64>(h4) * s1;
+    const u64 d1 = static_cast<u64>(h0) * r1 + static_cast<u64>(h1) * r0 +
+                   static_cast<u64>(h2) * s4 + static_cast<u64>(h3) * s3 +
+                   static_cast<u64>(h4) * s2;
+    const u64 d2 = static_cast<u64>(h0) * r2 + static_cast<u64>(h1) * r1 +
+                   static_cast<u64>(h2) * r0 + static_cast<u64>(h3) * s4 +
+                   static_cast<u64>(h4) * s3;
+    const u64 d3 = static_cast<u64>(h0) * r3 + static_cast<u64>(h1) * r2 +
+                   static_cast<u64>(h2) * r1 + static_cast<u64>(h3) * r0 +
+                   static_cast<u64>(h4) * s4;
+    const u64 d4 = static_cast<u64>(h0) * r4 + static_cast<u64>(h1) * r3 +
+                   static_cast<u64>(h2) * r2 + static_cast<u64>(h3) * r1 +
+                   static_cast<u64>(h4) * r0;
+
+    std::uint64_t c;
+    c = d0 >> 26;
+    h0 = static_cast<std::uint32_t>(d0) & 0x3ffffff;
+    const u64 e1 = d1 + c;
+    c = e1 >> 26;
+    h1 = static_cast<std::uint32_t>(e1) & 0x3ffffff;
+    const u64 e2 = d2 + c;
+    c = e2 >> 26;
+    h2 = static_cast<std::uint32_t>(e2) & 0x3ffffff;
+    const u64 e3 = d3 + c;
+    c = e3 >> 26;
+    h3 = static_cast<std::uint32_t>(e3) & 0x3ffffff;
+    const u64 e4 = d4 + c;
+    c = e4 >> 26;
+    h4 = static_cast<std::uint32_t>(e4) & 0x3ffffff;
+    h0 += static_cast<std::uint32_t>(c) * 5;
+    h1 += h0 >> 26;
+    h0 &= 0x3ffffff;
+
+    offset += take;
+  }
+
+  // Full carry chain.
+  std::uint32_t c = h1 >> 26;
+  h1 &= 0x3ffffff;
+  h2 += c;
+  c = h2 >> 26;
+  h2 &= 0x3ffffff;
+  h3 += c;
+  c = h3 >> 26;
+  h3 &= 0x3ffffff;
+  h4 += c;
+  c = h4 >> 26;
+  h4 &= 0x3ffffff;
+  h0 += c * 5;
+  c = h0 >> 26;
+  h0 &= 0x3ffffff;
+  h1 += c;
+
+  // Compute h + 5 - 2^130 and select it when non-negative.
+  std::uint32_t g0 = h0 + 5;
+  c = g0 >> 26;
+  g0 &= 0x3ffffff;
+  std::uint32_t g1 = h1 + c;
+  c = g1 >> 26;
+  g1 &= 0x3ffffff;
+  std::uint32_t g2 = h2 + c;
+  c = g2 >> 26;
+  g2 &= 0x3ffffff;
+  std::uint32_t g3 = h3 + c;
+  c = g3 >> 26;
+  g3 &= 0x3ffffff;
+  const std::uint32_t g4 = h4 + c - (1u << 26);
+
+  const std::uint32_t mask = (g4 >> 31) - 1;  // all ones when h >= p
+  h0 = (h0 & ~mask) | (g0 & mask);
+  h1 = (h1 & ~mask) | (g1 & mask);
+  h2 = (h2 & ~mask) | (g2 & mask);
+  h3 = (h3 & ~mask) | (g3 & mask);
+  const std::uint32_t h4f = (h4 & ~mask) | (g4 & mask);
+
+  // Serialize to four little-endian 32-bit words.
+  const std::uint32_t w0 = (h0 | (h1 << 26)) & 0xffffffff;
+  const std::uint32_t w1 = ((h1 >> 6) | (h2 << 20)) & 0xffffffff;
+  const std::uint32_t w2 = ((h2 >> 12) | (h3 << 14)) & 0xffffffff;
+  const std::uint32_t w3 = ((h3 >> 18) | (h4f << 8)) & 0xffffffff;
+
+  // Add s (second key half) mod 2^128.
+  std::uint64_t f;
+  std::uint32_t out[4];
+  f = static_cast<std::uint64_t>(w0) + load32(key.data() + 16);
+  out[0] = static_cast<std::uint32_t>(f);
+  f = static_cast<std::uint64_t>(w1) + load32(key.data() + 20) + (f >> 32);
+  out[1] = static_cast<std::uint32_t>(f);
+  f = static_cast<std::uint64_t>(w2) + load32(key.data() + 24) + (f >> 32);
+  out[2] = static_cast<std::uint32_t>(f);
+  f = static_cast<std::uint64_t>(w3) + load32(key.data() + 28) + (f >> 32);
+  out[3] = static_cast<std::uint32_t>(f);
+
+  PolyTag tag;
+  for (int i = 0; i < 4; ++i) {
+    tag[4 * i] = static_cast<std::uint8_t>(out[i]);
+    tag[4 * i + 1] = static_cast<std::uint8_t>(out[i] >> 8);
+    tag[4 * i + 2] = static_cast<std::uint8_t>(out[i] >> 16);
+    tag[4 * i + 3] = static_cast<std::uint8_t>(out[i] >> 24);
+  }
+  return tag;
+}
+
+}  // namespace ppo::crypto

@@ -1,0 +1,20 @@
+// Poly1305 one-time authenticator (RFC 8439 §2.5).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.hpp"
+
+namespace ppo::crypto {
+
+inline constexpr std::size_t kPolyKeySize = 32;
+inline constexpr std::size_t kPolyTagSize = 16;
+
+using PolyKey = std::array<std::uint8_t, kPolyKeySize>;
+using PolyTag = std::array<std::uint8_t, kPolyTagSize>;
+
+/// Poly1305 tag of `data` under the one-time `key` (r || s).
+PolyTag poly1305(const PolyKey& key, BytesView data);
+
+}  // namespace ppo::crypto

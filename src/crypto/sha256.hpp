@@ -1,0 +1,40 @@
+// SHA-256 (FIPS 180-4). Streaming interface plus one-shot helper.
+// Used for pseudonym hardening (§III-D: "applying a cryptographically
+// strong hash function") and as the MAC/KDF base of the mix network.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.hpp"
+
+namespace ppo::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+inline constexpr std::size_t kSha256BlockSize = 64;
+
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(BytesView data);
+  /// Finalizes and returns the digest; the object must not be reused
+  /// afterwards without `reset()`.
+  Sha256Digest finish();
+  void reset();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kSha256BlockSize> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot digest.
+Sha256Digest sha256(BytesView data);
+
+}  // namespace ppo::crypto

@@ -1,0 +1,150 @@
+#include "crypto/x25519.hpp"
+
+namespace ppo::crypto {
+
+namespace {
+
+using i64 = std::int64_t;
+// Field element mod 2^255 - 19: sixteen radix-2^16 limbs in int64.
+using Gf = std::array<i64, 16>;
+
+constexpr Gf k121665 = {0xDB41, 1, 0, 0, 0, 0, 0, 0,
+                        0,      0, 0, 0, 0, 0, 0, 0};
+
+void carry(Gf& o) {
+  for (int i = 0; i < 16; ++i) {
+    o[i] += (i64{1} << 16);
+    const i64 c = o[i] >> 16;
+    o[(i + 1) * (i < 15)] += c - 1 + 37 * (c - 1) * (i == 15);
+    o[i] -= c << 16;
+  }
+}
+
+/// Constant-time conditional swap of p and q when b == 1.
+void cswap(Gf& p, Gf& q, int b) {
+  const i64 mask = ~(static_cast<i64>(b) - 1);
+  for (int i = 0; i < 16; ++i) {
+    const i64 t = mask & (p[i] ^ q[i]);
+    p[i] ^= t;
+    q[i] ^= t;
+  }
+}
+
+void pack(std::uint8_t* out, const Gf& n) {
+  Gf t = n, m{};
+  carry(t);
+  carry(t);
+  carry(t);
+  for (int j = 0; j < 2; ++j) {
+    m[0] = t[0] - 0xffed;
+    for (int i = 1; i < 15; ++i) {
+      m[i] = t[i] - 0xffff - ((m[i - 1] >> 16) & 1);
+      m[i - 1] &= 0xffff;
+    }
+    m[15] = t[15] - 0x7fff - ((m[14] >> 16) & 1);
+    const int b = static_cast<int>((m[15] >> 16) & 1);
+    m[14] &= 0xffff;
+    cswap(t, m, 1 - b);
+  }
+  for (int i = 0; i < 16; ++i) {
+    out[2 * i] = static_cast<std::uint8_t>(t[i] & 0xff);
+    out[2 * i + 1] = static_cast<std::uint8_t>(t[i] >> 8);
+  }
+}
+
+void unpack(Gf& o, const std::uint8_t* in) {
+  for (int i = 0; i < 16; ++i)
+    o[i] = in[2 * i] + (static_cast<i64>(in[2 * i + 1]) << 8);
+  o[15] &= 0x7fff;
+}
+
+void add(Gf& o, const Gf& a, const Gf& b) {
+  for (int i = 0; i < 16; ++i) o[i] = a[i] + b[i];
+}
+
+void sub(Gf& o, const Gf& a, const Gf& b) {
+  for (int i = 0; i < 16; ++i) o[i] = a[i] - b[i];
+}
+
+void mul(Gf& o, const Gf& a, const Gf& b) {
+  i64 t[31] = {0};
+  for (int i = 0; i < 16; ++i)
+    for (int j = 0; j < 16; ++j) t[i + j] += a[i] * b[j];
+  for (int i = 0; i < 15; ++i) t[i] += 38 * t[i + 16];
+  for (int i = 0; i < 16; ++i) o[i] = t[i];
+  carry(o);
+  carry(o);
+}
+
+void square(Gf& o, const Gf& a) { mul(o, a, a); }
+
+/// Inversion by Fermat: a^(p-2) with the fixed square-and-multiply
+/// chain (skips multiplies at exponent bits 2 and 4).
+void invert(Gf& o, const Gf& in) {
+  Gf c = in;
+  for (int a = 253; a >= 0; --a) {
+    square(c, c);
+    if (a != 2 && a != 4) mul(c, c, in);
+  }
+  o = c;
+}
+
+}  // namespace
+
+X25519Key x25519(const X25519Key& scalar, const X25519Key& point) {
+  std::uint8_t z[32];
+  for (int i = 0; i < 31; ++i) z[i] = scalar[i];
+  z[31] = (scalar[31] & 127) | 64;
+  z[0] &= 248;
+
+  Gf x;
+  unpack(x, point.data());
+
+  Gf a{}, b = x, c{}, d{}, e, f;
+  a[0] = 1;
+  d[0] = 1;
+
+  for (int i = 254; i >= 0; --i) {
+    const int r = (z[i >> 3] >> (i & 7)) & 1;
+    cswap(a, b, r);
+    cswap(c, d, r);
+    add(e, a, c);
+    sub(a, a, c);
+    add(c, b, d);
+    sub(b, b, d);
+    square(d, e);
+    square(f, a);
+    mul(a, c, a);
+    mul(c, b, e);
+    add(e, a, c);
+    sub(a, a, c);
+    square(b, a);
+    sub(c, d, f);
+    mul(a, c, k121665);
+    add(a, a, d);
+    mul(c, c, a);
+    mul(a, d, f);
+    mul(d, b, x);
+    square(b, e);
+    cswap(a, b, r);
+    cswap(c, d, r);
+  }
+
+  invert(c, c);
+  mul(a, a, c);
+  X25519Key out;
+  pack(out.data(), a);
+  return out;
+}
+
+X25519Key x25519_public(const X25519Key& private_key) {
+  X25519Key base{};
+  base[0] = 9;
+  return x25519(private_key, base);
+}
+
+X25519KeyPair x25519_keypair(const X25519Key& seed) {
+  return X25519KeyPair{seed, x25519_public(seed)};
+}
+
+}  // namespace ppo::crypto

@@ -1,0 +1,34 @@
+// X25519 Diffie-Hellman (RFC 7748) — key agreement used by the mix
+// network so that each relay shares a layer key with the circuit
+// builder. Field arithmetic uses sixteen 16-bit limbs held in int64
+// (the compact, well-studied TweetNaCl representation).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.hpp"
+
+namespace ppo::crypto {
+
+inline constexpr std::size_t kX25519KeySize = 32;
+
+using X25519Key = std::array<std::uint8_t, kX25519KeySize>;
+
+/// Montgomery-ladder scalar multiplication: q = scalar * point.
+/// The scalar is clamped per RFC 7748.
+X25519Key x25519(const X25519Key& scalar, const X25519Key& point);
+
+/// Public key for a private scalar: scalar * base point (u = 9).
+X25519Key x25519_public(const X25519Key& private_key);
+
+/// Keypair generated from 32 seed bytes (clamp happens inside
+/// x25519); the seed IS the private key.
+struct X25519KeyPair {
+  X25519Key private_key;
+  X25519Key public_key;
+};
+
+X25519KeyPair x25519_keypair(const X25519Key& seed);
+
+}  // namespace ppo::crypto

@@ -1,0 +1,181 @@
+#include "dht/chord.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ppo::dht {
+
+namespace {
+
+/// true iff x lies in the half-open ring interval (a, b] (clockwise).
+bool in_interval(Key x, Key a, Key b) {
+  if (a == b) return true;  // full circle
+  if (a < b) return x > a && x <= b;
+  return x > a || x <= b;  // wrapped
+}
+
+}  // namespace
+
+ChordRing::ChordRing(const ChordOptions& options, Rng& rng)
+    : replication_(options.replication) {
+  PPO_CHECK_MSG(options.num_nodes >= 1, "ring needs nodes");
+  PPO_CHECK_MSG(options.replication >= 1, "replication must be >= 1");
+
+  // Distinct random ring ids, sorted.
+  std::vector<Key> ids;
+  ids.reserve(options.num_nodes);
+  while (ids.size() < options.num_nodes) {
+    const Key id = rng.next_u64();
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  while (ids.size() < options.num_nodes) {  // collision top-up (rare)
+    const Key id = rng.next_u64();
+    if (!std::binary_search(ids.begin(), ids.end(), id)) {
+      ids.insert(std::upper_bound(ids.begin(), ids.end(), id), id);
+    }
+  }
+
+  nodes_.resize(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) nodes_[i].id = ids[i];
+
+  // Finger tables: successor of id + 2^k for each k.
+  const auto successor_index = [&](Key position) {
+    const auto it = std::lower_bound(
+        ids.begin(), ids.end(), position);
+    return static_cast<std::size_t>(
+        it == ids.end() ? 0 : static_cast<std::size_t>(it - ids.begin()));
+  };
+  for (auto& node : nodes_) {
+    node.fingers.reserve(64);
+    for (int k = 0; k < 64; ++k)
+      node.fingers.push_back(successor_index(node.id + (Key{1} << k)));
+  }
+}
+
+std::size_t ChordRing::num_alive() const {
+  std::size_t count = 0;
+  for (const auto& node : nodes_) count += node.alive;
+  return count;
+}
+
+std::optional<std::size_t> ChordRing::alive_successor(Key key) const {
+  // First alive node at or after `key`, wrapping. Binary search for
+  // the insertion point, then walk (the walk models successor lists).
+  std::size_t i = 0;
+  {
+    std::size_t lo = 0, hi = nodes_.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (nodes_[mid].id < key)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    i = lo % nodes_.size();
+  }
+  for (std::size_t step = 0; step < nodes_.size(); ++step) {
+    const std::size_t idx = (i + step) % nodes_.size();
+    if (nodes_[idx].alive) return idx;
+  }
+  return std::nullopt;
+}
+
+ChordRing::LookupResult ChordRing::lookup(
+    Key key, std::optional<std::size_t> start) const {
+  LookupResult result;
+  std::size_t current;
+  if (start) {
+    PPO_CHECK_MSG(*start < nodes_.size(), "start node out of range");
+    PPO_CHECK_MSG(nodes_[*start].alive, "start node is dead");
+    current = *start;
+  } else {
+    const auto any = alive_successor(0);
+    if (!any) return result;
+    current = *any;
+  }
+
+  for (std::size_t guard = 0; guard < nodes_.size() + 64; ++guard) {
+    const auto succ = alive_successor(nodes_[current].id + 1);
+    if (!succ) return result;
+    if (in_interval(key, nodes_[current].id, nodes_[*succ].id)) {
+      result.ok = true;
+      result.owner = *succ;
+      result.hops += (current != *succ);
+      return result;
+    }
+    // Closest preceding alive finger strictly inside (current, key).
+    std::size_t next = *succ;  // successor fallback guarantees progress
+    for (int k = 63; k >= 0; --k) {
+      const std::size_t candidate =
+          nodes_[current].fingers[static_cast<std::size_t>(k)];
+      if (candidate == current || !nodes_[candidate].alive) continue;
+      if (in_interval(nodes_[candidate].id, nodes_[current].id, key) &&
+          nodes_[candidate].id != key) {
+        next = candidate;
+        break;
+      }
+    }
+    if (next == current) return result;  // wedged (should not happen)
+    current = next;
+    ++result.hops;
+  }
+  return result;  // guard exceeded
+}
+
+std::vector<std::size_t> ChordRing::replicas(Key key) const {
+  std::vector<std::size_t> out;
+  const auto owner = alive_successor(key);
+  if (!owner) return out;
+  std::size_t idx = *owner;
+  for (std::size_t added = 0;
+       added < replication_ && out.size() < num_alive();) {
+    if (nodes_[idx].alive) {
+      out.push_back(idx);
+      ++added;
+    }
+    idx = (idx + 1) % nodes_.size();
+    if (idx == *owner) break;  // wrapped all the way around
+  }
+  return out;
+}
+
+std::optional<std::size_t> ChordRing::put(Key key, crypto::Bytes value) {
+  const LookupResult route = lookup(key);
+  if (!route.ok) return std::nullopt;
+  for (const std::size_t idx : replicas(key))
+    nodes_[idx].store[key] = value;
+  return route.hops;
+}
+
+std::optional<crypto::Bytes> ChordRing::get(Key key) const {
+  for (const std::size_t idx : replicas(key)) {
+    const auto it = nodes_[idx].store.find(key);
+    if (it != nodes_[idx].store.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+void ChordRing::erase(Key key) {
+  for (auto& node : nodes_)
+    if (node.alive) node.store.erase(key);
+}
+
+void ChordRing::fail_node(std::size_t index) {
+  PPO_CHECK_MSG(index < nodes_.size(), "node out of range");
+  nodes_[index].alive = false;
+}
+
+bool ChordRing::node_alive(std::size_t index) const {
+  PPO_CHECK_MSG(index < nodes_.size(), "node out of range");
+  return nodes_[index].alive;
+}
+
+Key ChordRing::node_id(std::size_t index) const {
+  PPO_CHECK_MSG(index < nodes_.size(), "node out of range");
+  return nodes_[index].id;
+}
+
+}  // namespace ppo::dht

@@ -1,0 +1,88 @@
+// Chord-style distributed hash table (simulated): the third-party
+// storage substrate §III-B proposes for realizing the pseudonym
+// service ("pseudonyms would be storage-service addresses (e.g. ...
+// DHT IDs)"). Nodes sit on a 2^64 identifier ring; a key belongs to
+// its successor; lookups route greedily through finger tables in
+// O(log n) hops; data is replicated on the owner's successor list so
+// node failures do not lose registrations.
+//
+// Membership is static (built once), matching how the paper uses
+// infrastructure services; failures are modeled by marking nodes dead
+// — lookups and reads route around them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crypto/bytes.hpp"
+
+namespace ppo::dht {
+
+using Key = std::uint64_t;
+
+struct ChordOptions {
+  std::size_t num_nodes = 64;
+  /// Copies of each record (owner + replication-1 further successors).
+  std::size_t replication = 3;
+};
+
+class ChordRing {
+ public:
+  ChordRing(const ChordOptions& options, Rng& rng);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_alive() const;
+
+  struct LookupResult {
+    bool ok = false;
+    std::size_t owner = 0;  // node index (not ring id)
+    std::size_t hops = 0;
+  };
+
+  /// Routes from node `start` (default: random alive) to the alive
+  /// owner of `key` via finger tables. Fails only when no alive node
+  /// remains reachable.
+  LookupResult lookup(Key key, std::optional<std::size_t> start = {}) const;
+
+  /// Stores key -> value at the owner and its successors (replicated).
+  /// Returns the hop count of the initial lookup, or nullopt if the
+  /// ring is dead.
+  std::optional<std::size_t> put(Key key, crypto::Bytes value);
+
+  /// Reads from the first alive replica.
+  std::optional<crypto::Bytes> get(Key key) const;
+
+  /// Removes the key from all alive replicas.
+  void erase(Key key);
+
+  /// Failure injection.
+  void fail_node(std::size_t index);
+  bool node_alive(std::size_t index) const;
+
+  /// Ring id of node `index` (test use).
+  Key node_id(std::size_t index) const;
+
+ private:
+  struct Node {
+    Key id;
+    bool alive = true;
+    std::vector<std::size_t> fingers;  // node indices at id + 2^k
+    std::map<Key, crypto::Bytes> store;
+  };
+
+  /// Index (into nodes_, which is sorted by id) of the first ALIVE
+  /// node at or clockwise-after ring position `key`. nullopt when
+  /// everything is dead.
+  std::optional<std::size_t> alive_successor(Key key) const;
+
+  /// Replica set for a key: the alive owner and the next alive nodes.
+  std::vector<std::size_t> replicas(Key key) const;
+
+  std::vector<Node> nodes_;  // sorted by ring id
+  std::size_t replication_;
+};
+
+}  // namespace ppo::dht

@@ -1,0 +1,84 @@
+#include "dht/dht_pseudonym_service.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "crypto/sha256.hpp"
+
+namespace ppo::dht {
+
+namespace {
+
+crypto::Bytes encode(NodeId owner, sim::Time expiry) {
+  crypto::Bytes out(sizeof(NodeId) + sizeof(double));
+  std::memcpy(out.data(), &owner, sizeof(NodeId));
+  std::memcpy(out.data() + sizeof(NodeId), &expiry, sizeof(double));
+  return out;
+}
+
+bool decode(const crypto::Bytes& data, NodeId& owner, sim::Time& expiry) {
+  if (data.size() != sizeof(NodeId) + sizeof(double)) return false;
+  std::memcpy(&owner, data.data(), sizeof(NodeId));
+  std::memcpy(&expiry, data.data() + sizeof(NodeId), sizeof(double));
+  return true;
+}
+
+}  // namespace
+
+Key DhtPseudonymService::storage_key(PseudonymValue value) {
+  // Hash the pseudonym into the ring so storage placement reveals
+  // nothing about value structure (§III-D's hashing remark).
+  std::uint8_t raw[8];
+  for (int i = 0; i < 8; ++i)
+    raw[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  const auto digest = crypto::sha256(crypto::BytesView(raw, 8));
+  Key key = 0;
+  for (int i = 0; i < 8; ++i)
+    key |= static_cast<Key>(digest[static_cast<std::size_t>(i)]) << (8 * i);
+  return key;
+}
+
+PseudonymRecord DhtPseudonymService::create(NodeId owner, sim::Time now,
+                                            sim::Time lifetime, Rng& rng) {
+  PPO_CHECK_MSG(lifetime > 0.0, "pseudonym lifetime must be positive");
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const PseudonymValue value =
+        privacylink::random_pseudonym_value(rng, bits_);
+    // Live collision check via the DHT itself.
+    if (alive(value, now)) continue;
+    const auto hops = ring_.put(storage_key(value),
+                                encode(owner, now + lifetime));
+    PPO_CHECK_MSG(hops.has_value(), "DHT unavailable (all nodes dead)");
+    hops_ += *hops;
+    ++ops_;
+    return PseudonymRecord{value, now + lifetime};
+  }
+  PPO_CHECK_MSG(false, "pseudonym space exhausted — widen `bits`");
+  return {};
+}
+
+std::optional<NodeId> DhtPseudonymService::resolve(PseudonymValue value,
+                                                   sim::Time now) {
+  const Key key = storage_key(value);
+  const auto lookup = ring_.lookup(key);
+  if (lookup.ok) {
+    hops_ += lookup.hops;
+    ++ops_;
+  }
+  const auto data = ring_.get(key);
+  if (!data) return std::nullopt;
+  NodeId owner = 0;
+  sim::Time expiry = 0.0;
+  if (!decode(*data, owner, expiry)) return std::nullopt;
+  if (expiry <= now) {
+    ring_.erase(key);  // lazy TTL garbage collection
+    return std::nullopt;
+  }
+  return owner;
+}
+
+bool DhtPseudonymService::alive(PseudonymValue value, sim::Time now) {
+  return resolve(value, now).has_value();
+}
+
+}  // namespace ppo::dht

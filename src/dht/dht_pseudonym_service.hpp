@@ -1,0 +1,50 @@
+// The pseudonym service realized over third-party distributed
+// storage, as §III-B proposes: "pseudonyms would be storage-service
+// addresses (e.g., email addresses or DHT IDs)". Registrations live
+// in a Chord ring (replicated), so the mapping survives storage-node
+// failures and no single party holds the whole directory.
+//
+// Same contract as the ideal privacylink::PseudonymService: mint a
+// TTL'd random value for an owner, resolve values until expiry.
+#pragma once
+
+#include <optional>
+
+#include "dht/chord.hpp"
+#include "privacylink/pseudonym.hpp"
+
+namespace ppo::dht {
+
+using privacylink::NodeId;
+using privacylink::PseudonymRecord;
+using privacylink::PseudonymValue;
+
+class DhtPseudonymService {
+ public:
+  DhtPseudonymService(ChordRing& ring, unsigned bits = 64)
+      : ring_(ring), bits_(bits) {}
+
+  /// Mints a fresh pseudonym for `owner`, registering it in the DHT.
+  PseudonymRecord create(NodeId owner, sim::Time now, sim::Time lifetime,
+                         Rng& rng);
+
+  /// Resolves via DHT lookup; expired registrations are unroutable
+  /// and lazily deleted.
+  std::optional<NodeId> resolve(PseudonymValue value, sim::Time now);
+
+  bool alive(PseudonymValue value, sim::Time now);
+
+  /// Routing cost accounting (DHT hops across create/resolve calls).
+  std::uint64_t total_hops() const { return hops_; }
+  std::uint64_t operations() const { return ops_; }
+
+ private:
+  static Key storage_key(PseudonymValue value);
+
+  ChordRing& ring_;
+  unsigned bits_;
+  std::uint64_t hops_ = 0;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace ppo::dht

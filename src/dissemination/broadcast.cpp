@@ -1,0 +1,85 @@
+#include "dissemination/broadcast.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "sim/simulator.hpp"
+
+namespace ppo::dissem {
+
+namespace {
+
+struct BroadcastState {
+  const graph::Graph& g;
+  const graph::NodeMask& online;
+  const BroadcastOptions& options;
+  Rng& rng;
+  sim::Simulator sim;
+
+  std::vector<char> received;
+  BroadcastResult result;
+  RunningStats latency;
+
+  BroadcastState(const graph::Graph& graph, const graph::NodeMask& mask,
+                 const BroadcastOptions& opts, Rng& r)
+      : g(graph), online(mask), options(opts), rng(r),
+        received(graph.num_nodes(), 0) {}
+
+  void forward_from(NodeId node, std::uint32_t hops) {
+    if (options.max_hops >= 0 &&
+        hops >= static_cast<std::uint32_t>(options.max_hops))
+      return;
+    const auto nbrs = g.neighbors(node);
+    std::vector<NodeId> targets(nbrs.begin(), nbrs.end());
+    if (options.fanout > 0 && targets.size() > options.fanout)
+      targets = rng.sample(targets, options.fanout);
+    for (const NodeId next : targets) {
+      ++result.messages_sent;
+      const double latency_draw =
+          rng.uniform_double(options.min_latency, options.max_latency);
+      sim.schedule_after(latency_draw, [this, next, hops] {
+        deliver(next, hops + 1);
+      });
+    }
+  }
+
+  void deliver(NodeId node, std::uint32_t hops) {
+    if (!online.contains(node)) return;  // offline endpoint drops it
+    if (received[node]) return;          // duplicate suppression
+    received[node] = 1;
+    ++result.reached;
+    latency.add(sim.now());
+    result.max_hops_used = std::max(result.max_hops_used, hops);
+    forward_from(node, hops);
+  }
+};
+
+}  // namespace
+
+BroadcastResult broadcast(const graph::Graph& g,
+                          const graph::NodeMask& online, NodeId source,
+                          const BroadcastOptions& options, Rng& rng) {
+  PPO_CHECK_MSG(source < g.num_nodes(), "source out of range");
+  PPO_CHECK_MSG(online.contains(source), "source must be online");
+
+  BroadcastState state(g, online, options, rng);
+  state.result.online_nodes = online.count(g.num_nodes());
+
+  state.received[source] = 1;
+  state.result.reached = 1;
+  state.forward_from(source, 0);
+  state.sim.run_all();
+
+  state.result.coverage =
+      state.result.online_nodes == 0
+          ? 0.0
+          : static_cast<double>(state.result.reached) /
+                static_cast<double>(state.result.online_nodes);
+  state.result.mean_latency = state.latency.mean();
+  state.result.max_latency = state.latency.max();
+  return state.result;
+}
+
+}  // namespace ppo::dissem

@@ -1,0 +1,265 @@
+#include "experiments/figures.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ppo::experiments {
+
+namespace {
+
+OverlayScenario base_scenario(const FigureScale& scale, double alpha,
+                              std::uint64_t seed_salt) {
+  OverlayScenario scenario;
+  scenario.churn.alpha = alpha;
+  scenario.window = scale.window;
+  scenario.seed = scale.seed ^ seed_salt;
+  // Table I: lifetime = 3 x Toff.
+  scenario.params.pseudonym_lifetime = 3.0 * scenario.churn.mean_offline;
+  return scenario;
+}
+
+}  // namespace
+
+SweepFigure availability_sweep(Workbench& bench, const FigureScale& scale) {
+  SweepFigure fig;
+  fig.alphas = scale.alphas;
+
+  Series trust_f10{"trust-f1.0", {}}, trust_f05{"trust-f0.5", {}};
+  Series overlay_f10{"overlay-f1.0", {}}, overlay_f05{"overlay-f0.5", {}};
+  Series random_ref{"random", {}};
+  Series n_trust_f10 = trust_f10, n_trust_f05 = trust_f05,
+         n_overlay_f10 = overlay_f10, n_overlay_f05 = overlay_f05,
+         n_random = random_ref;
+
+  const graph::Graph& t10 = bench.trust_graph(1.0);
+  const graph::Graph& t05 = bench.trust_graph(0.5);
+
+  // ONE Erdős–Rényi reference graph, sized once from the converged
+  // overlay (highest availability in the sweep) — the paper compares
+  // against a fixed random graph "of similar size and average
+  // fan-out", not one resized per churn level.
+  const double alpha_max =
+      *std::max_element(scale.alphas.begin(), scale.alphas.end());
+  OverlayScenario sizing = base_scenario(scale, alpha_max, 99);
+  const auto sizing_run = run_overlay(t05, sizing);
+  const graph::Graph er = er_reference(
+      t05.num_nodes(),
+      static_cast<std::size_t>(
+          std::llround(sizing_run.stats.total_edges.mean())),
+      scale.seed ^ 0xE6);
+
+  for (std::size_t i = 0; i < scale.alphas.size(); ++i) {
+    const double alpha = scale.alphas[i];
+    OverlayScenario scenario = base_scenario(scale, alpha, 101 + i);
+
+    const auto s_t10 =
+        run_static(t10, scenario.churn, scale.window, scenario.seed ^ 1);
+    const auto s_t05 =
+        run_static(t05, scenario.churn, scale.window, scenario.seed ^ 2);
+    const auto o_t10 = run_overlay(t10, scenario);
+    scenario.seed ^= 0x51;
+    const auto o_t05 = run_overlay(t05, scenario);
+
+    const auto s_er =
+        run_static(er, scenario.churn, scale.window, scenario.seed ^ 3);
+
+    trust_f10.values.push_back(s_t10.stats.frac_disconnected.mean());
+    trust_f05.values.push_back(s_t05.stats.frac_disconnected.mean());
+    overlay_f10.values.push_back(o_t10.stats.frac_disconnected.mean());
+    overlay_f05.values.push_back(o_t05.stats.frac_disconnected.mean());
+    random_ref.values.push_back(s_er.stats.frac_disconnected.mean());
+
+    n_trust_f10.values.push_back(s_t10.stats.norm_apl.mean());
+    n_trust_f05.values.push_back(s_t05.stats.norm_apl.mean());
+    n_overlay_f10.values.push_back(o_t10.stats.norm_apl.mean());
+    n_overlay_f05.values.push_back(o_t05.stats.norm_apl.mean());
+    n_random.values.push_back(s_er.stats.norm_apl.mean());
+  }
+
+  fig.connectivity = {trust_f10, trust_f05, overlay_f10, overlay_f05,
+                      random_ref};
+  fig.napl = {n_trust_f10, n_trust_f05, n_overlay_f10, n_overlay_f05,
+              n_random};
+  return fig;
+}
+
+SweepFigure lifetime_sweep(Workbench& bench, const FigureScale& scale) {
+  SweepFigure fig;
+  fig.alphas = scale.alphas;
+
+  const graph::Graph& trust = bench.trust_graph(0.5);
+  const std::vector<std::pair<const char*, double>> ratios = {
+      {"r1", 1.0}, {"r3", 3.0}, {"r9", 9.0}, {"r-infinite", -1.0}};
+
+  Series trust_series{"trust-graph", {}}, random_series{"random", {}};
+  Series n_trust = trust_series, n_random = random_series;
+  std::vector<Series> overlay_conn, overlay_napl;
+  for (const auto& [name, ratio] : ratios) {
+    (void)ratio;
+    overlay_conn.push_back(Series{name, {}});
+    overlay_napl.push_back(Series{name, {}});
+  }
+
+  // Shared ER reference sized once from the converged r = 3 overlay
+  // (see availability_sweep for rationale).
+  const double alpha_max =
+      *std::max_element(scale.alphas.begin(), scale.alphas.end());
+  OverlayScenario sizing = base_scenario(scale, alpha_max, 199);
+  const auto sizing_run = run_overlay(trust, sizing);
+  const graph::Graph er = er_reference(
+      trust.num_nodes(),
+      static_cast<std::size_t>(
+          std::llround(sizing_run.stats.total_edges.mean())),
+      scale.seed ^ 0xE7);
+
+  for (std::size_t i = 0; i < scale.alphas.size(); ++i) {
+    const double alpha = scale.alphas[i];
+    OverlayScenario scenario = base_scenario(scale, alpha, 211 + i);
+
+    const auto s_trust =
+        run_static(trust, scenario.churn, scale.window, scenario.seed ^ 1);
+    trust_series.values.push_back(s_trust.stats.frac_disconnected.mean());
+    n_trust.values.push_back(s_trust.stats.norm_apl.mean());
+
+    for (std::size_t k = 0; k < ratios.size(); ++k) {
+      OverlayScenario variant = scenario;
+      variant.seed ^= (k + 2) * 0x91;
+      variant.params.pseudonym_lifetime =
+          ratios[k].second < 0
+              ? kInfiniteLifetime
+              : ratios[k].second * variant.churn.mean_offline;
+      const auto run = run_overlay(trust, variant);
+      overlay_conn[k].values.push_back(run.stats.frac_disconnected.mean());
+      overlay_napl[k].values.push_back(run.stats.norm_apl.mean());
+    }
+
+    const auto s_er =
+        run_static(er, scenario.churn, scale.window, scenario.seed ^ 8);
+    random_series.values.push_back(s_er.stats.frac_disconnected.mean());
+    n_random.values.push_back(s_er.stats.norm_apl.mean());
+  }
+
+  fig.connectivity.push_back(trust_series);
+  for (auto& s : overlay_conn) fig.connectivity.push_back(std::move(s));
+  fig.connectivity.push_back(random_series);
+  fig.napl.push_back(n_trust);
+  for (auto& s : overlay_napl) fig.napl.push_back(std::move(s));
+  fig.napl.push_back(n_random);
+  return fig;
+}
+
+DegreeFigure degree_distributions(Workbench& bench, const FigureScale& scale,
+                                  const std::vector<double>& fs) {
+  DegreeFigure fig;
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    const double f = fs[i];
+    const graph::Graph& trust = bench.trust_graph(f);
+    OverlayScenario scenario = base_scenario(scale, 0.5, 311 + i);
+
+    const auto s_trust =
+        run_static(trust, scenario.churn, scale.window, scenario.seed ^ 1);
+    const auto o = run_overlay(trust, scenario);
+    const auto er = er_reference(trust.num_nodes(), o.final_total_edges,
+                                 scenario.seed ^ 5);
+    const auto s_er =
+        run_static(er, scenario.churn, scale.window, scenario.seed ^ 6);
+
+    fig.entries.push_back(DegreeFigure::PerF{
+        f, s_trust.final_degree, o.final_degree, s_er.final_degree});
+  }
+  return fig;
+}
+
+MessageFigure message_overhead(Workbench& bench, const FigureScale& scale,
+                               const std::vector<double>& fs) {
+  MessageFigure fig;
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    const double f = fs[i];
+    const graph::Graph& trust = bench.trust_graph(f);
+    const OverlayScenario scenario = base_scenario(scale, 0.5, 411 + i);
+    const auto run = run_overlay(trust, scenario);
+
+    MessageFigure::PerF entry;
+    entry.f = f;
+    entry.rows.reserve(run.per_node.size());
+    for (std::size_t v = 0; v < run.per_node.size(); ++v) {
+      const auto& pn = run.per_node[v];
+      entry.rows.push_back(MessageFigure::Row{
+          0, pn.trust_degree, pn.max_out_degree,
+          pn.messages_per_online_period});
+    }
+    std::sort(entry.rows.begin(), entry.rows.end(),
+              [](const auto& a, const auto& b) {
+                return a.trust_degree > b.trust_degree;
+              });
+    double total = 0.0;
+    for (std::size_t r = 0; r < entry.rows.size(); ++r) {
+      entry.rows[r].rank = r + 1;
+      total += entry.rows[r].messages_per_period;
+    }
+    entry.mean_messages =
+        entry.rows.empty() ? 0.0 : total / static_cast<double>(entry.rows.size());
+    fig.entries.push_back(std::move(entry));
+  }
+  return fig;
+}
+
+ConvergenceFigure convergence_trace(Workbench& bench, double horizon,
+                                    double sample_every, std::uint64_t seed) {
+  const graph::Graph& trust = bench.trust_graph(0.5);
+  ConvergenceFigure fig;
+
+  ChurnSpec churn;
+  churn.alpha = 0.25;
+  fig.trust = run_static_trace(trust, churn, horizon, sample_every, seed ^ 1);
+
+  for (const double ratio : {3.0, 9.0}) {
+    OverlayScenario scenario;
+    scenario.churn = churn;
+    scenario.seed = seed ^ static_cast<std::uint64_t>(ratio);
+    scenario.params.pseudonym_lifetime = ratio * churn.mean_offline;
+    OverlayTraceSpec spec;
+    spec.horizon = horizon;
+    spec.sample_every = sample_every;
+    spec.track_connectivity = true;
+    auto trace = run_overlay_trace(trust, scenario, spec);
+    if (ratio == 3.0) {
+      trace.connectivity.set_name(fig.overlay_r3.name());
+      fig.overlay_r3 = std::move(trace.connectivity);
+    } else {
+      trace.connectivity.set_name(fig.overlay_r9.name());
+      fig.overlay_r9 = std::move(trace.connectivity);
+    }
+  }
+  return fig;
+}
+
+ReplacementFigure replacement_trace(Workbench& bench, double horizon,
+                                    double sample_every, std::uint64_t seed) {
+  const graph::Graph& trust = bench.trust_graph(0.5);
+  ReplacementFigure fig;
+
+  const std::vector<std::pair<double, metrics::TimeSeries*>> runs = {
+      {3.0, &fig.r3}, {9.0, &fig.r9}, {-1.0, &fig.r_infinite}};
+  for (const auto& [ratio, out] : runs) {
+    OverlayScenario scenario;
+    scenario.churn.alpha = 0.25;
+    scenario.seed = seed ^ static_cast<std::uint64_t>(ratio + 100);
+    scenario.params.pseudonym_lifetime =
+        ratio < 0 ? kInfiniteLifetime
+                  : ratio * scenario.churn.mean_offline;
+    OverlayTraceSpec spec;
+    spec.horizon = horizon;
+    spec.sample_every = sample_every;
+    spec.track_connectivity = false;
+    spec.track_replacements = true;
+    auto trace = run_overlay_trace(trust, scenario, spec);
+    trace.replacements.set_name(out->name());
+    *out = std::move(trace.replacements);
+  }
+  return fig;
+}
+
+}  // namespace ppo::experiments

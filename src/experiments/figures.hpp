@@ -1,0 +1,93 @@
+// One function per evaluation figure of the paper (Figures 3-9).
+// Benches print the returned data; tests run them at reduced scale
+// and assert the paper's qualitative shapes.
+#pragma once
+
+#include <vector>
+
+#include "common/table.hpp"
+#include "experiments/scenario.hpp"
+#include "experiments/workbench.hpp"
+
+namespace ppo::experiments {
+
+/// Scale knobs shared by the figure functions; defaults reproduce the
+/// paper's setup, benches/tests may shrink them.
+struct FigureScale {
+  MeasureWindow window;
+  std::vector<double> alphas = {0.125, 0.25, 0.375, 0.5,
+                                0.625, 0.75, 0.875, 1.0};
+  std::uint64_t seed = 1;
+};
+
+/// Availability sweeps (Figures 3, 4, 7): one named series per curve,
+/// on the shared alpha axis.
+struct SweepFigure {
+  std::vector<double> alphas;
+  std::vector<Series> connectivity;  // fraction of disconnected nodes
+  std::vector<Series> napl;          // normalized average path length
+};
+
+/// Figures 3 + 4: trust graphs (f = 1.0, 0.5), the overlay on both,
+/// and the Erdős–Rényi reference sized to the overlay.
+SweepFigure availability_sweep(Workbench& bench, const FigureScale& scale);
+
+/// Figure 7: overlay at lifetime ratios r in {1, 3, 9, inf} (f = 0.5)
+/// plus trust-graph and random-graph baselines.
+SweepFigure lifetime_sweep(Workbench& bench, const FigureScale& scale);
+
+/// Figure 5: degree distributions at alpha = 0.5.
+struct DegreeFigure {
+  struct PerF {
+    double f;
+    Histogram trust;
+    Histogram overlay;
+    Histogram random;
+  };
+  std::vector<PerF> entries;
+};
+DegreeFigure degree_distributions(Workbench& bench, const FigureScale& scale,
+                                  const std::vector<double>& fs = {1.0, 0.5});
+
+/// Figure 6: per-node messages/period and max out-degree, nodes
+/// ranked by trust-graph degree (descending), alpha = 0.5.
+struct MessageFigure {
+  struct Row {
+    std::size_t rank = 0;  // 1-based, by descending trust degree
+    std::size_t trust_degree = 0;
+    std::size_t max_out_degree = 0;
+    double messages_per_period = 0.0;
+  };
+  struct PerF {
+    double f;
+    std::vector<Row> rows;          // every node, rank order
+    double mean_messages = 0.0;     // network-wide average (paper: ~2)
+  };
+  std::vector<PerF> entries;
+};
+MessageFigure message_overhead(Workbench& bench, const FigureScale& scale,
+                               const std::vector<double>& fs = {1.0, 0.5});
+
+/// Figure 8: connectivity over time at alpha = 0.25 (f = 0.5).
+struct ConvergenceFigure {
+  metrics::TimeSeries trust{"trust-graph"};
+  metrics::TimeSeries overlay_r3{"overlay-r3"};
+  metrics::TimeSeries overlay_r9{"overlay-r9"};
+};
+ConvergenceFigure convergence_trace(Workbench& bench, double horizon,
+                                    double sample_every, std::uint64_t seed);
+
+/// Figure 9: pseudonym links replaced per node per shuffling period
+/// over time at alpha = 0.25 (f = 0.5), r in {3, 9, inf}.
+struct ReplacementFigure {
+  metrics::TimeSeries r3{"r3"};
+  metrics::TimeSeries r9{"r9"};
+  metrics::TimeSeries r_infinite{"r-infinite"};
+};
+ReplacementFigure replacement_trace(Workbench& bench, double horizon,
+                                    double sample_every, std::uint64_t seed);
+
+/// Lifetime used for "pseudonyms that never expire" (r = inf).
+inline constexpr double kInfiniteLifetime = 1e12;
+
+}  // namespace ppo::experiments

@@ -1,0 +1,182 @@
+#include "experiments/scenario.hpp"
+
+#include <cmath>
+
+#include "churn/churn_driver.hpp"
+#include "common/check.hpp"
+#include "graph/components.hpp"
+#include "graph/degree.hpp"
+#include "graph/generators.hpp"
+#include "overlay/service.hpp"
+#include "sim/simulator.hpp"
+
+namespace ppo::experiments {
+
+std::unique_ptr<churn::ChurnModel> ChurnSpec::make() const {
+  PPO_CHECK_MSG(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+  if (pareto) {
+    PPO_CHECK_MSG(alpha < 1.0, "pareto churn needs alpha < 1");
+    return std::make_unique<churn::ParetoChurn>(
+        churn::ParetoChurn::from_availability(pareto_shape, alpha,
+                                              mean_offline));
+  }
+  return std::make_unique<churn::ExponentialChurn>(
+      churn::ExponentialChurn::from_availability(alpha, mean_offline));
+}
+
+namespace {
+
+void accumulate(SnapshotStats& stats, const metrics::GraphMetrics& m,
+                std::size_t total_nodes, std::size_t total_edges) {
+  stats.frac_disconnected.add(m.fraction_disconnected);
+  stats.norm_apl.add(m.normalized_avg_path_length);
+  stats.online_fraction.add(static_cast<double>(m.online_nodes) /
+                            static_cast<double>(total_nodes));
+  stats.online_edges.add(static_cast<double>(m.online_edges));
+  stats.total_edges.add(static_cast<double>(total_edges));
+}
+
+}  // namespace
+
+OverlayRunResult run_overlay(const graph::Graph& trust,
+                             const OverlayScenario& scenario) {
+  sim::Simulator sim;
+  const auto model = scenario.churn.make();
+  overlay::OverlayService service(sim, trust, *model,
+                                  {.params = scenario.params, .transport = {}},
+                                  Rng(scenario.seed));
+  service.start();
+
+  Rng metric_rng(scenario.seed ^ 0xA11CE5);
+  OverlayRunResult result;
+  const std::size_t n = trust.num_nodes();
+
+  sim.run_until(scenario.window.warmup);
+  const double end = scenario.window.warmup + scenario.window.measure;
+  graph::Graph last_snapshot;
+  while (true) {
+    graph::Graph snapshot = service.overlay_snapshot();
+    const auto m =
+        metrics::measure_graph(snapshot, service.online_mask(), n, metric_rng,
+                               scenario.window.apl_sources);
+    accumulate(result.stats, m, n, snapshot.num_edges());
+    last_snapshot = std::move(snapshot);
+    if (sim.now() + scenario.window.sample_every > end + 1e-9) break;
+    sim.run_until(sim.now() + scenario.window.sample_every);
+  }
+
+  // Final-sample artifacts.
+  result.final_degree =
+      graph::degree_histogram(last_snapshot, service.online_mask());
+  result.final_total_edges = last_snapshot.num_edges();
+
+  result.per_node.reserve(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const auto& node = service.node(v);
+    const auto& c = node.counters();
+    OverlayRunResult::PerNode pn;
+    pn.trust_degree = node.trust_degree();
+    pn.max_out_degree = c.max_out_degree;
+    pn.messages_per_online_period =
+        c.online_ticks == 0 ? 0.0
+                            : static_cast<double>(c.messages_sent()) /
+                                  static_cast<double>(c.online_ticks);
+    result.per_node.push_back(pn);
+  }
+  result.replacements = service.total_replacements().replacements();
+  result.messages_total = service.total_counters().messages_sent();
+  return result;
+}
+
+StaticRunResult run_static(const graph::Graph& g, const ChurnSpec& churn_spec,
+                           const MeasureWindow& window, std::uint64_t seed) {
+  sim::Simulator sim;
+  const auto model = churn_spec.make();
+  churn::ChurnDriver driver(sim, g.num_nodes(), *model, Rng(seed));
+  driver.start({});
+
+  Rng metric_rng(seed ^ 0xB0B);
+  StaticRunResult result;
+  const std::size_t n = g.num_nodes();
+
+  sim.run_until(window.warmup);
+  const double end = window.warmup + window.measure;
+  while (true) {
+    const auto m = metrics::measure_graph(g, driver.online_mask(), n,
+                                          metric_rng, window.apl_sources);
+    accumulate(result.stats, m, n, g.num_edges());
+    if (sim.now() + window.sample_every > end + 1e-9) {
+      result.final_degree = m.degree;
+      break;
+    }
+    sim.run_until(sim.now() + window.sample_every);
+  }
+  return result;
+}
+
+OverlayTrace run_overlay_trace(const graph::Graph& trust,
+                               OverlayScenario scenario,
+                               const OverlayTraceSpec& spec) {
+  sim::Simulator sim;
+  const auto model = scenario.churn.make();
+  overlay::OverlayService service(sim, trust, *model,
+                                  {.params = scenario.params, .transport = {}},
+                                  Rng(scenario.seed));
+  service.start();
+
+  Rng metric_rng(scenario.seed ^ 0x7EA5E);
+  OverlayTrace trace;
+  const std::size_t n = trust.num_nodes();
+
+  std::uint64_t last_replacements = 0;
+  double last_time = 0.0;
+  for (double t = spec.sample_every; t <= spec.horizon + 1e-9;
+       t += spec.sample_every) {
+    sim.run_until(t);
+    if (spec.track_connectivity) {
+      graph::Graph snapshot = service.overlay_snapshot();
+      const auto m = metrics::measure_graph(
+          snapshot, service.online_mask(), n, metric_rng, spec.apl_sources);
+      trace.connectivity.record(t, m.fraction_disconnected);
+    }
+    if (spec.track_replacements) {
+      const std::uint64_t now_total =
+          service.total_replacements().replacements();
+      const double dt = t - last_time;
+      const double online =
+          std::max<std::size_t>(1, service.online_count());
+      trace.replacements.record(
+          t, static_cast<double>(now_total - last_replacements) / dt /
+                 static_cast<double>(online));
+      last_replacements = now_total;
+      last_time = t;
+    }
+  }
+  return trace;
+}
+
+metrics::TimeSeries run_static_trace(const graph::Graph& g,
+                                     const ChurnSpec& churn_spec,
+                                     double horizon, double sample_every,
+                                     std::uint64_t seed) {
+  sim::Simulator sim;
+  const auto model = churn_spec.make();
+  churn::ChurnDriver driver(sim, g.num_nodes(), *model, Rng(seed));
+  driver.start({});
+
+  metrics::TimeSeries series("trust-graph");
+  Rng metric_rng(seed ^ 0xF00);
+  for (double t = sample_every; t <= horizon + 1e-9; t += sample_every) {
+    sim.run_until(t);
+    series.record(t, graph::fraction_disconnected(g, driver.online_mask()));
+  }
+  return series;
+}
+
+graph::Graph er_reference(std::size_t nodes, std::size_t edges,
+                          std::uint64_t seed) {
+  Rng rng(seed ^ 0xE4);
+  return graph::erdos_renyi_gnm(nodes, edges, rng);
+}
+
+}  // namespace ppo::experiments

@@ -1,0 +1,118 @@
+// Scenario runners: a full overlay-protocol simulation under churn,
+// the static baselines (trust graph alone, Erdős–Rényi reference)
+// under the same churn, and time-series variants for the convergence
+// and overhead figures.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "churn/churn_model.hpp"
+#include "common/histogram.hpp"
+#include "common/stats.hpp"
+#include "graph/graph.hpp"
+#include "metrics/overlay_metrics.hpp"
+#include "metrics/timeseries.hpp"
+#include "overlay/params.hpp"
+
+namespace ppo::experiments {
+
+/// Churn configuration shared by all runners. The paper fixes
+/// Toff = 30 shuffling periods and varies Ton to hit alpha (§IV-D).
+struct ChurnSpec {
+  double alpha = 0.5;
+  double mean_offline = 30.0;
+  bool pareto = false;        // churn-model ablation
+  double pareto_shape = 3.0;
+
+  std::unique_ptr<churn::ChurnModel> make() const;
+};
+
+/// Common timing for steady-state measurements.
+struct MeasureWindow {
+  double warmup = 300.0;       // periods before the first sample; the
+                               // overlay stabilizes after ~200 (Fig. 8)
+  double measure = 50.0;       // length of the measurement window
+  double sample_every = 10.0;  // snapshot cadence inside the window
+  std::size_t apl_sources = 48;
+};
+
+struct OverlayScenario {
+  overlay::OverlayParams params;  // Table I defaults
+  ChurnSpec churn;
+  MeasureWindow window;
+  std::uint64_t seed = 1;
+};
+
+/// Aggregates of snapshot metrics over the measurement window.
+struct SnapshotStats {
+  RunningStats frac_disconnected;
+  RunningStats norm_apl;
+  RunningStats online_fraction;
+  RunningStats online_edges;
+  RunningStats total_edges;  // snapshot edges including offline nodes
+};
+
+struct OverlayRunResult {
+  SnapshotStats stats;
+  /// Degree distribution over online nodes at the final sample.
+  Histogram final_degree;
+  std::size_t final_total_edges = 0;
+
+  /// Per-node accounting for Figure 6.
+  struct PerNode {
+    std::size_t trust_degree = 0;
+    std::size_t max_out_degree = 0;
+    double messages_per_online_period = 0.0;
+  };
+  std::vector<PerNode> per_node;
+
+  /// Final protocol-wide replacement counters.
+  std::uint64_t replacements = 0;
+  std::uint64_t messages_total = 0;
+};
+
+/// Runs the overlay-maintenance protocol on `trust` under churn and
+/// measures the resulting overlay.
+OverlayRunResult run_overlay(const graph::Graph& trust,
+                             const OverlayScenario& scenario);
+
+/// Measures a FIXED graph (trust-only baseline or ER reference) under
+/// the same churn process — no protocol, just availability masking.
+struct StaticRunResult {
+  SnapshotStats stats;
+  Histogram final_degree;
+};
+StaticRunResult run_static(const graph::Graph& g, const ChurnSpec& churn,
+                           const MeasureWindow& window, std::uint64_t seed);
+
+/// Time-series runners for Figures 8 and 9.
+struct OverlayTraceSpec {
+  double horizon = 1000.0;
+  double sample_every = 10.0;
+  std::size_t apl_sources = 32;
+  bool track_connectivity = true;
+  bool track_replacements = false;
+};
+struct OverlayTrace {
+  metrics::TimeSeries connectivity{"connectivity"};
+  /// Links replaced per ONLINE node per shuffling period within each
+  /// sampling interval (expiry refills + better-pseudonym swaps).
+  metrics::TimeSeries replacements{"replacements"};
+};
+OverlayTrace run_overlay_trace(const graph::Graph& trust,
+                               OverlayScenario scenario,
+                               const OverlayTraceSpec& spec);
+
+/// Connectivity-over-time of a static graph under churn (trust-graph
+/// line of Figure 8).
+metrics::TimeSeries run_static_trace(const graph::Graph& g,
+                                     const ChurnSpec& churn, double horizon,
+                                     double sample_every, std::uint64_t seed);
+
+/// Erdős–Rényi reference with the same node count and a given edge
+/// budget (matched to the overlay's measured size).
+graph::Graph er_reference(std::size_t nodes, std::size_t edges,
+                          std::uint64_t seed);
+
+}  // namespace ppo::experiments

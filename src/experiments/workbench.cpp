@@ -1,0 +1,34 @@
+#include "experiments/workbench.hpp"
+
+#include "common/logging.hpp"
+#include "graph/sampling.hpp"
+
+namespace ppo::experiments {
+
+Workbench::Workbench(WorkbenchOptions options)
+    : options_(options), rng_(options.seed) {}
+
+const graph::Graph& Workbench::base_graph() {
+  if (!base_) {
+    PPO_LOG_INFO << "building synthetic social base graph ("
+                 << options_.social.num_nodes << " nodes)";
+    Rng rng = rng_.split();
+    base_ = graph::synthetic_social_graph(options_.social, rng);
+  }
+  return *base_;
+}
+
+const graph::Graph& Workbench::trust_graph(double f) {
+  const auto it = trust_.find(f);
+  if (it != trust_.end()) return it->second;
+  Rng rng(options_.seed ^ 0x5eedf00d ^
+          static_cast<std::uint64_t>(f * 4096.0));
+  graph::Graph sampled = graph::invitation_sample(
+      base_graph(), {.target_size = options_.trust_nodes, .f = f}, rng);
+  PPO_LOG_INFO << "sampled trust graph f=" << f << ": "
+               << sampled.num_nodes() << " nodes, " << sampled.num_edges()
+               << " edges";
+  return trust_.emplace(f, std::move(sampled)).first->second;
+}
+
+}  // namespace ppo::experiments

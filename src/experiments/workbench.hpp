@@ -1,0 +1,43 @@
+// Shared experiment fixtures: the synthetic social base graph (the
+// Facebook-crawl substitute, see DESIGN.md §2) and invitation-model
+// trust graphs sampled from it, cached per f value so a bench sweeping
+// many scenarios builds each graph once — mirroring the paper, which
+// samples its trust graphs once and reuses them.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "graph/socialgen.hpp"
+
+namespace ppo::experiments {
+
+struct WorkbenchOptions {
+  std::uint64_t seed = 42;
+  graph::SocialGraphOptions social;  // base-graph shape
+  std::size_t trust_nodes = 1000;    // Table I default
+};
+
+class Workbench {
+ public:
+  explicit Workbench(WorkbenchOptions options = {});
+
+  const WorkbenchOptions& options() const { return options_; }
+
+  /// The synthetic social base graph (built on first use).
+  const graph::Graph& base_graph();
+
+  /// The 1000-node (by default) trust graph sampled with parameter f.
+  /// Cached: repeated calls with the same f return the same graph.
+  const graph::Graph& trust_graph(double f);
+
+ private:
+  WorkbenchOptions options_;
+  Rng rng_;
+  std::optional<graph::Graph> base_;
+  std::map<double, graph::Graph> trust_;
+};
+
+}  // namespace ppo::experiments

@@ -1,0 +1,78 @@
+#include "graph/articulation.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "graph/components.hpp"
+
+namespace ppo::graph {
+
+std::vector<NodeId> articulation_points(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::uint32_t> disc(n, 0), low(n, 0);
+  std::vector<NodeId> parent(n, n == 0 ? 0 : static_cast<NodeId>(n));
+  std::vector<char> is_cut(n, 0);
+  std::uint32_t timer = 1;
+
+  // Iterative Tarjan DFS (explicit stack: node + neighbor cursor).
+  struct Frame {
+    NodeId v;
+    std::size_t next_neighbor;
+    std::size_t dfs_children;
+  };
+  std::vector<Frame> stack;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (disc[root] != 0) continue;
+    stack.push_back({root, 0, 0});
+    disc[root] = low[root] = timer++;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const NodeId v = frame.v;
+      const auto nbrs = g.neighbors(v);
+      if (frame.next_neighbor < nbrs.size()) {
+        const NodeId w = nbrs[frame.next_neighbor++];
+        if (disc[w] == 0) {
+          parent[w] = v;
+          ++frame.dfs_children;
+          disc[w] = low[w] = timer++;
+          stack.push_back({w, 0, 0});
+        } else if (w != parent[v]) {
+          low[v] = std::min(low[v], disc[w]);
+        }
+      } else {
+        const std::size_t children = frame.dfs_children;
+        stack.pop_back();  // invalidates `frame`
+        if (!stack.empty()) {
+          const NodeId p = stack.back().v;
+          low[p] = std::min(low[p], low[v]);
+          // Non-root p is a cut vertex if some child's subtree cannot
+          // reach above p.
+          if (parent[p] < n && low[v] >= disc[p]) is_cut[p] = 1;
+        } else if (children >= 2) {
+          // v is a DFS root: cut iff it has >= 2 DFS children.
+          is_cut[v] = 1;
+        }
+      }
+    }
+  }
+
+  std::vector<NodeId> result;
+  for (NodeId v = 0; v < n; ++v)
+    if (is_cut[v]) result.push_back(v);
+  return result;
+}
+
+bool is_cut_vertex(const Graph& g, NodeId v) {
+  PPO_CHECK_MSG(v < g.num_nodes(), "vertex out of range");
+  const auto cuts = articulation_points(g);
+  return std::binary_search(cuts.begin(), cuts.end(), v);
+}
+
+double cut_vertex_fraction(const Graph& g) {
+  if (g.num_nodes() == 0) return 0.0;
+  return static_cast<double>(articulation_points(g).size()) /
+         static_cast<double>(g.num_nodes());
+}
+
+}  // namespace ppo::graph

@@ -1,0 +1,27 @@
+// Articulation points (cut vertices) and biconnectivity — the graph
+// properties the paper's privacy analysis leans on: a single internal
+// observer "which is not a cut vertex in the trust graph has very
+// limited capability" (§III-E-1), and a colluding set that "forms a
+// vertex cut" can control pseudonym flow between the sides
+// (§III-E-3). These utilities quantify how exposed a trust graph is.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ppo::graph {
+
+/// All articulation points (vertices whose removal increases the
+/// number of connected components), via Tarjan's low-link DFS.
+std::vector<NodeId> articulation_points(const Graph& g);
+
+/// True iff removing `v` disconnects some currently-connected pair.
+bool is_cut_vertex(const Graph& g, NodeId v);
+
+/// Fraction of vertices that are articulation points — a privacy
+/// exposure indicator for a trust graph (§III-E): every cut vertex is
+/// a spot where one compromised user partitions the pseudonym flow.
+double cut_vertex_fraction(const Graph& g);
+
+}  // namespace ppo::graph

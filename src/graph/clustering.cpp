@@ -1,0 +1,45 @@
+#include "graph/clustering.hpp"
+
+#include "common/check.hpp"
+
+namespace ppo::graph {
+
+double local_clustering(const Graph& g, NodeId v) {
+  PPO_CHECK_MSG(g.finalized(), "clustering requires a finalized graph");
+  const auto nbrs = g.neighbors(v);
+  const std::size_t d = nbrs.size();
+  if (d < 2) return 0.0;
+  std::size_t closed = 0;
+  for (std::size_t i = 0; i < d; ++i)
+    for (std::size_t j = i + 1; j < d; ++j)
+      closed += g.has_edge(nbrs[i], nbrs[j]);
+  return 2.0 * static_cast<double>(closed) /
+         (static_cast<double>(d) * static_cast<double>(d - 1));
+}
+
+double average_clustering(const Graph& g) {
+  if (g.num_nodes() == 0) return 0.0;
+  double total = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) total += local_clustering(g, v);
+  return total / static_cast<double>(g.num_nodes());
+}
+
+double transitivity(const Graph& g) {
+  PPO_CHECK_MSG(g.finalized(), "transitivity requires a finalized graph");
+  std::size_t triangles_x3 = 0;  // each triangle counted once per vertex
+  std::size_t triples = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const std::size_t d = nbrs.size();
+    if (d < 2) continue;
+    triples += d * (d - 1) / 2;
+    for (std::size_t i = 0; i < d; ++i)
+      for (std::size_t j = i + 1; j < d; ++j)
+        triangles_x3 += g.has_edge(nbrs[i], nbrs[j]);
+  }
+  return triples == 0
+             ? 0.0
+             : static_cast<double>(triangles_x3) / static_cast<double>(triples);
+}
+
+}  // namespace ppo::graph

@@ -1,0 +1,64 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ppo::graph {
+
+std::uint32_t Components::largest() const {
+  if (sizes.empty()) return kExcluded;
+  const auto it = std::max_element(sizes.begin(), sizes.end());
+  return static_cast<std::uint32_t>(it - sizes.begin());
+}
+
+std::size_t Components::largest_size() const {
+  if (sizes.empty()) return 0;
+  return *std::max_element(sizes.begin(), sizes.end());
+}
+
+Components connected_components(const Graph& g, const NodeMask& mask) {
+  const std::size_t n = g.num_nodes();
+  PPO_CHECK_MSG(mask.empty() || mask.size() == n, "mask size mismatch");
+  Components result;
+  result.component_of.assign(n, Components::kExcluded);
+
+  std::vector<NodeId> stack;
+  for (NodeId root = 0; root < n; ++root) {
+    if (!mask.contains(root)) continue;
+    if (result.component_of[root] != Components::kExcluded) continue;
+    const auto comp = static_cast<std::uint32_t>(result.sizes.size());
+    result.sizes.push_back(0);
+    stack.push_back(root);
+    result.component_of[root] = comp;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      ++result.sizes[comp];
+      for (NodeId v : g.neighbors(u)) {
+        if (!mask.contains(v)) continue;
+        if (result.component_of[v] != Components::kExcluded) continue;
+        result.component_of[v] = comp;
+        stack.push_back(v);
+      }
+    }
+  }
+  return result;
+}
+
+double fraction_disconnected(const Graph& g, const NodeMask& mask) {
+  const Components comps = connected_components(g, mask);
+  std::size_t included = 0;
+  for (std::uint32_t c : comps.component_of)
+    included += (c != Components::kExcluded);
+  if (included == 0) return 0.0;
+  const std::size_t in_largest = comps.largest_size();
+  return static_cast<double>(included - in_largest) /
+         static_cast<double>(included);
+}
+
+bool is_connected(const Graph& g, const NodeMask& mask) {
+  return connected_components(g, mask).count() <= 1;
+}
+
+}  // namespace ppo::graph

@@ -1,0 +1,41 @@
+// Connected-component analysis, optionally restricted to a node mask
+// (used for the online-induced overlay: offline nodes are excluded
+// without materializing a subgraph).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ppo::graph {
+
+/// Result of a component decomposition over the included nodes.
+struct Components {
+  /// Component id per node; kExcluded for nodes outside the mask.
+  std::vector<std::uint32_t> component_of;
+  /// Size of each component, indexed by component id.
+  std::vector<std::size_t> sizes;
+
+  static constexpr std::uint32_t kExcluded = 0xFFFFFFFFu;
+
+  std::size_t count() const { return sizes.size(); }
+  /// Id of the largest component (ties broken by lower id); kExcluded
+  /// when there are no included nodes.
+  std::uint32_t largest() const;
+  std::size_t largest_size() const;
+};
+
+/// Decomposes the subgraph induced by `mask` into connected components.
+Components connected_components(const Graph& g, const NodeMask& mask = {});
+
+/// Fraction of included nodes NOT in the largest connected component —
+/// the paper's connectivity metric (0 when the induced graph is
+/// connected or empty).
+double fraction_disconnected(const Graph& g, const NodeMask& mask = {});
+
+/// True iff the subgraph induced by `mask` is connected (vacuously
+/// true for <= 1 included node).
+bool is_connected(const Graph& g, const NodeMask& mask = {});
+
+}  // namespace ppo::graph

@@ -1,0 +1,21 @@
+#include "graph/degree.hpp"
+
+namespace ppo::graph {
+
+std::size_t masked_degree(const Graph& g, NodeId v, const NodeMask& mask) {
+  if (mask.empty()) return g.degree(v);
+  std::size_t d = 0;
+  for (NodeId nb : g.neighbors(v)) d += mask.contains(nb);
+  return d;
+}
+
+Histogram degree_histogram(const Graph& g, const NodeMask& mask) {
+  Histogram h;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!mask.contains(v)) continue;
+    h.add(masked_degree(g, v, mask));
+  }
+  return h;
+}
+
+}  // namespace ppo::graph

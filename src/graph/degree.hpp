@@ -1,0 +1,17 @@
+// Degree metrics restricted to a node mask: for churned overlays only
+// online nodes and the edges among them count.
+#pragma once
+
+#include "common/histogram.hpp"
+#include "graph/graph.hpp"
+
+namespace ppo::graph {
+
+/// Degree of `v` counting only neighbors included by `mask`.
+std::size_t masked_degree(const Graph& g, NodeId v, const NodeMask& mask);
+
+/// Histogram of masked degrees over included nodes — the paper's
+/// Figure 5 data ("number of nodes" per degree value).
+Histogram degree_histogram(const Graph& g, const NodeMask& mask = {});
+
+}  // namespace ppo::graph

@@ -1,0 +1,176 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ppo::graph {
+
+Graph erdos_renyi_gnm(std::size_t n, std::size_t edges, Rng& rng) {
+  PPO_CHECK_MSG(n >= 2 || edges == 0, "G(n,M) needs n >= 2 for edges");
+  const std::size_t max_edges = n * (n - 1) / 2;
+  PPO_CHECK_MSG(edges <= max_edges, "too many edges requested");
+  Graph g(n);
+  std::size_t added = 0;
+  while (added < edges) {
+    const auto u = static_cast<NodeId>(rng.uniform_u64(n));
+    const auto v = static_cast<NodeId>(rng.uniform_u64(n));
+    if (g.add_edge(u, v)) ++added;
+  }
+  g.finalize();
+  return g;
+}
+
+Graph erdos_renyi_gnp(std::size_t n, double p, Rng& rng) {
+  PPO_CHECK_MSG(p >= 0.0 && p <= 1.0, "p must be a probability");
+  Graph g(n);
+  if (p <= 0.0 || n < 2) {
+    g.finalize();
+    return g;
+  }
+  if (p >= 1.0) {
+    for (NodeId a = 0; a < n; ++a)
+      for (NodeId b = a + 1; b < n; ++b) g.add_edge(a, b);
+    g.finalize();
+    return g;
+  }
+  // Batagelj–Brandes geometric skipping over the edge enumeration:
+  // O(#edges) expected time.
+  const double log_q = std::log(1.0 - p);
+  std::int64_t v = 1, w = -1;
+  while (v < static_cast<std::int64_t>(n)) {
+    const double r = rng.uniform_double();
+    w += 1 + static_cast<std::int64_t>(std::log(1.0 - r) / log_q);
+    while (w >= v && v < static_cast<std::int64_t>(n)) {
+      w -= v;
+      ++v;
+    }
+    if (v < static_cast<std::int64_t>(n))
+      g.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(w));
+  }
+  g.finalize();
+  return g;
+}
+
+namespace {
+
+/// Picks a target for preferential attachment: a uniform draw from the
+/// repeated-endpoint list is proportional to degree.
+NodeId preferential_target(const std::vector<NodeId>& endpoints, Rng& rng) {
+  return endpoints[rng.uniform_u64(endpoints.size())];
+}
+
+}  // namespace
+
+Graph barabasi_albert(std::size_t n, std::size_t m, Rng& rng) {
+  return holme_kim(n, m, 0.0, rng);
+}
+
+Graph holme_kim(std::size_t n, std::size_t m, double triad_prob, Rng& rng) {
+  PPO_CHECK_MSG(m >= 1, "attachment parameter m must be >= 1");
+  PPO_CHECK_MSG(n > m, "need more nodes than attachment edges");
+  PPO_CHECK_MSG(triad_prob >= 0.0 && triad_prob <= 1.0,
+                "triad_prob must be a probability");
+  Graph g(n);
+  // Seed: a connected clique-ish core of m+1 nodes.
+  for (NodeId u = 0; u + 1 <= m; ++u) g.add_edge(u, u + 1);
+
+  // Endpoint multiset: node id appears once per incident edge.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * n * m);
+  for (NodeId u = 0; u + 1 <= m; ++u) {
+    endpoints.push_back(u);
+    endpoints.push_back(u + 1);
+  }
+
+  for (NodeId v = static_cast<NodeId>(m + 1); v < n; ++v) {
+    NodeId last_target = 0;
+    bool have_last = false;
+    std::size_t added = 0;
+    std::size_t attempts = 0;
+    while (added < m && attempts < 50 * m + 100) {
+      ++attempts;
+      NodeId target;
+      if (have_last && rng.bernoulli(triad_prob) &&
+          g.degree(last_target) > 0) {
+        // Triad step: connect to a random neighbor of the previous
+        // target, closing a triangle.
+        const auto nbrs = g.neighbors(last_target);
+        target = nbrs[rng.uniform_u64(nbrs.size())];
+      } else {
+        target = preferential_target(endpoints, rng);
+      }
+      if (!g.add_edge(v, target)) continue;
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+      last_target = target;
+      have_last = true;
+      ++added;
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+Graph watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng) {
+  PPO_CHECK_MSG(k >= 1 && 2 * k < n, "need 1 <= k and 2k < n");
+  PPO_CHECK_MSG(beta >= 0.0 && beta <= 1.0, "beta must be a probability");
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (std::size_t j = 1; j <= k; ++j)
+      g.add_edge(u, static_cast<NodeId>((u + j) % n));
+
+  // Rewire each lattice edge's far endpoint with probability beta.
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t j = 1; j <= k; ++j) {
+      if (!rng.bernoulli(beta)) continue;
+      const auto old_v = static_cast<NodeId>((u + j) % n);
+      if (!g.has_edge(u, old_v)) continue;  // already rewired away
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        const auto w = static_cast<NodeId>(rng.uniform_u64(n));
+        if (w == u || g.has_edge(u, w)) continue;
+        g.remove_edge(u, old_v);
+        g.add_edge(u, w);
+        break;
+      }
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+Graph ring(std::size_t n) {
+  Graph g(n);
+  if (n >= 2)
+    for (NodeId u = 0; u < n; ++u)
+      g.add_edge(u, static_cast<NodeId>((u + 1) % n));
+  g.finalize();
+  return g;
+}
+
+Graph path_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId u = 0; u + 1 < n; ++u) g.add_edge(u, u + 1);
+  g.finalize();
+  return g;
+}
+
+Graph complete(std::size_t n) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  g.finalize();
+  return g;
+}
+
+Graph star(std::size_t leaves) {
+  Graph g(leaves + 1);
+  for (NodeId v = 1; v <= leaves; ++v) g.add_edge(0, v);
+  g.finalize();
+  return g;
+}
+
+}  // namespace ppo::graph

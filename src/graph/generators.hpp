@@ -1,0 +1,41 @@
+// Random-graph generators: the Erdős–Rényi reference baseline the
+// paper compares against, preferential-attachment models for the
+// synthetic social substrate, and small structured graphs for tests.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace ppo::graph {
+
+/// G(n, M): exactly `edges` distinct edges chosen uniformly.
+Graph erdos_renyi_gnm(std::size_t n, std::size_t edges, Rng& rng);
+
+/// G(n, p): each possible edge present independently with prob p.
+Graph erdos_renyi_gnp(std::size_t n, double p, Rng& rng);
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `m` existing nodes chosen proportionally to degree. Yields a
+/// power-law degree distribution (exponent ~3) like the Facebook
+/// crawl used by the paper.
+Graph barabasi_albert(std::size_t n, std::size_t m, Rng& rng);
+
+/// Holme–Kim model: BA plus triad formation. After each preferential
+/// attachment, with probability `triad_prob` the next link closes a
+/// triangle with a neighbor of the previous target. Adds the high
+/// clustering real social graphs exhibit.
+Graph holme_kim(std::size_t n, std::size_t m, double triad_prob, Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with `k` neighbors per
+/// side rewired with probability `beta`.
+Graph watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng);
+
+/// Deterministic helpers for tests.
+Graph ring(std::size_t n);
+Graph path_graph(std::size_t n);
+Graph complete(std::size_t n);
+Graph star(std::size_t leaves);
+
+}  // namespace ppo::graph

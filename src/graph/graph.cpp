@@ -1,0 +1,97 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace ppo::graph {
+
+std::size_t NodeMask::count(std::size_t n) const {
+  if (included_.empty()) return n;
+  PPO_CHECK_MSG(included_.size() == n, "mask size mismatch");
+  std::size_t c = 0;
+  for (char b : included_) c += (b != 0);
+  return c;
+}
+
+NodeId Graph::add_nodes(std::size_t count) {
+  const auto first = static_cast<NodeId>(adj_.size());
+  adj_.resize(adj_.size() + count);
+  return first;
+}
+
+bool Graph::add_edge(NodeId u, NodeId v) {
+  PPO_CHECK_MSG(u < adj_.size() && v < adj_.size(), "edge endpoint out of range");
+  if (u == v) return false;
+  if (has_edge(u, v)) return false;
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  ++num_edges_;
+  finalized_ = false;
+  return true;
+}
+
+bool Graph::remove_edge(NodeId u, NodeId v) {
+  PPO_CHECK_MSG(u < adj_.size() && v < adj_.size(), "edge endpoint out of range");
+  if (!has_edge(u, v)) return false;
+  const auto erase_from = [](std::vector<NodeId>& list, NodeId target) {
+    const auto it = std::find(list.begin(), list.end(), target);
+    list.erase(it);
+  };
+  erase_from(adj_[u], v);
+  erase_from(adj_[v], u);
+  --num_edges_;
+  return true;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  PPO_CHECK_MSG(u < adj_.size() && v < adj_.size(), "edge endpoint out of range");
+  // Probe the smaller adjacency list.
+  const auto& list = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const NodeId target = adj_[u].size() <= adj_[v].size() ? v : u;
+  if (finalized_)
+    return std::binary_search(list.begin(), list.end(), target);
+  return std::find(list.begin(), list.end(), target) != list.end();
+}
+
+double Graph::average_degree() const {
+  if (adj_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(num_edges_) /
+         static_cast<double>(adj_.size());
+}
+
+void Graph::finalize() {
+  for (auto& list : adj_) std::sort(list.begin(), list.end());
+  finalized_ = true;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(num_edges_);
+  for (NodeId u = 0; u < adj_.size(); ++u)
+    for (NodeId v : adj_[u])
+      if (u < v) out.emplace_back(u, v);
+  return out;
+}
+
+Graph Graph::induced_subgraph(const std::vector<NodeId>& nodes) const {
+  std::unordered_map<NodeId, NodeId> remap;
+  remap.reserve(nodes.size());
+  for (NodeId i = 0; i < nodes.size(); ++i) {
+    PPO_CHECK_MSG(nodes[i] < adj_.size(), "subgraph node out of range");
+    const bool inserted = remap.emplace(nodes[i], i).second;
+    PPO_CHECK_MSG(inserted, "duplicate node in subgraph selection");
+  }
+  Graph sub(nodes.size());
+  for (NodeId i = 0; i < nodes.size(); ++i) {
+    for (NodeId nb : adj_[nodes[i]]) {
+      const auto it = remap.find(nb);
+      if (it != remap.end() && i < it->second) sub.add_edge(i, it->second);
+    }
+  }
+  sub.finalize();
+  return sub;
+}
+
+}  // namespace ppo::graph

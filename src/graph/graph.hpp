@@ -1,0 +1,90 @@
+// Undirected simple graph used for trust graphs, overlay snapshots and
+// reference random graphs. Nodes are dense ids [0, n). Parallel edges
+// and self loops are rejected at insertion.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ppo::graph {
+
+using NodeId = std::uint32_t;
+
+/// Marks a subset of nodes (e.g. the currently online ones). Empty
+/// mask means "all nodes included".
+class NodeMask {
+ public:
+  NodeMask() = default;
+  explicit NodeMask(std::size_t n, bool initially_included = true)
+      : included_(n, initially_included ? 1 : 0) {}
+
+  bool empty() const { return included_.empty(); }
+  std::size_t size() const { return included_.size(); }
+
+  bool contains(NodeId v) const {
+    return included_.empty() || included_[v] != 0;
+  }
+  void set(NodeId v, bool included) { included_[v] = included ? 1 : 0; }
+
+  /// Grows the mask to cover `n` nodes (new entries get `included`).
+  void resize(std::size_t n, bool included) {
+    included_.resize(n, included ? 1 : 0);
+  }
+
+  /// Number of included nodes, assuming the mask covers `n` nodes.
+  std::size_t count(std::size_t n) const;
+
+ private:
+  std::vector<char> included_;
+};
+
+/// Adjacency-list undirected graph. After construction call
+/// `finalize()` (sorts adjacency lists) before using `has_edge`.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t n) : adj_(n) {}
+
+  std::size_t num_nodes() const { return adj_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Appends `count` fresh isolated nodes; returns the first new id.
+  NodeId add_nodes(std::size_t count);
+
+  /// Adds undirected edge {u, v}. Returns false (and does nothing) if
+  /// the edge already exists or u == v. O(deg) membership check.
+  bool add_edge(NodeId u, NodeId v);
+
+  /// Removes undirected edge {u, v}. Returns false if absent.
+  bool remove_edge(NodeId u, NodeId v);
+
+  /// True if {u, v} is an edge. Requires `finalize()` first for
+  /// O(log deg); otherwise falls back to a linear scan.
+  bool has_edge(NodeId u, NodeId v) const;
+
+  std::size_t degree(NodeId v) const { return adj_[v].size(); }
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {adj_[v].data(), adj_[v].size()};
+  }
+
+  double average_degree() const;
+
+  /// Sorts adjacency lists; enables binary-search `has_edge`.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  /// All edges as (u, v) with u < v.
+  std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+  /// Induced subgraph over `nodes` (order defines new ids). The i-th
+  /// entry of `nodes` becomes node i of the result.
+  Graph induced_subgraph(const std::vector<NodeId>& nodes) const;
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+  std::size_t num_edges_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace ppo::graph

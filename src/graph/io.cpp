@@ -1,0 +1,62 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace ppo::graph {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << "# nodes " << g.num_nodes() << '\n';
+  for (const auto& [u, v] : g.edges()) os << u << ' ' << v << '\n';
+}
+
+Graph read_edge_list(std::istream& is) {
+  Graph g;
+  std::string line;
+  bool have_header = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream header(line.substr(1));
+      std::string word;
+      header >> word;
+      if (word == "nodes") {
+        std::size_t n = 0;
+        PPO_CHECK_MSG(static_cast<bool>(header >> n), "malformed node header");
+        g = Graph(n);
+        have_header = true;
+      }
+      continue;
+    }
+    std::istringstream row(line);
+    std::uint64_t u = 0, v = 0;
+    PPO_CHECK_MSG(static_cast<bool>(row >> u >> v), "malformed edge line: " + line);
+    const std::uint64_t needed = std::max(u, v) + 1;
+    if (needed > g.num_nodes()) {
+      PPO_CHECK_MSG(!have_header, "edge endpoint exceeds declared node count");
+      g.add_nodes(needed - g.num_nodes());
+    }
+    g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  g.finalize();
+  return g;
+}
+
+void write_dot(std::ostream& os, const Graph& g, const NodeMask& mask,
+               const std::string& name) {
+  os << "graph " << name << " {\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    os << "  n" << v;
+    if (!mask.contains(v)) os << " [style=dashed, color=grey]";
+    os << ";\n";
+  }
+  for (const auto& [u, v] : g.edges())
+    os << "  n" << u << " -- n" << v << ";\n";
+  os << "}\n";
+}
+
+}  // namespace ppo::graph

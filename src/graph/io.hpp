@@ -1,0 +1,25 @@
+// Graph serialization: whitespace edge lists (loadable by most graph
+// tools) and Graphviz DOT for visual inspection of small overlays.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ppo::graph {
+
+/// Writes "u v" per line, preceded by a "# nodes <n>" header so
+/// isolated nodes survive a round trip.
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Reads the format produced by write_edge_list. Lines starting with
+/// '#' other than the header are comments. Throws on malformed input.
+Graph read_edge_list(std::istream& is);
+
+/// Writes an undirected Graphviz DOT graph. Nodes excluded by `mask`
+/// are rendered dashed grey (offline).
+void write_dot(std::ostream& os, const Graph& g, const NodeMask& mask = {},
+               const std::string& name = "overlay");
+
+}  // namespace ppo::graph

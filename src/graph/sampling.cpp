@@ -1,0 +1,70 @@
+#include "graph/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ppo::graph {
+
+Graph invitation_sample(const Graph& base, const InvitationSampleOptions& opts,
+                        Rng& rng) {
+  const std::size_t n = base.num_nodes();
+  PPO_CHECK_MSG(opts.target_size >= 1, "sample size must be >= 1");
+  PPO_CHECK_MSG(opts.target_size <= n, "sample larger than base graph");
+  PPO_CHECK_MSG(opts.f >= 0.0 && opts.f <= 1.0, "f must be in [0,1]");
+
+  std::vector<char> selected(n, 0);
+  std::vector<NodeId> sample;
+  sample.reserve(opts.target_size);
+  std::deque<NodeId> to_visit;
+
+  const auto select = [&](NodeId v) {
+    selected[v] = 1;
+    sample.push_back(v);
+    to_visit.push_back(v);
+  };
+
+  select(static_cast<NodeId>(rng.uniform_u64(n)));
+
+  while (sample.size() < opts.target_size) {
+    if (to_visit.empty()) {
+      // Ran out of frontier before reaching the target: the paper
+      // assumes a connected trust graph; restart from a fresh
+      // unselected node to make the sampler total on any base graph.
+      NodeId fresh = 0;
+      bool found = false;
+      for (NodeId v = 0; v < n; ++v) {
+        if (!selected[v]) {
+          fresh = v;
+          found = true;
+          break;
+        }
+      }
+      PPO_CHECK_MSG(found, "base graph exhausted before target size");
+      select(fresh);
+      continue;
+    }
+    const NodeId u = to_visit.front();
+    to_visit.pop_front();
+
+    std::vector<NodeId> unvisited;
+    for (NodeId nb : base.neighbors(u))
+      if (!selected[nb]) unvisited.push_back(nb);
+    if (unvisited.empty()) continue;
+
+    const auto degree = static_cast<double>(base.degree(u));
+    const auto want = static_cast<std::size_t>(
+        std::max(1.0, std::floor(opts.f * degree)));
+    const std::size_t room = opts.target_size - sample.size();
+    const std::size_t take = std::min({want, unvisited.size(), room});
+
+    for (NodeId v : rng.sample(unvisited, take)) select(v);
+  }
+
+  return base.induced_subgraph(sample);
+}
+
+}  // namespace ppo::graph

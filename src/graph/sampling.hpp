@@ -1,0 +1,30 @@
+// The paper's invitation-model trust-graph sampler (§IV-A).
+//
+// Starting from a random node, a partial breadth-first traversal adds
+// max(1, f * deg(n)) random unvisited neighbors of each visited node
+// until `target_size` nodes are selected. The sampled trust graph is
+// the subgraph induced by the selected nodes. f = 1 models "everyone
+// invites all their friends"; f = 0 models "each member invites one
+// friend".
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace ppo::graph {
+
+struct InvitationSampleOptions {
+  std::size_t target_size = 1000;
+  double f = 0.5;
+};
+
+/// Samples a connected trust graph from `base`. Node ids of the result
+/// are dense [0, target_size); the traversal order defines the
+/// mapping. Throws if the base graph has fewer reachable nodes than
+/// `target_size` from the chosen start.
+Graph invitation_sample(const Graph& base, const InvitationSampleOptions& opts,
+                        Rng& rng);
+
+}  // namespace ppo::graph

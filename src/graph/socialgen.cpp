@@ -1,0 +1,131 @@
+#include "graph/socialgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+
+namespace ppo::graph {
+
+namespace {
+
+/// Draws a Pareto-distributed degree with the requested mean.
+/// mean = min * shape / (shape - 1)  =>  min = mean * (shape-1)/shape.
+std::size_t draw_degree(const SocialGraphOptions& opts, Rng& rng) {
+  const double min_degree =
+      opts.mean_degree * (opts.degree_shape - 1.0) / opts.degree_shape;
+  const double d = rng.pareto(opts.degree_shape, min_degree);
+  return std::min<std::size_t>(opts.max_degree,
+                               std::max<std::size_t>(2, std::llround(d)));
+}
+
+/// Pairs up the stubs in `stubs` (shuffled) and adds the edges.
+/// Conflicting pairs (self loops, duplicates) are dropped — standard
+/// configuration-model erasure.
+void match_stubs(Graph& g, std::vector<NodeId>& stubs, Rng& rng) {
+  rng.shuffle(stubs);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2)
+    g.add_edge(stubs[i], stubs[i + 1]);
+  stubs.clear();
+}
+
+void close_triads(Graph& g, std::size_t count, Rng& rng) {
+  const std::size_t n = g.num_nodes();
+  std::size_t added = 0, attempts = 0;
+  while (added < count && attempts < 20 * count + 100) {
+    ++attempts;
+    const auto v = static_cast<NodeId>(rng.uniform_u64(n));
+    const auto nbrs = g.neighbors(v);
+    if (nbrs.size() < 2) continue;
+    const NodeId a = nbrs[rng.uniform_u64(nbrs.size())];
+    const NodeId b = nbrs[rng.uniform_u64(nbrs.size())];
+    if (a == b) continue;
+    added += g.add_edge(a, b);
+  }
+}
+
+/// Links all connected components into one (rare stragglers from the
+/// stub erasure) by chaining a random node of each smaller component
+/// to the largest.
+void connect_components(Graph& g, Rng& rng) {
+  const Components comps = connected_components(g);
+  if (comps.count() <= 1) return;
+  const std::uint32_t big = comps.largest();
+  std::vector<NodeId> anchor_of(comps.count(), 0);
+  std::vector<char> seen(comps.count(), 0);
+  std::vector<NodeId> big_nodes;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto c = comps.component_of[v];
+    if (c == big) {
+      big_nodes.push_back(v);
+    } else if (!seen[c]) {
+      anchor_of[c] = v;
+      seen[c] = 1;
+    }
+  }
+  for (std::uint32_t c = 0; c < comps.count(); ++c) {
+    if (c == big || !seen[c]) continue;
+    g.add_edge(anchor_of[c],
+               big_nodes[rng.uniform_u64(big_nodes.size())]);
+  }
+}
+
+}  // namespace
+
+Graph synthetic_social_graph(const SocialGraphOptions& opts, Rng& rng) {
+  PPO_CHECK_MSG(opts.num_nodes >= 2 * opts.community_size,
+                "base graph must span multiple communities");
+  PPO_CHECK_MSG(opts.sub_community_size >= 2 &&
+                    opts.community_size >= 2 * opts.sub_community_size,
+                "communities must nest (sub < community)");
+  PPO_CHECK_MSG(opts.weight_sub + opts.weight_community <= 1.0,
+                "level weights exceed 1");
+
+  const std::size_t n = opts.num_nodes;
+  Graph g(n);
+
+  const std::size_t num_subs = (n + opts.sub_community_size - 1) /
+                               opts.sub_community_size;
+  const std::size_t num_mids =
+      (n + opts.community_size - 1) / opts.community_size;
+
+  std::vector<std::vector<NodeId>> sub_stubs(num_subs);
+  std::vector<std::vector<NodeId>> mid_stubs(num_mids);
+  std::vector<NodeId> global_stubs;
+
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t degree = draw_degree(opts, rng);
+    const std::size_t sub = v / opts.sub_community_size;
+    const std::size_t mid = v / opts.community_size;
+    for (std::size_t s = 0; s < degree; ++s) {
+      const double u = rng.uniform_double();
+      if (u < opts.weight_sub)
+        sub_stubs[sub].push_back(v);
+      else if (u < opts.weight_sub + opts.weight_community)
+        mid_stubs[mid].push_back(v);
+      else
+        global_stubs.push_back(v);
+    }
+  }
+
+  for (auto& stubs : sub_stubs) match_stubs(g, stubs, rng);
+  for (auto& stubs : mid_stubs) match_stubs(g, stubs, rng);
+  match_stubs(g, global_stubs, rng);
+
+  close_triads(
+      g, static_cast<std::size_t>(opts.triad_fraction *
+                                  static_cast<double>(g.num_edges())),
+      rng);
+  connect_components(g, rng);
+  g.finalize();
+  return g;
+}
+
+Graph holme_kim_social_graph(std::size_t num_nodes, std::size_t attachment,
+                             double triad_prob, Rng& rng) {
+  return holme_kim(num_nodes, attachment, triad_prob, rng);
+}
+
+}  // namespace ppo::graph

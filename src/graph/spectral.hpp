@@ -1,0 +1,22 @@
+// Spectral expansion estimate. The paper's related work (Naor &
+// Wieder) motivates expander-like overlays; we expose the spectral gap
+// of the normalized adjacency operator as an extra robustness metric:
+// gap = 1 - |lambda_2|, larger gap = better expansion.
+#pragma once
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace ppo::graph {
+
+/// Estimates |lambda_2| of the normalized adjacency matrix
+/// D^{-1/2} A D^{-1/2} by power iteration with deflation of the known
+/// principal eigenvector (sqrt of degrees). The graph should be
+/// connected; isolated nodes are ignored.
+double second_eigenvalue_estimate(const Graph& g, Rng& rng,
+                                  std::size_t iterations = 200);
+
+/// Spectral gap 1 - |lambda_2| (clamped to [0, 1]).
+double spectral_gap(const Graph& g, Rng& rng, std::size_t iterations = 200);
+
+}  // namespace ppo::graph

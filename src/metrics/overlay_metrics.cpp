@@ -1,0 +1,43 @@
+#include "metrics/overlay_metrics.hpp"
+
+#include "graph/components.hpp"
+#include "graph/degree.hpp"
+#include "graph/paths.hpp"
+
+namespace ppo::metrics {
+
+GraphMetrics measure_graph(const graph::Graph& g,
+                           const graph::NodeMask& online,
+                           std::size_t total_nodes, Rng& rng,
+                           std::size_t apl_sources) {
+  GraphMetrics out;
+  const auto comps = graph::connected_components(g, online);
+  std::size_t included = 0;
+  for (const auto c : comps.component_of)
+    included += (c != graph::Components::kExcluded);
+  out.online_nodes = included;
+  out.largest_component = comps.largest_size();
+  out.fraction_disconnected =
+      included == 0 ? 0.0
+                    : static_cast<double>(included - out.largest_component) /
+                          static_cast<double>(included);
+
+  out.avg_path_length = graph::average_path_length(g, rng, online, apl_sources);
+  // Same definition as graph::normalized_average_path_length, reusing
+  // the component decomposition and APL already computed above.
+  out.normalized_avg_path_length =
+      out.largest_component <= 1
+          ? static_cast<double>(total_nodes)
+          : out.avg_path_length /
+                static_cast<double>(out.largest_component) *
+                static_cast<double>(total_nodes);
+
+  out.degree = graph::degree_histogram(g, online);
+
+  for (const auto& [u, v] : g.edges())
+    out.online_edges += (online.contains(u) && online.contains(v));
+
+  return out;
+}
+
+}  // namespace ppo::metrics

@@ -1,0 +1,40 @@
+// The paper's robustness metrics (§IV-C), all evaluated on the
+// subgraph induced by the online nodes.
+#pragma once
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace ppo::metrics {
+
+struct GraphMetrics {
+  /// Fraction of online nodes outside the largest connected
+  /// component (0 = fully connected).
+  double fraction_disconnected = 0.0;
+
+  /// Average path length in the LCC / |LCC| * total nodes.
+  double normalized_avg_path_length = 0.0;
+
+  /// Raw average path length within the LCC.
+  double avg_path_length = 0.0;
+
+  std::size_t online_nodes = 0;
+  std::size_t largest_component = 0;
+  /// Edges with both endpoints online.
+  std::size_t online_edges = 0;
+
+  /// Degree distribution over online nodes, counting only online
+  /// neighbors (Figure 5's data).
+  Histogram degree;
+};
+
+/// Measures `g` restricted to `online`; `total_nodes` is the full
+/// population (offline included) used by the normalization.
+/// `apl_sources` bounds the BFS sampling for path lengths.
+GraphMetrics measure_graph(const graph::Graph& g,
+                           const graph::NodeMask& online,
+                           std::size_t total_nodes, Rng& rng,
+                           std::size_t apl_sources = 48);
+
+}  // namespace ppo::metrics

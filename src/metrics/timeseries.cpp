@@ -1,0 +1,36 @@
+#include "metrics/timeseries.hpp"
+
+#include "common/check.hpp"
+
+namespace ppo::metrics {
+
+double TimeSeries::last_value() const {
+  PPO_CHECK_MSG(!values_.empty(), "empty time series");
+  return values_.back();
+}
+
+double TimeSeries::mean_since(double from) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    if (times_[i] >= from) {
+      sum += values_[i];
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+void print_time_series(std::ostream& os, const std::string& title,
+                       const std::vector<TimeSeries>& series, int precision) {
+  PPO_CHECK_MSG(!series.empty(), "no series to print");
+  const auto& grid = series.front().times();
+  std::vector<Series> columns;
+  for (const auto& s : series) {
+    PPO_CHECK_MSG(s.times() == grid, "time grids differ across series");
+    columns.push_back(Series{s.name(), s.values()});
+  }
+  print_series_table(os, title, "time", grid, columns, precision);
+}
+
+}  // namespace ppo::metrics

@@ -1,0 +1,44 @@
+// Time-series collection for the convergence / overhead figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace ppo::metrics {
+
+/// One sampled (time, value) trace.
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void record(double time, double value) {
+    times_.push_back(time);
+    values_.push_back(value);
+  }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  std::size_t size() const { return times_.size(); }
+  const std::vector<double>& times() const { return times_; }
+  const std::vector<double>& values() const { return values_; }
+
+  double last_value() const;
+
+  /// Mean of the values sampled at time >= from.
+  double mean_since(double from) const;
+
+ private:
+  std::string name_;
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+/// Aligns several series sampled on the SAME time grid into a
+/// printable block. Throws if grids differ.
+void print_time_series(std::ostream& os, const std::string& title,
+                       const std::vector<TimeSeries>& series,
+                       int precision = 4);
+
+}  // namespace ppo::metrics

@@ -1,0 +1,121 @@
+#include "overlay/cache.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ppo::overlay {
+
+PseudonymCache::PseudonymCache(std::size_t capacity)
+    : capacity_(capacity), index_(capacity) {
+  PPO_CHECK_MSG(capacity >= 1, "cache capacity must be positive");
+  entries_.reserve(capacity);
+}
+
+bool PseudonymCache::contains(PseudonymValue value) const {
+  return index_.find(value) != nullptr;
+}
+
+void PseudonymCache::insert_entry(const PseudonymRecord& record) {
+  index_.insert(record.value, static_cast<std::uint32_t>(entries_.size()));
+  entries_.push_back(record);
+}
+
+void PseudonymCache::erase_at(std::size_t index) {
+  index_.erase(entries_[index].value);
+  if (index + 1 != entries_.size()) {
+    entries_[index] = entries_.back();
+    *index_.find(entries_[index].value) = static_cast<std::uint32_t>(index);
+  }
+  entries_.pop_back();
+}
+
+void PseudonymCache::maybe_purge(sim::Time now) {
+  // Purging is O(capacity); once per half shuffle period is plenty —
+  // receivers independently discard expired records, so a stale entry
+  // slipping into one shuffle set is harmless.
+  if (now - last_purge_ < 0.5) return;
+  last_purge_ = now;
+  purge_expired(now);
+}
+
+std::vector<PseudonymRecord> PseudonymCache::select_random(std::size_t k,
+                                                           sim::Time now,
+                                                           Rng& rng) {
+  maybe_purge(now);
+  std::vector<PseudonymRecord> out;
+  if (entries_.empty() || k == 0) return out;
+  if (k >= entries_.size()) {
+    out = entries_;
+    rng.shuffle(out);
+    return out;
+  }
+  // Partial Fisher-Yates over a reused index array (hot path: runs
+  // twice per shuffle exchange).
+  scratch_.resize(entries_.size());
+  for (std::size_t i = 0; i < scratch_.size(); ++i) scratch_[i] = i;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.uniform_u64(scratch_.size() - i));
+    std::swap(scratch_[i], scratch_[j]);
+    out.push_back(entries_[scratch_[i]]);
+  }
+  return out;
+}
+
+void PseudonymCache::merge(const std::vector<PseudonymRecord>& received,
+                           PseudonymValue own,
+                           const std::vector<PseudonymRecord>& sent,
+                           sim::Time now, Rng& rng) {
+  maybe_purge(now);
+
+  // Victim preference: the entries we just shipped to the partner
+  // (CYCLON keeps the network's total information constant this way).
+  std::size_t next_victim = sent.size();
+
+  for (const auto& record : received) {
+    if (record.value == own) continue;       // own pseudonym never cached
+    if (!record.valid_at(now)) continue;     // already expired in flight
+    if (std::uint32_t* pos = index_.find(record.value)) {
+      // Same value implies same pseudonym; keep the later expiry in
+      // case of clock-skewed duplicates.
+      PseudonymRecord& existing = entries_[*pos];
+      existing.expiry = std::max(existing.expiry, record.expiry);
+      continue;
+    }
+    if (entries_.size() < capacity_) {
+      insert_entry(record);
+      continue;
+    }
+    // Full: evict a sent entry first, then a random victim.
+    bool evicted = false;
+    while (next_victim > 0 && !evicted) {
+      const std::uint32_t* victim = index_.find(sent[--next_victim].value);
+      if (victim == nullptr) continue;  // already gone
+      erase_at(*victim);
+      evicted = true;
+    }
+    if (!evicted)
+      erase_at(static_cast<std::size_t>(rng.uniform_u64(entries_.size())));
+    insert_entry(record);
+  }
+}
+
+void PseudonymCache::purge_expired(sim::Time now) {
+  for (std::size_t i = 0; i < entries_.size();) {
+    if (!entries_[i].valid_at(now))
+      erase_at(i);
+    else
+      ++i;
+  }
+}
+
+std::vector<PseudonymRecord> PseudonymCache::snapshot(sim::Time now) const {
+  std::vector<PseudonymRecord> out;
+  for (const auto& record : entries_)
+    if (record.valid_at(now)) out.push_back(record);
+  return out;
+}
+
+}  // namespace ppo::overlay

@@ -1,0 +1,61 @@
+// Bounded pseudonym cache with a CYCLON-style replacement policy
+// (§III-D-1): a shuffle partner's entries first fill free space, then
+// overwrite the entries we just sent to that partner, then random
+// victims. Expired pseudonyms are purged on access.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/flat_map.hpp"
+#include "common/rng.hpp"
+#include "privacylink/pseudonym.hpp"
+
+namespace ppo::overlay {
+
+using privacylink::PseudonymRecord;
+using privacylink::PseudonymValue;
+
+class PseudonymCache {
+ public:
+  explicit PseudonymCache(std::size_t capacity);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool contains(PseudonymValue value) const;
+
+  /// Selects up to `k` random distinct live entries (a shuffle
+  /// message body). Expired entries encountered are dropped.
+  std::vector<PseudonymRecord> select_random(std::size_t k, sim::Time now,
+                                             Rng& rng);
+
+  /// Merges a received shuffle set. `own` is this node's current
+  /// pseudonym (never cached). `sent` is the set this node sent in
+  /// the same exchange — the preferred victims when full.
+  void merge(const std::vector<PseudonymRecord>& received,
+             PseudonymValue own, const std::vector<PseudonymRecord>& sent,
+             sim::Time now, Rng& rng);
+
+  /// Drops all expired entries.
+  void purge_expired(sim::Time now);
+
+  /// Rate-limited purge used on the hot path.
+  void maybe_purge(sim::Time now);
+
+  /// Live entries (test/diagnostic use).
+  std::vector<PseudonymRecord> snapshot(sim::Time now) const;
+
+ private:
+  void insert_entry(const PseudonymRecord& record);
+  void erase_at(std::size_t index);
+
+  std::size_t capacity_;
+  sim::Time last_purge_ = -1.0;
+  std::vector<PseudonymRecord> entries_;
+  /// value -> position in entries_; flat table, no node allocation.
+  FlatMap64 index_;
+  /// Reused by select_random to avoid per-call allocation.
+  std::vector<std::size_t> scratch_;
+};
+
+}  // namespace ppo::overlay

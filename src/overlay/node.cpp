@@ -1,0 +1,234 @@
+#include "overlay/node.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ppo::overlay {
+
+namespace {
+
+/// S = max(min_slots, target - trust_degree): hubs already have their
+/// connectivity and get few or no pseudonym slots (§III-D).
+std::size_t slots_for(const OverlayParams& params, std::size_t trust_degree) {
+  const std::size_t wanted = params.target_links > trust_degree
+                                 ? params.target_links - trust_degree
+                                 : 0;
+  return std::max(params.min_slots, wanted);
+}
+
+}  // namespace
+
+OverlayNode::OverlayNode(NodeId id, const OverlayParams& params,
+                         std::vector<NodeId> trusted_neighbors,
+                         NodeEnvironment& env, Rng rng)
+    : id_(id),
+      params_(params),
+      trusted_(std::move(trusted_neighbors)),
+      env_(env),
+      rng_(rng),
+      cache_(params.cache_size),
+      sampler_(slots_for(params, trusted_.size()), params.pseudonym_bits,
+               rng_),
+      offline_ewma_(params.pseudonym_lifetime /
+                    std::max(params.adaptive_lifetime_factor, 1e-9)) {
+  PPO_CHECK_MSG(params.shuffle_length >= 1, "shuffle_length must be >= 1");
+}
+
+double OverlayNode::current_lifetime() const {
+  if (!params_.adaptive_lifetime) return params_.pseudonym_lifetime;
+  const double adapted = params_.adaptive_lifetime_factor * offline_ewma_;
+  return std::clamp(adapted, params_.adaptive_min_lifetime,
+                    params_.adaptive_max_lifetime);
+}
+
+void OverlayNode::ensure_own_pseudonym() {
+  const sim::Time now = env_.now();
+  if (own_ && own_->valid_at(now)) return;
+  own_ = env_.mint_pseudonym(id_, current_lifetime());
+  own_history_.push_back(own_->value);
+  // Only recent values can still circulate (older ones expired), so
+  // the self-check list stays tiny.
+  if (own_history_.size() > 4)
+    own_history_.erase(own_history_.begin());
+  schedule_renewal_alarm();
+}
+
+void OverlayNode::schedule_renewal_alarm() {
+  PPO_CHECK(own_.has_value());
+  const std::uint64_t epoch = ++renewal_epoch_;
+  const double delay = std::max(0.0, own_->expiry - env_.now());
+  // Tiny slack so the alarm fires strictly after the expiry instant.
+  env_.schedule(delay + 1e-9, [this, epoch] {
+    if (epoch != renewal_epoch_) return;  // superseded by a newer mint
+    if (online_) ensure_own_pseudonym();
+    // Offline: handle_online re-mints on rejoin.
+  });
+}
+
+void OverlayNode::handle_online() {
+  const sim::Time now = env_.now();
+  const bool rejoining = ever_started_;
+  online_ = true;
+  if (rejoining && params_.adaptive_lifetime) {
+    // Fold the just-finished offline period into the estimate the
+    // adaptive lifetime is based on.
+    const double duration = now - offline_since_;
+    offline_ewma_ = 0.7 * offline_ewma_ + 0.3 * duration;
+  }
+  ever_started_ = true;
+  // Pseudonyms that expired while away vanish; their slots become
+  // expiry-vacated so refills count as replacements (§IV-C overhead).
+  cache_.purge_expired(now);
+  sampler_.purge_expired(now);
+  ensure_own_pseudonym();
+  if (params_.shuffle_on_rejoin && rejoining) {
+    // Kick off an exchange right away (counted like a periodic tick);
+    // the periodic schedule continues independently.
+    shuffle_tick();
+  }
+}
+
+void OverlayNode::add_trusted_neighbor(NodeId neighbor) {
+  PPO_CHECK_MSG(neighbor != id_, "cannot trust oneself");
+  if (std::find(trusted_.begin(), trusted_.end(), neighbor) ==
+      trusted_.end())
+    trusted_.push_back(neighbor);
+}
+
+void OverlayNode::handle_offline() {
+  online_ = false;
+  offline_since_ = env_.now();
+  // All other state is retained (§II-D): links revive on rejoin.
+}
+
+std::vector<PseudonymRecord> OverlayNode::compose_shuffle_set() {
+  // Own pseudonym plus up to l-1 cache entries (§III-D-1).
+  std::vector<PseudonymRecord> set =
+      cache_.select_random(params_.shuffle_length - 1, env_.now(), rng_);
+  PPO_CHECK(own_.has_value());
+  set.push_back(*own_);
+  return set;
+}
+
+void OverlayNode::shuffle_tick() {
+  if (!online_) return;
+  ++counters_.online_ticks;
+  ensure_own_pseudonym();
+
+  // Uniform choice over n.links = trusted + pseudonym links.
+  const std::vector<PseudonymValue> pseudos = pseudonym_links();
+  counters_.max_out_degree =
+      std::max(counters_.max_out_degree, trusted_.size() + pseudos.size());
+  const std::size_t total = trusted_.size() + pseudos.size();
+  if (total == 0) return;
+  const std::size_t pick = static_cast<std::size_t>(rng_.uniform_u64(total));
+
+  NodeId target;
+  if (pick < trusted_.size()) {
+    target = trusted_[pick];
+  } else {
+    const auto owner = env_.resolve(pseudos[pick - trusted_.size()]);
+    if (!owner) return;  // expired between sampling and send: skip round
+    target = *owner;
+  }
+
+  last_request_sent_ = compose_shuffle_set();
+  ++counters_.requests_sent;
+  env_.send_shuffle_request(id_, target, last_request_sent_);
+}
+
+void OverlayNode::handle_shuffle_request(
+    NodeId from, const std::vector<PseudonymRecord>& received) {
+  if (!online_) return;  // defensive: transport already gates this
+  ensure_own_pseudonym();
+  std::vector<PseudonymRecord> response = compose_shuffle_set();
+  ++counters_.responses_sent;
+  env_.send_shuffle_response(id_, from, response);
+  merge_received(received, response);
+}
+
+void OverlayNode::handle_shuffle_response(
+    const std::vector<PseudonymRecord>& received) {
+  if (!online_) return;
+  ++counters_.shuffles_completed;
+  merge_received(received, last_request_sent_);
+  last_request_sent_.clear();
+}
+
+void OverlayNode::merge_received(const std::vector<PseudonymRecord>& received,
+                                 const std::vector<PseudonymRecord>& sent) {
+  const sim::Time now = env_.now();
+  const PseudonymValue own_value = own_ ? own_->value : 0;
+  cache_.merge(received, own_value, sent, now, rng_);
+  // Every received pseudonym is offered to the sampler, cached or not
+  // (§III-D-2) — except ones addressing this very node (current or a
+  // still-circulating previous pseudonym of ours).
+  for (const PseudonymRecord& record : received) {
+    if (!record.valid_at(now)) continue;
+    if (std::find(own_history_.begin(), own_history_.end(), record.value) !=
+        own_history_.end())
+      continue;
+    if (params_.naive_sampling)
+      sampler_.offer_naive(record, now, rng_);
+    else
+      sampler_.offer(record, now);
+    if (params_.population_estimation) note_seen(record, now);
+  }
+}
+
+void OverlayNode::note_seen(const PseudonymRecord& record, sim::Time now) {
+  if (std::uint32_t* pos = seen_index_.find(record.value)) {
+    seen_pseudonyms_[*pos].expiry =
+        std::max(seen_pseudonyms_[*pos].expiry, record.expiry);
+    return;
+  }
+  // Opportunistic compaction keeps the table near the live-pseudonym
+  // population size.
+  if (seen_pseudonyms_.size() > 64 &&
+      seen_pseudonyms_.size() % 64 == 0) {
+    for (std::size_t i = 0; i < seen_pseudonyms_.size();) {
+      if (!seen_pseudonyms_[i].valid_at(now)) {
+        seen_index_.erase(seen_pseudonyms_[i].value);
+        seen_pseudonyms_[i] = seen_pseudonyms_.back();
+        if (i + 1 != seen_pseudonyms_.size())
+          *seen_index_.find(seen_pseudonyms_[i].value) =
+              static_cast<std::uint32_t>(i);
+        seen_pseudonyms_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+  seen_index_.insert(record.value,
+                     static_cast<std::uint32_t>(seen_pseudonyms_.size()));
+  seen_pseudonyms_.push_back(record);
+}
+
+std::size_t OverlayNode::estimated_population() const {
+  const sim::Time now = env_.now();
+  std::size_t live = 0;
+  for (const auto& record : seen_pseudonyms_) live += record.valid_at(now);
+  // The node's own pseudonym never passes through merge_received.
+  live += (own_ && own_->valid_at(now));
+  return live;
+}
+
+std::vector<PseudonymValue> OverlayNode::pseudonym_links() const {
+  return sampler_.live_values(env_.now());
+}
+
+std::size_t OverlayNode::out_degree() const {
+  return trusted_.size() + pseudonym_links().size();
+}
+
+void OverlayNode::inject_cache_record(const PseudonymRecord& record) {
+  cache_.merge({record}, own_ ? own_->value : 0, {}, env_.now(), rng_);
+}
+
+std::optional<PseudonymRecord> OverlayNode::own_pseudonym() const {
+  if (own_ && own_->valid_at(env_.now())) return own_;
+  return std::nullopt;
+}
+
+}  // namespace ppo::overlay

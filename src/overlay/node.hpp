@@ -1,0 +1,166 @@
+// Per-node overlay-maintenance protocol (§III): trusted links from the
+// trust graph, pseudonym links chosen by the slot sampler, periodic
+// shuffling, and TTL-driven pseudonym renewal. All I/O goes through
+// the NodeEnvironment interface implemented by OverlayService.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/flat_map.hpp"
+#include "overlay/cache.hpp"
+#include "overlay/params.hpp"
+#include "overlay/sampler.hpp"
+#include "privacylink/pseudonym.hpp"
+
+namespace ppo::overlay {
+
+using privacylink::NodeId;
+
+/// Services the node consumes: messaging, the pseudonym service, and
+/// the simulator clock. Keeps OverlayNode free of global state and
+/// directly unit-testable against a mock environment.
+class NodeEnvironment {
+ public:
+  virtual ~NodeEnvironment() = default;
+
+  virtual sim::Time now() const = 0;
+  virtual bool is_online(NodeId node) const = 0;
+
+  /// Mints a pseudonym for `owner` at the pseudonym service.
+  virtual PseudonymRecord mint_pseudonym(NodeId owner, double lifetime) = 0;
+
+  /// Resolves a live pseudonym to its owner (ideal service).
+  virtual std::optional<NodeId> resolve(PseudonymValue value) = 0;
+
+  /// Ships a shuffle request/response over a privacy-preserving link.
+  virtual void send_shuffle_request(NodeId from, NodeId to,
+                                    std::vector<PseudonymRecord> set) = 0;
+  virtual void send_shuffle_response(NodeId from, NodeId to,
+                                     std::vector<PseudonymRecord> set) = 0;
+
+  /// One-shot timer (used for pseudonym-renewal alarms).
+  virtual void schedule(double delay, sim::EventFn fn) = 0;
+};
+
+class OverlayNode {
+ public:
+  struct Counters {
+    std::uint64_t requests_sent = 0;
+    std::uint64_t responses_sent = 0;
+    std::uint64_t shuffles_completed = 0;  // responses received
+    std::uint64_t online_ticks = 0;
+    std::size_t max_out_degree = 0;
+
+    std::uint64_t messages_sent() const {
+      return requests_sent + responses_sent;
+    }
+  };
+
+  OverlayNode(NodeId id, const OverlayParams& params,
+              std::vector<NodeId> trusted_neighbors, NodeEnvironment& env,
+              Rng rng);
+
+  NodeId id() const { return id_; }
+  std::size_t trust_degree() const { return trusted_.size(); }
+  std::size_t slot_capacity() const { return sampler_.slot_count(); }
+
+  /// Churn callbacks (driven by OverlayService).
+  void handle_online();
+  void handle_offline();
+
+  /// Dynamic membership: a newly joined user added `this` to their
+  /// trusted peers; the trust edge is mutual (§II-B). Does not shrink
+  /// an already-sized sampler — only future nodes see the new degree.
+  void add_trusted_neighbor(NodeId neighbor);
+
+  /// One shuffle-period tick: pick a random overlay link, ship own
+  /// pseudonym + cache sample to its far end.
+  void shuffle_tick();
+
+  /// Incoming shuffle traffic (already gated on this node being
+  /// online by the transport).
+  void handle_shuffle_request(NodeId from,
+                              const std::vector<PseudonymRecord>& received);
+  void handle_shuffle_response(const std::vector<PseudonymRecord>& received);
+
+  /// Current pseudonym links: distinct live sampled values.
+  std::vector<PseudonymValue> pseudonym_links() const;
+  const std::vector<NodeId>& trusted_links() const { return trusted_; }
+
+  /// Out-degree right now: trusted links + live pseudonym links.
+  std::size_t out_degree() const;
+
+  const Counters& counters() const { return counters_; }
+  const SlotSampler::ReplacementCounters& replacement_counters() const {
+    return sampler_.counters();
+  }
+  const PseudonymCache& cache() const { return cache_; }
+
+  /// Own live pseudonym, if any (test/diagnostic use).
+  std::optional<PseudonymRecord> own_pseudonym() const;
+
+  /// Instrumentation for the §III-E attack studies: plants a record
+  /// in this node's cache as if it had just arrived in a shuffle from
+  /// an (adversarial) neighbor.
+  void inject_cache_record(const PseudonymRecord& record);
+
+  /// §III-E-4 extension (requires params.population_estimation):
+  /// estimated number of participating nodes = count of distinct live
+  /// pseudonyms this node has seen in gossip (every participant owns
+  /// exactly one live pseudonym at a time, so in a small system the
+  /// count converges to |U| from below). Own pseudonym included.
+  std::size_t estimated_population() const;
+
+ private:
+  /// Own pseudonym TTL management (§III-C).
+  void ensure_own_pseudonym();
+  void schedule_renewal_alarm();
+  double current_lifetime() const;
+
+  /// Merges a received set into cache + sampler. `sent` is this
+  /// node's half of the exchange (CYCLON victim preference).
+  void merge_received(const std::vector<PseudonymRecord>& received,
+                      const std::vector<PseudonymRecord>& sent);
+
+  /// Builds this node's half of a shuffle exchange.
+  std::vector<PseudonymRecord> compose_shuffle_set();
+
+  /// Records a gossiped pseudonym for the population estimator.
+  void note_seen(const PseudonymRecord& record, sim::Time now);
+
+  NodeId id_;
+  const OverlayParams& params_;
+  std::vector<NodeId> trusted_;
+  NodeEnvironment& env_;
+  Rng rng_;
+
+  PseudonymCache cache_;
+  SlotSampler sampler_;
+
+  std::optional<PseudonymRecord> own_;
+  /// All values this node has ever owned: received copies of them are
+  /// self-addressed and never cached or sampled.
+  std::vector<PseudonymValue> own_history_;
+  bool online_ = false;
+  bool ever_started_ = false;
+  std::uint64_t renewal_epoch_ = 0;
+
+  /// Last set sent in an initiated shuffle, consumed by the matching
+  /// response (victim preference).
+  std::vector<PseudonymRecord> last_request_sent_;
+
+  /// Adaptive-lifetime extension state.
+  sim::Time offline_since_ = 0.0;
+  double offline_ewma_;
+
+  /// §III-E-4 population estimator: live pseudonym values seen in
+  /// gossip, with their expiries (purged opportunistically).
+  std::vector<PseudonymRecord> seen_pseudonyms_;
+  FlatMap64 seen_index_;
+
+  Counters counters_;
+};
+
+}  // namespace ppo::overlay

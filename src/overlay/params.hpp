@@ -1,0 +1,62 @@
+// Protocol parameters with the paper's Table I defaults.
+#pragma once
+
+#include <cstddef>
+
+namespace ppo::overlay {
+
+struct OverlayParams {
+  /// Pseudonym-cache capacity per node (Table I: 400).
+  std::size_t cache_size = 400;
+
+  /// Max pseudonyms exchanged per shuffle message, own pseudonym
+  /// included (Table I: l = 40).
+  std::size_t shuffle_length = 40;
+
+  /// Target number of overlay links per node (Table I: 50). The slot
+  /// count S of node n is max(min_slots, target_links - trust_degree)
+  /// so hubs get few or no extra links (§III-D).
+  std::size_t target_links = 50;
+
+  /// Floor for S; the paper allows hubs S = 0.
+  std::size_t min_slots = 0;
+
+  /// Pseudonym lifetime in shuffling periods (Table I: 3 x Toff = 90).
+  double pseudonym_lifetime = 90.0;
+
+  /// Shuffle period — the global time unit (always 1 in the paper).
+  double shuffle_period = 1.0;
+
+  /// Pseudonym width p in bits.
+  unsigned pseudonym_bits = 64;
+
+  /// Initiate a shuffle immediately when (re)joining instead of
+  /// waiting for the next periodic tick — speeds up re-integration of
+  /// nodes whose pseudonym links expired while away.
+  bool shuffle_on_rejoin = true;
+
+  /// Extension (§III-C future work): nodes adapt their pseudonym
+  /// lifetime to their own observed offline durations instead of the
+  /// global constant.
+  bool adaptive_lifetime = false;
+  /// Lifetime = adaptive_lifetime_factor x EWMA(own offline time),
+  /// clamped to [adaptive_min_lifetime, adaptive_max_lifetime].
+  double adaptive_lifetime_factor = 3.0;
+  double adaptive_min_lifetime = 10.0;
+  double adaptive_max_lifetime = 1000.0;
+
+  /// Extension (§III-E-4): track every live pseudonym seen in gossip
+  /// so the node can estimate the participating population ("if the
+  /// number of nodes is small, all nodes will eventually see all
+  /// pseudonyms before they expire"). Off by default — it adds a hash
+  /// insert per received record on the hot path.
+  bool population_estimation = false;
+
+  /// Ablation: disable the Brahms-style reference-value sampling and
+  /// instead fill empty slots with uniformly random received
+  /// pseudonyms (never displacing live ones). Used by
+  /// bench/ablation_sampling.
+  bool naive_sampling = false;
+};
+
+}  // namespace ppo::overlay

@@ -1,0 +1,113 @@
+#include "overlay/sampler.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ppo::overlay {
+
+using privacylink::pseudonym_distance;
+using privacylink::random_pseudonym_value;
+
+SlotSampler::SlotSampler(std::size_t slots, unsigned bits, Rng& rng) {
+  slots_.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    Slot slot;
+    slot.reference = random_pseudonym_value(rng, bits);
+    slots_.push_back(slot);
+  }
+}
+
+void SlotSampler::place(Slot& slot, const PseudonymRecord& record,
+                        sim::Time now, bool check_closeness) {
+  // Expired content counts as an empty, expiry-vacated slot.
+  if (slot.record && !slot.record->valid_at(now)) {
+    slot.record.reset();
+    slot.vacated_by_expiry = true;
+  }
+
+  if (!slot.record) {
+    slot.record = record;
+    slot.record_distance = pseudonym_distance(record.value, slot.reference);
+    if (slot.vacated_by_expiry) {
+      ++counters_.refills_after_expiry;
+      slot.vacated_by_expiry = false;
+    } else {
+      ++counters_.initial_fills;
+    }
+    return;
+  }
+
+  if (!check_closeness) return;  // naive mode never displaces
+
+  if (slot.record->value == record.value) {
+    // Same pseudonym re-offered: refresh expiry knowledge, no change.
+    slot.record->expiry = std::max(slot.record->expiry, record.expiry);
+    return;
+  }
+
+  const std::uint64_t offered = pseudonym_distance(record.value, slot.reference);
+  const bool closer = offered < slot.record_distance;
+  const bool tie_later_expiry =
+      offered == slot.record_distance && record.expiry > slot.record->expiry;
+  if (closer || tie_later_expiry) {
+    slot.record = record;
+    slot.record_distance = offered;
+    ++counters_.better_displacements;
+  }
+}
+
+void SlotSampler::offer(const PseudonymRecord& record, sim::Time now) {
+  if (!record.valid_at(now)) return;
+  for (Slot& slot : slots_) place(slot, record, now, /*check_closeness=*/true);
+}
+
+void SlotSampler::offer_naive(const PseudonymRecord& record, sim::Time now,
+                              Rng& rng) {
+  if (!record.valid_at(now)) return;
+  // Visit slots in random order so the same received sequence does
+  // not always land in the same slots.
+  const std::size_t start =
+      slots_.empty() ? 0 : static_cast<std::size_t>(rng.uniform_u64(slots_.size()));
+  for (std::size_t k = 0; k < slots_.size(); ++k) {
+    Slot& slot = slots_[(start + k) % slots_.size()];
+    const bool was_empty = !slot.record || !slot.record->valid_at(now);
+    place(slot, record, now, /*check_closeness=*/false);
+    if (was_empty) return;  // placed (or became) — one slot per offer
+  }
+}
+
+std::vector<PseudonymValue> SlotSampler::live_values(sim::Time now) const {
+  std::vector<PseudonymValue> values;
+  values.reserve(slots_.size());
+  for (const Slot& slot : slots_)
+    if (slot.record && slot.record->valid_at(now))
+      values.push_back(slot.record->value);
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+std::size_t SlotSampler::live_slots(sim::Time now) const {
+  std::size_t count = 0;
+  for (const Slot& slot : slots_)
+    count += (slot.record && slot.record->valid_at(now));
+  return count;
+}
+
+void SlotSampler::purge_expired(sim::Time now) {
+  for (Slot& slot : slots_) {
+    if (slot.record && !slot.record->valid_at(now)) {
+      slot.record.reset();
+      slot.vacated_by_expiry = true;
+    }
+  }
+}
+
+std::pair<PseudonymValue, std::optional<PseudonymRecord>> SlotSampler::slot(
+    std::size_t i) const {
+  PPO_CHECK_MSG(i < slots_.size(), "slot index out of range");
+  return {slots_[i].reference, slots_[i].record};
+}
+
+}  // namespace ppo::overlay

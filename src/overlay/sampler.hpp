@@ -1,0 +1,91 @@
+// Brahms-style pseudonym sampler (§III-D-2). Node n keeps a list L of
+// S slots; slot i holds a permanent random reference value R_i and a
+// sampled pseudonym P_i. A pseudonym P' offered by the shuffle
+// replaces P_i iff the slot is empty, P' is numerically closer to R_i,
+// or equally close with a later expiry. Because each R_i is an
+// independent uniform value, the winning pseudonym of each slot is a
+// uniform sample over ALL pseudonyms ever offered — independent of how
+// often each one was received (the Brahms property).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "privacylink/pseudonym.hpp"
+
+namespace ppo::overlay {
+
+using privacylink::PseudonymRecord;
+using privacylink::PseudonymValue;
+
+class SlotSampler {
+ public:
+  /// Cumulative slot-write accounting for Figure 9: a refill of a slot
+  /// vacated by expiry vs the displacement of a live pseudonym by a
+  /// closer one. First-ever fills of a virgin slot are new links, not
+  /// replacements, and are counted separately.
+  struct ReplacementCounters {
+    std::uint64_t refills_after_expiry = 0;
+    std::uint64_t better_displacements = 0;
+    std::uint64_t initial_fills = 0;
+
+    std::uint64_t replacements() const {
+      return refills_after_expiry + better_displacements;
+    }
+  };
+
+  /// Creates `slots` slots with reference values drawn from `rng` at
+  /// `bits` width. Reference values never change (§III-D).
+  SlotSampler(std::size_t slots, unsigned bits, Rng& rng);
+
+  std::size_t slot_count() const { return slots_.size(); }
+
+  /// Offers one received pseudonym to every slot (the §III-D
+  /// traversal). Expired slot contents are treated as empty.
+  void offer(const PseudonymRecord& record, sim::Time now);
+
+  /// Ablation mode: fill empty/expired slots with the offered
+  /// pseudonym but never displace a live one (no closeness rule).
+  void offer_naive(const PseudonymRecord& record, sim::Time now, Rng& rng);
+
+  /// Distinct live pseudonym values across slots — the node's
+  /// pseudonym links (n.links minus trusted links).
+  std::vector<PseudonymValue> live_values(sim::Time now) const;
+
+  /// Number of live slots (may count duplicates of the same value).
+  std::size_t live_slots(sim::Time now) const;
+
+  /// Drops expired slot contents eagerly (bookkeeping for the
+  /// refill-after-expiry counter happens at offer time either way).
+  void purge_expired(sim::Time now);
+
+  const ReplacementCounters& counters() const { return counters_; }
+
+  /// Test hook: slot i's (reference, record).
+  std::pair<PseudonymValue, std::optional<PseudonymRecord>> slot(
+      std::size_t i) const;
+
+ private:
+  struct Slot {
+    PseudonymValue reference;
+    std::optional<PseudonymRecord> record;
+    /// |record->value - reference|, cached because the §III-D rule
+    /// re-evaluates it for every offered pseudonym (hot path).
+    std::uint64_t record_distance = 0;
+    /// Set when the slot once held a pseudonym that expired and has
+    /// not been refilled yet — the next fill is a replacement.
+    bool vacated_by_expiry = false;
+  };
+
+  /// Applies the §III-D replacement rule for one slot; updates the
+  /// counters when the content changes.
+  void place(Slot& slot, const PseudonymRecord& record, sim::Time now,
+             bool check_closeness);
+
+  std::vector<Slot> slots_;
+  ReplacementCounters counters_;
+};
+
+}  // namespace ppo::overlay

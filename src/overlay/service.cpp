@@ -1,0 +1,174 @@
+#include "overlay/service.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace ppo::overlay {
+
+OverlayService::OverlayService(sim::Simulator& sim,
+                               const graph::Graph& trust_graph,
+                               const churn::ChurnModel& churn_model,
+                               OverlayServiceOptions options, Rng rng)
+    : OverlayService(sim, trust_graph,
+                     std::vector<const churn::ChurnModel*>(
+                         trust_graph.num_nodes(), &churn_model),
+                     options, rng) {}
+
+OverlayService::OverlayService(
+    sim::Simulator& sim, const graph::Graph& trust_graph,
+    std::vector<const churn::ChurnModel*> churn_models,
+    OverlayServiceOptions options, Rng rng)
+    : sim_(sim),
+      trust_graph_(trust_graph),
+      options_(options),
+      rng_(rng),
+      pseudonyms_(options_.params.pseudonym_bits),
+      churn_(sim, std::move(churn_models), rng_.split()) {
+  PPO_CHECK_MSG(trust_graph.num_nodes() >= 2, "trust graph too small");
+  PPO_CHECK_MSG(churn_.num_nodes() == trust_graph.num_nodes(),
+                "one churn model per node required");
+  const auto online = [this](NodeId v) { return churn_.is_online(v); };
+  if (options_.use_mix_network) {
+    mix_ = std::make_unique<privacylink::MixNetwork>(sim, options_.mix,
+                                                     rng_.split());
+    transport_ = std::make_unique<privacylink::MixTransport>(
+        sim, *mix_, options_.mix_transport, rng_.split(), online);
+  } else {
+    transport_ = std::make_unique<privacylink::Transport>(
+        sim, options_.transport, rng_.split(), online);
+  }
+  nodes_.reserve(trust_graph.num_nodes());
+  for (NodeId v = 0; v < trust_graph.num_nodes(); ++v) {
+    const auto nbrs = trust_graph.neighbors(v);
+    nodes_.push_back(std::make_unique<OverlayNode>(
+        v, options_.params,
+        std::vector<NodeId>(nbrs.begin(), nbrs.end()), *this, rng_.split()));
+  }
+}
+
+void OverlayService::start() {
+  PPO_CHECK_MSG(!started_, "overlay service already started");
+  started_ = true;
+
+  churn_.start(churn::ChurnCallbacks{
+      .on_online = [this](NodeId v) { nodes_[v]->handle_online(); },
+      .on_offline = [this](NodeId v) { nodes_[v]->handle_offline(); },
+  });
+
+  ticks_.reserve(nodes_.size());
+  for (NodeId v = 0; v < nodes_.size(); ++v) start_ticks(v);
+}
+
+void OverlayService::start_ticks(NodeId v) {
+  const double period = options_.params.shuffle_period;
+  const double phase = rng_.uniform_double(0.0, period);
+  ticks_.push_back(sim::PeriodicTask::start(
+      sim_, phase, period, [this, v] { nodes_[v]->shuffle_tick(); }));
+}
+
+NodeId OverlayService::add_member(
+    const std::vector<NodeId>& trusted_neighbors) {
+  PPO_CHECK_MSG(started_, "start() the service before adding members");
+  PPO_CHECK_MSG(!trusted_neighbors.empty(),
+                "a joining user needs at least one inviting peer");
+  std::vector<NodeId> inviters = trusted_neighbors;
+  std::sort(inviters.begin(), inviters.end());
+  inviters.erase(std::unique(inviters.begin(), inviters.end()),
+                 inviters.end());
+  for (const NodeId nb : inviters)
+    PPO_CHECK_MSG(nb < nodes_.size(), "inviter out of range");
+
+  const NodeId v = trust_graph_.add_nodes(1);
+  for (const NodeId nb : inviters) {
+    trust_graph_.add_edge(v, nb);
+    nodes_[nb]->add_trusted_neighbor(v);
+  }
+  trust_graph_.finalize();
+
+  nodes_.push_back(std::make_unique<OverlayNode>(
+      v, options_.params, std::move(inviters), *this, rng_.split()));
+  start_ticks(v);
+  // The churn driver fires on_online immediately (the join moment).
+  const NodeId driver_id = churn_.add_node();
+  PPO_CHECK(driver_id == v);
+  return v;
+}
+
+PseudonymRecord OverlayService::mint_pseudonym(NodeId owner,
+                                               double lifetime) {
+  return pseudonyms_.create(owner, sim_.now(), lifetime, rng_);
+}
+
+std::optional<NodeId> OverlayService::resolve(PseudonymValue value) {
+  return pseudonyms_.resolve(value, sim_.now());
+}
+
+void OverlayService::send_shuffle_request(NodeId from, NodeId to,
+                                          std::vector<PseudonymRecord> set) {
+  transport_->send(from, to, [this, from, to, set = std::move(set)] {
+    nodes_[to]->handle_shuffle_request(from, set);
+  });
+}
+
+void OverlayService::send_shuffle_response(NodeId from, NodeId to,
+                                           std::vector<PseudonymRecord> set) {
+  transport_->send(from, to, [this, to, set = std::move(set)] {
+    nodes_[to]->handle_shuffle_response(set);
+  });
+}
+
+void OverlayService::schedule(double delay, sim::EventFn fn) {
+  sim_.schedule_after(delay, std::move(fn));
+}
+
+graph::Graph OverlayService::overlay_snapshot() {
+  graph::Graph overlay(nodes_.size());
+  for (const auto& [u, v] : trust_graph_.edges()) overlay.add_edge(u, v);
+  for (NodeId u = 0; u < nodes_.size(); ++u) {
+    for (const PseudonymValue value : nodes_[u]->pseudonym_links()) {
+      const auto owner = pseudonyms_.resolve(value, sim_.now());
+      if (owner && *owner != u) overlay.add_edge(u, *owner);
+    }
+  }
+  overlay.finalize();
+  return overlay;
+}
+
+std::vector<NodeId> OverlayService::current_peers(NodeId v) {
+  PPO_CHECK_MSG(v < nodes_.size(), "node out of range");
+  std::vector<NodeId> peers(nodes_[v]->trusted_links());
+  for (const PseudonymValue value : nodes_[v]->pseudonym_links()) {
+    const auto owner = pseudonyms_.resolve(value, sim_.now());
+    if (owner && *owner != v) peers.push_back(*owner);
+  }
+  std::sort(peers.begin(), peers.end());
+  peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
+  return peers;
+}
+
+SlotSampler::ReplacementCounters OverlayService::total_replacements() const {
+  SlotSampler::ReplacementCounters total;
+  for (const auto& node : nodes_) {
+    const auto& c = node->replacement_counters();
+    total.refills_after_expiry += c.refills_after_expiry;
+    total.better_displacements += c.better_displacements;
+    total.initial_fills += c.initial_fills;
+  }
+  return total;
+}
+
+OverlayNode::Counters OverlayService::total_counters() const {
+  OverlayNode::Counters total;
+  for (const auto& node : nodes_) {
+    const auto& c = node->counters();
+    total.requests_sent += c.requests_sent;
+    total.responses_sent += c.responses_sent;
+    total.shuffles_completed += c.shuffles_completed;
+    total.online_ticks += c.online_ticks;
+    total.max_out_degree = std::max(total.max_out_degree, c.max_out_degree);
+  }
+  return total;
+}
+
+}  // namespace ppo::overlay

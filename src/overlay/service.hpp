@@ -1,0 +1,123 @@
+// Orchestrates the full overlay-maintenance service inside the
+// simulator: N protocol nodes built from a trust graph, churn-driven
+// online/offline transitions, the ideal privacy-preserving transport,
+// and snapshotting for the paper's metrics.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "churn/churn_driver.hpp"
+#include "churn/churn_model.hpp"
+#include "graph/graph.hpp"
+#include "overlay/node.hpp"
+#include "overlay/params.hpp"
+#include "privacylink/mix_transport.hpp"
+#include "privacylink/pseudonym_service.hpp"
+#include "privacylink/transport.hpp"
+#include "sim/periodic.hpp"
+#include "sim/simulator.hpp"
+
+namespace ppo::overlay {
+
+struct OverlayServiceOptions {
+  OverlayParams params;
+  privacylink::TransportOptions transport;
+
+  /// Full-stack mode: protocol messages ride real onion circuits
+  /// through a MixNetwork instead of the ideal transport. Expensive;
+  /// for small-scale validation and demos (see DESIGN.md).
+  bool use_mix_network = false;
+  privacylink::MixOptions mix;
+  privacylink::MixTransportOptions mix_transport;
+};
+
+class OverlayService final : public NodeEnvironment {
+ public:
+  /// `trust_graph` defines the initial membership (one node per
+  /// vertex) and the trusted links; the service keeps its own copy so
+  /// members can be added later (see add_member).
+  OverlayService(sim::Simulator& sim, const graph::Graph& trust_graph,
+                 const churn::ChurnModel& churn_model,
+                 OverlayServiceOptions options, Rng rng);
+
+  /// Heterogeneous churn: node v follows *churn_models[v] (size must
+  /// equal the trust graph's node count). Models must outlive the
+  /// service.
+  OverlayService(sim::Simulator& sim, const graph::Graph& trust_graph,
+                 std::vector<const churn::ChurnModel*> churn_models,
+                 OverlayServiceOptions options, Rng rng);
+
+  /// Extension beyond the paper (§II-B leaves mutable trust graphs as
+  /// future work; node/edge ADDITION "does not raise privacy
+  /// concerns"): a new user joins with trust edges to the existing
+  /// members who invited them. The node comes online immediately and
+  /// integrates through the normal protocol. Requires start().
+  NodeId add_member(const std::vector<NodeId>& trusted_neighbors);
+
+  /// Samples initial online states and schedules churn + shuffle
+  /// ticks (each node with a random phase inside the period).
+  void start();
+
+  // --- NodeEnvironment ---
+  sim::Time now() const override { return sim_.now(); }
+  bool is_online(NodeId node) const override {
+    return churn_.is_online(node);
+  }
+  PseudonymRecord mint_pseudonym(NodeId owner, double lifetime) override;
+  std::optional<NodeId> resolve(PseudonymValue value) override;
+  void send_shuffle_request(NodeId from, NodeId to,
+                            std::vector<PseudonymRecord> set) override;
+  void send_shuffle_response(NodeId from, NodeId to,
+                             std::vector<PseudonymRecord> set) override;
+  void schedule(double delay, sim::EventFn fn) override;
+
+  // --- inspection ---
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const graph::Graph& trust_graph() const { return trust_graph_; }
+  const graph::NodeMask& online_mask() const { return churn_.online_mask(); }
+  std::size_t online_count() const { return churn_.online_count(); }
+  OverlayNode& node(NodeId id) { return *nodes_[id]; }
+  const OverlayNode& node(NodeId id) const { return *nodes_[id]; }
+  churn::ChurnDriver& churn_driver() { return churn_; }
+  const privacylink::LinkTransport& transport() const { return *transport_; }
+  const privacylink::PseudonymService& pseudonym_service() const {
+    return pseudonyms_;
+  }
+  /// The mix network backing the transport (mix mode only).
+  const privacylink::MixNetwork* mix_network() const { return mix_.get(); }
+
+  /// The current overlay graph over ALL nodes (online and offline):
+  /// trust edges plus an edge {u, v} whenever u holds a live
+  /// pseudonym of v. Metrics mask it with online_mask().
+  graph::Graph overlay_snapshot();
+
+  /// The nodes `v` can currently reach over its own links (n.links):
+  /// trusted neighbors plus the owners of its live sampled
+  /// pseudonyms. What an application layer on top of the overlay
+  /// sends to (it addresses the LINKS; the identities here are
+  /// simulator-level bookkeeping).
+  std::vector<NodeId> current_peers(NodeId v);
+
+  /// Aggregated per-node accounting.
+  SlotSampler::ReplacementCounters total_replacements() const;
+  OverlayNode::Counters total_counters() const;
+
+ private:
+  /// Starts one node's periodic shuffle schedule.
+  void start_ticks(NodeId v);
+
+  sim::Simulator& sim_;
+  graph::Graph trust_graph_;  // owned: add_member mutates it
+  OverlayServiceOptions options_;
+  Rng rng_;
+  privacylink::PseudonymService pseudonyms_;
+  churn::ChurnDriver churn_;
+  std::unique_ptr<privacylink::MixNetwork> mix_;  // mix mode only
+  std::unique_ptr<privacylink::LinkTransport> transport_;
+  std::vector<std::unique_ptr<OverlayNode>> nodes_;
+  std::vector<sim::PeriodicTask> ticks_;
+  bool started_ = false;
+};
+
+}  // namespace ppo::overlay

@@ -1,0 +1,141 @@
+#include "privacylink/mix_network.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "crypto/sha256.hpp"
+
+namespace ppo::privacylink {
+
+namespace {
+
+crypto::X25519Key random_key(Rng& rng) {
+  crypto::X25519Key k{};
+  for (std::size_t i = 0; i < k.size(); i += 8) {
+    const std::uint64_t word = rng.next_u64();
+    for (std::size_t j = 0; j < 8; ++j)
+      k[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
+  }
+  return k;
+}
+
+std::uint64_t message_fingerprint(crypto::BytesView message) {
+  const auto digest = crypto::sha256(message);
+  std::uint64_t fp = 0;
+  for (int i = 0; i < 8; ++i) fp |= static_cast<std::uint64_t>(digest[static_cast<std::size_t>(i)]) << (8 * i);
+  return fp;
+}
+
+}  // namespace
+
+MixNetwork::MixNetwork(sim::Simulator& sim, MixOptions options, Rng rng)
+    : sim_(sim), options_(options), rng_(rng) {
+  PPO_CHECK_MSG(options_.num_relays >= 1, "mix needs at least one relay");
+  relays_.reserve(options_.num_relays);
+  for (std::size_t i = 0; i < options_.num_relays; ++i)
+    relays_.push_back(Relay{crypto::x25519_keypair(random_key(rng_)), true, {}});
+}
+
+const crypto::X25519Key& MixNetwork::relay_public_key(RelayId r) const {
+  PPO_CHECK_MSG(r < relays_.size(), "relay id out of range");
+  return relays_[r].keys.public_key;
+}
+
+std::vector<RelayId> MixNetwork::random_route(std::size_t hops,
+                                              Rng& rng) const {
+  std::vector<RelayId> alive;
+  for (RelayId r = 0; r < relays_.size(); ++r)
+    if (relays_[r].alive) alive.push_back(r);
+  PPO_CHECK_MSG(alive.size() >= hops, "not enough live relays for route");
+  return rng.sample(alive, hops);
+}
+
+double MixNetwork::hop_latency() {
+  return rng_.uniform_double(options_.min_hop_latency,
+                             options_.max_hop_latency);
+}
+
+void MixNetwork::send(const std::vector<RelayId>& route, crypto::Bytes payload,
+                      std::function<void(crypto::Bytes)> deliver, Rng& rng) {
+  PPO_CHECK_MSG(!route.empty(), "empty mix route");
+  std::vector<HopSpec> hops;
+  hops.reserve(route.size());
+  for (std::size_t i = 0; i < route.size(); ++i) {
+    PPO_CHECK_MSG(route[i] < relays_.size(), "relay id out of range");
+    const RelayId next = (i + 1 < route.size()) ? route[i + 1] : kFinalHop;
+    hops.push_back(HopSpec{next, relays_[route[i]].keys.public_key});
+  }
+  crypto::Bytes wrapped = onion_wrap(
+      hops, crypto::BytesView(payload.data(), payload.size()), rng);
+  sim_.schedule_after(hop_latency(),
+                      [this, entry = route.front(), msg = std::move(wrapped),
+                       deliver = std::move(deliver)]() mutable {
+                        forward(entry, std::move(msg), std::move(deliver));
+                      });
+}
+
+void MixNetwork::forward(RelayId relay, crypto::Bytes message,
+                         std::function<void(crypto::Bytes)> deliver) {
+  Relay& r = relays_[relay];
+  if (!r.alive) {
+    ++dropped_;
+    return;
+  }
+  if (options_.replay_protection) {
+    const std::uint64_t fp =
+        message_fingerprint(crypto::BytesView(message.data(), message.size()));
+    if (std::find(r.seen.begin(), r.seen.end(), fp) != r.seen.end()) {
+      ++replays_blocked_;
+      ++dropped_;
+      return;
+    }
+    r.seen.push_back(fp);
+  }
+  const auto layer = onion_unwrap(
+      r.keys.private_key, crypto::BytesView(message.data(), message.size()));
+  if (!layer) {  // tampered or malformed: drop silently
+    ++dropped_;
+    return;
+  }
+  ++forwarded_;
+  if (layer->next_hop == kFinalHop) {
+    crypto::Bytes payload = layer->inner;
+    sim_.schedule_after(hop_latency(), [deliver = std::move(deliver),
+                                        payload = std::move(payload)]() mutable {
+      deliver(std::move(payload));
+    });
+    return;
+  }
+  if (layer->next_hop >= relays_.size()) {
+    ++dropped_;
+    return;
+  }
+  crypto::Bytes inner = layer->inner;
+  const RelayId next = layer->next_hop;
+  sim_.schedule_after(hop_latency(), [this, next, inner = std::move(inner),
+                                      deliver = std::move(deliver)]() mutable {
+    forward(next, std::move(inner), std::move(deliver));
+  });
+}
+
+void MixNetwork::inject(RelayId relay, crypto::Bytes message,
+                        std::function<void(crypto::Bytes)> deliver) {
+  PPO_CHECK_MSG(relay < relays_.size(), "relay id out of range");
+  sim_.schedule_after(hop_latency(),
+                      [this, relay, msg = std::move(message),
+                       deliver = std::move(deliver)]() mutable {
+                        forward(relay, std::move(msg), std::move(deliver));
+                      });
+}
+
+void MixNetwork::fail_relay(RelayId r) {
+  PPO_CHECK_MSG(r < relays_.size(), "relay id out of range");
+  relays_[r].alive = false;
+}
+
+bool MixNetwork::relay_alive(RelayId r) const {
+  PPO_CHECK_MSG(r < relays_.size(), "relay id out of range");
+  return relays_[r].alive;
+}
+
+}  // namespace ppo::privacylink

@@ -1,0 +1,112 @@
+#include "privacylink/onion.hpp"
+
+#include "common/check.hpp"
+#include "crypto/hkdf.hpp"
+
+namespace ppo::privacylink {
+
+namespace {
+
+const char kKeyContext[] = "ppo-mix-layer";
+
+crypto::ChaChaKey derive_layer_key(const crypto::X25519Key& shared) {
+  const crypto::Bytes key_bytes = crypto::hkdf(
+      {}, crypto::BytesView(shared.data(), shared.size()),
+      crypto::BytesView(reinterpret_cast<const std::uint8_t*>(kKeyContext),
+                        sizeof(kKeyContext) - 1),
+      crypto::kChaChaKeySize);
+  crypto::ChaChaKey key{};
+  std::copy(key_bytes.begin(), key_bytes.end(), key.begin());
+  return key;
+}
+
+crypto::X25519Key random_key(Rng& rng) {
+  crypto::X25519Key k{};
+  for (std::size_t i = 0; i < k.size(); i += 8) {
+    const std::uint64_t word = rng.next_u64();
+    for (std::size_t j = 0; j < 8; ++j)
+      k[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
+  }
+  return k;
+}
+
+}  // namespace
+
+crypto::Bytes onion_wrap(const std::vector<HopSpec>& hops,
+                         crypto::BytesView payload, Rng& rng) {
+  PPO_CHECK_MSG(!hops.empty(), "onion route needs at least one hop");
+  PPO_CHECK_MSG(hops.back().next_hop == kFinalHop,
+                "last hop must be the exit (next_hop == kFinalHop)");
+
+  crypto::Bytes inner(payload.begin(), payload.end());
+  // Wrap from the exit layer outwards.
+  for (auto it = hops.rbegin(); it != hops.rend(); ++it) {
+    const crypto::X25519Key ephemeral_private = random_key(rng);
+    const crypto::X25519Key ephemeral_public =
+        crypto::x25519_public(ephemeral_private);
+    const crypto::X25519Key shared =
+        crypto::x25519(ephemeral_private, it->relay_public);
+    const crypto::ChaChaKey layer_key = derive_layer_key(shared);
+
+    crypto::ChaChaNonce nonce{};
+    const std::uint64_t n0 = rng.next_u64();
+    const std::uint32_t n1 = static_cast<std::uint32_t>(rng.next_u64());
+    for (int i = 0; i < 8; ++i)
+      nonce[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(n0 >> (8 * i));
+    for (int i = 0; i < 4; ++i)
+      nonce[8 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(n1 >> (8 * i));
+
+    crypto::Bytes plaintext;
+    plaintext.reserve(4 + inner.size());
+    for (int i = 0; i < 4; ++i)
+      plaintext.push_back(static_cast<std::uint8_t>(it->next_hop >> (8 * i)));
+    plaintext.insert(plaintext.end(), inner.begin(), inner.end());
+
+    const crypto::Bytes sealed = crypto::aead_seal(
+        layer_key, nonce, {},
+        crypto::BytesView(plaintext.data(), plaintext.size()));
+
+    crypto::Bytes layer;
+    layer.reserve(kOnionLayerOverhead - crypto::kAeadTagSize + sealed.size());
+    layer.insert(layer.end(), ephemeral_public.begin(), ephemeral_public.end());
+    layer.insert(layer.end(), nonce.begin(), nonce.end());
+    layer.insert(layer.end(), sealed.begin(), sealed.end());
+    inner = std::move(layer);
+  }
+  return inner;
+}
+
+std::optional<UnwrappedLayer> onion_unwrap(
+    const crypto::X25519Key& relay_private, crypto::BytesView layer) {
+  constexpr std::size_t kHeader =
+      crypto::kX25519KeySize + crypto::kChaChaNonceSize;
+  if (layer.size() < kHeader + 4 + crypto::kAeadTagSize) return std::nullopt;
+
+  crypto::X25519Key ephemeral_public{};
+  std::copy(layer.begin(), layer.begin() + crypto::kX25519KeySize,
+            ephemeral_public.begin());
+  crypto::ChaChaNonce nonce{};
+  std::copy(layer.begin() + crypto::kX25519KeySize,
+            layer.begin() + static_cast<std::ptrdiff_t>(kHeader),
+            nonce.begin());
+
+  const crypto::X25519Key shared =
+      crypto::x25519(relay_private, ephemeral_public);
+  const crypto::ChaChaKey layer_key = derive_layer_key(shared);
+
+  const auto opened =
+      crypto::aead_open(layer_key, nonce, {}, layer.subspan(kHeader));
+  if (!opened) return std::nullopt;
+
+  UnwrappedLayer result;
+  result.next_hop = 0;
+  for (int i = 0; i < 4; ++i)
+    result.next_hop |= static_cast<RelayId>((*opened)[static_cast<std::size_t>(i)])
+                       << (8 * i);
+  result.inner.assign(opened->begin() + 4, opened->end());
+  return result;
+}
+
+}  // namespace ppo::privacylink

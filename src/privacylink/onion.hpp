@@ -1,0 +1,57 @@
+// Onion message format for the mix-network realization of the
+// anonymity service (§III-B): the sender applies one encryption layer
+// per relay; each relay strips exactly one layer and learns only the
+// next hop.
+//
+// Layer wire format:
+//   [ ephemeral X25519 public key | 32 ]
+//   [ nonce                       | 12 ]
+//   [ AEAD( next_hop:4 || inner ) | 4 + inner + 16 ]
+//
+// The layer key is HKDF(X25519(ephemeral, relay_pub), "ppo-mix-layer").
+// next_hop == kFinalHop marks the exit layer whose inner bytes are the
+// application payload.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/x25519.hpp"
+
+namespace ppo::privacylink {
+
+using RelayId = std::uint32_t;
+inline constexpr RelayId kFinalHop = 0xFFFFFFFFu;
+
+/// Bytes added by each onion layer.
+inline constexpr std::size_t kOnionLayerOverhead =
+    crypto::kX25519KeySize + crypto::kChaChaNonceSize + 4 +
+    crypto::kAeadTagSize;
+
+/// Key material the wrapper needs per hop.
+struct HopSpec {
+  RelayId next_hop;                 // where the relay forwards to
+  crypto::X25519Key relay_public;   // the relay's long-term public key
+};
+
+/// Builds the layered message. `hops` is ordered entry-relay first;
+/// the last entry's `next_hop` must be kFinalHop. `rng_seed` material
+/// drives ephemeral keys and nonces (one fresh ephemeral per layer).
+crypto::Bytes onion_wrap(const std::vector<HopSpec>& hops,
+                         crypto::BytesView payload, Rng& rng);
+
+/// What a relay recovers from one unwrap step.
+struct UnwrappedLayer {
+  RelayId next_hop;       // kFinalHop when `inner` is the payload
+  crypto::Bytes inner;    // next layer, or payload at the exit
+};
+
+/// Strips one layer using the relay's private key. Returns nullopt on
+/// malformed or tampered input (the relay then drops the message).
+std::optional<UnwrappedLayer> onion_unwrap(
+    const crypto::X25519Key& relay_private, crypto::BytesView layer);
+
+}  // namespace ppo::privacylink

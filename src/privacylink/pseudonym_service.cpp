@@ -1,0 +1,49 @@
+#include "privacylink/pseudonym_service.hpp"
+
+#include "common/check.hpp"
+
+namespace ppo::privacylink {
+
+PseudonymRecord PseudonymService::create(NodeId owner, sim::Time now,
+                                         sim::Time lifetime, Rng& rng) {
+  PPO_CHECK_MSG(lifetime > 0.0, "pseudonym lifetime must be positive");
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const PseudonymValue value = random_pseudonym_value(rng, bits_);
+    auto it = owners_.find(value);
+    if (it != owners_.end()) {
+      if (it->second.expiry > now) continue;  // live collision: retry
+      owners_.erase(it);                      // stale registration: reuse
+    }
+    owners_.emplace(value, Registration{owner, now + lifetime});
+    return PseudonymRecord{value, now + lifetime};
+  }
+  PPO_CHECK_MSG(false, "pseudonym space exhausted — widen `bits`");
+  return {};
+}
+
+std::optional<NodeId> PseudonymService::resolve(PseudonymValue value,
+                                                sim::Time now) {
+  const auto it = owners_.find(value);
+  if (it == owners_.end()) return std::nullopt;
+  if (it->second.expiry <= now) {
+    owners_.erase(it);
+    return std::nullopt;
+  }
+  return it->second.owner;
+}
+
+bool PseudonymService::alive(PseudonymValue value, sim::Time now) const {
+  const auto it = owners_.find(value);
+  return it != owners_.end() && it->second.expiry > now;
+}
+
+void PseudonymService::collect_garbage(sim::Time now) {
+  for (auto it = owners_.begin(); it != owners_.end();) {
+    if (it->second.expiry <= now)
+      it = owners_.erase(it);
+    else
+      ++it;
+  }
+}
+
+}  // namespace ppo::privacylink

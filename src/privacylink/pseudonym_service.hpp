@@ -1,0 +1,56 @@
+// The pseudonym service (§III-B): creates pseudonyms and resolves
+// them to endpoints for link establishment. The evaluation assumes an
+// ideal service (paper §IV); this registry is that ideal service —
+// the value→owner mapping it holds is exactly the knowledge the paper
+// entrusts to the (assumed honest) anonymity infrastructure, never to
+// peers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "graph/graph.hpp"
+#include "privacylink/pseudonym.hpp"
+
+namespace ppo::privacylink {
+
+using NodeId = graph::NodeId;
+
+class PseudonymService {
+ public:
+  /// `bits` is the pseudonym width p. Smaller widths raise collision
+  /// odds; creation retries until an unused value is found.
+  explicit PseudonymService(unsigned bits = 64) : bits_(bits) {}
+
+  /// Mints a fresh pseudonym for `owner` valid for `lifetime` from
+  /// `now`. The previous pseudonym of the owner (if any) is not
+  /// revoked — the paper lets an old pseudonym live out its TTL while
+  /// the replacement propagates.
+  PseudonymRecord create(NodeId owner, sim::Time now, sim::Time lifetime,
+                         Rng& rng);
+
+  /// Resolves a pseudonym to its owner, provided it has not expired.
+  /// Expired pseudonyms are unroutable and get garbage-collected.
+  std::optional<NodeId> resolve(PseudonymValue value, sim::Time now);
+
+  /// True if `value` is registered and alive at `now`.
+  bool alive(PseudonymValue value, sim::Time now) const;
+
+  unsigned bits() const { return bits_; }
+  std::size_t registered_count() const { return owners_.size(); }
+
+  /// Drops every expired registration (bulk GC for long runs).
+  void collect_garbage(sim::Time now);
+
+ private:
+  struct Registration {
+    NodeId owner;
+    sim::Time expiry;
+  };
+
+  unsigned bits_;
+  std::unordered_map<PseudonymValue, Registration> owners_;
+};
+
+}  // namespace ppo::privacylink

@@ -1,0 +1,34 @@
+#include "privacylink/transport.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace ppo::privacylink {
+
+Transport::Transport(sim::Simulator& sim, TransportOptions options, Rng rng,
+                     std::function<bool(NodeId)> is_online)
+    : sim_(sim),
+      options_(options),
+      rng_(rng),
+      is_online_(std::move(is_online)) {
+  PPO_CHECK_MSG(options_.min_latency >= 0.0 &&
+                    options_.max_latency >= options_.min_latency,
+                "invalid latency window");
+  PPO_CHECK_MSG(static_cast<bool>(is_online_), "online oracle required");
+}
+
+bool Transport::send(NodeId from, NodeId to, sim::EventFn on_deliver) {
+  if (!is_online_(from)) return false;
+  ++sent_;
+  const double latency =
+      rng_.uniform_double(options_.min_latency, options_.max_latency);
+  sim_.schedule_after(latency, [this, to, fn = std::move(on_deliver)] {
+    if (!is_online_(to)) return;  // link dark: the far end went offline
+    ++delivered_;
+    fn();
+  });
+  return true;
+}
+
+}  // namespace ppo::privacylink

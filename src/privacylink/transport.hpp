@@ -1,0 +1,52 @@
+// Ideal anonymity-service transport (§IV): privacy-preserving links
+// are reliable, low-latency and operational exactly when both ends are
+// online. Payload delivery is type-erased — the sender packages the
+// receiving node's handler invocation as a callback, and the transport
+// contributes latency, the online gate, and accounting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "privacylink/link_transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace ppo::privacylink {
+
+using NodeId = graph::NodeId;
+
+struct TransportOptions {
+  /// Per-message latency drawn uniformly from this window, in
+  /// shuffling periods. "All messages sent through an overlay link
+  /// are delivered in a short time" (§IV).
+  double min_latency = 0.01;
+  double max_latency = 0.05;
+};
+
+class Transport final : public LinkTransport {
+ public:
+  /// `is_online(v)` gates both send (source must be online) and
+  /// delivery (destination must be online at arrival time).
+  Transport(sim::Simulator& sim, TransportOptions options, Rng rng,
+            std::function<bool(NodeId)> is_online);
+
+  /// Sends a message from `from` to `to`; `on_deliver` runs at the
+  /// arrival time iff the destination is online then. Returns false
+  /// (message not sent at all) only when the sender is offline.
+  bool send(NodeId from, NodeId to, sim::EventFn on_deliver) override;
+
+  std::uint64_t messages_sent() const override { return sent_; }
+  std::uint64_t messages_delivered() const override { return delivered_; }
+
+ private:
+  sim::Simulator& sim_;
+  TransportOptions options_;
+  Rng rng_;
+  std::function<bool(NodeId)> is_online_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace ppo::privacylink

@@ -1,0 +1,46 @@
+#include "sim/periodic.hpp"
+
+#include <utility>
+
+namespace ppo::sim {
+
+namespace {
+
+void schedule_tick(Simulator& sim, Time delay, Time period,
+                   std::shared_ptr<PeriodicTask::State> state, EventFn fn);
+
+struct Tick {
+  Simulator* sim;
+  Time period;
+  std::shared_ptr<PeriodicTask::State> state;
+  EventFn fn;
+
+  void operator()() {
+    if (!state->active) return;
+    fn();
+    if (state->active) schedule_tick(*sim, period, period, state, fn);
+  }
+};
+
+void schedule_tick(Simulator& sim, Time delay, Time period,
+                   std::shared_ptr<PeriodicTask::State> state, EventFn fn) {
+  sim.schedule_after(delay,
+                     Tick{&sim, period, std::move(state), std::move(fn)});
+}
+
+}  // namespace
+
+PeriodicTask PeriodicTask::start(Simulator& sim, Time phase, Time period,
+                                 EventFn fn) {
+  PPO_CHECK_MSG(period > 0.0, "period must be positive");
+  PeriodicTask task;
+  task.state_ = std::make_shared<State>();
+  schedule_tick(sim, phase, period, task.state_, std::move(fn));
+  return task;
+}
+
+void PeriodicTask::cancel() {
+  if (state_) state_->active = false;
+}
+
+}  // namespace ppo::sim

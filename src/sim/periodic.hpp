@@ -1,0 +1,34 @@
+// Cancellable periodic task on top of the Simulator — used for
+// shuffle ticks and metric sampling.
+#pragma once
+
+#include <memory>
+
+#include "sim/simulator.hpp"
+
+namespace ppo::sim {
+
+/// Handle to a periodic task; destroying or cancelling it stops the
+/// task after any in-flight event fires (the event checks liveness).
+class PeriodicTask {
+ public:
+  PeriodicTask() = default;
+
+  /// Starts `fn` at now + `phase`, then every `period`.
+  static PeriodicTask start(Simulator& sim, Time phase, Time period,
+                            EventFn fn);
+
+  bool active() const { return state_ && state_->active; }
+  void cancel();
+
+  /// Shared liveness flag; public so the scheduling machinery in the
+  /// implementation file can reference the type.
+  struct State {
+    bool active = true;
+  };
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace ppo::sim

@@ -1,0 +1,80 @@
+// Articulation points (§III-E's cut-vertex exposure analysis).
+#include <gtest/gtest.h>
+
+#include "graph/articulation.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+
+namespace ppo::graph {
+namespace {
+
+TEST(Articulation, PathInteriorVerticesAreCuts) {
+  const Graph g = path_graph(5);
+  const auto cuts = articulation_points(g);
+  EXPECT_EQ(cuts, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_FALSE(is_cut_vertex(g, 0));
+  EXPECT_TRUE(is_cut_vertex(g, 2));
+}
+
+TEST(Articulation, CycleHasNone) {
+  EXPECT_TRUE(articulation_points(ring(8)).empty());
+  EXPECT_DOUBLE_EQ(cut_vertex_fraction(ring(8)), 0.0);
+}
+
+TEST(Articulation, StarHubIsTheOnlyCut) {
+  const Graph g = star(6);
+  EXPECT_EQ(articulation_points(g), std::vector<NodeId>{0});
+  EXPECT_NEAR(cut_vertex_fraction(g), 1.0 / 7.0, 1e-12);
+}
+
+TEST(Articulation, BridgeBetweenTriangles) {
+  // Two triangles joined by an edge 2-3: both bridge endpoints cut.
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(3, 5);
+  g.add_edge(2, 3);
+  EXPECT_EQ(articulation_points(g), (std::vector<NodeId>{2, 3}));
+}
+
+TEST(Articulation, DisconnectedGraphHandledPerComponent) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);  // path: 1 is cut
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(3, 5);  // triangle: none
+  EXPECT_EQ(articulation_points(g), std::vector<NodeId>{1});
+}
+
+TEST(Articulation, AgreesWithRemovalDefinition) {
+  // Differential check: v is a cut vertex iff masking v out increases
+  // the component count among the remaining vertices.
+  Rng rng(3);
+  const Graph g = erdos_renyi_gnm(60, 75, rng);  // sparse -> many cuts
+  const auto base = connected_components(g).count();
+  const auto cuts = articulation_points(g);
+  for (NodeId v = 0; v < 60; ++v) {
+    if (g.degree(v) == 0) continue;  // isolated: trivially not a cut
+    NodeMask mask(60, true);
+    mask.set(v, false);
+    // Removing a non-cut vertex of positive degree keeps the count;
+    // removing a cut vertex raises it.
+    const auto without = connected_components(g, mask).count();
+    const bool increases = without > base;
+    const bool listed = std::binary_search(cuts.begin(), cuts.end(), v);
+    EXPECT_EQ(listed, increases) << "vertex " << v;
+  }
+}
+
+TEST(Articulation, DenseRandomGraphHasFewCuts) {
+  Rng rng(5);
+  const Graph g = erdos_renyi_gnm(200, 2000, rng);
+  EXPECT_LT(cut_vertex_fraction(g), 0.02);
+}
+
+}  // namespace
+}  // namespace ppo::graph

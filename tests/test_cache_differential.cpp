@@ -1,0 +1,98 @@
+// Differential test: PseudonymCache against a straightforward
+// reference model under long random operation sequences, checking the
+// invariants that the CYCLON policy must preserve regardless of the
+// (intentionally unspecified) victim randomization.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "overlay/cache.hpp"
+
+namespace ppo::overlay {
+namespace {
+
+TEST(CacheDifferential, InvariantsUnderRandomWorkload) {
+  const std::size_t kCapacity = 24;
+  PseudonymCache cache(kCapacity);
+  Rng rng(101);
+
+  // Reference bookkeeping: everything ever inserted with its expiry.
+  std::set<PseudonymValue> ever_offered;
+  double now = 0.0;
+  const PseudonymValue own = 0xAAAA;
+
+  for (int round = 0; round < 2000; ++round) {
+    now += 0.7;
+    // Compose a random received set (some fresh, some repeats, some
+    // already expired, occasionally own).
+    std::vector<PseudonymRecord> received;
+    const std::size_t count = 1 + rng.uniform_u64(8);
+    for (std::size_t i = 0; i < count; ++i) {
+      PseudonymRecord r;
+      const int kind = static_cast<int>(rng.uniform_u64(10));
+      if (kind == 0) {
+        r = {own, now + 50.0};
+      } else if (kind == 1) {
+        r = {rng.next_u64(), now - 1.0};  // already expired
+      } else {
+        r = {rng.next_u64() >> 16, now + 5.0 + rng.uniform_double() * 60.0};
+      }
+      received.push_back(r);
+      ever_offered.insert(r.value);
+    }
+    const auto sent = cache.select_random(4, now, rng);
+    cache.merge(received, own, sent, now, rng);
+
+    // Invariant 1: bounded.
+    ASSERT_LE(cache.size(), kCapacity);
+    // Invariant 2: own value never cached.
+    ASSERT_FALSE(cache.contains(own));
+    // Invariant 3: everything in the cache was offered at some point
+    // and is not long-expired (the rate-limited purge allows at most
+    // one period of staleness).
+    for (const auto& record : cache.snapshot(now)) {
+      ASSERT_TRUE(ever_offered.count(record.value));
+      ASSERT_GT(record.expiry, now);
+    }
+    // Invariant 4: selections return distinct live records.
+    const auto sel = cache.select_random(6, now, rng);
+    std::set<PseudonymValue> distinct;
+    for (const auto& record : sel) {
+      ASSERT_TRUE(distinct.insert(record.value).second);
+      ASSERT_TRUE(record.valid_at(now));
+    }
+  }
+}
+
+TEST(CacheDifferential, FreshInsertsPreferEvictingSentEntries) {
+  // Statistical check of the CYCLON victim preference: run many
+  // full-cache merges; entries that were "sent" must vanish far more
+  // often than bystanders.
+  Rng rng(202);
+  std::size_t sent_evictions = 0, bystander_evictions = 0;
+  const int kTrials = 400;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    PseudonymCache cache(10);
+    std::vector<PseudonymRecord> fill;
+    for (PseudonymValue v = 1; v <= 10; ++v)
+      fill.push_back({v + static_cast<PseudonymValue>(trial) * 100, 1000.0});
+    cache.merge(fill, 0, {}, 0.0, rng);
+
+    // "Send" the first three, then merge three fresh records.
+    const std::vector<PseudonymRecord> sent(fill.begin(), fill.begin() + 3);
+    std::vector<PseudonymRecord> fresh;
+    for (int i = 0; i < 3; ++i) fresh.push_back({rng.next_u64(), 1000.0});
+    cache.merge(fresh, 0, sent, 0.0, rng);
+
+    for (const auto& record : sent)
+      sent_evictions += !cache.contains(record.value);
+    for (auto it = fill.begin() + 3; it != fill.end(); ++it)
+      bystander_evictions += !cache.contains(it->value);
+  }
+  // All three sent entries should be the victims virtually always.
+  EXPECT_GT(sent_evictions, static_cast<std::size_t>(kTrials) * 3 * 9 / 10);
+  EXPECT_LT(bystander_evictions, static_cast<std::size_t>(kTrials) / 10);
+}
+
+}  // namespace
+}  // namespace ppo::overlay

@@ -1,0 +1,108 @@
+// Flag parsing used by every bench/example binary.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/check.hpp"
+#include "common/logging.hpp"
+#include "common/table.hpp"
+
+namespace ppo {
+namespace {
+
+Cli make_cli(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsSyntax) {
+  const Cli cli = make_cli({"--nodes=500", "--alpha=0.25", "--name=test"});
+  EXPECT_EQ(cli.get_int("nodes", 0), 500);
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha", 0.0), 0.25);
+  EXPECT_EQ(cli.get_string("name", ""), "test");
+}
+
+TEST(Cli, SpaceSyntax) {
+  const Cli cli = make_cli({"--nodes", "123", "--flag"});
+  EXPECT_EQ(cli.get_int("nodes", 0), 123);
+  EXPECT_TRUE(cli.get_bool("flag", false));
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const Cli cli = make_cli({});
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(Cli, BooleanSpellings) {
+  EXPECT_TRUE(make_cli({"--x=yes"}).get_bool("x", false));
+  EXPECT_TRUE(make_cli({"--x=1"}).get_bool("x", false));
+  EXPECT_TRUE(make_cli({"--x=on"}).get_bool("x", false));
+  EXPECT_FALSE(make_cli({"--x=no"}).get_bool("x", true));
+}
+
+TEST(Cli, PositionalArguments) {
+  const Cli cli = make_cli({"alpha", "--k=1", "beta"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "alpha");
+  EXPECT_EQ(cli.positional()[1], "beta");
+}
+
+TEST(Cli, MalformedNumberThrows) {
+  const Cli cli = make_cli({"--nodes=abc"});
+  EXPECT_THROW(cli.get_int("nodes", 0), CheckError);
+}
+
+TEST(Cli, EnvironmentFallback) {
+  ::setenv("PPO_ENV_ONLY_FLAG", "99", 1);
+  const Cli cli = make_cli({});
+  EXPECT_EQ(cli.get_int("env-only-flag", 0), 99);
+  ::unsetenv("PPO_ENV_ONLY_FLAG");
+}
+
+TEST(Cli, CommandLineBeatsEnvironment) {
+  ::setenv("PPO_PRIORITY", "1", 1);
+  const Cli cli = make_cli({"--priority=2"});
+  EXPECT_EQ(cli.get_int("priority", 0), 2);
+  ::unsetenv("PPO_PRIORITY");
+}
+
+TEST(LogLevel, ParseNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kOff);
+}
+
+TEST(TextTable, FormatsNumbers) {
+  EXPECT_EQ(TextTable::num(1.5), "1.5");
+  EXPECT_EQ(TextTable::num(2.0), "2");
+  EXPECT_EQ(TextTable::num(0.12349, 3), "0.123");
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(SeriesTable, RejectsLengthMismatch) {
+  std::ostringstream os;
+  EXPECT_THROW(
+      print_series_table(os, "t", "x", {1.0, 2.0}, {Series{"s", {1.0}}}),
+      CheckError);
+}
+
+TEST(SeriesTable, PrintsNanAsDash) {
+  std::ostringstream os;
+  print_series_table(os, "demo", "x", {1.0},
+                     {Series{"s", {std::nan("")}}});
+  EXPECT_NE(os.str().find('-'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppo

@@ -1,0 +1,173 @@
+// ChaCha20 / Poly1305 / AEAD against RFC 8439 test vectors plus
+// tamper-detection properties.
+#include <gtest/gtest.h>
+
+#include "crypto/aead.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/poly1305.hpp"
+
+namespace ppo::crypto {
+namespace {
+
+ChaChaKey make_key(const std::string& hex) {
+  const Bytes raw = from_hex(hex);
+  ChaChaKey key{};
+  std::copy(raw.begin(), raw.end(), key.begin());
+  return key;
+}
+
+ChaChaNonce make_nonce(const std::string& hex) {
+  const Bytes raw = from_hex(hex);
+  ChaChaNonce nonce{};
+  std::copy(raw.begin(), raw.end(), nonce.begin());
+  return nonce;
+}
+
+const std::string kSunscreen =
+    "Ladies and Gentlemen of the class of '99: If I could offer you "
+    "only one tip for the future, sunscreen would be it.";
+
+TEST(ChaCha20, Rfc8439BlockFunction) {
+  const ChaChaKey key = make_key(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const ChaChaNonce nonce = make_nonce("000000090000004a00000000");
+  const auto block = chacha20_block(key, nonce, 1);
+  EXPECT_EQ(to_hex(BytesView(block.data(), block.size())),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20, Rfc8439Encryption) {
+  const ChaChaKey key = make_key(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const ChaChaNonce nonce = make_nonce("000000000000004a00000000");
+  const Bytes plaintext = to_bytes(kSunscreen);
+  const Bytes ciphertext =
+      chacha20_xor(key, nonce, 1, BytesView(plaintext.data(), plaintext.size()));
+  EXPECT_EQ(to_hex(BytesView(ciphertext.data(), ciphertext.size())),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20, XorIsInvolution) {
+  const ChaChaKey key = make_key(
+      "ffeeddccbbaa99887766554433221100ffeeddccbbaa99887766554433221100");
+  const ChaChaNonce nonce = make_nonce("0102030405060708090a0b0c");
+  const Bytes plaintext = to_bytes("round-trip me through the stream cipher");
+  const Bytes ct = chacha20_xor(key, nonce, 7, BytesView(plaintext.data(), plaintext.size()));
+  const Bytes pt = chacha20_xor(key, nonce, 7, BytesView(ct.data(), ct.size()));
+  EXPECT_EQ(pt, plaintext);
+  EXPECT_NE(ct, plaintext);
+}
+
+TEST(Poly1305, Rfc8439Vector) {
+  const Bytes raw_key = from_hex(
+      "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  PolyKey key{};
+  std::copy(raw_key.begin(), raw_key.end(), key.begin());
+  const Bytes msg = to_bytes("Cryptographic Forum Research Group");
+  const PolyTag tag = poly1305(key, BytesView(msg.data(), msg.size()));
+  EXPECT_EQ(to_hex(BytesView(tag.data(), tag.size())),
+            "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+TEST(Poly1305, EmptyMessage) {
+  PolyKey key{};
+  key[0] = 1;  // r = 1 (clamped ok), s = 0
+  const PolyTag tag = poly1305(key, {});
+  // With no blocks processed the accumulator stays 0; tag = s = 0.
+  EXPECT_EQ(to_hex(BytesView(tag.data(), tag.size())),
+            "00000000000000000000000000000000");
+}
+
+TEST(Aead, Rfc8439SealVector) {
+  const ChaChaKey key = make_key(
+      "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f");
+  const ChaChaNonce nonce = make_nonce("070000004041424344454647");
+  const Bytes aad = from_hex("50515253c0c1c2c3c4c5c6c7");
+  const Bytes plaintext = to_bytes(kSunscreen);
+
+  const Bytes sealed = aead_seal(key, nonce, BytesView(aad.data(), aad.size()),
+                                 BytesView(plaintext.data(), plaintext.size()));
+  ASSERT_EQ(sealed.size(), plaintext.size() + kAeadTagSize);
+  EXPECT_EQ(to_hex(BytesView(sealed.data(), sealed.size() - kAeadTagSize)),
+            "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6"
+            "3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36"
+            "92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc"
+            "3ff4def08e4b7a9de576d26586cec64b6116");
+  EXPECT_EQ(to_hex(BytesView(sealed.data() + sealed.size() - kAeadTagSize,
+                             kAeadTagSize)),
+            "1ae10b594f09e26a7e902ecbd0600691");
+}
+
+TEST(Aead, RoundTrip) {
+  const ChaChaKey key = make_key(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const ChaChaNonce nonce = make_nonce("00112233445566778899aabb");
+  const Bytes aad = to_bytes("header");
+  const Bytes plaintext = to_bytes("secret payload for the overlay");
+
+  const Bytes sealed = aead_seal(key, nonce, BytesView(aad.data(), aad.size()),
+                                 BytesView(plaintext.data(), plaintext.size()));
+  const auto opened = aead_open(key, nonce, BytesView(aad.data(), aad.size()),
+                                BytesView(sealed.data(), sealed.size()));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, plaintext);
+}
+
+TEST(Aead, DetectsCiphertextTampering) {
+  const ChaChaKey key = make_key(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const ChaChaNonce nonce = make_nonce("00112233445566778899aabb");
+  const Bytes plaintext = to_bytes("integrity matters");
+
+  Bytes sealed = aead_seal(key, nonce, {}, BytesView(plaintext.data(), plaintext.size()));
+  for (std::size_t i = 0; i < sealed.size(); i += 7) {
+    Bytes tampered = sealed;
+    tampered[i] ^= 0x01;
+    EXPECT_FALSE(aead_open(key, nonce, {}, BytesView(tampered.data(), tampered.size()))
+                     .has_value())
+        << "bit flip at byte " << i << " was not detected";
+  }
+}
+
+TEST(Aead, DetectsAadTampering) {
+  const ChaChaKey key = make_key(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const ChaChaNonce nonce = make_nonce("00112233445566778899aabb");
+  const Bytes aad = to_bytes("context");
+  const Bytes plaintext = to_bytes("bound to context");
+
+  const Bytes sealed = aead_seal(key, nonce, BytesView(aad.data(), aad.size()),
+                                 BytesView(plaintext.data(), plaintext.size()));
+  const Bytes wrong_aad = to_bytes("CONTEXT");
+  EXPECT_FALSE(aead_open(key, nonce, BytesView(wrong_aad.data(), wrong_aad.size()),
+                         BytesView(sealed.data(), sealed.size()))
+                   .has_value());
+}
+
+TEST(Aead, RejectsTruncatedInput) {
+  const ChaChaKey key{};
+  const ChaChaNonce nonce{};
+  const Bytes tiny = from_hex("0011223344");
+  EXPECT_FALSE(aead_open(key, nonce, {}, BytesView(tiny.data(), tiny.size()))
+                   .has_value());
+}
+
+TEST(Aead, EmptyPlaintextStillAuthenticated) {
+  const ChaChaKey key{};
+  const ChaChaNonce nonce{};
+  const Bytes sealed = aead_seal(key, nonce, {}, {});
+  EXPECT_EQ(sealed.size(), kAeadTagSize);
+  EXPECT_TRUE(aead_open(key, nonce, {}, BytesView(sealed.data(), sealed.size()))
+                  .has_value());
+  const Bytes aad = to_bytes("x");
+  EXPECT_FALSE(aead_open(key, nonce, BytesView(aad.data(), aad.size()),
+                         BytesView(sealed.data(), sealed.size()))
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace ppo::crypto

@@ -1,0 +1,151 @@
+// SHA-256 / HMAC / HKDF against FIPS 180-4 and RFC 4231 / RFC 5869
+// published test vectors.
+#include <gtest/gtest.h>
+
+#include "crypto/hkdf.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace ppo::crypto {
+namespace {
+
+std::string hex_digest(const Sha256Digest& d) {
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_digest(sha256({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  const Bytes msg = to_bytes("abc");
+  EXPECT_EQ(hex_digest(sha256(msg)),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  const Bytes msg =
+      to_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  EXPECT_EQ(hex_digest(sha256(msg)),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(BytesView(chunk.data(), chunk.size()));
+  EXPECT_EQ(hex_digest(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  const Bytes msg = to_bytes("the quick brown fox jumps over the lazy dog!!");
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(BytesView(msg.data(), split));
+    h.update(BytesView(msg.data() + split, msg.size() - split));
+    EXPECT_EQ(h.finish(), sha256(BytesView(msg.data(), msg.size())));
+  }
+}
+
+TEST(Sha256, ResetReusesObject) {
+  Sha256 h;
+  h.update(to_bytes("garbage"));
+  h.reset();
+  h.update(to_bytes("abc"));
+  EXPECT_EQ(hex_digest(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(HmacSha256, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Bytes data = to_bytes("Hi There");
+  EXPECT_EQ(hex_digest(hmac_sha256(BytesView(key.data(), key.size()),
+                                   BytesView(data.data(), data.size()))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  const Bytes key = to_bytes("Jefe");
+  const Bytes data = to_bytes("what do ya want for nothing?");
+  EXPECT_EQ(hex_digest(hmac_sha256(BytesView(key.data(), key.size()),
+                                   BytesView(data.data(), data.size()))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3FullBlocks) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(hex_digest(hmac_sha256(BytesView(key.data(), key.size()),
+                                   BytesView(data.data(), data.size()))),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  const Bytes data = to_bytes("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(hex_digest(hmac_sha256(BytesView(key.data(), key.size()),
+                                   BytesView(data.data(), data.size()))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hkdf, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = from_hex("000102030405060708090a0b0c");
+  const Bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+
+  const Sha256Digest prk = hkdf_extract(BytesView(salt.data(), salt.size()),
+                                        BytesView(ikm.data(), ikm.size()));
+  EXPECT_EQ(hex_digest(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+
+  const Bytes okm = hkdf_expand(BytesView(prk.data(), prk.size()),
+                                BytesView(info.data(), info.size()), 42);
+  EXPECT_EQ(to_hex(BytesView(okm.data(), okm.size())),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, Rfc5869Case3NoSaltNoInfo) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes okm = hkdf({}, BytesView(ikm.data(), ikm.size()), {}, 42);
+  EXPECT_EQ(to_hex(BytesView(okm.data(), okm.size())),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, ExpandLengthIsRespected) {
+  const Bytes ikm = to_bytes("input key material");
+  for (std::size_t len : {1u, 16u, 31u, 32u, 33u, 100u}) {
+    const Bytes okm = hkdf({}, BytesView(ikm.data(), ikm.size()), {}, len);
+    EXPECT_EQ(okm.size(), len);
+  }
+}
+
+TEST(Hkdf, DifferentInfoDecorrelates) {
+  const Bytes ikm = to_bytes("shared secret");
+  const Bytes a = hkdf({}, BytesView(ikm.data(), ikm.size()),
+                       to_bytes("forward"), 32);
+  const Bytes b = hkdf({}, BytesView(ikm.data(), ikm.size()),
+                       to_bytes("backward"), 32);
+  EXPECT_NE(a, b);
+}
+
+TEST(BytesHelpers, HexRoundTrip) {
+  const Bytes data = from_hex("00ff10a5");
+  EXPECT_EQ(data.size(), 4u);
+  EXPECT_EQ(to_hex(BytesView(data.data(), data.size())), "00ff10a5");
+}
+
+TEST(BytesHelpers, CtEqual) {
+  const Bytes a = to_bytes("same");
+  const Bytes b = to_bytes("same");
+  const Bytes c = to_bytes("diff");
+  EXPECT_TRUE(ct_equal(BytesView(a.data(), a.size()), BytesView(b.data(), b.size())));
+  EXPECT_FALSE(ct_equal(BytesView(a.data(), a.size()), BytesView(c.data(), c.size())));
+  EXPECT_FALSE(ct_equal(BytesView(a.data(), 3), BytesView(b.data(), b.size())));
+}
+
+}  // namespace
+}  // namespace ppo::crypto

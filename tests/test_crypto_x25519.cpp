@@ -1,0 +1,73 @@
+// X25519 against RFC 7748 §5.2 / §6.1 vectors, plus Diffie-Hellman
+// agreement properties.
+#include <gtest/gtest.h>
+
+#include "crypto/x25519.hpp"
+
+namespace ppo::crypto {
+namespace {
+
+X25519Key key_from_hex(const std::string& hex) {
+  const Bytes raw = from_hex(hex);
+  X25519Key key{};
+  std::copy(raw.begin(), raw.end(), key.begin());
+  return key;
+}
+
+std::string key_hex(const X25519Key& k) {
+  return to_hex(BytesView(k.data(), k.size()));
+}
+
+TEST(X25519, Rfc7748Vector1) {
+  const X25519Key scalar = key_from_hex(
+      "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+  const X25519Key point = key_from_hex(
+      "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+  EXPECT_EQ(key_hex(x25519(scalar, point)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+TEST(X25519, Rfc7748Vector2) {
+  const X25519Key scalar = key_from_hex(
+      "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+  const X25519Key point = key_from_hex(
+      "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+  EXPECT_EQ(key_hex(x25519(scalar, point)),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+}
+
+TEST(X25519, Rfc7748DiffieHellman) {
+  const X25519Key alice_priv = key_from_hex(
+      "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  const X25519Key bob_priv = key_from_hex(
+      "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+
+  const X25519Key alice_pub = x25519_public(alice_priv);
+  const X25519Key bob_pub = x25519_public(bob_priv);
+  EXPECT_EQ(key_hex(alice_pub),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+  EXPECT_EQ(key_hex(bob_pub),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+
+  const X25519Key shared_a = x25519(alice_priv, bob_pub);
+  const X25519Key shared_b = x25519(bob_priv, alice_pub);
+  EXPECT_EQ(shared_a, shared_b);
+  EXPECT_EQ(key_hex(shared_a),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+}
+
+TEST(X25519, KeypairAgreementForArbitrarySeeds) {
+  for (std::uint8_t fill = 1; fill < 8; ++fill) {
+    X25519Key seed_a{}, seed_b{};
+    seed_a.fill(fill);
+    seed_b.fill(static_cast<std::uint8_t>(0x40 + fill));
+    const auto a = x25519_keypair(seed_a);
+    const auto b = x25519_keypair(seed_b);
+    EXPECT_EQ(x25519(a.private_key, b.public_key),
+              x25519(b.private_key, a.public_key));
+    EXPECT_NE(a.public_key, b.public_key);
+  }
+}
+
+}  // namespace
+}  // namespace ppo::crypto

@@ -1,0 +1,156 @@
+// Chord-style DHT substrate + the DHT-backed pseudonym service
+// (§III-B's storage-service realization).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "dht/chord.hpp"
+#include "dht/dht_pseudonym_service.hpp"
+
+namespace ppo::dht {
+namespace {
+
+TEST(Chord, OwnershipIsSuccessor) {
+  Rng rng(1);
+  ChordRing ring({.num_nodes = 32}, rng);
+  // The owner of a node's own id is that node.
+  for (std::size_t i = 0; i < 32; ++i) {
+    const auto res = ring.lookup(ring.node_id(i));
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(res.owner, i);
+  }
+  // A key one past node i belongs to the next node.
+  const auto res = ring.lookup(ring.node_id(5) + 1);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.owner, 6u);
+}
+
+TEST(Chord, LookupsAgreeFromEveryStart) {
+  Rng rng(2);
+  ChordRing ring({.num_nodes = 48}, rng);
+  Rng keys(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Key key = keys.next_u64();
+    const auto reference = ring.lookup(key, 0);
+    ASSERT_TRUE(reference.ok);
+    for (std::size_t start = 1; start < 48; start += 7) {
+      const auto res = ring.lookup(key, start);
+      ASSERT_TRUE(res.ok);
+      EXPECT_EQ(res.owner, reference.owner);
+    }
+  }
+}
+
+TEST(Chord, HopsAreLogarithmic) {
+  Rng rng(4);
+  ChordRing ring({.num_nodes = 512}, rng);
+  Rng keys(5);
+  RunningStats hops;
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto res = ring.lookup(keys.next_u64(),
+                                 keys.uniform_u64(512));
+    ASSERT_TRUE(res.ok);
+    hops.add(static_cast<double>(res.hops));
+  }
+  // Chord bound: ~log2(n)/2 expected, log2(n) worst; 9 = log2(512).
+  EXPECT_LT(hops.mean(), 9.0);
+  EXPECT_LE(hops.max(), 2.0 * 9.0);
+}
+
+TEST(Chord, PutGetRoundTrip) {
+  Rng rng(6);
+  ChordRing ring({.num_nodes = 16, .replication = 3}, rng);
+  const crypto::Bytes value = crypto::to_bytes("registration");
+  ASSERT_TRUE(ring.put(0xABCD, value).has_value());
+  const auto got = ring.get(0xABCD);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, value);
+  EXPECT_FALSE(ring.get(0xDCBA).has_value());
+  ring.erase(0xABCD);
+  EXPECT_FALSE(ring.get(0xABCD).has_value());
+}
+
+TEST(Chord, ReplicationSurvivesOwnerFailure) {
+  Rng rng(7);
+  ChordRing ring({.num_nodes = 24, .replication = 3}, rng);
+  const Key key = 0x1234567890ull;
+  ring.put(key, crypto::to_bytes("survive me"));
+  const auto owner = ring.lookup(key);
+  ASSERT_TRUE(owner.ok);
+  ring.fail_node(owner.owner);
+  // A second replica holds the data; lookups route around the corpse.
+  const auto got = ring.get(key);
+  ASSERT_TRUE(got.has_value());
+  const auto new_owner = ring.lookup(key);
+  ASSERT_TRUE(new_owner.ok);
+  EXPECT_NE(new_owner.owner, owner.owner);
+}
+
+TEST(Chord, ToleratesHeavyFailureForLookups) {
+  Rng rng(8);
+  ChordRing ring({.num_nodes = 64, .replication = 3}, rng);
+  Rng pick(9);
+  for (int i = 0; i < 32; ++i)
+    ring.fail_node(pick.uniform_u64(64));
+  ASSERT_GT(ring.num_alive(), 0u);
+  Rng keys(10);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto res = ring.lookup(keys.next_u64());
+    EXPECT_TRUE(res.ok);
+    EXPECT_TRUE(ring.node_alive(res.owner));
+  }
+}
+
+TEST(Chord, AllDeadFailsGracefully) {
+  Rng rng(11);
+  ChordRing ring({.num_nodes = 4}, rng);
+  for (std::size_t i = 0; i < 4; ++i) ring.fail_node(i);
+  EXPECT_FALSE(ring.lookup(42).ok);
+  EXPECT_FALSE(ring.get(42).has_value());
+  EXPECT_FALSE(ring.put(42, crypto::to_bytes("x")).has_value());
+}
+
+TEST(DhtPseudonymService, MatchesIdealServiceSemantics) {
+  Rng ring_rng(12);
+  ChordRing ring({.num_nodes = 32, .replication = 3}, ring_rng);
+  DhtPseudonymService service(ring);
+  Rng rng(13);
+
+  const PseudonymRecord r = service.create(7, 0.0, 90.0, rng);
+  EXPECT_DOUBLE_EQ(r.expiry, 90.0);
+  EXPECT_EQ(service.resolve(r.value, 10.0), std::optional<NodeId>(7));
+  EXPECT_TRUE(service.alive(r.value, 89.0));
+  // TTL enforced by the storage layer.
+  EXPECT_EQ(service.resolve(r.value, 90.0), std::nullopt);
+  EXPECT_FALSE(service.alive(r.value, 91.0));
+  // Unknown values are unroutable.
+  EXPECT_EQ(service.resolve(0x5555, 0.0), std::nullopt);
+  EXPECT_GT(service.operations(), 0u);
+}
+
+TEST(DhtPseudonymService, RegistrationsSurviveStorageChurn) {
+  Rng ring_rng(14);
+  ChordRing ring({.num_nodes = 40, .replication = 4}, ring_rng);
+  DhtPseudonymService service(ring);
+  Rng rng(15);
+
+  std::vector<PseudonymRecord> records;
+  for (NodeId owner = 0; owner < 30; ++owner)
+    records.push_back(service.create(owner, 0.0, 100.0, rng));
+
+  Rng pick(16);
+  for (int i = 0; i < 10; ++i) ring.fail_node(pick.uniform_u64(40));
+
+  std::size_t resolved = 0;
+  for (NodeId owner = 0; owner < 30; ++owner)
+    resolved +=
+        (service.resolve(records[owner].value, 50.0) ==
+         std::optional<NodeId>(owner));
+  // Replication 4 with 25% storage failures: expect (almost) all to
+  // survive; allow a sliver of bad luck.
+  EXPECT_GE(resolved, 28u);
+}
+
+}  // namespace
+}  // namespace ppo::dht

@@ -1,0 +1,81 @@
+// Application-layer broadcast over overlay graphs.
+#include <gtest/gtest.h>
+
+#include "dissemination/broadcast.hpp"
+#include "graph/generators.hpp"
+
+namespace ppo::dissem {
+namespace {
+
+TEST(Flood, FullCoverageOnConnectedGraph) {
+  Rng grng(1);
+  const graph::Graph g = graph::erdos_renyi_gnm(100, 500, grng);
+  Rng rng(2);
+  const BroadcastResult r = broadcast(g, {}, 0, {}, rng);
+  EXPECT_EQ(r.online_nodes, 100u);
+  EXPECT_EQ(r.reached, 100u);
+  EXPECT_DOUBLE_EQ(r.coverage, 1.0);
+  EXPECT_GT(r.messages_sent, 0u);
+  EXPECT_GT(r.mean_latency, 0.0);
+}
+
+TEST(Flood, OfflineNodesBlockPropagation) {
+  // Path 0-1-2: with node 1 offline the message cannot reach 2.
+  const graph::Graph g = graph::path_graph(3);
+  graph::NodeMask online(3, true);
+  online.set(1, false);
+  Rng rng(3);
+  const BroadcastResult r = broadcast(g, online, 0, {}, rng);
+  EXPECT_EQ(r.online_nodes, 2u);
+  EXPECT_EQ(r.reached, 1u);
+  EXPECT_DOUBLE_EQ(r.coverage, 0.5);
+}
+
+TEST(Flood, HopLimitRespected) {
+  const graph::Graph g = graph::path_graph(10);
+  Rng rng(4);
+  BroadcastOptions opts;
+  opts.max_hops = 3;
+  const BroadcastResult r = broadcast(g, {}, 0, opts, rng);
+  EXPECT_EQ(r.reached, 4u);  // source + 3 hops down the path
+  EXPECT_LE(r.max_hops_used, 3u);
+}
+
+TEST(Flood, LatencyAccumulatesAlongPath) {
+  const graph::Graph g = graph::path_graph(5);
+  Rng rng(5);
+  BroadcastOptions opts;
+  opts.min_latency = opts.max_latency = 0.1;
+  const BroadcastResult r = broadcast(g, {}, 0, opts, rng);
+  EXPECT_NEAR(r.max_latency, 0.4, 1e-9);  // 4 hops to the far end
+}
+
+TEST(Epidemic, FanoutLimitsMessages) {
+  Rng grng(6);
+  const graph::Graph g = graph::erdos_renyi_gnm(200, 3000, grng);
+  Rng r1(7), r2(7);
+  const BroadcastResult flood = broadcast(g, {}, 0, {}, r1);
+  BroadcastOptions opts;
+  opts.fanout = 4;
+  const BroadcastResult epi = broadcast(g, {}, 0, opts, r2);
+  EXPECT_LT(epi.messages_sent, flood.messages_sent / 2);
+  EXPECT_GT(epi.coverage, 0.9);  // fanout-4 push still covers well
+}
+
+TEST(Broadcast, SourceMustBeOnline) {
+  const graph::Graph g = graph::ring(5);
+  graph::NodeMask online(5, false);
+  Rng rng(8);
+  EXPECT_THROW(broadcast(g, online, 0, {}, rng), CheckError);
+}
+
+TEST(Broadcast, IsolatedSourceReachesOnlyItself) {
+  graph::Graph g(5);
+  Rng rng(9);
+  const BroadcastResult r = broadcast(g, {}, 0, {}, rng);
+  EXPECT_EQ(r.reached, 1u);
+  EXPECT_EQ(r.messages_sent, 0u);
+}
+
+}  // namespace
+}  // namespace ppo::dissem

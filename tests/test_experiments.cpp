@@ -1,0 +1,185 @@
+// Scenario runners and figure functions at reduced scale: the paper's
+// qualitative shapes must already show on small graphs.
+#include <gtest/gtest.h>
+
+#include "experiments/figures.hpp"
+#include "experiments/scenario.hpp"
+#include "experiments/workbench.hpp"
+
+namespace ppo::experiments {
+namespace {
+
+WorkbenchOptions tiny_bench() {
+  WorkbenchOptions opts;
+  opts.seed = 11;
+  opts.social.num_nodes = 4000;
+  opts.social.sub_community_size = 50;
+  opts.social.community_size = 500;
+  opts.trust_nodes = 250;
+  return opts;
+}
+
+FigureScale tiny_scale() {
+  FigureScale scale;
+  scale.window.warmup = 60.0;
+  scale.window.measure = 20.0;
+  scale.window.sample_every = 10.0;
+  scale.window.apl_sources = 16;
+  scale.alphas = {0.25, 0.5, 1.0};
+  scale.seed = 5;
+  return scale;
+}
+
+OverlayScenario tiny_scenario(double alpha) {
+  OverlayScenario s;
+  s.churn.alpha = alpha;
+  s.params.cache_size = 100;
+  s.params.shuffle_length = 12;
+  s.params.target_links = 20;
+  s.params.pseudonym_lifetime = 90.0;
+  s.window = tiny_scale().window;
+  s.seed = 3;
+  return s;
+}
+
+TEST(Workbench, CachesGraphs) {
+  Workbench bench(tiny_bench());
+  const graph::Graph& a = bench.trust_graph(0.5);
+  const graph::Graph& b = bench.trust_graph(0.5);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.num_nodes(), 250u);
+  EXPECT_GT(bench.trust_graph(1.0).num_edges(), a.num_edges());
+}
+
+TEST(ChurnSpec, FactoryHonoursModelChoice) {
+  ChurnSpec spec;
+  spec.alpha = 0.25;
+  auto expo = spec.make();
+  EXPECT_NEAR(expo->availability(), 0.25, 1e-12);
+  spec.pareto = true;
+  auto pareto = spec.make();
+  EXPECT_NEAR(pareto->availability(), 0.25, 1e-12);
+  EXPECT_NE(dynamic_cast<churn::ParetoChurn*>(pareto.get()), nullptr);
+}
+
+TEST(RunOverlay, ImprovesOnTrustGraphUnderChurn) {
+  Workbench bench(tiny_bench());
+  const graph::Graph& trust = bench.trust_graph(0.5);
+  const OverlayScenario scenario = tiny_scenario(0.35);
+
+  const auto overlay = run_overlay(trust, scenario);
+  const auto baseline =
+      run_static(trust, scenario.churn, scenario.window, scenario.seed);
+
+  EXPECT_LT(overlay.stats.frac_disconnected.mean(),
+            baseline.stats.frac_disconnected.mean() * 0.5);
+  EXPECT_LT(overlay.stats.norm_apl.mean(), baseline.stats.norm_apl.mean());
+  EXPECT_GT(overlay.final_total_edges, trust.num_edges());
+  EXPECT_EQ(overlay.per_node.size(), trust.num_nodes());
+  EXPECT_GT(overlay.messages_total, 0u);
+}
+
+TEST(RunOverlay, OnlineFractionTracksAlpha) {
+  Workbench bench(tiny_bench());
+  const auto result =
+      run_overlay(bench.trust_graph(0.5), tiny_scenario(0.5));
+  EXPECT_NEAR(result.stats.online_fraction.mean(), 0.5, 0.1);
+}
+
+TEST(RunStatic, FullAvailabilityIsConnectedSample) {
+  Workbench bench(tiny_bench());
+  const auto result = run_static(bench.trust_graph(0.5), {.alpha = 1.0},
+                                 tiny_scale().window, 1);
+  EXPECT_DOUBLE_EQ(result.stats.frac_disconnected.mean(), 0.0);
+}
+
+TEST(RunOverlayTrace, ConnectivityConvergesDownward) {
+  Workbench bench(tiny_bench());
+  OverlayScenario scenario = tiny_scenario(0.2);
+  OverlayTraceSpec spec;
+  spec.horizon = 150.0;
+  spec.sample_every = 10.0;
+  spec.apl_sources = 8;
+  const auto trace =
+      run_overlay_trace(bench.trust_graph(0.5), scenario, spec);
+  ASSERT_EQ(trace.connectivity.size(), 15u);
+  // The overlay must end up clearly better-connected than the bare
+  // trust graph under the same churn, and no worse than it started.
+  const auto baseline = run_static(bench.trust_graph(0.5), scenario.churn,
+                                   scenario.window, scenario.seed ^ 0xB);
+  const double late = trace.connectivity.mean_since(110.0);
+  EXPECT_LT(late, baseline.stats.frac_disconnected.mean() * 0.6);
+}
+
+TEST(RunOverlayTrace, ReplacementRatesOrderedByLifetime) {
+  Workbench bench(tiny_bench());
+  OverlayTraceSpec spec;
+  spec.horizon = 250.0;
+  spec.sample_every = 25.0;
+  spec.track_connectivity = false;
+  spec.track_replacements = true;
+
+  auto scenario_short = tiny_scenario(0.3);
+  scenario_short.params.pseudonym_lifetime = 60.0;
+  auto scenario_inf = tiny_scenario(0.3);
+  scenario_inf.params.pseudonym_lifetime = kInfiniteLifetime;
+
+  const auto short_trace =
+      run_overlay_trace(bench.trust_graph(0.5), scenario_short, spec);
+  const auto inf_trace =
+      run_overlay_trace(bench.trust_graph(0.5), scenario_inf, spec);
+
+  // Steady state: expiring pseudonyms force replacements, eternal
+  // ones converge to (near) zero churn (paper Fig. 9).
+  EXPECT_GT(short_trace.replacements.mean_since(150.0),
+            inf_trace.replacements.mean_since(150.0) + 0.05);
+}
+
+TEST(ErReference, HasRequestedShape) {
+  const graph::Graph er = er_reference(100, 800, 9);
+  EXPECT_EQ(er.num_nodes(), 100u);
+  EXPECT_EQ(er.num_edges(), 800u);
+}
+
+TEST(Figures, AvailabilitySweepShapes) {
+  Workbench bench(tiny_bench());
+  const auto fig = availability_sweep(bench, tiny_scale());
+  ASSERT_EQ(fig.alphas.size(), 3u);
+  ASSERT_EQ(fig.connectivity.size(), 5u);
+  ASSERT_EQ(fig.napl.size(), 5u);
+
+  const auto& trust05 = fig.connectivity[1].values;   // trust-f0.5
+  const auto& overlay05 = fig.connectivity[3].values; // overlay-f0.5
+  // At the lowest alpha the overlay must beat the bare trust graph.
+  EXPECT_LT(overlay05.front(), trust05.front() * 0.7);
+  // At alpha = 1 both are connected.
+  EXPECT_NEAR(trust05.back(), 0.0, 1e-9);
+  EXPECT_NEAR(overlay05.back(), 0.0, 1e-9);
+}
+
+TEST(Figures, DegreeDistributionsShiftRight) {
+  Workbench bench(tiny_bench());
+  const auto fig = degree_distributions(bench, tiny_scale(), {0.5});
+  ASSERT_EQ(fig.entries.size(), 1u);
+  const auto& e = fig.entries[0];
+  EXPECT_GT(e.overlay.mean(), 2.0 * e.trust.mean());
+  EXPECT_GT(e.random.mean(), 2.0 * e.trust.mean());
+}
+
+TEST(Figures, MessageOverheadAveragesNearTwo) {
+  Workbench bench(tiny_bench());
+  const auto fig = message_overhead(bench, tiny_scale(), {0.5});
+  ASSERT_EQ(fig.entries.size(), 1u);
+  const auto& entry = fig.entries[0];
+  EXPECT_EQ(entry.rows.size(), 250u);
+  EXPECT_TRUE(std::is_sorted(
+      entry.rows.begin(), entry.rows.end(),
+      [](const auto& a, const auto& b) { return a.trust_degree > b.trust_degree; }));
+  // alpha = 0.5: requests always sent, responses only reach online
+  // peers, so the average sits between 1 and 2.
+  EXPECT_GT(entry.mean_messages, 1.0);
+  EXPECT_LT(entry.mean_messages, 2.5);
+}
+
+}  // namespace
+}  // namespace ppo::experiments

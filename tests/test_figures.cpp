@@ -1,0 +1,90 @@
+// Reduced-scale runs of the remaining figure functions: the paper's
+// qualitative orderings must hold (Figures 7, 8, 9 analogues).
+#include <gtest/gtest.h>
+
+#include "experiments/figures.hpp"
+
+namespace ppo::experiments {
+namespace {
+
+WorkbenchOptions tiny_bench() {
+  WorkbenchOptions opts;
+  opts.seed = 21;
+  opts.social.num_nodes = 4000;
+  opts.social.sub_community_size = 50;
+  opts.social.community_size = 500;
+  opts.trust_nodes = 220;
+  return opts;
+}
+
+FigureScale tiny_scale() {
+  FigureScale scale;
+  scale.window.warmup = 80.0;
+  scale.window.measure = 20.0;
+  scale.window.sample_every = 10.0;
+  scale.window.apl_sources = 12;
+  scale.alphas = {0.25, 0.75};
+  scale.seed = 9;
+  return scale;
+}
+
+TEST(LifetimeSweep, LongerLifetimesAreMoreRobust) {
+  Workbench bench(tiny_bench());
+  FigureScale scale = tiny_scale();
+  // The lifetime effect shows at harsh churn: offline spells must
+  // frequently outlive r = 1 pseudonyms.
+  scale.alphas = {0.125, 0.75};
+  const auto fig = lifetime_sweep(bench, scale);
+  // Series order: trust, r1, r3, r9, r-infinite, random.
+  ASSERT_EQ(fig.connectivity.size(), 6u);
+  EXPECT_EQ(fig.connectivity[1].name, "r1");
+  EXPECT_EQ(fig.connectivity[4].name, "r-infinite");
+
+  const double low_alpha_r1 = fig.connectivity[1].values[0];
+  const double low_alpha_rinf = fig.connectivity[4].values[0];
+  const double low_alpha_trust = fig.connectivity[0].values[0];
+  // r = 1 loses most pseudonym links across offline spells: clearly
+  // worse than non-expiring pseudonyms, clearly better-or-equal to
+  // the bare trust graph.
+  EXPECT_GT(low_alpha_r1, low_alpha_rinf + 0.03);
+  EXPECT_LT(low_alpha_r1, low_alpha_trust + 0.05);
+}
+
+TEST(ConvergenceTrace, OverlayImprovesTrustStaysFlat) {
+  Workbench bench(tiny_bench());
+  const auto fig = convergence_trace(bench, 200.0, 20.0, 11);
+  ASSERT_EQ(fig.trust.size(), 10u);
+  ASSERT_EQ(fig.overlay_r3.size(), 10u);
+  // The trust graph's disconnection does not trend down...
+  EXPECT_GT(fig.trust.mean_since(150.0), fig.trust.values()[0] * 0.5);
+  // ...while the overlay ends clearly below the trust baseline.
+  EXPECT_LT(fig.overlay_r3.mean_since(150.0),
+            fig.trust.mean_since(150.0) * 0.7);
+  EXPECT_LT(fig.overlay_r9.mean_since(150.0),
+            fig.trust.mean_since(150.0) * 0.7);
+}
+
+TEST(ReplacementTrace, RatesOrderedByLifetime) {
+  Workbench bench(tiny_bench());
+  const auto fig = replacement_trace(bench, 300.0, 30.0, 13);
+  ASSERT_EQ(fig.r3.size(), fig.r_infinite.size());
+  // Steady state: shorter lifetime -> more replacement churn; eternal
+  // pseudonyms converge toward zero.
+  EXPECT_GT(fig.r3.mean_since(150.0), fig.r9.mean_since(150.0));
+  EXPECT_GT(fig.r9.mean_since(150.0), fig.r_infinite.mean_since(150.0));
+  EXPECT_LT(fig.r_infinite.mean_since(200.0), 0.5);
+}
+
+TEST(DegreeDistributions, OverlayBetweenTrustAndRandomSpread) {
+  Workbench bench(tiny_bench());
+  const auto fig = degree_distributions(bench, tiny_scale(), {1.0});
+  ASSERT_EQ(fig.entries.size(), 1u);
+  const auto& e = fig.entries[0];
+  // All three distributions exist and overlay mass sits to the right
+  // of the trust graph's.
+  EXPECT_GT(e.overlay.quantile(0.5), e.trust.quantile(0.5));
+  EXPECT_GT(e.overlay.max_value(), e.trust.quantile(0.9));
+}
+
+}  // namespace
+}  // namespace ppo::experiments

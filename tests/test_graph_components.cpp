@@ -1,0 +1,83 @@
+// Connected components and the paper's disconnection metric.
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+
+namespace ppo::graph {
+namespace {
+
+TEST(Components, SingleComponentRing) {
+  const Graph g = ring(10);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count(), 1u);
+  EXPECT_EQ(c.largest_size(), 10u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_DOUBLE_EQ(fraction_disconnected(g), 0.0);
+}
+
+TEST(Components, TwoIslands) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_EQ(c.largest_size(), 3u);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_DOUBLE_EQ(fraction_disconnected(g), 2.0 / 5.0);
+}
+
+TEST(Components, IsolatedNodesAreOwnComponents) {
+  const Graph g(4);  // no edges
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count(), 4u);
+  EXPECT_DOUBLE_EQ(fraction_disconnected(g), 3.0 / 4.0);
+}
+
+TEST(Components, MaskRemovesCutVertex) {
+  // 0-1-2 path: masking out node 1 splits the rest.
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  NodeMask mask(3, true);
+  mask.set(1, false);
+  const Components c = connected_components(g, mask);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_EQ(c.component_of[1], Components::kExcluded);
+  EXPECT_DOUBLE_EQ(fraction_disconnected(g, mask), 0.5);
+}
+
+TEST(Components, EmptyMaskGraph) {
+  const Graph g = ring(5);
+  const NodeMask mask(5, false);
+  const Components c = connected_components(g, mask);
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_DOUBLE_EQ(fraction_disconnected(g, mask), 0.0);
+  EXPECT_TRUE(is_connected(g, mask));
+}
+
+TEST(Components, StarLosesAllLeavesWithoutHub) {
+  const Graph g = star(6);
+  NodeMask mask(7, true);
+  mask.set(0, false);  // remove hub
+  const Components c = connected_components(g, mask);
+  EXPECT_EQ(c.count(), 6u);
+  EXPECT_DOUBLE_EQ(fraction_disconnected(g, mask), 5.0 / 6.0);
+}
+
+TEST(Components, ComponentIdsArePartition) {
+  Rng rng(5);
+  const Graph g = erdos_renyi_gnm(200, 150, rng);
+  const Components c = connected_components(g);
+  std::size_t total = 0;
+  for (std::size_t size : c.sizes) total += size;
+  EXPECT_EQ(total, 200u);
+  for (NodeId v = 0; v < 200; ++v) {
+    ASSERT_NE(c.component_of[v], Components::kExcluded);
+    ASSERT_LT(c.component_of[v], c.count());
+  }
+}
+
+}  // namespace
+}  // namespace ppo::graph

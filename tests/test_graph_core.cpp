@@ -1,0 +1,127 @@
+// Graph data-structure invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph.hpp"
+#include "common/check.hpp"
+
+namespace ppo::graph {
+namespace {
+
+TEST(Graph, StartsEmpty) {
+  const Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, AddNodesReturnsFirstId) {
+  Graph g;
+  EXPECT_EQ(g.add_nodes(3), 0u);
+  EXPECT_EQ(g.add_nodes(2), 3u);
+  EXPECT_EQ(g.num_nodes(), 5u);
+}
+
+TEST(Graph, AddEdgeIsUndirected) {
+  Graph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, RejectsSelfLoopsAndDuplicates) {
+  Graph g(3);
+  EXPECT_FALSE(g.add_edge(1, 1));
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, OutOfRangeEndpointThrows) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 5), CheckError);
+  EXPECT_THROW((void)g.has_edge(9, 0), CheckError);
+}
+
+TEST(Graph, RemoveEdge) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.remove_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Graph, FinalizeSortsNeighbors) {
+  Graph g(5);
+  g.add_edge(0, 4);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.finalize();
+  const auto nbrs = g.neighbors(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(Graph, EdgesListsEachOnce) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(1, 3);
+  const auto edges = g.edges();
+  EXPECT_EQ(edges.size(), 3u);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+}
+
+TEST(Graph, AverageDegree) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 1.0);
+}
+
+TEST(Graph, InducedSubgraphKeepsInternalEdges) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  g.add_edge(4, 5);
+
+  const Graph sub = g.induced_subgraph({0, 1, 2});
+  EXPECT_EQ(sub.num_nodes(), 3u);
+  EXPECT_EQ(sub.num_edges(), 2u);  // (0,1) and (1,2); (2,3)/(3,0) cut
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_TRUE(sub.has_edge(1, 2));
+  EXPECT_FALSE(sub.has_edge(0, 2));
+}
+
+TEST(Graph, InducedSubgraphRejectsDuplicates) {
+  Graph g(3);
+  EXPECT_THROW(g.induced_subgraph({0, 0}), CheckError);
+}
+
+TEST(NodeMask, EmptyIncludesEverything) {
+  const NodeMask mask;
+  EXPECT_TRUE(mask.contains(0));
+  EXPECT_TRUE(mask.contains(99));
+  EXPECT_EQ(mask.count(5), 5u);
+}
+
+TEST(NodeMask, SetAndCount) {
+  NodeMask mask(4, false);
+  mask.set(1, true);
+  mask.set(3, true);
+  EXPECT_FALSE(mask.contains(0));
+  EXPECT_TRUE(mask.contains(1));
+  EXPECT_EQ(mask.count(4), 2u);
+}
+
+}  // namespace
+}  // namespace ppo::graph

@@ -1,0 +1,176 @@
+// Generator properties: edge counts, connectivity, degree shapes,
+// clustering — parameterized sweeps over generator settings.
+#include <gtest/gtest.h>
+
+#include "graph/clustering.hpp"
+#include "graph/components.hpp"
+#include "graph/degree.hpp"
+#include "graph/generators.hpp"
+#include "graph/socialgen.hpp"
+
+namespace ppo::graph {
+namespace {
+
+TEST(ErdosRenyiGnm, ExactEdgeCount) {
+  Rng rng(1);
+  const Graph g = erdos_renyi_gnm(100, 250, rng);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_edges(), 250u);
+}
+
+TEST(ErdosRenyiGnm, RejectsImpossibleEdgeCount) {
+  Rng rng(1);
+  EXPECT_THROW(erdos_renyi_gnm(4, 7, rng), CheckError);
+}
+
+TEST(ErdosRenyiGnm, DenseGraphIsConnected) {
+  Rng rng(2);
+  // Average degree 50 on 1000 nodes: connected with overwhelming prob.
+  const Graph g = erdos_renyi_gnm(1000, 25000, rng);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(ErdosRenyiGnp, EdgeCountNearExpectation) {
+  Rng rng(3);
+  const std::size_t n = 400;
+  const double p = 0.05;
+  const Graph g = erdos_renyi_gnp(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.15);
+}
+
+TEST(ErdosRenyiGnp, EdgeCases) {
+  Rng rng(4);
+  EXPECT_EQ(erdos_renyi_gnp(50, 0.0, rng).num_edges(), 0u);
+  const Graph full = erdos_renyi_gnp(10, 1.0, rng);
+  EXPECT_EQ(full.num_edges(), 45u);
+}
+
+class BaGeneratorTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BaGeneratorTest, EdgeCountAndConnectivity) {
+  const std::size_t m = GetParam();
+  Rng rng(5 + m);
+  const std::size_t n = 500;
+  const Graph g = barabasi_albert(n, m, rng);
+  EXPECT_EQ(g.num_nodes(), n);
+  // Each of the n - m - 1 arrivals adds ~m edges; the seed adds m.
+  const double expected = static_cast<double>(m * (n - m - 1) + m);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.02);
+  EXPECT_TRUE(is_connected(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(AttachmentSweep, BaGeneratorTest,
+                         ::testing::Values(1u, 2u, 5u, 9u));
+
+TEST(BarabasiAlbert, HasHeavyTail) {
+  Rng rng(7);
+  const Graph g = barabasi_albert(3000, 4, rng);
+  const auto h = degree_histogram(g);
+  // Power-law-ish: the max degree should far exceed the mean.
+  EXPECT_GT(static_cast<double>(h.max_value()), 6.0 * h.mean());
+}
+
+TEST(HolmeKim, TriadsRaiseClustering) {
+  Rng rng1(11), rng2(11);
+  const Graph ba = barabasi_albert(1500, 5, rng1);
+  const Graph hk = holme_kim(1500, 5, 0.8, rng2);
+  EXPECT_GT(average_clustering(hk), 2.0 * average_clustering(ba));
+  EXPECT_TRUE(is_connected(hk));
+}
+
+class WattsStrogatzTest
+    : public ::testing::TestWithParam<double> {};
+
+TEST_P(WattsStrogatzTest, DegreePreservedOnAverage) {
+  const double beta = GetParam();
+  Rng rng(13);
+  const std::size_t n = 400, k = 3;
+  const Graph g = watts_strogatz(n, k, beta, rng);
+  EXPECT_EQ(g.num_edges(), n * k);  // rewiring preserves edge count
+}
+
+INSTANTIATE_TEST_SUITE_P(BetaSweep, WattsStrogatzTest,
+                         ::testing::Values(0.0, 0.1, 0.5, 1.0));
+
+TEST(WattsStrogatz, ZeroBetaIsLattice) {
+  Rng rng(17);
+  const Graph g = watts_strogatz(20, 2, 0.0, rng);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(StructuredGraphs, Shapes) {
+  EXPECT_EQ(ring(6).num_edges(), 6u);
+  EXPECT_EQ(path_graph(6).num_edges(), 5u);
+  EXPECT_EQ(complete(6).num_edges(), 15u);
+  EXPECT_EQ(star(6).num_edges(), 6u);
+  EXPECT_EQ(star(6).degree(0), 6u);
+}
+
+TEST(SyntheticSocialGraph, MatchesCrawlStatistics) {
+  // The Facebook crawl has mean degree ~18.7, heavy-tailed degrees
+  // and high clustering; verify the substitute reproduces those
+  // features at reduced scale.
+  SocialGraphOptions opts;
+  opts.num_nodes = 12'000;
+  Rng rng(19);
+  const Graph g = synthetic_social_graph(opts, rng);
+  EXPECT_TRUE(is_connected(g));
+  // Triad closure adds ~triad_fraction on top of the stub edges.
+  EXPECT_NEAR(g.average_degree(), 18.7 * 1.25, 4.0);
+  EXPECT_GT(average_clustering(g), 0.1);
+  const auto h = degree_histogram(g);
+  EXPECT_GT(static_cast<double>(h.max_value()), 5.0 * h.mean());
+}
+
+TEST(SyntheticSocialGraph, HasCommunityStructure) {
+  // Nodes share far more edges inside their sub-community block than
+  // a degree-matched random graph would (~sub_size/n of all edges).
+  SocialGraphOptions opts;
+  opts.num_nodes = 12'000;
+  Rng rng(23);
+  const Graph g = synthetic_social_graph(opts, rng);
+  std::size_t internal = 0;
+  for (const auto& [u, v] : g.edges())
+    internal += (u / opts.sub_community_size == v / opts.sub_community_size);
+  const double internal_fraction =
+      static_cast<double>(internal) / static_cast<double>(g.num_edges());
+  EXPECT_GT(internal_fraction, 0.5);
+}
+
+TEST(SyntheticSocialGraph, RejectsUnderSizedBase) {
+  SocialGraphOptions opts;
+  opts.num_nodes = 3000;  // < 2 communities of 5000
+  Rng rng(29);
+  EXPECT_THROW(synthetic_social_graph(opts, rng), CheckError);
+}
+
+TEST(HolmeKimSocialGraph, LegacyModelStillAvailable) {
+  Rng rng(31);
+  const Graph g = holme_kim_social_graph(2000, 5, 0.6, rng);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_NEAR(g.average_degree(), 10.0, 1.0);
+}
+
+TEST(Clustering, TriangleIsFullyClustered) {
+  const Graph g = complete(3);
+  EXPECT_DOUBLE_EQ(average_clustering(g), 1.0);
+  EXPECT_DOUBLE_EQ(transitivity(g), 1.0);
+}
+
+TEST(Clustering, StarHasNone) {
+  const Graph g = star(5);
+  EXPECT_DOUBLE_EQ(average_clustering(g), 0.0);
+  EXPECT_DOUBLE_EQ(transitivity(g), 0.0);
+}
+
+TEST(Clustering, RequiresFinalizedGraph) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(local_clustering(g, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace ppo::graph

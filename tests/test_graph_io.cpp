@@ -1,0 +1,71 @@
+// Edge-list / DOT serialization round trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace ppo::graph {
+namespace {
+
+TEST(EdgeList, RoundTrip) {
+  Rng rng(1);
+  const Graph g = erdos_renyi_gnm(50, 120, rng);
+  std::stringstream buf;
+  write_edge_list(buf, g);
+  const Graph back = read_edge_list(buf);
+  EXPECT_EQ(back.num_nodes(), g.num_nodes());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  for (const auto& [u, v] : g.edges()) EXPECT_TRUE(back.has_edge(u, v));
+}
+
+TEST(EdgeList, IsolatedNodesSurvive) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  std::stringstream buf;
+  write_edge_list(buf, g);
+  const Graph back = read_edge_list(buf);
+  EXPECT_EQ(back.num_nodes(), 5u);
+  EXPECT_EQ(back.num_edges(), 1u);
+}
+
+TEST(EdgeList, HeaderlessInputGrowsNodes) {
+  std::stringstream buf("0 3\n1 2\n");
+  const Graph g = read_edge_list(buf);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_TRUE(g.has_edge(0, 3));
+}
+
+TEST(EdgeList, CommentsIgnored) {
+  std::stringstream buf("# nodes 3\n# a comment\n0 1\n");
+  const Graph g = read_edge_list(buf);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(EdgeList, MalformedLineThrows) {
+  std::stringstream buf("0 x\n");
+  EXPECT_THROW(read_edge_list(buf), CheckError);
+}
+
+TEST(EdgeList, EdgeBeyondDeclaredCountThrows) {
+  std::stringstream buf("# nodes 2\n0 5\n");
+  EXPECT_THROW(read_edge_list(buf), CheckError);
+}
+
+TEST(Dot, ContainsNodesAndEdges) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  std::stringstream buf;
+  NodeMask mask(3, true);
+  mask.set(2, false);
+  write_dot(buf, g, mask, "test");
+  const std::string out = buf.str();
+  EXPECT_NE(out.find("graph test"), std::string::npos);
+  EXPECT_NE(out.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(out.find("n2 [style=dashed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppo::graph

@@ -1,0 +1,134 @@
+// BFS distances, average path length and the paper's normalized
+// path-length metric (§IV-C).
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+#include "graph/degree.hpp"
+#include "graph/generators.hpp"
+#include "graph/paths.hpp"
+
+namespace ppo::graph {
+namespace {
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = path_graph(5);
+  const auto dist = bfs_distances(g, 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(Bfs, MaskBlocksTraversal) {
+  const Graph g = path_graph(5);
+  NodeMask mask(5, true);
+  mask.set(2, false);
+  const auto dist = bfs_distances(g, 0, mask);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(Bfs, ExcludedSourceThrows) {
+  const Graph g = path_graph(3);
+  NodeMask mask(3, false);
+  EXPECT_THROW(bfs_distances(g, 0, mask), CheckError);
+}
+
+TEST(AveragePathLength, CompleteGraphIsOne) {
+  Rng rng(1);
+  const Graph g = complete(8);
+  EXPECT_NEAR(average_path_length(g, rng), 1.0, 1e-12);
+}
+
+TEST(AveragePathLength, PathGraphExact) {
+  Rng rng(1);
+  // Path on 4 nodes: distances 1,2,3,1,2,1 -> mean = 10/6.
+  const Graph g = path_graph(4);
+  EXPECT_NEAR(average_path_length(g, rng), 10.0 / 6.0, 1e-12);
+}
+
+TEST(AveragePathLength, UsesLargestComponentOnly) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);  // path of 4
+  g.add_edge(4, 5);  // separate pair
+  Rng rng(1);
+  EXPECT_NEAR(average_path_length(g, rng), 10.0 / 6.0, 1e-12);
+}
+
+TEST(AveragePathLength, SampledEstimateCloseToExact) {
+  Rng rng(7);
+  const Graph g = erdos_renyi_gnm(600, 3000, rng);
+  Rng r1(11), r2(11);
+  const double exact = average_path_length(g, r1, {}, 0, 10'000);
+  const double sampled = average_path_length(g, r2, {}, 64, 10);
+  EXPECT_NEAR(sampled, exact, exact * 0.05);
+}
+
+TEST(NormalizedPathLength, EqualsScaledAplWhenConnected) {
+  Rng rng(1);
+  const Graph g = complete(10);
+  // APL = 1, LCC = 10, total = 10 -> normalized = 1.
+  EXPECT_NEAR(normalized_average_path_length(g, rng, 10), 1.0, 1e-12);
+}
+
+TEST(NormalizedPathLength, PenalizesFragmentation) {
+  // Largest component has 3 of 12 total nodes: a short APL measured in
+  // the fragment must be scaled up by 12/3.
+  Graph g(12);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  Rng rng(1);
+  const double apl = 4.0 / 3.0;  // distances 1,2,1 in the triangle path
+  EXPECT_NEAR(normalized_average_path_length(g, rng, 12), apl / 3.0 * 12.0,
+              1e-12);
+}
+
+TEST(NormalizedPathLength, TrivialComponentGetsMaxPenalty) {
+  const Graph g(5);  // all isolated
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(normalized_average_path_length(g, rng, 5), 5.0);
+}
+
+TEST(DiameterEstimate, PathGraph) {
+  const Graph g = path_graph(9);
+  Rng rng(3);
+  EXPECT_EQ(diameter_estimate(g, rng), 8u);
+}
+
+TEST(DiameterEstimate, RandomGraphIsSmall) {
+  Rng rng(5);
+  const Graph g = erdos_renyi_gnm(500, 5000, rng);
+  Rng r(3);
+  const auto d = diameter_estimate(g, r);
+  EXPECT_GE(d, 2u);
+  EXPECT_LE(d, 8u);
+}
+
+TEST(MaskedDegree, CountsOnlyIncludedNeighbors) {
+  const Graph g = star(4);
+  NodeMask mask(5, true);
+  mask.set(1, false);
+  mask.set(2, false);
+  EXPECT_EQ(masked_degree(g, 0, mask), 2u);
+  EXPECT_EQ(masked_degree(g, 3, mask), 1u);
+}
+
+TEST(DegreeHistogram, StarGraph) {
+  const Graph g = star(5);
+  const auto h = degree_histogram(g);
+  EXPECT_EQ(h.count(5), 1u);  // hub
+  EXPECT_EQ(h.count(1), 5u);  // leaves
+  EXPECT_EQ(h.total(), 6u);
+}
+
+}  // namespace
+}  // namespace ppo::graph

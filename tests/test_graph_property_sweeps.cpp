@@ -1,0 +1,71 @@
+// Cross-cutting graph property sweeps tying the generators to the
+// metrics: small-world behaviour, sampling-parameter monotonicity,
+// and expansion ordering — the structural facts the paper's argument
+// rests on ("random graphs are known to exhibit good failure
+// resilience and short path lengths", §III-A).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/clustering.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/paths.hpp"
+#include "graph/sampling.hpp"
+#include "graph/socialgen.hpp"
+#include "graph/spectral.hpp"
+
+namespace ppo::graph {
+namespace {
+
+TEST(SmallWorld, RewiringShortensPathsBeforeKillingClustering) {
+  // The Watts–Strogatz transition: a little rewiring collapses path
+  // length while clustering stays high.
+  Rng r0(1), r1(1);
+  const Graph lattice = watts_strogatz(300, 4, 0.0, r0);
+  const Graph rewired = watts_strogatz(300, 4, 0.1, r1);
+  Rng m0(2), m1(2);
+  EXPECT_LT(average_path_length(rewired, m1),
+            0.6 * average_path_length(lattice, m0));
+  EXPECT_GT(average_clustering(rewired), 0.5 * average_clustering(lattice));
+}
+
+TEST(RandomVsSocial, RandomGraphsExpandBetter) {
+  // §III-A's premise, checked spectrally: an ER graph of the same
+  // size/density expands better than a social (clustered, hub-heavy)
+  // graph.
+  Rng rng(3);
+  SocialGraphOptions opts;
+  opts.num_nodes = 4000;
+  opts.sub_community_size = 50;
+  opts.community_size = 400;
+  const Graph social = synthetic_social_graph(opts, rng);
+  Rng err(4);
+  const Graph er = erdos_renyi_gnm(social.num_nodes(), social.num_edges(), err);
+  Rng s1(5), s2(5);
+  EXPECT_GT(spectral_gap(er, s1), spectral_gap(social, s2));
+}
+
+class SamplingFSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SamplingFSweep, SamplesConnectedAtEveryF) {
+  const double f = GetParam();
+  Rng rng(10);
+  SocialGraphOptions opts;
+  opts.num_nodes = 6000;
+  opts.sub_community_size = 60;
+  opts.community_size = 600;
+  const Graph base = synthetic_social_graph(opts, rng);
+  Rng srng(11);
+  const Graph sample = invitation_sample(base, {.target_size = 600, .f = f}, srng);
+  EXPECT_TRUE(is_connected(sample));
+  EXPECT_EQ(sample.num_nodes(), 600u);
+  // Denser than a tree, sparser than the base density bound.
+  EXPECT_GE(sample.num_edges(), 599u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fs, SamplingFSweep,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.8, 1.0));
+
+}  // namespace
+}  // namespace ppo::graph

@@ -1,0 +1,40 @@
+// Spectral-gap estimation sanity on graphs with known expansion.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/spectral.hpp"
+
+namespace ppo::graph {
+namespace {
+
+TEST(Spectral, CompleteGraphHasKnownLambda2) {
+  // K_n normalized adjacency: lambda_2 = 1/(n-1) in absolute value.
+  const Graph g = complete(20);
+  Rng rng(1);
+  EXPECT_NEAR(second_eigenvalue_estimate(g, rng, 400), 1.0 / 19.0, 0.01);
+}
+
+TEST(Spectral, RingHasTinyGap) {
+  // Cycle C_n: lambda_2 = cos(2*pi/n), close to 1 for large n.
+  const Graph g = ring(100);
+  Rng rng(2);
+  const double lambda = second_eigenvalue_estimate(g, rng, 600);
+  EXPECT_GT(lambda, 0.97);
+}
+
+TEST(Spectral, RandomGraphExpandsBetterThanRing) {
+  Rng grng(3);
+  const Graph random_g = erdos_renyi_gnm(100, 600, grng);
+  const Graph ring_g = ring(100);
+  Rng r1(4), r2(4);
+  EXPECT_GT(spectral_gap(random_g, r1, 400), spectral_gap(ring_g, r2, 400) + 0.2);
+}
+
+TEST(Spectral, DegenerateInputs) {
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(second_eigenvalue_estimate(Graph(1), rng), 0.0);
+  EXPECT_DOUBLE_EQ(second_eigenvalue_estimate(Graph(5), rng), 0.0);
+}
+
+}  // namespace
+}  // namespace ppo::graph

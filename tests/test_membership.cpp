@@ -1,0 +1,118 @@
+// Dynamic membership extension: users joining a running system via
+// invitations (§II-B notes additions raise no privacy concerns; the
+// paper's evaluation keeps the graph static, we implement the growth).
+#include <gtest/gtest.h>
+
+#include "churn/churn_model.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "overlay/service.hpp"
+#include "sim/simulator.hpp"
+
+namespace ppo::overlay {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  graph::Graph trust;
+  churn::ExponentialChurn model;
+  OverlayService service;
+
+  explicit Fixture(std::size_t n, double alpha = 1.0, std::uint64_t seed = 5)
+      : trust([&] {
+          Rng g(seed);
+          return graph::barabasi_albert(n, 2, g);
+        }()),
+        model(churn::ExponentialChurn::from_availability(alpha, 30.0)),
+        service(sim, trust, model,
+                {.params = {.cache_size = 60,
+                            .shuffle_length = 8,
+                            .target_links = 12}},
+                Rng(seed + 1)) {}
+};
+
+TEST(Membership, JoinBeforeStartThrows) {
+  Fixture fx(20);
+  EXPECT_THROW(fx.service.add_member({0}), CheckError);
+}
+
+TEST(Membership, JoinRequiresValidInviters) {
+  Fixture fx(20);
+  fx.service.start();
+  EXPECT_THROW(fx.service.add_member({}), CheckError);
+  EXPECT_THROW(fx.service.add_member({99}), CheckError);
+}
+
+TEST(Membership, JoinerGetsIdAndMutualTrustEdges) {
+  Fixture fx(20);
+  fx.service.start();
+  fx.sim.run_until(5.0);
+  const NodeId v = fx.service.add_member({3, 7, 3});  // dup inviter ok
+  EXPECT_EQ(v, 20u);
+  EXPECT_EQ(fx.service.num_nodes(), 21u);
+  EXPECT_TRUE(fx.service.trust_graph().has_edge(v, 3));
+  EXPECT_TRUE(fx.service.trust_graph().has_edge(v, 7));
+  EXPECT_EQ(fx.service.node(v).trust_degree(), 2u);
+  // The inviters' link sets grew too.
+  const auto& inviter_links = fx.service.node(3).trusted_links();
+  EXPECT_NE(std::find(inviter_links.begin(), inviter_links.end(), v),
+            inviter_links.end());
+  // The joiner is online (its join moment) with a fresh pseudonym.
+  EXPECT_TRUE(fx.service.is_online(v));
+  EXPECT_TRUE(fx.service.node(v).own_pseudonym().has_value());
+}
+
+TEST(Membership, JoinerIntegratesIntoOverlay) {
+  Fixture fx(40);
+  fx.service.start();
+  fx.sim.run_until(30.0);
+  const NodeId v = fx.service.add_member({0});
+  fx.sim.run_until(60.0);
+  // The joiner built pseudonym links well beyond its single inviter.
+  EXPECT_GE(fx.service.node(v).out_degree(), 6u);
+  // Others have begun linking back to it (its pseudonym circulated).
+  graph::Graph snapshot = fx.service.overlay_snapshot();
+  EXPECT_TRUE(graph::is_connected(snapshot));
+  EXPECT_GE(snapshot.degree(v), fx.service.node(v).out_degree());
+}
+
+TEST(Membership, GrowthUnderChurnStaysConnected) {
+  Fixture fx(40, 0.6, 9);
+  fx.service.start();
+  fx.sim.run_until(50.0);
+  Rng rng(33);
+  for (int joiner = 0; joiner < 30; ++joiner) {
+    // Each newcomer is invited by 1-3 random existing members.
+    std::vector<NodeId> inviters;
+    const std::size_t k = 1 + rng.uniform_u64(3);
+    for (std::size_t i = 0; i < k; ++i)
+      inviters.push_back(static_cast<NodeId>(
+          rng.uniform_u64(fx.service.num_nodes())));
+    fx.service.add_member(inviters);
+    fx.sim.run_until(fx.sim.now() + 3.0);
+  }
+  EXPECT_EQ(fx.service.num_nodes(), 70u);
+  fx.sim.run_until(fx.sim.now() + 100.0);
+
+  graph::Graph snapshot = fx.service.overlay_snapshot();
+  const double disc =
+      graph::fraction_disconnected(snapshot, fx.service.online_mask());
+  EXPECT_LT(disc, 0.12);
+  // Metrics plumbing follows the growth.
+  EXPECT_EQ(fx.service.online_mask().size(), 70u);
+  EXPECT_EQ(snapshot.num_nodes(), 70u);
+}
+
+TEST(Membership, GroupChatSpansNewMembers) {
+  // A member that joins AFTER a post still receives it (anti-entropy
+  // has no member list — version vectors grow with the population).
+  Fixture fx(30);
+  fx.service.start();
+  fx.sim.run_until(20.0);
+  const NodeId v = fx.service.add_member({1, 2});
+  fx.sim.run_until(40.0);
+  EXPECT_GE(fx.service.current_peers(v).size(), 2u);
+}
+
+}  // namespace
+}  // namespace ppo::overlay

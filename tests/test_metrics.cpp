@@ -1,0 +1,92 @@
+// Metric collectors (§IV-C definitions) and time series.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "metrics/overlay_metrics.hpp"
+#include "metrics/timeseries.hpp"
+
+namespace ppo::metrics {
+namespace {
+
+TEST(MeasureGraph, ConnectedRing) {
+  const graph::Graph g = graph::ring(10);
+  Rng rng(1);
+  const GraphMetrics m = measure_graph(g, {}, 10, rng);
+  EXPECT_DOUBLE_EQ(m.fraction_disconnected, 0.0);
+  EXPECT_EQ(m.online_nodes, 10u);
+  EXPECT_EQ(m.largest_component, 10u);
+  EXPECT_EQ(m.online_edges, 10u);
+  // C_10 APL = 2.7777...; normalized = APL / 10 * 10 = APL.
+  EXPECT_NEAR(m.avg_path_length, 25.0 / 9.0, 1e-9);
+  EXPECT_NEAR(m.normalized_avg_path_length, m.avg_path_length, 1e-9);
+}
+
+TEST(MeasureGraph, MaskedMetrics) {
+  const graph::Graph g = graph::ring(10);
+  graph::NodeMask online(10, true);
+  online.set(0, false);  // breaks the ring into a path of 9
+  Rng rng(2);
+  const GraphMetrics m = measure_graph(g, online, 10, rng);
+  EXPECT_EQ(m.online_nodes, 9u);
+  EXPECT_EQ(m.largest_component, 9u);
+  EXPECT_DOUBLE_EQ(m.fraction_disconnected, 0.0);
+  EXPECT_EQ(m.online_edges, 8u);
+  // Path of 9: APL = 10/3; normalized scales by 10/9.
+  EXPECT_NEAR(m.normalized_avg_path_length, (10.0 / 3.0) / 9.0 * 10.0, 1e-9);
+  EXPECT_EQ(m.degree.count(1), 2u);  // two path endpoints
+  EXPECT_EQ(m.degree.count(2), 7u);
+}
+
+TEST(MeasureGraph, FragmentedGraphPenalized) {
+  graph::Graph g(8);
+  g.add_edge(0, 1);  // pair
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);  // triple
+  Rng rng(3);
+  const GraphMetrics m = measure_graph(g, {}, 8, rng);
+  EXPECT_EQ(m.largest_component, 3u);
+  EXPECT_DOUBLE_EQ(m.fraction_disconnected, 5.0 / 8.0);
+  // Triple (path of 3): APL = 4/3; normalized = 4/3 / 3 * 8.
+  EXPECT_NEAR(m.normalized_avg_path_length, 4.0 / 3.0 / 3.0 * 8.0, 1e-9);
+}
+
+TEST(TimeSeries, RecordAndQuery) {
+  TimeSeries ts("demo");
+  ts.record(1.0, 10.0);
+  ts.record(2.0, 20.0);
+  ts.record(3.0, 30.0);
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.last_value(), 30.0);
+  EXPECT_DOUBLE_EQ(ts.mean_since(2.0), 25.0);
+  EXPECT_DOUBLE_EQ(ts.mean_since(10.0), 0.0);
+}
+
+TEST(TimeSeries, LastValueOfEmptyThrows) {
+  const TimeSeries ts("empty");
+  EXPECT_THROW(ts.last_value(), CheckError);
+}
+
+TEST(TimeSeries, PrintAlignedSeries) {
+  TimeSeries a("alpha"), b("beta");
+  a.record(1.0, 0.5);
+  b.record(1.0, 0.7);
+  std::ostringstream os;
+  print_time_series(os, "demo", {a, b});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_NE(out.find("0.7"), std::string::npos);
+}
+
+TEST(TimeSeries, PrintRejectsMismatchedGrids) {
+  TimeSeries a("alpha"), b("beta");
+  a.record(1.0, 0.5);
+  b.record(2.0, 0.7);
+  std::ostringstream os;
+  EXPECT_THROW(print_time_series(os, "demo", {a, b}), CheckError);
+}
+
+}  // namespace
+}  // namespace ppo::metrics

@@ -1,0 +1,119 @@
+// Onion layering: round trips, hop-by-hop unwrapping, tampering.
+#include <gtest/gtest.h>
+
+#include "privacylink/onion.hpp"
+
+namespace ppo::privacylink {
+namespace {
+
+crypto::X25519Key seed_key(std::uint8_t fill) {
+  crypto::X25519Key k{};
+  k.fill(fill);
+  return k;
+}
+
+TEST(Onion, SingleHopRoundTrip) {
+  Rng rng(1);
+  const auto relay = crypto::x25519_keypair(seed_key(1));
+  const crypto::Bytes payload = crypto::to_bytes("hello overlay");
+
+  const crypto::Bytes wrapped = onion_wrap(
+      {{kFinalHop, relay.public_key}},
+      crypto::BytesView(payload.data(), payload.size()), rng);
+  EXPECT_EQ(wrapped.size(), payload.size() + kOnionLayerOverhead);
+
+  const auto layer = onion_unwrap(
+      relay.private_key, crypto::BytesView(wrapped.data(), wrapped.size()));
+  ASSERT_TRUE(layer.has_value());
+  EXPECT_EQ(layer->next_hop, kFinalHop);
+  EXPECT_EQ(layer->inner, payload);
+}
+
+TEST(Onion, ThreeHopChainUnwrapsInOrder) {
+  Rng rng(2);
+  const auto r0 = crypto::x25519_keypair(seed_key(1));
+  const auto r1 = crypto::x25519_keypair(seed_key(2));
+  const auto r2 = crypto::x25519_keypair(seed_key(3));
+  const crypto::Bytes payload = crypto::to_bytes("dissident message");
+
+  const crypto::Bytes wrapped = onion_wrap(
+      {{1, r0.public_key}, {2, r1.public_key}, {kFinalHop, r2.public_key}},
+      crypto::BytesView(payload.data(), payload.size()), rng);
+  EXPECT_EQ(wrapped.size(), payload.size() + 3 * kOnionLayerOverhead);
+
+  const auto l0 = onion_unwrap(r0.private_key,
+                               crypto::BytesView(wrapped.data(), wrapped.size()));
+  ASSERT_TRUE(l0.has_value());
+  EXPECT_EQ(l0->next_hop, 1u);
+
+  const auto l1 = onion_unwrap(
+      r1.private_key, crypto::BytesView(l0->inner.data(), l0->inner.size()));
+  ASSERT_TRUE(l1.has_value());
+  EXPECT_EQ(l1->next_hop, 2u);
+
+  const auto l2 = onion_unwrap(
+      r2.private_key, crypto::BytesView(l1->inner.data(), l1->inner.size()));
+  ASSERT_TRUE(l2.has_value());
+  EXPECT_EQ(l2->next_hop, kFinalHop);
+  EXPECT_EQ(l2->inner, payload);
+}
+
+TEST(Onion, WrongRelayKeyFails) {
+  Rng rng(3);
+  const auto relay = crypto::x25519_keypair(seed_key(1));
+  const auto impostor = crypto::x25519_keypair(seed_key(9));
+  const crypto::Bytes payload = crypto::to_bytes("x");
+  const crypto::Bytes wrapped =
+      onion_wrap({{kFinalHop, relay.public_key}},
+                 crypto::BytesView(payload.data(), payload.size()), rng);
+  EXPECT_FALSE(onion_unwrap(impostor.private_key,
+                            crypto::BytesView(wrapped.data(), wrapped.size()))
+                   .has_value());
+}
+
+TEST(Onion, TamperingDetected) {
+  Rng rng(4);
+  const auto relay = crypto::x25519_keypair(seed_key(1));
+  const crypto::Bytes payload = crypto::to_bytes("integrity");
+  crypto::Bytes wrapped =
+      onion_wrap({{kFinalHop, relay.public_key}},
+                 crypto::BytesView(payload.data(), payload.size()), rng);
+  // Flip a ciphertext bit (past the 44-byte clear header).
+  wrapped[50] ^= 0x80;
+  EXPECT_FALSE(onion_unwrap(relay.private_key,
+                            crypto::BytesView(wrapped.data(), wrapped.size()))
+                   .has_value());
+}
+
+TEST(Onion, TruncatedInputRejected) {
+  const auto relay = crypto::x25519_keypair(seed_key(1));
+  const crypto::Bytes junk(10, 0xab);
+  EXPECT_FALSE(onion_unwrap(relay.private_key,
+                            crypto::BytesView(junk.data(), junk.size()))
+                   .has_value());
+}
+
+TEST(Onion, RouteValidationEnforced) {
+  Rng rng(5);
+  const auto relay = crypto::x25519_keypair(seed_key(1));
+  const crypto::Bytes payload = crypto::to_bytes("x");
+  EXPECT_THROW(onion_wrap({}, crypto::BytesView(payload.data(), payload.size()), rng),
+               CheckError);
+  EXPECT_THROW(onion_wrap({{7, relay.public_key}},
+                          crypto::BytesView(payload.data(), payload.size()), rng),
+               CheckError);
+}
+
+TEST(Onion, IdenticalPayloadsProduceDistinctWrappings) {
+  Rng rng(6);
+  const auto relay = crypto::x25519_keypair(seed_key(1));
+  const crypto::Bytes payload = crypto::to_bytes("same bytes");
+  const auto a = onion_wrap({{kFinalHop, relay.public_key}},
+                            crypto::BytesView(payload.data(), payload.size()), rng);
+  const auto b = onion_wrap({{kFinalHop, relay.public_key}},
+                            crypto::BytesView(payload.data(), payload.size()), rng);
+  EXPECT_NE(a, b);  // fresh ephemeral key + nonce per message
+}
+
+}  // namespace
+}  // namespace ppo::privacylink

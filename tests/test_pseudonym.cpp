@@ -1,0 +1,114 @@
+// Pseudonym primitives and the ideal pseudonym service (§III-B/C).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "privacylink/pseudonym.hpp"
+#include "privacylink/pseudonym_service.hpp"
+
+namespace ppo::privacylink {
+namespace {
+
+TEST(PseudonymValue, RespectsBitWidth) {
+  Rng rng(1);
+  for (unsigned bits : {8u, 16u, 32u, 63u}) {
+    for (int i = 0; i < 200; ++i) {
+      const PseudonymValue v = random_pseudonym_value(rng, bits);
+      EXPECT_LT(v, 1ull << bits);
+    }
+  }
+  // 64-bit values should occasionally exceed 2^63.
+  bool large_seen = false;
+  for (int i = 0; i < 200; ++i)
+    large_seen |= (random_pseudonym_value(rng, 64) >= (1ull << 63));
+  EXPECT_TRUE(large_seen);
+}
+
+TEST(PseudonymValue, RejectsBadWidth) {
+  Rng rng(1);
+  EXPECT_THROW(random_pseudonym_value(rng, 4), CheckError);
+  EXPECT_THROW(random_pseudonym_value(rng, 65), CheckError);
+}
+
+TEST(PseudonymDistance, Symmetric) {
+  EXPECT_EQ(pseudonym_distance(10, 3), 7u);
+  EXPECT_EQ(pseudonym_distance(3, 10), 7u);
+  EXPECT_EQ(pseudonym_distance(5, 5), 0u);
+}
+
+TEST(PseudonymRecord, Validity) {
+  const PseudonymRecord r{42, 10.0};
+  EXPECT_TRUE(r.valid_at(0.0));
+  EXPECT_TRUE(r.valid_at(9.999));
+  EXPECT_FALSE(r.valid_at(10.0));
+  EXPECT_FALSE(r.valid_at(11.0));
+}
+
+TEST(PseudonymService, CreateAndResolve) {
+  PseudonymService service;
+  Rng rng(2);
+  const PseudonymRecord r = service.create(7, 0.0, 90.0, rng);
+  EXPECT_DOUBLE_EQ(r.expiry, 90.0);
+  EXPECT_EQ(service.resolve(r.value, 0.0), std::optional<NodeId>(7));
+  EXPECT_EQ(service.resolve(r.value, 89.9), std::optional<NodeId>(7));
+}
+
+TEST(PseudonymService, ExpiredPseudonymUnroutable) {
+  PseudonymService service;
+  Rng rng(3);
+  const PseudonymRecord r = service.create(7, 0.0, 90.0, rng);
+  EXPECT_EQ(service.resolve(r.value, 90.0), std::nullopt);
+  EXPECT_FALSE(service.alive(r.value, 90.0));
+  // Expired entries get garbage-collected on resolution.
+  EXPECT_EQ(service.registered_count(), 0u);
+}
+
+TEST(PseudonymService, UnknownValueUnroutable) {
+  PseudonymService service;
+  EXPECT_EQ(service.resolve(0xdeadbeef, 0.0), std::nullopt);
+}
+
+TEST(PseudonymService, RenewalKeepsOldPseudonymAliveUntilTtl) {
+  PseudonymService service;
+  Rng rng(4);
+  const PseudonymRecord old_record = service.create(3, 0.0, 50.0, rng);
+  const PseudonymRecord new_record = service.create(3, 40.0, 50.0, rng);
+  EXPECT_NE(old_record.value, new_record.value);
+  EXPECT_EQ(service.resolve(old_record.value, 45.0), std::optional<NodeId>(3));
+  EXPECT_EQ(service.resolve(new_record.value, 45.0), std::optional<NodeId>(3));
+  EXPECT_EQ(service.resolve(old_record.value, 55.0), std::nullopt);
+  EXPECT_EQ(service.resolve(new_record.value, 55.0), std::optional<NodeId>(3));
+}
+
+TEST(PseudonymService, NarrowWidthAvoidsLiveCollisions) {
+  PseudonymService service(8);  // only 256 possible values
+  Rng rng(5);
+  std::set<PseudonymValue> seen;
+  for (NodeId v = 0; v < 100; ++v) {
+    const PseudonymRecord r = service.create(v, 0.0, 10.0, rng);
+    EXPECT_TRUE(seen.insert(r.value).second) << "live collision";
+  }
+}
+
+TEST(PseudonymService, ExpiredValuesAreReusable) {
+  PseudonymService service(8);
+  Rng rng(6);
+  for (int round = 0; round < 10; ++round) {
+    const double now = round * 20.0;
+    for (NodeId v = 0; v < 50; ++v) service.create(v, now, 10.0, rng);
+  }
+  SUCCEED();  // no exhaustion throw
+}
+
+TEST(PseudonymService, GarbageCollection) {
+  PseudonymService service;
+  Rng rng(7);
+  for (NodeId v = 0; v < 20; ++v) service.create(v, 0.0, 10.0, rng);
+  for (NodeId v = 0; v < 20; ++v) service.create(v, 0.0, 100.0, rng);
+  EXPECT_EQ(service.registered_count(), 40u);
+  service.collect_garbage(50.0);
+  EXPECT_EQ(service.registered_count(), 20u);
+}
+
+}  // namespace
+}  // namespace ppo::privacylink

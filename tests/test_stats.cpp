@@ -1,0 +1,114 @@
+// RunningStats / Histogram / percentile behaviour.
+#include <gtest/gtest.h>
+
+#include "common/histogram.hpp"
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace ppo {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesCombinedStream) {
+  RunningStats a, b, combined;
+  for (int i = 0; i < 100; ++i) {
+    const double x = i * 0.37;
+    combined.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.99), 7.0);
+}
+
+TEST(Percentile, RejectsEmptyAndBadQ) {
+  EXPECT_THROW(percentile({}, 0.5), CheckError);
+  EXPECT_THROW(percentile({1.0}, 1.5), CheckError);
+}
+
+TEST(ChiSquare, UniformCountsScoreLow) {
+  EXPECT_DOUBLE_EQ(chi_square_uniform({100, 100, 100, 100}), 0.0);
+  EXPECT_GT(chi_square_uniform({400, 0, 0, 0}), 100.0);
+}
+
+TEST(Histogram, CountsAndMean) {
+  Histogram h;
+  h.add(1);
+  h.add(2, 3);
+  h.add(10);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(2), 3u);
+  EXPECT_EQ(h.count(7), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), (1.0 + 6.0 + 10.0) / 5.0);
+  EXPECT_EQ(h.min_value(), 1u);
+  EXPECT_EQ(h.max_value(), 10u);
+}
+
+TEST(Histogram, BinsSorted) {
+  Histogram h;
+  h.add(5);
+  h.add(1);
+  h.add(3);
+  const auto bins = h.bins();
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_EQ(bins[0].first, 1u);
+  EXPECT_EQ(bins[1].first, 3u);
+  EXPECT_EQ(bins[2].first, 5u);
+}
+
+TEST(Histogram, Quantiles) {
+  Histogram h;
+  for (std::size_t v = 1; v <= 100; ++v) h.add(v);
+  EXPECT_EQ(h.quantile(0.0), 1u);
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.5)), 50.0, 1.0);
+  EXPECT_EQ(h.quantile(1.0), 100u);
+}
+
+TEST(Histogram, EmptyGuards) {
+  const Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_THROW(h.quantile(0.5), CheckError);
+  EXPECT_THROW(h.min_value(), CheckError);
+}
+
+}  // namespace
+}  // namespace ppo
