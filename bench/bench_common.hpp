@@ -1,17 +1,28 @@
 // Shared scaffolding for the figure-reproduction benches: CLI → scale
-// knobs, workbench construction, and uniform header printing. Every
-// flag can also come from the environment as PPO_<FLAG> (see Cli), so
-// `PPO_BASE_NODES=8000 ./fig3_connectivity` scales a run down without
-// editing commands.
+// knobs, workbench construction, uniform header printing, and the
+// machine-readable `--json <path>` report every figure bench emits.
+// Every flag can also come from the environment as PPO_<FLAG> (see
+// Cli), so `PPO_BASE_NODES=8000 ./fig3_connectivity` scales a run down
+// without editing commands.
+//
+// Parallelism: `--jobs N` sets the sweep worker count (default 0 =
+// hardware concurrency); results are bit-identical for any N. Add
+// `--progress` for per-cell completion/ETA lines on stderr.
 #pragma once
 
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "common/cli.hpp"
 #include "common/logging.hpp"
+#include "experiments/figure_json.hpp"
 #include "experiments/figures.hpp"
 #include "experiments/workbench.hpp"
+#include "runner/json.hpp"
 
 namespace ppo::bench {
 
@@ -20,8 +31,38 @@ inline experiments::WorkbenchOptions workbench_options(const Cli& cli) {
   opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
   opts.social.num_nodes =
       static_cast<std::size_t>(cli.get_int("base-nodes", 50'000));
+  // Community structure must shrink with the base graph (the generator
+  // requires num_nodes >= 2 x community size), so reduced-scale CI
+  // runs can dial these down alongside --base-nodes.
+  opts.social.sub_community_size = static_cast<std::size_t>(cli.get_int(
+      "sub-community", static_cast<std::int64_t>(opts.social.sub_community_size)));
+  opts.social.community_size = static_cast<std::size_t>(cli.get_int(
+      "community", static_cast<std::int64_t>(opts.social.community_size)));
   opts.trust_nodes = static_cast<std::size_t>(cli.get_int("nodes", 1000));
   return opts;
+}
+
+/// Parses a comma-separated list of doubles, e.g. --alphas=0.25,0.5,1.
+inline std::vector<double> parse_double_list(const std::string& text) {
+  std::vector<double> out;
+  std::istringstream in(text);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) continue;
+    std::size_t used = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(token, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != token.size()) {
+      std::cerr << "not a number in comma-separated list: '" << token << "'\n";
+      std::exit(2);
+    }
+    out.push_back(value);
+  }
+  return out;
 }
 
 inline experiments::FigureScale figure_scale(const Cli& cli) {
@@ -32,6 +73,12 @@ inline experiments::FigureScale figure_scale(const Cli& cli) {
   scale.window.apl_sources =
       static_cast<std::size_t>(cli.get_int("apl-sources", 48));
   scale.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  scale.jobs = static_cast<std::size_t>(cli.get_int("jobs", 0));
+  scale.progress = cli.get_bool("progress", false);
+  if (cli.has("alphas")) {
+    const auto alphas = parse_double_list(cli.get_string("alphas", ""));
+    if (!alphas.empty()) scale.alphas = alphas;
+  }
   return scale;
 }
 
@@ -51,6 +98,57 @@ inline void print_header(const std::string& artefact,
             << "-node synthetic social graph (seed "
             << bench.options().seed << ")\n"
             << "==============================================================\n\n";
+}
+
+/// Wall-clock timer for the figure computation a bench reports.
+class WallTimer {
+ public:
+  double seconds() const {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+/// When `--json <path>` was given, wraps `figure` (the figure payload,
+/// typically experiments::to_json(fig)) in the common envelope —
+/// artefact name, schema version, workbench + scale knobs, root seed,
+/// resolved job count and total wall time — and writes it to the path.
+/// Returns true if a file was written.
+inline bool write_json_report(const Cli& cli, const std::string& artefact,
+                              const experiments::Workbench& bench,
+                              const experiments::FigureScale& scale,
+                              runner::Json figure, double wall_seconds) {
+  if (!cli.has("json")) return false;
+  const std::string path = cli.get_string("json", "");
+  if (path.empty()) {
+    std::cerr << "--json needs a path\n";
+    std::exit(2);
+  }
+  runner::Json doc = runner::Json::object();
+  doc["artefact"] = artefact;
+  doc["schema_version"] =
+      static_cast<std::int64_t>(experiments::kFigureJsonSchemaVersion);
+  doc["workbench"] = experiments::to_json(bench.options());
+  doc["scale"] = experiments::to_json(scale);
+  doc["seed"] = scale.seed;
+  doc["jobs"] = static_cast<std::uint64_t>(
+      scale.jobs == 0 ? runner::default_jobs() : scale.jobs);
+  doc["wall_seconds"] = wall_seconds;
+  doc["figure"] = std::move(figure);
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write --json file: " << path << "\n";
+    std::exit(1);
+  }
+  out << doc.dump(2) << "\n";
+  std::cout << "wrote JSON report: " << path << "\n";
+  return true;
 }
 
 }  // namespace ppo::bench

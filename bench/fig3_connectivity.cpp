@@ -5,6 +5,9 @@
 // Expected shape (paper §V-A): trust graphs degrade sharply as alpha
 // drops; the overlay stays near zero down to alpha ~ 0.25 (f = 1.0
 // even at 0.125); the random graph stays near zero everywhere.
+//
+// --jobs N runs the per-alpha cells in parallel (bit-identical output
+// for any N); --json <path> writes the machine-readable report.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -18,9 +21,15 @@ int main(int argc, char** argv) {
                       "connectivity under churn for different trust graphs",
                       bench);
 
-  const auto fig = experiments::availability_sweep(bench, bench::figure_scale(cli));
+  const auto scale = bench::figure_scale(cli);
+  const bench::WallTimer timer;
+  const auto fig = experiments::availability_sweep(bench, scale);
+  const double wall = timer.seconds();
+
   print_series_table(std::cout,
                      "fraction of disconnected nodes vs availability",
                      "alpha", fig.alphas, fig.connectivity);
+  bench::write_json_report(cli, "fig3_connectivity", bench, scale,
+                           experiments::to_json(fig), wall);
   return 0;
 }

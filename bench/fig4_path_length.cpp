@@ -5,6 +5,9 @@
 // Expected shape (paper §V-A): the overlay closely tracks the random
 // graph for all availabilities; the trust graphs sit above it and
 // explode (fragment-dominated) at low alpha.
+//
+// --jobs N runs the per-alpha cells in parallel (bit-identical output
+// for any N); --json <path> writes the machine-readable report.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -18,9 +21,15 @@ int main(int argc, char** argv) {
                       "normalized average path length for different trust graphs",
                       bench);
 
-  const auto fig = experiments::availability_sweep(bench, bench::figure_scale(cli));
+  const auto scale = bench::figure_scale(cli);
+  const bench::WallTimer timer;
+  const auto fig = experiments::availability_sweep(bench, scale);
+  const double wall = timer.seconds();
+
   print_series_table(std::cout,
                      "normalized average path length vs availability",
                      "alpha", fig.alphas, fig.napl, 2);
+  bench::write_json_report(cli, "fig4_path_length", bench, scale,
+                           experiments::to_json(fig), wall);
   return 0;
 }

@@ -5,6 +5,9 @@
 // Expected shape (paper §V-A): the overlay shifts the trust graph's
 // distribution far to the right, close to the random graph but less
 // concentrated because skewed trust links remain.
+//
+// --jobs N runs the per-f cells in parallel (bit-identical output for
+// any N); --json <path> writes the machine-readable report.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -34,8 +37,10 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 5", "degree distributions at alpha = 0.5",
                       bench);
 
-  const auto fig =
-      experiments::degree_distributions(bench, bench::figure_scale(cli));
+  const auto scale = bench::figure_scale(cli);
+  const bench::WallTimer timer;
+  const auto fig = experiments::degree_distributions(bench, scale);
+  const double wall = timer.seconds();
   const std::size_t bin_width =
       static_cast<std::size_t>(cli.get_int("bin-width", 5));
 
@@ -62,5 +67,7 @@ int main(int argc, char** argv) {
               << " random=" << TextTable::num(entry.random.mean(), 2)
               << "\n\n";
   }
+  bench::write_json_report(cli, "fig5_degree_distribution", bench, scale,
+                           experiments::to_json(fig), wall);
   return 0;
 }

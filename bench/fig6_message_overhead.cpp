@@ -6,6 +6,9 @@
 // period (1 request + 1 response); nodes with more overlay neighbors
 // (trust-graph hubs) receive and answer more shuffle requests; max
 // out-degree ~ max(target, trust degree).
+//
+// --jobs N runs the per-f cells in parallel (bit-identical output for
+// any N); --json <path> writes the machine-readable report.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -19,8 +22,10 @@ int main(int argc, char** argv) {
                       "per-node message load by trust-degree rank, alpha = 0.5",
                       bench);
 
-  const auto fig =
-      experiments::message_overhead(bench, bench::figure_scale(cli));
+  const auto scale = bench::figure_scale(cli);
+  const bench::WallTimer timer;
+  const auto fig = experiments::message_overhead(bench, scale);
+  const double wall = timer.seconds();
 
   for (const auto& entry : fig.entries) {
     std::cout << "--- f = " << TextTable::num(entry.f) << " ---\n";
@@ -42,5 +47,7 @@ int main(int argc, char** argv) {
               << "  (paper: ~2 at alpha=1; lower under churn because "
                  "requests to offline peers get no response)\n\n";
   }
+  bench::write_json_report(cli, "fig6_message_overhead", bench, scale,
+                           experiments::to_json(fig), wall);
   return 0;
 }

@@ -5,6 +5,9 @@
 // Expected shape (paper §V-B): larger r -> more robust; r >= 9 tracks
 // the random graph; r = 3 degrades at alpha = 0.125; r = 1 already
 // degrades at 0.25 and behaves trust-graph-like at low alpha.
+//
+// --jobs N runs the per-alpha cells in parallel (bit-identical output
+// for any N); --json <path> writes the machine-readable report.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -18,7 +21,11 @@ int main(int argc, char** argv) {
                       "connectivity for different pseudonym lifetimes (f = 0.5)",
                       bench);
 
-  const auto fig = experiments::lifetime_sweep(bench, bench::figure_scale(cli));
+  const auto scale = bench::figure_scale(cli);
+  const bench::WallTimer timer;
+  const auto fig = experiments::lifetime_sweep(bench, scale);
+  const double wall = timer.seconds();
+
   print_series_table(std::cout,
                      "fraction of disconnected nodes vs availability",
                      "alpha", fig.alphas, fig.connectivity);
@@ -26,5 +33,7 @@ int main(int argc, char** argv) {
                      "normalized average path length vs availability "
                      "(companion data, not a separate paper figure)",
                      "alpha", fig.alphas, fig.napl, 2);
+  bench::write_json_report(cli, "fig7_pseudonym_lifetime", bench, scale,
+                           experiments::to_json(fig), wall);
   return 0;
 }

@@ -5,6 +5,9 @@
 // improves within a few tens of shuffling periods and stabilizes near
 // full connectivity after ~200 periods; the bare trust graph stays at
 // ~70% disconnected throughout.
+//
+// --jobs N runs the three traces in parallel (bit-identical output
+// for any N); --json <path> writes the machine-readable report.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -21,12 +24,17 @@ int main(int argc, char** argv) {
 
   const double horizon = cli.get_double("horizon", 1000.0);
   const double sample_every = cli.get_double("sample-every", 20.0);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const auto scale = bench::figure_scale(cli);
 
-  const auto fig =
-      experiments::convergence_trace(bench, horizon, sample_every, seed);
+  const bench::WallTimer timer;
+  const auto fig = experiments::convergence_trace(bench, horizon, sample_every,
+                                                  scale.seed, scale.jobs);
+  const double wall = timer.seconds();
+
   metrics::print_time_series(
       std::cout, "fraction of disconnected nodes over time (shuffle periods)",
       {fig.trust, fig.overlay_r3, fig.overlay_r9}, 3);
+  bench::write_json_report(cli, "fig8_convergence", bench, scale,
+                           experiments::to_json(fig), wall);
   return 0;
 }

@@ -6,6 +6,9 @@
 // best links are found; r = 3 sustains the highest steady replacement
 // rate; r = 9 sits in between and shows a decaying oscillation early
 // on (synchronized expiry of the pseudonyms minted at start-up).
+//
+// --jobs N runs the three traces in parallel (bit-identical output
+// for any N); --json <path> writes the machine-readable report.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -23,13 +26,18 @@ int main(int argc, char** argv) {
 
   const double horizon = cli.get_double("horizon", 10'000.0);
   const double sample_every = cli.get_double("sample-every", 100.0);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const auto scale = bench::figure_scale(cli);
 
-  const auto fig =
-      experiments::replacement_trace(bench, horizon, sample_every, seed);
+  const bench::WallTimer timer;
+  const auto fig = experiments::replacement_trace(bench, horizon, sample_every,
+                                                  scale.seed, scale.jobs);
+  const double wall = timer.seconds();
+
   metrics::print_time_series(
       std::cout,
       "pseudonym links replaced per node per shuffle period over time",
       {fig.r3, fig.r9, fig.r_infinite}, 3);
+  bench::write_json_report(cli, "fig9_link_replacement", bench, scale,
+                           experiments::to_json(fig), wall);
   return 0;
 }

@@ -1,0 +1,146 @@
+#include "experiments/figure_json.hpp"
+
+namespace ppo::experiments {
+
+using runner::Json;
+
+Json to_json(const runner::SweepTelemetry& telemetry) {
+  Json j = Json::object();
+  j["cells"] = static_cast<std::uint64_t>(telemetry.cells);
+  j["jobs"] = static_cast<std::uint64_t>(telemetry.jobs);
+  j["wall_seconds"] = telemetry.wall_seconds;
+  j["cell_seconds"] = Json::array_of(telemetry.cell_seconds);
+  return j;
+}
+
+Json to_json(const Series& series) {
+  Json j = Json::object();
+  j["name"] = series.name;
+  j["values"] = Json::array_of(series.values);
+  return j;
+}
+
+Json to_json(const Histogram& histogram) {
+  Json bins = Json::array();
+  for (const auto& [value, count] : histogram.bins()) {
+    Json bin = Json::object();
+    bin["value"] = static_cast<std::uint64_t>(value);
+    bin["count"] = static_cast<std::uint64_t>(count);
+    bins.push_back(std::move(bin));
+  }
+  Json j = Json::object();
+  j["total"] = static_cast<std::uint64_t>(histogram.total());
+  j["bins"] = std::move(bins);
+  return j;
+}
+
+Json to_json(const metrics::TimeSeries& series) {
+  Json j = Json::object();
+  j["name"] = series.name();
+  j["times"] = Json::array_of(series.times());
+  j["values"] = Json::array_of(series.values());
+  return j;
+}
+
+Json to_json(const FigureScale& scale) {
+  Json j = Json::object();
+  j["warmup"] = scale.window.warmup;
+  j["measure"] = scale.window.measure;
+  j["sample_every"] = scale.window.sample_every;
+  j["apl_sources"] = static_cast<std::uint64_t>(scale.window.apl_sources);
+  j["alphas"] = Json::array_of(scale.alphas);
+  j["seed"] = scale.seed;
+  j["jobs"] = static_cast<std::uint64_t>(scale.jobs);
+  return j;
+}
+
+Json to_json(const WorkbenchOptions& options) {
+  Json j = Json::object();
+  j["seed"] = options.seed;
+  j["base_nodes"] = static_cast<std::uint64_t>(options.social.num_nodes);
+  j["trust_nodes"] = static_cast<std::uint64_t>(options.trust_nodes);
+  return j;
+}
+
+namespace {
+
+Json series_block(const std::vector<Series>& series) {
+  Json arr = Json::array();
+  for (const Series& s : series) arr.push_back(to_json(s));
+  return arr;
+}
+
+}  // namespace
+
+Json to_json(const SweepFigure& fig) {
+  Json j = Json::object();
+  j["alphas"] = Json::array_of(fig.alphas);
+  j["connectivity"] = series_block(fig.connectivity);
+  j["napl"] = series_block(fig.napl);
+  j["telemetry"] = to_json(fig.telemetry);
+  return j;
+}
+
+Json to_json(const DegreeFigure& fig) {
+  Json entries = Json::array();
+  for (const auto& entry : fig.entries) {
+    Json e = Json::object();
+    e["f"] = entry.f;
+    e["trust"] = to_json(entry.trust);
+    e["overlay"] = to_json(entry.overlay);
+    e["random"] = to_json(entry.random);
+    entries.push_back(std::move(e));
+  }
+  Json j = Json::object();
+  j["entries"] = std::move(entries);
+  j["telemetry"] = to_json(fig.telemetry);
+  return j;
+}
+
+Json to_json(const MessageFigure& fig) {
+  Json entries = Json::array();
+  for (const auto& entry : fig.entries) {
+    Json rows = Json::array();
+    for (const auto& row : entry.rows) {
+      Json r = Json::object();
+      r["rank"] = static_cast<std::uint64_t>(row.rank);
+      r["trust_degree"] = static_cast<std::uint64_t>(row.trust_degree);
+      r["max_out_degree"] = static_cast<std::uint64_t>(row.max_out_degree);
+      r["messages_per_period"] = row.messages_per_period;
+      rows.push_back(std::move(r));
+    }
+    Json e = Json::object();
+    e["f"] = entry.f;
+    e["mean_messages"] = entry.mean_messages;
+    e["rows"] = std::move(rows);
+    entries.push_back(std::move(e));
+  }
+  Json j = Json::object();
+  j["entries"] = std::move(entries);
+  j["telemetry"] = to_json(fig.telemetry);
+  return j;
+}
+
+Json to_json(const ConvergenceFigure& fig) {
+  Json series = Json::array();
+  series.push_back(to_json(fig.trust));
+  series.push_back(to_json(fig.overlay_r3));
+  series.push_back(to_json(fig.overlay_r9));
+  Json j = Json::object();
+  j["series"] = std::move(series);
+  j["telemetry"] = to_json(fig.telemetry);
+  return j;
+}
+
+Json to_json(const ReplacementFigure& fig) {
+  Json series = Json::array();
+  series.push_back(to_json(fig.r3));
+  series.push_back(to_json(fig.r9));
+  series.push_back(to_json(fig.r_infinite));
+  Json j = Json::object();
+  j["series"] = std::move(series);
+  j["telemetry"] = to_json(fig.telemetry);
+  return j;
+}
+
+}  // namespace ppo::experiments

@@ -1,0 +1,32 @@
+// JSON projections of the figure results, scale knobs and sweep
+// telemetry — the payload of every bench's `--json <path>` flag and of
+// the committed BENCH_*.json perf-baseline files.
+//
+// Schema (stable, versioned by kFigureJsonSchemaVersion in the bench
+// envelope): series figures become {"alphas": [...], "series":
+// [{"name": ..., "values": [...]}, ...]}; histograms become sorted
+// {"value": n, "count": n} bins; telemetry always carries jobs, cells,
+// wall_seconds and per-cell seconds.
+#pragma once
+
+#include "experiments/figures.hpp"
+#include "runner/json.hpp"
+
+namespace ppo::experiments {
+
+inline constexpr int kFigureJsonSchemaVersion = 1;
+
+runner::Json to_json(const runner::SweepTelemetry& telemetry);
+runner::Json to_json(const Series& series);
+runner::Json to_json(const Histogram& histogram);
+runner::Json to_json(const metrics::TimeSeries& series);
+runner::Json to_json(const FigureScale& scale);
+runner::Json to_json(const WorkbenchOptions& options);
+
+runner::Json to_json(const SweepFigure& fig);
+runner::Json to_json(const DegreeFigure& fig);
+runner::Json to_json(const MessageFigure& fig);
+runner::Json to_json(const ConvergenceFigure& fig);
+runner::Json to_json(const ReplacementFigure& fig);
+
+}  // namespace ppo::experiments

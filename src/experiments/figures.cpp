@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -20,38 +22,91 @@ OverlayScenario base_scenario(const FigureScale& scale, double alpha,
   return scenario;
 }
 
-}  // namespace
+runner::SweepOptions sweep_options(const FigureScale& scale,
+                                   const char* label) {
+  runner::SweepOptions opt;
+  opt.jobs = scale.jobs;
+  opt.root_seed = scale.seed;
+  opt.progress = scale.progress;
+  opt.label = label;
+  return opt;
+}
 
-SweepFigure availability_sweep(Workbench& bench, const FigureScale& scale) {
+/// The (connectivity, napl) pair one alpha cell contributes to each
+/// output series, in series order.
+using CellValues = std::vector<std::pair<double, double>>;
+
+/// Common shape of the Figure 3/4 and Figure 7 sweeps: one shared
+/// Erdős–Rényi reference sized from a converged f = 0.5 overlay run,
+/// then one independent simulation cell per alpha. Cells only read
+/// `er` and the (pre-built, cached) trust graphs, so they are safe to
+/// run on the pool; their seeds depend only on (scale.seed, index).
+struct AlphaSweepSpec {
+  const char* label;
+  std::vector<const char*> series;  // output series names, in order
+  std::uint64_t sizing_salt = 0;    // seed salt of the ER sizing run
+  std::uint64_t er_seed_salt = 0;   // salt of the ER construction seed
+  std::function<CellValues(const graph::Graph& er, double alpha,
+                           std::size_t index)>
+      cell;
+};
+
+SweepFigure run_alpha_sweep(Workbench& bench, const FigureScale& scale,
+                            const AlphaSweepSpec& spec) {
   SweepFigure fig;
   fig.alphas = scale.alphas;
-
-  Series trust_f10{"trust-f1.0", {}}, trust_f05{"trust-f0.5", {}};
-  Series overlay_f10{"overlay-f1.0", {}}, overlay_f05{"overlay-f0.5", {}};
-  Series random_ref{"random", {}};
-  Series n_trust_f10 = trust_f10, n_trust_f05 = trust_f05,
-         n_overlay_f10 = overlay_f10, n_overlay_f05 = overlay_f05,
-         n_random = random_ref;
-
-  const graph::Graph& t10 = bench.trust_graph(1.0);
-  const graph::Graph& t05 = bench.trust_graph(0.5);
 
   // ONE Erdős–Rényi reference graph, sized once from the converged
   // overlay (highest availability in the sweep) — the paper compares
   // against a fixed random graph "of similar size and average
   // fan-out", not one resized per churn level.
+  const graph::Graph& sizing_trust = bench.trust_graph(0.5);
   const double alpha_max =
       *std::max_element(scale.alphas.begin(), scale.alphas.end());
-  OverlayScenario sizing = base_scenario(scale, alpha_max, 99);
-  const auto sizing_run = run_overlay(t05, sizing);
+  OverlayScenario sizing = base_scenario(scale, alpha_max, spec.sizing_salt);
+  const auto sizing_run = run_overlay(sizing_trust, sizing);
   const graph::Graph er = er_reference(
-      t05.num_nodes(),
+      sizing_trust.num_nodes(),
       static_cast<std::size_t>(
           std::llround(sizing_run.stats.total_edges.mean())),
-      scale.seed ^ 0xE6);
+      scale.seed ^ spec.er_seed_salt);
 
-  for (std::size_t i = 0; i < scale.alphas.size(); ++i) {
-    const double alpha = scale.alphas[i];
+  auto grid = runner::run_grid(
+      scale.alphas, sweep_options(scale, spec.label),
+      [&](double alpha, const runner::CellInfo& cell) {
+        return spec.cell(er, alpha, cell.index);
+      });
+
+  for (std::size_t j = 0; j < spec.series.size(); ++j) {
+    Series conn{spec.series[j], {}}, napl{spec.series[j], {}};
+    conn.values.reserve(grid.cells.size());
+    napl.values.reserve(grid.cells.size());
+    for (const CellValues& values : grid.cells) {
+      PPO_CHECK(values.size() == spec.series.size());
+      conn.values.push_back(values[j].first);
+      napl.values.push_back(values[j].second);
+    }
+    fig.connectivity.push_back(std::move(conn));
+    fig.napl.push_back(std::move(napl));
+  }
+  fig.telemetry = std::move(grid.telemetry);
+  return fig;
+}
+
+}  // namespace
+
+SweepFigure availability_sweep(Workbench& bench, const FigureScale& scale) {
+  const graph::Graph& t10 = bench.trust_graph(1.0);
+  const graph::Graph& t05 = bench.trust_graph(0.5);
+
+  AlphaSweepSpec spec;
+  spec.label = "availability-sweep";
+  spec.series = {"trust-f1.0", "trust-f0.5", "overlay-f1.0", "overlay-f0.5",
+                 "random"};
+  spec.sizing_salt = 99;
+  spec.er_seed_salt = 0xE6;
+  spec.cell = [&scale, &t10, &t05](const graph::Graph& er, double alpha,
+                                   std::size_t i) {
     OverlayScenario scenario = base_scenario(scale, alpha, 101 + i);
 
     const auto s_t10 =
@@ -65,157 +120,151 @@ SweepFigure availability_sweep(Workbench& bench, const FigureScale& scale) {
     const auto s_er =
         run_static(er, scenario.churn, scale.window, scenario.seed ^ 3);
 
-    trust_f10.values.push_back(s_t10.stats.frac_disconnected.mean());
-    trust_f05.values.push_back(s_t05.stats.frac_disconnected.mean());
-    overlay_f10.values.push_back(o_t10.stats.frac_disconnected.mean());
-    overlay_f05.values.push_back(o_t05.stats.frac_disconnected.mean());
-    random_ref.values.push_back(s_er.stats.frac_disconnected.mean());
-
-    n_trust_f10.values.push_back(s_t10.stats.norm_apl.mean());
-    n_trust_f05.values.push_back(s_t05.stats.norm_apl.mean());
-    n_overlay_f10.values.push_back(o_t10.stats.norm_apl.mean());
-    n_overlay_f05.values.push_back(o_t05.stats.norm_apl.mean());
-    n_random.values.push_back(s_er.stats.norm_apl.mean());
-  }
-
-  fig.connectivity = {trust_f10, trust_f05, overlay_f10, overlay_f05,
-                      random_ref};
-  fig.napl = {n_trust_f10, n_trust_f05, n_overlay_f10, n_overlay_f05,
-              n_random};
-  return fig;
+    return CellValues{
+        {s_t10.stats.frac_disconnected.mean(), s_t10.stats.norm_apl.mean()},
+        {s_t05.stats.frac_disconnected.mean(), s_t05.stats.norm_apl.mean()},
+        {o_t10.stats.frac_disconnected.mean(), o_t10.stats.norm_apl.mean()},
+        {o_t05.stats.frac_disconnected.mean(), o_t05.stats.norm_apl.mean()},
+        {s_er.stats.frac_disconnected.mean(), s_er.stats.norm_apl.mean()},
+    };
+  };
+  return run_alpha_sweep(bench, scale, spec);
 }
 
 SweepFigure lifetime_sweep(Workbench& bench, const FigureScale& scale) {
-  SweepFigure fig;
-  fig.alphas = scale.alphas;
-
   const graph::Graph& trust = bench.trust_graph(0.5);
-  const std::vector<std::pair<const char*, double>> ratios = {
+  static constexpr std::pair<const char*, double> kRatios[] = {
       {"r1", 1.0}, {"r3", 3.0}, {"r9", 9.0}, {"r-infinite", -1.0}};
 
-  Series trust_series{"trust-graph", {}}, random_series{"random", {}};
-  Series n_trust = trust_series, n_random = random_series;
-  std::vector<Series> overlay_conn, overlay_napl;
-  for (const auto& [name, ratio] : ratios) {
-    (void)ratio;
-    overlay_conn.push_back(Series{name, {}});
-    overlay_napl.push_back(Series{name, {}});
-  }
-
-  // Shared ER reference sized once from the converged r = 3 overlay
-  // (see availability_sweep for rationale).
-  const double alpha_max =
-      *std::max_element(scale.alphas.begin(), scale.alphas.end());
-  OverlayScenario sizing = base_scenario(scale, alpha_max, 199);
-  const auto sizing_run = run_overlay(trust, sizing);
-  const graph::Graph er = er_reference(
-      trust.num_nodes(),
-      static_cast<std::size_t>(
-          std::llround(sizing_run.stats.total_edges.mean())),
-      scale.seed ^ 0xE7);
-
-  for (std::size_t i = 0; i < scale.alphas.size(); ++i) {
-    const double alpha = scale.alphas[i];
+  AlphaSweepSpec spec;
+  spec.label = "lifetime-sweep";
+  spec.series = {"trust-graph", "r1", "r3", "r9", "r-infinite", "random"};
+  spec.sizing_salt = 199;
+  spec.er_seed_salt = 0xE7;
+  spec.cell = [&scale, &trust](const graph::Graph& er, double alpha,
+                               std::size_t i) {
     OverlayScenario scenario = base_scenario(scale, alpha, 211 + i);
+    CellValues values;
 
     const auto s_trust =
         run_static(trust, scenario.churn, scale.window, scenario.seed ^ 1);
-    trust_series.values.push_back(s_trust.stats.frac_disconnected.mean());
-    n_trust.values.push_back(s_trust.stats.norm_apl.mean());
+    values.emplace_back(s_trust.stats.frac_disconnected.mean(),
+                        s_trust.stats.norm_apl.mean());
 
-    for (std::size_t k = 0; k < ratios.size(); ++k) {
+    for (std::size_t k = 0; k < std::size(kRatios); ++k) {
       OverlayScenario variant = scenario;
       variant.seed ^= (k + 2) * 0x91;
       variant.params.pseudonym_lifetime =
-          ratios[k].second < 0
+          kRatios[k].second < 0
               ? kInfiniteLifetime
-              : ratios[k].second * variant.churn.mean_offline;
+              : kRatios[k].second * variant.churn.mean_offline;
       const auto run = run_overlay(trust, variant);
-      overlay_conn[k].values.push_back(run.stats.frac_disconnected.mean());
-      overlay_napl[k].values.push_back(run.stats.norm_apl.mean());
+      values.emplace_back(run.stats.frac_disconnected.mean(),
+                          run.stats.norm_apl.mean());
     }
 
     const auto s_er =
         run_static(er, scenario.churn, scale.window, scenario.seed ^ 8);
-    random_series.values.push_back(s_er.stats.frac_disconnected.mean());
-    n_random.values.push_back(s_er.stats.norm_apl.mean());
-  }
-
-  fig.connectivity.push_back(trust_series);
-  for (auto& s : overlay_conn) fig.connectivity.push_back(std::move(s));
-  fig.connectivity.push_back(random_series);
-  fig.napl.push_back(n_trust);
-  for (auto& s : overlay_napl) fig.napl.push_back(std::move(s));
-  fig.napl.push_back(n_random);
-  return fig;
+    values.emplace_back(s_er.stats.frac_disconnected.mean(),
+                        s_er.stats.norm_apl.mean());
+    return values;
+  };
+  return run_alpha_sweep(bench, scale, spec);
 }
 
 DegreeFigure degree_distributions(Workbench& bench, const FigureScale& scale,
                                   const std::vector<double>& fs) {
+  // Build the trust graphs up front: cells must not race on the
+  // workbench cache, and prefetching keeps cell wall times honest.
+  for (const double f : fs) bench.trust_graph(f);
+
+  auto grid = runner::run_grid(
+      fs, sweep_options(scale, "degree-distributions"),
+      [&](double f, const runner::CellInfo& cell) {
+        const graph::Graph& trust = bench.trust_graph(f);
+        OverlayScenario scenario =
+            base_scenario(scale, 0.5, 311 + cell.index);
+
+        const auto s_trust =
+            run_static(trust, scenario.churn, scale.window, scenario.seed ^ 1);
+        const auto o = run_overlay(trust, scenario);
+        const auto er = er_reference(trust.num_nodes(), o.final_total_edges,
+                                     scenario.seed ^ 5);
+        const auto s_er =
+            run_static(er, scenario.churn, scale.window, scenario.seed ^ 6);
+
+        return DegreeFigure::PerF{f, s_trust.final_degree, o.final_degree,
+                                  s_er.final_degree};
+      });
+
   DegreeFigure fig;
-  for (std::size_t i = 0; i < fs.size(); ++i) {
-    const double f = fs[i];
-    const graph::Graph& trust = bench.trust_graph(f);
-    OverlayScenario scenario = base_scenario(scale, 0.5, 311 + i);
-
-    const auto s_trust =
-        run_static(trust, scenario.churn, scale.window, scenario.seed ^ 1);
-    const auto o = run_overlay(trust, scenario);
-    const auto er = er_reference(trust.num_nodes(), o.final_total_edges,
-                                 scenario.seed ^ 5);
-    const auto s_er =
-        run_static(er, scenario.churn, scale.window, scenario.seed ^ 6);
-
-    fig.entries.push_back(DegreeFigure::PerF{
-        f, s_trust.final_degree, o.final_degree, s_er.final_degree});
-  }
+  fig.entries = std::move(grid.cells);
+  fig.telemetry = std::move(grid.telemetry);
   return fig;
 }
 
 MessageFigure message_overhead(Workbench& bench, const FigureScale& scale,
                                const std::vector<double>& fs) {
-  MessageFigure fig;
-  for (std::size_t i = 0; i < fs.size(); ++i) {
-    const double f = fs[i];
-    const graph::Graph& trust = bench.trust_graph(f);
-    const OverlayScenario scenario = base_scenario(scale, 0.5, 411 + i);
-    const auto run = run_overlay(trust, scenario);
+  for (const double f : fs) bench.trust_graph(f);
 
-    MessageFigure::PerF entry;
-    entry.f = f;
-    entry.rows.reserve(run.per_node.size());
-    for (std::size_t v = 0; v < run.per_node.size(); ++v) {
-      const auto& pn = run.per_node[v];
-      entry.rows.push_back(MessageFigure::Row{
-          0, pn.trust_degree, pn.max_out_degree,
-          pn.messages_per_online_period});
-    }
-    std::sort(entry.rows.begin(), entry.rows.end(),
-              [](const auto& a, const auto& b) {
-                return a.trust_degree > b.trust_degree;
-              });
-    double total = 0.0;
-    for (std::size_t r = 0; r < entry.rows.size(); ++r) {
-      entry.rows[r].rank = r + 1;
-      total += entry.rows[r].messages_per_period;
-    }
-    entry.mean_messages =
-        entry.rows.empty() ? 0.0 : total / static_cast<double>(entry.rows.size());
-    fig.entries.push_back(std::move(entry));
-  }
+  auto grid = runner::run_grid(
+      fs, sweep_options(scale, "message-overhead"),
+      [&](double f, const runner::CellInfo& cell) {
+        const graph::Graph& trust = bench.trust_graph(f);
+        const OverlayScenario scenario =
+            base_scenario(scale, 0.5, 411 + cell.index);
+        const auto run = run_overlay(trust, scenario);
+
+        MessageFigure::PerF entry;
+        entry.f = f;
+        entry.rows.reserve(run.per_node.size());
+        for (std::size_t v = 0; v < run.per_node.size(); ++v) {
+          const auto& pn = run.per_node[v];
+          entry.rows.push_back(MessageFigure::Row{
+              0, pn.trust_degree, pn.max_out_degree,
+              pn.messages_per_online_period});
+        }
+        std::sort(entry.rows.begin(), entry.rows.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.trust_degree > b.trust_degree;
+                  });
+        double total = 0.0;
+        for (std::size_t r = 0; r < entry.rows.size(); ++r) {
+          entry.rows[r].rank = r + 1;
+          total += entry.rows[r].messages_per_period;
+        }
+        entry.mean_messages =
+            entry.rows.empty()
+                ? 0.0
+                : total / static_cast<double>(entry.rows.size());
+        return entry;
+      });
+
+  MessageFigure fig;
+  fig.entries = std::move(grid.cells);
+  fig.telemetry = std::move(grid.telemetry);
   return fig;
 }
 
 ConvergenceFigure convergence_trace(Workbench& bench, double horizon,
-                                    double sample_every, std::uint64_t seed) {
+                                    double sample_every, std::uint64_t seed,
+                                    std::size_t jobs) {
   const graph::Graph& trust = bench.trust_graph(0.5);
   ConvergenceFigure fig;
 
   ChurnSpec churn;
   churn.alpha = 0.25;
-  fig.trust = run_static_trace(trust, churn, horizon, sample_every, seed ^ 1);
 
-  for (const double ratio : {3.0, 9.0}) {
+  // Three independent runs: the static trust baseline and the overlay
+  // at r = 3 and r = 9.
+  runner::SweepOptions opt;
+  opt.jobs = jobs;
+  opt.root_seed = seed;
+  opt.label = "convergence-trace";
+  auto grid = runner::run_grid(3, opt, [&](const runner::CellInfo& cell) {
+    if (cell.index == 0)
+      return run_static_trace(trust, churn, horizon, sample_every, seed ^ 1);
+    const double ratio = cell.index == 1 ? 3.0 : 9.0;
     OverlayScenario scenario;
     scenario.churn = churn;
     scenario.seed = seed ^ static_cast<std::uint64_t>(ratio);
@@ -225,40 +274,55 @@ ConvergenceFigure convergence_trace(Workbench& bench, double horizon,
     spec.sample_every = sample_every;
     spec.track_connectivity = true;
     auto trace = run_overlay_trace(trust, scenario, spec);
-    if (ratio == 3.0) {
-      trace.connectivity.set_name(fig.overlay_r3.name());
-      fig.overlay_r3 = std::move(trace.connectivity);
-    } else {
-      trace.connectivity.set_name(fig.overlay_r9.name());
-      fig.overlay_r9 = std::move(trace.connectivity);
-    }
-  }
+    return std::move(trace.connectivity);
+  });
+
+  grid.cells[0].set_name(fig.trust.name());
+  fig.trust = std::move(grid.cells[0]);
+  grid.cells[1].set_name(fig.overlay_r3.name());
+  fig.overlay_r3 = std::move(grid.cells[1]);
+  grid.cells[2].set_name(fig.overlay_r9.name());
+  fig.overlay_r9 = std::move(grid.cells[2]);
+  fig.telemetry = std::move(grid.telemetry);
   return fig;
 }
 
 ReplacementFigure replacement_trace(Workbench& bench, double horizon,
-                                    double sample_every, std::uint64_t seed) {
+                                    double sample_every, std::uint64_t seed,
+                                    std::size_t jobs) {
   const graph::Graph& trust = bench.trust_graph(0.5);
   ReplacementFigure fig;
+  static constexpr double kRatios[] = {3.0, 9.0, -1.0};
 
-  const std::vector<std::pair<double, metrics::TimeSeries*>> runs = {
-      {3.0, &fig.r3}, {9.0, &fig.r9}, {-1.0, &fig.r_infinite}};
-  for (const auto& [ratio, out] : runs) {
-    OverlayScenario scenario;
-    scenario.churn.alpha = 0.25;
-    scenario.seed = seed ^ static_cast<std::uint64_t>(ratio + 100);
-    scenario.params.pseudonym_lifetime =
-        ratio < 0 ? kInfiniteLifetime
-                  : ratio * scenario.churn.mean_offline;
-    OverlayTraceSpec spec;
-    spec.horizon = horizon;
-    spec.sample_every = sample_every;
-    spec.track_connectivity = false;
-    spec.track_replacements = true;
-    auto trace = run_overlay_trace(trust, scenario, spec);
-    trace.replacements.set_name(out->name());
-    *out = std::move(trace.replacements);
-  }
+  runner::SweepOptions opt;
+  opt.jobs = jobs;
+  opt.root_seed = seed;
+  opt.label = "replacement-trace";
+  auto grid = runner::run_grid(
+      std::size(kRatios), opt, [&](const runner::CellInfo& cell) {
+        const double ratio = kRatios[cell.index];
+        OverlayScenario scenario;
+        scenario.churn.alpha = 0.25;
+        scenario.seed = seed ^ static_cast<std::uint64_t>(ratio + 100);
+        scenario.params.pseudonym_lifetime =
+            ratio < 0 ? kInfiniteLifetime
+                      : ratio * scenario.churn.mean_offline;
+        OverlayTraceSpec spec;
+        spec.horizon = horizon;
+        spec.sample_every = sample_every;
+        spec.track_connectivity = false;
+        spec.track_replacements = true;
+        auto trace = run_overlay_trace(trust, scenario, spec);
+        return std::move(trace.replacements);
+      });
+
+  grid.cells[0].set_name(fig.r3.name());
+  fig.r3 = std::move(grid.cells[0]);
+  grid.cells[1].set_name(fig.r9.name());
+  fig.r9 = std::move(grid.cells[1]);
+  grid.cells[2].set_name(fig.r_infinite.name());
+  fig.r_infinite = std::move(grid.cells[2]);
+  fig.telemetry = std::move(grid.telemetry);
   return fig;
 }
 

@@ -1,6 +1,11 @@
 // One function per evaluation figure of the paper (Figures 3-9).
 // Benches print the returned data; tests run them at reduced scale
 // and assert the paper's qualitative shapes.
+//
+// Every sweep fans its independent cells (one per alpha / f / lifetime
+// ratio) out on the ppo_runner pool. Cell seeds depend only on
+// (FigureScale::seed, cell index), so results are bit-identical for
+// any `jobs` value — see runner/sweep.hpp for the contract.
 #pragma once
 
 #include <vector>
@@ -8,6 +13,7 @@
 #include "common/table.hpp"
 #include "experiments/scenario.hpp"
 #include "experiments/workbench.hpp"
+#include "runner/sweep.hpp"
 
 namespace ppo::experiments {
 
@@ -18,6 +24,10 @@ struct FigureScale {
   std::vector<double> alphas = {0.125, 0.25, 0.375, 0.5,
                                 0.625, 0.75, 0.875, 1.0};
   std::uint64_t seed = 1;
+  /// Worker threads for the sweep cells; 0 = hardware concurrency.
+  std::size_t jobs = 0;
+  /// Report per-cell completion/ETA lines to stderr.
+  bool progress = false;
 };
 
 /// Availability sweeps (Figures 3, 4, 7): one named series per curve,
@@ -26,6 +36,7 @@ struct SweepFigure {
   std::vector<double> alphas;
   std::vector<Series> connectivity;  // fraction of disconnected nodes
   std::vector<Series> napl;          // normalized average path length
+  runner::SweepTelemetry telemetry;  // wall-clock accounting per cell
 };
 
 /// Figures 3 + 4: trust graphs (f = 1.0, 0.5), the overlay on both,
@@ -45,6 +56,7 @@ struct DegreeFigure {
     Histogram random;
   };
   std::vector<PerF> entries;
+  runner::SweepTelemetry telemetry;
 };
 DegreeFigure degree_distributions(Workbench& bench, const FigureScale& scale,
                                   const std::vector<double>& fs = {1.0, 0.5});
@@ -64,18 +76,23 @@ struct MessageFigure {
     double mean_messages = 0.0;     // network-wide average (paper: ~2)
   };
   std::vector<PerF> entries;
+  runner::SweepTelemetry telemetry;
 };
 MessageFigure message_overhead(Workbench& bench, const FigureScale& scale,
                                const std::vector<double>& fs = {1.0, 0.5});
 
-/// Figure 8: connectivity over time at alpha = 0.25 (f = 0.5).
+/// Figure 8: connectivity over time at alpha = 0.25 (f = 0.5). The
+/// three traces are independent runs and execute in parallel when
+/// `jobs` allows (0 = hardware concurrency).
 struct ConvergenceFigure {
   metrics::TimeSeries trust{"trust-graph"};
   metrics::TimeSeries overlay_r3{"overlay-r3"};
   metrics::TimeSeries overlay_r9{"overlay-r9"};
+  runner::SweepTelemetry telemetry;
 };
 ConvergenceFigure convergence_trace(Workbench& bench, double horizon,
-                                    double sample_every, std::uint64_t seed);
+                                    double sample_every, std::uint64_t seed,
+                                    std::size_t jobs = 0);
 
 /// Figure 9: pseudonym links replaced per node per shuffling period
 /// over time at alpha = 0.25 (f = 0.5), r in {3, 9, inf}.
@@ -83,9 +100,11 @@ struct ReplacementFigure {
   metrics::TimeSeries r3{"r3"};
   metrics::TimeSeries r9{"r9"};
   metrics::TimeSeries r_infinite{"r-infinite"};
+  runner::SweepTelemetry telemetry;
 };
 ReplacementFigure replacement_trace(Workbench& bench, double horizon,
-                                    double sample_every, std::uint64_t seed);
+                                    double sample_every, std::uint64_t seed,
+                                    std::size_t jobs = 0);
 
 /// Lifetime used for "pseudonyms that never expire" (r = inf).
 inline constexpr double kInfiniteLifetime = 1e12;

@@ -9,6 +9,11 @@ Workbench::Workbench(WorkbenchOptions options)
     : options_(options), rng_(options.seed) {}
 
 const graph::Graph& Workbench::base_graph() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_graph_locked();
+}
+
+const graph::Graph& Workbench::base_graph_locked() {
   if (!base_) {
     PPO_LOG_INFO << "building synthetic social base graph ("
                  << options_.social.num_nodes << " nodes)";
@@ -19,12 +24,13 @@ const graph::Graph& Workbench::base_graph() {
 }
 
 const graph::Graph& Workbench::trust_graph(double f) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = trust_.find(f);
   if (it != trust_.end()) return it->second;
   Rng rng(options_.seed ^ 0x5eedf00d ^
           static_cast<std::uint64_t>(f * 4096.0));
   graph::Graph sampled = graph::invitation_sample(
-      base_graph(), {.target_size = options_.trust_nodes, .f = f}, rng);
+      base_graph_locked(), {.target_size = options_.trust_nodes, .f = f}, rng);
   PPO_LOG_INFO << "sampled trust graph f=" << f << ": "
                << sampled.num_nodes() << " nodes, " << sampled.num_edges()
                << " edges";

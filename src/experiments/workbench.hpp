@@ -3,9 +3,16 @@
 // trust graphs sampled from it, cached per f value so a bench sweeping
 // many scenarios builds each graph once — mirroring the paper, which
 // samples its trust graphs once and reuses them.
+//
+// Thread-safe: the figure sweeps run their cells on a ppo_runner
+// thread pool, and every cell resolves its trust graph through this
+// cache. Construction is serialized under a mutex; the returned
+// references stay valid for the Workbench's lifetime (std::map nodes
+// are stable).
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 
 #include "common/rng.hpp"
@@ -34,8 +41,11 @@ class Workbench {
   const graph::Graph& trust_graph(double f);
 
  private:
+  const graph::Graph& base_graph_locked();
+
   WorkbenchOptions options_;
   Rng rng_;
+  std::mutex mu_;
   std::optional<graph::Graph> base_;
   std::map<double, graph::Graph> trust_;
 };

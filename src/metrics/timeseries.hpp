@@ -11,7 +11,9 @@ namespace ppo::metrics {
 /// One sampled (time, value) trace.
 class TimeSeries {
  public:
-  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+  /// Default-constructs with an empty name so containers of traces
+  /// (e.g. the runner's per-cell result slots) can be pre-sized.
+  explicit TimeSeries(std::string name = {}) : name_(std::move(name)) {}
 
   void record(double time, double value) {
     times_.push_back(time);

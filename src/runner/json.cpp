@@ -1,0 +1,443 @@
+#include "runner/json.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace ppo::runner {
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no NaN/Inf; null is the conventional stand-in.
+    out += "null";
+    return;
+  }
+  std::array<char, 32> buf;
+  // Shortest round-trip representation.
+  const auto res = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  out.append(buf.data(), res.ptr);
+}
+
+const char* type_name(Json::Type t) {
+  switch (t) {
+    case Json::Type::kNull: return "null";
+    case Json::Type::kBool: return "bool";
+    case Json::Type::kInt:
+    case Json::Type::kUint:
+    case Json::Type::kDouble: return "number";
+    case Json::Type::kString: return "string";
+    case Json::Type::kArray: return "array";
+    case Json::Type::kObject: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void type_error(const char* want, Json::Type got) {
+  throw std::runtime_error(std::string("Json: expected ") + want +
+                           ", have " + type_name(got));
+}
+
+}  // namespace
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through unescaped
+        }
+    }
+  }
+  out += '"';
+}
+
+Json Json::array_of(const std::vector<double>& values) {
+  Json j = array();
+  j.array_.reserve(values.size());
+  for (const double v : values) j.push_back(Json(v));
+  return j;
+}
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+std::int64_t Json::as_int() const {
+  switch (type_) {
+    case Type::kInt: return int_;
+    case Type::kUint: return static_cast<std::int64_t>(uint_);
+    case Type::kDouble: return static_cast<std::int64_t>(double_);
+    default: type_error("number", type_);
+  }
+}
+
+std::uint64_t Json::as_uint() const {
+  switch (type_) {
+    case Type::kInt: return static_cast<std::uint64_t>(int_);
+    case Type::kUint: return uint_;
+    case Type::kDouble: return static_cast<std::uint64_t>(double_);
+    default: type_error("number", type_);
+  }
+}
+
+double Json::as_double() const {
+  switch (type_) {
+    case Type::kInt: return static_cast<double>(int_);
+    case Type::kUint: return static_cast<double>(uint_);
+    case Type::kDouble: return double_;
+    default: type_error("number", type_);
+  }
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return string_;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  if (type_ != Type::kObject) type_error("object", type_);
+  for (auto& [k, v] : object_)
+    if (k == key) return v;
+  object_.emplace_back(key, Json());
+  return object_.back().second;
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  for (const auto& [k, v] : object_)
+    if (k == key) return v;
+  throw std::out_of_range("Json: no member \"" + key + "\"");
+}
+
+bool Json::contains(const std::string& key) const {
+  if (type_ != Type::kObject) return false;
+  for (const auto& [k, v] : object_) {
+    (void)v;
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const std::vector<JsonMember>& Json::members() const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return object_;
+}
+
+void Json::push_back(Json value) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  if (type_ != Type::kArray) type_error("array", type_);
+  array_.push_back(std::move(value));
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return array_.at(index);
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  type_error("array or object", type_);
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline_indent = [&](int levels) {
+    if (indent < 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * levels), ' ');
+  };
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kInt: out += std::to_string(int_); break;
+    case Type::kUint: out += std::to_string(uint_); break;
+    case Type::kDouble: append_number(out, double_); break;
+    case Type::kString: append_escaped(out, string_); break;
+    case Type::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_indent(depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!array_.empty()) newline_indent(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_indent(depth + 1);
+        append_escaped(out, object_[i].first);
+        out += indent < 0 ? ":" : ": ";
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!object_.empty()) newline_indent(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+bool Json::operator==(const Json& other) const {
+  if (is_number() && other.is_number()) {
+    // Numbers compare by value across int/uint/double storage, which
+    // is what round-trip tests care about.
+    if (type_ == Type::kDouble || other.type_ == Type::kDouble)
+      return as_double() == other.as_double();
+    if (type_ == Type::kUint || other.type_ == Type::kUint)
+      return as_uint() == other.as_uint();
+    return as_int() == other.as_int();
+  }
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kString: return string_ == other.string_;
+    case Type::kArray: return array_ == other.array_;
+    case Type::kObject: return object_ == other.object_;
+    default: return false;  // numbers handled above
+  }
+}
+
+// ---------------------------------------------------------------- parser
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonParseError("JSON parse error at offset " +
+                         std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Json();
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') { ++pos_; return obj; }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[key] = parse_value();
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') { ++pos_; return arr; }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      return arr;
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++pos_;
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("bad \\u escape");
+    }
+    return value;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') { out += c; continue; }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // Surrogate pair: a low surrogate must follow.
+            if (!consume_literal("\\u")) fail("lone high surrogate");
+            const unsigned lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") fail("bad number");
+
+    const bool integral =
+        tok.find('.') == std::string_view::npos &&
+        tok.find('e') == std::string_view::npos &&
+        tok.find('E') == std::string_view::npos;
+    if (integral) {
+      if (tok[0] == '-') {
+        std::int64_t v = 0;
+        const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+        if (res.ec == std::errc() && res.ptr == tok.data() + tok.size())
+          return Json(v);
+      } else {
+        std::uint64_t v = 0;
+        const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+        if (res.ec == std::errc() && res.ptr == tok.data() + tok.size())
+          return Json(v);
+      }
+      // Out-of-range integer: fall through to double.
+    }
+    double d = 0.0;
+    const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (res.ec != std::errc() || res.ptr != tok.data() + tok.size())
+      fail("bad number");
+    return Json(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace ppo::runner

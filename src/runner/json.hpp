@@ -1,0 +1,110 @@
+// Dependency-free JSON document builder + minimal parser, used to
+// persist sweep results, scale knobs and wall-clock telemetry as
+// machine-readable bench artefacts (`--json` on every figure bench,
+// the BENCH_*.json perf-tracking files).
+//
+// Scope is deliberately small: an ordered value tree, `dump()` with
+// full string escaping and round-trip number formatting, and a strict
+// recursive-descent `parse()` (UTF-8 pass-through, \uXXXX incl.
+// surrogate pairs) that exists so tests and tooling can read back what
+// we wrote. Not a general-purpose JSON library.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppo::runner {
+
+class Json;
+using JsonMember = std::pair<std::string, Json>;
+
+/// Thrown by Json::parse on malformed input.
+class JsonParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// An ordered JSON value. Objects preserve insertion order so dumped
+/// documents read in the order the bench built them.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kUint, kDouble, kString, kArray,
+                    kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(int v) : type_(Type::kInt), int_(v) {}
+  Json(std::int64_t v) : type_(Type::kInt), int_(v) {}
+  Json(std::uint64_t v) : type_(Type::kUint), uint_(v) {}
+  Json(double v) : type_(Type::kDouble), double_(v) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+
+  static Json object() { Json j; j.type_ = Type::kObject; return j; }
+  static Json array() { Json j; j.type_ = Type::kArray; return j; }
+
+  /// Array of numbers, the common case for series values.
+  static Json array_of(const std::vector<double>& values);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kUint ||
+           type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  std::uint64_t as_uint() const;
+  double as_double() const;
+  const std::string& as_string() const;
+
+  /// Object member access; inserts a null member on first use (object
+  /// or null values only — a null promotes to an empty object).
+  Json& operator[](const std::string& key);
+  /// Lookup without insertion; throws std::out_of_range if absent.
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  const std::vector<JsonMember>& members() const;
+
+  /// Array access.
+  void push_back(Json value);
+  const Json& at(std::size_t index) const;
+  std::size_t size() const;  // array/object element count
+
+  /// Serializes the document. indent < 0 → compact single line;
+  /// indent >= 0 → pretty-printed with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Strict parser for the subset dump() emits (i.e. standard JSON).
+  static Json parse(std::string_view text);
+
+  bool operator==(const Json& other) const;
+  bool operator!=(const Json& other) const { return !(*this == other); }
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<JsonMember> object_;
+};
+
+/// Appends the JSON string literal for `s` (quotes included) to `out`,
+/// escaping per RFC 8259.
+void append_escaped(std::string& out, std::string_view s);
+
+}  // namespace ppo::runner

@@ -1,0 +1,82 @@
+#include "runner/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ppo::runner {
+
+std::size_t default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
+    : capacity_(queue_capacity == 0
+                    ? 2 * (threads == 0 ? default_jobs() : threads)
+                    : queue_capacity) {
+  const std::size_t n = threads == 0 ? default_jobs() : threads;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::rethrow_locked(std::unique_lock<std::mutex>& lock) {
+  if (!first_error_) return;
+  std::exception_ptr err = std::exchange(first_error_, nullptr);
+  lock.unlock();
+  std::rethrow_exception(err);
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::unique_lock<std::mutex> lock(mu_);
+  rethrow_locked(lock);  // only returns (lock held) when there is no error
+  space_ready_.wait(lock, [this] { return queue_.size() < capacity_; });
+  queue_.push_back(std::move(task));
+  lock.unlock();
+  task_ready_.notify_one();
+}
+
+void ThreadPool::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  rethrow_locked(lock);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+      // Drain semantics: exit only once the queue is empty.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    space_ready_.notify_one();
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace ppo::runner

@@ -1,0 +1,70 @@
+// Fixed-size worker pool with a bounded task queue, used by the sweep
+// engine to fan independent simulation cells out across cores.
+//
+// Semantics chosen for experiment workloads:
+//   - `submit` blocks while the queue is at capacity (backpressure
+//     instead of unbounded memory growth when cells are cheap to
+//     enqueue but expensive to run);
+//   - the destructor drains: every task submitted before destruction
+//     runs exactly once, then the workers are joined;
+//   - an exception escaping a task is captured (first one wins) and
+//     rethrown from `drain()` / the next `submit`, so a failing cell
+//     cannot vanish silently on a worker thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ppo::runner {
+
+/// Number of workers to use when the caller passes 0 ("auto"):
+/// std::thread::hardware_concurrency(), or 1 if that is unknown.
+std::size_t default_jobs();
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (0 = default_jobs()). The queue holds at
+  /// most `queue_capacity` pending tasks (0 = 2 x threads).
+  explicit ThreadPool(std::size_t threads = 0, std::size_t queue_capacity = 0);
+
+  /// Drains the queue, joins all workers. Any captured task exception
+  /// is swallowed here (use drain() first if you care about it).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; blocks while the queue is full. Rethrows a
+  /// previously captured task exception (the pool keeps running).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first captured task exception, if any.
+  void drain();
+
+  std::size_t thread_count() const { return workers_.size(); }
+  std::size_t queue_capacity() const { return capacity_; }
+
+ private:
+  void worker_loop();
+  void rethrow_locked(std::unique_lock<std::mutex>& lock);
+
+  const std::size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;   // workers wait here
+  std::condition_variable space_ready_;  // submitters wait here
+  std::condition_variable idle_;         // drain() waits here
+  std::deque<std::function<void()>> queue_;
+  std::size_t running_ = 0;  // tasks currently executing
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ppo::runner

@@ -1,0 +1,108 @@
+// Parallel-vs-serial determinism of the figure sweeps: the same root
+// seed must produce byte-identical results at --jobs 1 and --jobs 8.
+// This is the acceptance gate for running the paper's evaluation
+// artefacts on the ppo_runner pool.
+#include <gtest/gtest.h>
+
+#include "experiments/figure_json.hpp"
+#include "experiments/figures.hpp"
+
+namespace ppo::experiments {
+namespace {
+
+WorkbenchOptions tiny_bench() {
+  WorkbenchOptions opts;
+  opts.seed = 17;
+  opts.social.num_nodes = 3000;
+  opts.social.sub_community_size = 50;
+  opts.social.community_size = 500;
+  opts.trust_nodes = 150;
+  return opts;
+}
+
+FigureScale tiny_scale(std::size_t jobs) {
+  FigureScale scale;
+  scale.window.warmup = 40.0;
+  scale.window.measure = 20.0;
+  scale.window.sample_every = 10.0;
+  scale.window.apl_sources = 8;
+  scale.alphas = {0.25, 0.75};
+  scale.seed = 3;
+  scale.jobs = jobs;
+  return scale;
+}
+
+void expect_identical(const std::vector<Series>& a,
+                      const std::vector<Series>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    EXPECT_EQ(a[j].name, b[j].name);
+    ASSERT_EQ(a[j].values.size(), b[j].values.size());
+    for (std::size_t i = 0; i < a[j].values.size(); ++i)
+      EXPECT_EQ(a[j].values[i], b[j].values[i])
+          << a[j].name << " diverges at alpha index " << i;
+  }
+}
+
+TEST(ParallelFigures, AvailabilitySweepIsJobsInvariant) {
+  Workbench serial_bench(tiny_bench());
+  Workbench parallel_bench(tiny_bench());
+  const auto serial = availability_sweep(serial_bench, tiny_scale(1));
+  const auto parallel = availability_sweep(parallel_bench, tiny_scale(8));
+
+  EXPECT_EQ(serial.telemetry.jobs, 1u);
+  EXPECT_EQ(parallel.telemetry.jobs, 8u);
+  EXPECT_EQ(serial.alphas, parallel.alphas);
+  expect_identical(serial.connectivity, parallel.connectivity);
+  expect_identical(serial.napl, parallel.napl);
+}
+
+TEST(ParallelFigures, LifetimeSweepIsJobsInvariant) {
+  Workbench serial_bench(tiny_bench());
+  Workbench parallel_bench(tiny_bench());
+  FigureScale scale = tiny_scale(1);
+  scale.alphas = {0.25};  // one cell keeps the doubled cost in check
+  const auto serial = lifetime_sweep(serial_bench, scale);
+  scale.jobs = 8;
+  const auto parallel = lifetime_sweep(parallel_bench, scale);
+  expect_identical(serial.connectivity, parallel.connectivity);
+  expect_identical(serial.napl, parallel.napl);
+}
+
+TEST(ParallelFigures, ConvergenceTraceIsJobsInvariant) {
+  Workbench serial_bench(tiny_bench());
+  Workbench parallel_bench(tiny_bench());
+  const auto serial = convergence_trace(serial_bench, 100.0, 20.0, 11, 1);
+  const auto parallel = convergence_trace(parallel_bench, 100.0, 20.0, 11, 8);
+  EXPECT_EQ(serial.trust.times(), parallel.trust.times());
+  EXPECT_EQ(serial.trust.values(), parallel.trust.values());
+  EXPECT_EQ(serial.overlay_r3.values(), parallel.overlay_r3.values());
+  EXPECT_EQ(serial.overlay_r9.values(), parallel.overlay_r9.values());
+}
+
+TEST(ParallelFigures, SweepJsonCarriesSeriesScaleAndTelemetry) {
+  Workbench bench(tiny_bench());
+  const FigureScale scale = tiny_scale(2);
+  const auto fig = availability_sweep(bench, scale);
+
+  const runner::Json j = to_json(fig);
+  ASSERT_TRUE(j.is_object());
+  EXPECT_EQ(j.at("alphas").size(), 2u);
+  EXPECT_EQ(j.at("connectivity").size(), 5u);
+  EXPECT_EQ(j.at("connectivity").at(0).at("name").as_string(), "trust-f1.0");
+  EXPECT_EQ(j.at("connectivity").at(0).at("values").size(), 2u);
+  EXPECT_EQ(j.at("telemetry").at("cells").as_uint(), 2u);
+  EXPECT_EQ(j.at("telemetry").at("jobs").as_uint(), 2u);
+  EXPECT_EQ(j.at("telemetry").at("cell_seconds").size(), 2u);
+
+  // The document survives a dump/parse round trip unchanged.
+  EXPECT_EQ(runner::Json::parse(j.dump(2)), j);
+
+  const runner::Json scale_json = to_json(scale);
+  EXPECT_EQ(scale_json.at("seed").as_uint(), 3u);
+  EXPECT_EQ(scale_json.at("jobs").as_uint(), 2u);
+  EXPECT_DOUBLE_EQ(scale_json.at("warmup").as_double(), 40.0);
+}
+
+}  // namespace
+}  // namespace ppo::experiments

@@ -1,0 +1,112 @@
+// runner/json: escaping, number round-trips, ordered objects, the
+// parser, and parse(dump(x)) == x round-trips for nested documents.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "runner/json.hpp"
+
+namespace ppo::runner {
+namespace {
+
+TEST(Json, DumpsPrimitives) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(std::int64_t{-7}).dump(), "-7");
+  EXPECT_EQ(Json(std::uint64_t{18446744073709551615ull}).dump(),
+            "18446744073709551615");
+  EXPECT_EQ(Json(0.5).dump(), "0.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, EscapesStrings) {
+  EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json("back\\slash").dump(), "\"back\\\\slash\"");
+  EXPECT_EQ(Json("line\nbreak\ttab").dump(), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(Json(std::string("ctrl\x01")).dump(), "\"ctrl\\u0001\"");
+  // UTF-8 passes through unescaped.
+  EXPECT_EQ(Json("π ≈ 3").dump(), "\"π ≈ 3\"");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  Json j = Json::object();
+  j["zebra"] = 1;
+  j["alpha"] = 2;
+  j["mid"] = Json::array();
+  EXPECT_EQ(j.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":[]}");
+  EXPECT_TRUE(j.contains("alpha"));
+  EXPECT_FALSE(j.contains("beta"));
+  EXPECT_EQ(j.at("alpha").as_int(), 2);
+  EXPECT_THROW(j.at("beta"), std::out_of_range);
+}
+
+TEST(Json, PrettyPrintIndents) {
+  Json j = Json::object();
+  j["xs"] = Json::array_of({1.0, 2.0});
+  EXPECT_EQ(j.dump(2), "{\n  \"xs\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse(" -12 ").as_int(), -12);
+  EXPECT_EQ(Json::parse("18446744073709551615").as_uint(),
+            18446744073709551615ull);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5e-3").as_double(), 2.5e-3);
+  EXPECT_EQ(Json::parse("\"x\\u00e9y\"").as_string(), "x\u00e9y");
+  // Surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(Json::parse("\"\\ud83d\\ude00\"").as_string(), "\U0001F600");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), JsonParseError);
+  EXPECT_THROW(Json::parse("{"), JsonParseError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonParseError);
+  EXPECT_THROW(Json::parse("nul"), JsonParseError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonParseError);
+  EXPECT_THROW(Json::parse("\"bad\\q\""), JsonParseError);
+  EXPECT_THROW(Json::parse("\"\\ud83d\""), JsonParseError);  // lone surrogate
+  EXPECT_THROW(Json::parse("{} extra"), JsonParseError);
+  EXPECT_THROW(Json::parse("01x"), JsonParseError);
+}
+
+TEST(Json, RoundTripsNestedDocuments) {
+  Json doc = Json::object();
+  doc["artefact"] = "fig3_connectivity";
+  doc["seed"] = std::uint64_t{42};
+  doc["wall_seconds"] = 1.25;
+  doc["flags"] = Json::array();
+  doc["flags"].push_back(true);
+  doc["flags"].push_back(Json());
+  Json series = Json::object();
+  series["name"] = "trust-f0.5 \"quoted\" \\ and\nnewline";
+  series["values"] = Json::array_of({0.125, 1e-9, -3.75, 1e300});
+  doc["series"] = std::move(series);
+
+  for (const int indent : {-1, 2}) {
+    const Json back = Json::parse(doc.dump(indent));
+    EXPECT_EQ(back, doc) << "indent=" << indent;
+    EXPECT_DOUBLE_EQ(
+        back.at("series").at("values").at(3).as_double(), 1e300);
+    EXPECT_EQ(back.at("series").at("name").as_string(),
+              "trust-f0.5 \"quoted\" \\ and\nnewline");
+  }
+}
+
+TEST(Json, NumberRoundTripIsExact) {
+  for (const double v : {0.1, 1.0 / 3.0, 6.02214076e23, -0.0, 5e-324}) {
+    const Json back = Json::parse(Json(v).dump());
+    EXPECT_EQ(back.as_double(), v);
+  }
+}
+
+}  // namespace
+}  // namespace ppo::runner
