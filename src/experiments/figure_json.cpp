@@ -13,6 +13,23 @@ Json to_json(const runner::SweepTelemetry& telemetry) {
   return j;
 }
 
+Json to_json(const metrics::ProtocolHealth& health) {
+  Json j = Json::object();
+  j["requests_sent"] = health.requests_sent;
+  j["responses_sent"] = health.responses_sent;
+  j["exchanges_completed"] = health.exchanges_completed;
+  j["request_timeouts"] = health.request_timeouts;
+  j["request_retries"] = health.request_retries;
+  j["exchanges_aborted"] = health.exchanges_aborted;
+  j["stale_responses"] = health.stale_responses;
+  j["messages_sent"] = health.messages_sent;
+  j["messages_delivered"] = health.messages_delivered;
+  j["messages_dropped"] = health.messages_dropped;
+  j["completion_rate"] = health.completion_rate();
+  j["delivery_rate"] = health.delivery_rate();
+  return j;
+}
+
 Json to_json(const Series& series) {
   Json j = Json::object();
   j["name"] = series.name;
@@ -139,6 +156,23 @@ Json to_json(const ReplacementFigure& fig) {
   series.push_back(to_json(fig.r_infinite));
   Json j = Json::object();
   j["series"] = std::move(series);
+  j["telemetry"] = to_json(fig.telemetry);
+  return j;
+}
+
+Json to_json(const FaultFigure& fig) {
+  Json j = Json::object();
+  j["alphas"] = Json::array_of(fig.alphas);
+  j["connectivity"] = series_block(fig.connectivity);
+  j["napl"] = series_block(fig.napl);
+  j["completion"] = series_block(fig.completion);
+  Json health = Json::array();
+  for (std::size_t i = 0; i < fig.health.size(); ++i) {
+    Json h = to_json(fig.health[i]);
+    h["name"] = fig.connectivity[i].name;
+    health.push_back(std::move(h));
+  }
+  j["health"] = std::move(health);
   j["telemetry"] = to_json(fig.telemetry);
   return j;
 }

@@ -17,6 +17,7 @@ namespace ppo::experiments {
 inline constexpr int kFigureJsonSchemaVersion = 1;
 
 runner::Json to_json(const runner::SweepTelemetry& telemetry);
+runner::Json to_json(const metrics::ProtocolHealth& health);
 runner::Json to_json(const Series& series);
 runner::Json to_json(const Histogram& histogram);
 runner::Json to_json(const metrics::TimeSeries& series);
@@ -28,5 +29,6 @@ runner::Json to_json(const DegreeFigure& fig);
 runner::Json to_json(const MessageFigure& fig);
 runner::Json to_json(const ConvergenceFigure& fig);
 runner::Json to_json(const ReplacementFigure& fig);
+runner::Json to_json(const FaultFigure& fig);
 
 }  // namespace ppo::experiments

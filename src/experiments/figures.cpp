@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <functional>
+#include <string>
 #include <utility>
 
 #include "common/check.hpp"
@@ -283,6 +285,91 @@ ConvergenceFigure convergence_trace(Workbench& bench, double horizon,
   fig.overlay_r3 = std::move(grid.cells[1]);
   grid.cells[2].set_name(fig.overlay_r9.name());
   fig.overlay_r9 = std::move(grid.cells[2]);
+  fig.telemetry = std::move(grid.telemetry);
+  return fig;
+}
+
+namespace {
+
+std::string loss_label(const char* prefix, double loss) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s-loss%.2f", prefix, loss);
+  return buf;
+}
+
+}  // namespace
+
+FaultFigure fault_tolerance_sweep(Workbench& bench, const FigureScale& scale,
+                                  const FaultToleranceSpec& spec) {
+  const graph::Graph& trust = bench.trust_graph(0.5);
+
+  std::vector<std::string> names{"lossless"};
+  for (const double loss : spec.loss_rates) {
+    names.push_back(loss_label("retry", loss));
+    names.push_back(loss_label("no-retry", loss));
+  }
+
+  /// One series' contribution from one alpha cell.
+  struct CellEntry {
+    double conn = 0.0;
+    double napl = 0.0;
+    metrics::ProtocolHealth health;
+  };
+
+  auto grid = runner::run_grid(
+      scale.alphas, sweep_options(scale, "fault-tolerance-sweep"),
+      [&](double alpha, const runner::CellInfo& cell) {
+        std::vector<CellEntry> values;
+        values.reserve(1 + 2 * spec.loss_rates.size());
+        const OverlayScenario base =
+            base_scenario(scale, alpha, 511 + cell.index);
+
+        const auto run_one = [&](const OverlayScenario& s) {
+          const auto run = run_overlay(trust, s);
+          values.push_back(CellEntry{run.stats.frac_disconnected.mean(),
+                                     run.stats.norm_apl.mean(), run.health});
+        };
+
+        run_one(base);  // lossless baseline: no plan, no timer
+        for (std::size_t k = 0; k < spec.loss_rates.size(); ++k) {
+          OverlayScenario lossy = base;
+          fault::FaultPlan plan;
+          plan.drop_probability = spec.loss_rates[k];
+          plan.seed = base.seed ^ (0xFA0000 + k);
+          lossy.faults = plan;
+          lossy.params.shuffle_timeout = spec.shuffle_timeout;
+          lossy.params.shuffle_retry_backoff = spec.retry_backoff;
+
+          lossy.params.shuffle_max_retries = spec.max_retries;
+          run_one(lossy);
+
+          // Same loss pattern, retries off: the degradation the
+          // hardening buys back.
+          lossy.params.shuffle_max_retries = 0;
+          run_one(lossy);
+        }
+        return values;
+      });
+
+  FaultFigure fig;
+  fig.alphas = scale.alphas;
+  fig.health.resize(names.size());
+  for (std::size_t j = 0; j < names.size(); ++j) {
+    Series conn{names[j], {}}, napl{names[j], {}}, comp{names[j], {}};
+    conn.values.reserve(grid.cells.size());
+    napl.values.reserve(grid.cells.size());
+    comp.values.reserve(grid.cells.size());
+    for (const auto& values : grid.cells) {
+      PPO_CHECK(values.size() == names.size());
+      conn.values.push_back(values[j].conn);
+      napl.values.push_back(values[j].napl);
+      comp.values.push_back(values[j].health.completion_rate());
+      fig.health[j].merge(values[j].health);
+    }
+    fig.connectivity.push_back(std::move(conn));
+    fig.napl.push_back(std::move(napl));
+    fig.completion.push_back(std::move(comp));
+  }
   fig.telemetry = std::move(grid.telemetry);
   return fig;
 }

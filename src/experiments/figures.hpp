@@ -106,6 +106,34 @@ ReplacementFigure replacement_trace(Workbench& bench, double horizon,
                                     double sample_every, std::uint64_t seed,
                                     std::size_t jobs = 0);
 
+/// Fault-tolerance sweep (robustness extension, not in the paper):
+/// the overlay at f = 0.5 under injected per-message loss, with and
+/// without the shuffle retry machinery (timeout / bounded retransmit /
+/// exponential backoff), swept over availability alpha.
+struct FaultToleranceSpec {
+  /// Loss rates to inject; each contributes a retry and a no-retry
+  /// series on top of the shared lossless baseline.
+  std::vector<double> loss_rates = {0.1, 0.2, 0.3, 0.5};
+  /// Both lossy variants run with this timeout (in periods); the
+  /// no-retry variant aborts on the first timeout.
+  double shuffle_timeout = 0.25;
+  std::size_t max_retries = 2;
+  double retry_backoff = 2.0;
+};
+
+struct FaultFigure {
+  std::vector<double> alphas;
+  std::vector<Series> connectivity;  // fraction of disconnected nodes
+  std::vector<Series> napl;          // normalized average path length
+  std::vector<Series> completion;    // exchange completion rate
+  /// Degradation rollup per series, summed over all alpha cells
+  /// (indexed like `connectivity`).
+  std::vector<metrics::ProtocolHealth> health;
+  runner::SweepTelemetry telemetry;
+};
+FaultFigure fault_tolerance_sweep(Workbench& bench, const FigureScale& scale,
+                                  const FaultToleranceSpec& spec = {});
+
 /// Lifetime used for "pseudonyms that never expire" (r = inf).
 inline constexpr double kInfiniteLifetime = 1e12;
 

@@ -36,15 +36,36 @@ void accumulate(SnapshotStats& stats, const metrics::GraphMetrics& m,
   stats.total_edges.add(static_cast<double>(total_edges));
 }
 
+/// Builds the service-fault injector for a scenario (or nullptr when
+/// no service faults are scheduled) and arms it.
+std::unique_ptr<fault::FaultInjector> arm_service_faults(
+    sim::Simulator& sim, overlay::OverlayService& service,
+    const fault::ServiceFaults& faults) {
+  if (faults.empty()) return nullptr;
+  fault::FaultInjector::Hooks hooks;
+  hooks.set_pseudonym_service_available = [&service](bool available) {
+    service.set_pseudonym_service_available(available);
+  };
+  hooks.mix = service.mutable_mix_network();
+  auto injector =
+      std::make_unique<fault::FaultInjector>(sim, faults, std::move(hooks));
+  injector->arm();
+  return injector;
+}
+
 }  // namespace
 
 OverlayRunResult run_overlay(const graph::Graph& trust,
                              const OverlayScenario& scenario) {
   sim::Simulator sim;
   const auto model = scenario.churn.make();
-  overlay::OverlayService service(sim, trust, *model,
-                                  {.params = scenario.params, .transport = {}},
+  overlay::OverlayServiceOptions options;
+  options.params = scenario.params;
+  options.link_faults = scenario.faults;
+  overlay::OverlayService service(sim, trust, *model, options,
                                   Rng(scenario.seed));
+  const auto injector =
+      arm_service_faults(sim, service, scenario.service_faults);
   service.start();
 
   Rng metric_rng(scenario.seed ^ 0xA11CE5);
@@ -85,6 +106,7 @@ OverlayRunResult run_overlay(const graph::Graph& trust,
   }
   result.replacements = service.total_replacements().replacements();
   result.messages_total = service.total_counters().messages_sent();
+  result.health = service.protocol_health();
   return result;
 }
 
@@ -119,9 +141,13 @@ OverlayTrace run_overlay_trace(const graph::Graph& trust,
                                const OverlayTraceSpec& spec) {
   sim::Simulator sim;
   const auto model = scenario.churn.make();
-  overlay::OverlayService service(sim, trust, *model,
-                                  {.params = scenario.params, .transport = {}},
+  overlay::OverlayServiceOptions options;
+  options.params = scenario.params;
+  options.link_faults = scenario.faults;
+  overlay::OverlayService service(sim, trust, *model, options,
                                   Rng(scenario.seed));
+  const auto injector =
+      arm_service_faults(sim, service, scenario.service_faults);
   service.start();
 
   Rng metric_rng(scenario.seed ^ 0x7EA5E);

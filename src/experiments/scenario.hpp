@@ -5,13 +5,17 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "churn/churn_model.hpp"
 #include "common/histogram.hpp"
 #include "common/stats.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "graph/graph.hpp"
 #include "metrics/overlay_metrics.hpp"
+#include "metrics/protocol_health.hpp"
 #include "metrics/timeseries.hpp"
 #include "overlay/params.hpp"
 
@@ -42,6 +46,12 @@ struct OverlayScenario {
   ChurnSpec churn;
   MeasureWindow window;
   std::uint64_t seed = 1;
+
+  /// Fault-injection extension: per-message/link adversities applied
+  /// to the transport (absent or inert = bit-identical to a fault-free
+  /// run) and scheduled service-level outages.
+  std::optional<fault::FaultPlan> faults;
+  fault::ServiceFaults service_faults;
 };
 
 /// Aggregates of snapshot metrics over the measurement window.
@@ -70,6 +80,9 @@ struct OverlayRunResult {
   /// Final protocol-wide replacement counters.
   std::uint64_t replacements = 0;
   std::uint64_t messages_total = 0;
+
+  /// Protocol + transport degradation rollup (see ProtocolHealth).
+  metrics::ProtocolHealth health;
 };
 
 /// Runs the overlay-maintenance protocol on `trust` under churn and

@@ -1,0 +1,62 @@
+#include "fault/fault_injector.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "privacylink/mix_network.hpp"
+
+namespace ppo::fault {
+
+FaultInjector::FaultInjector(sim::Simulator& sim, ServiceFaults faults,
+                             Hooks hooks)
+    : sim_(sim), faults_(std::move(faults)), hooks_(std::move(hooks)) {
+  for (const Window& w : faults_.pseudonym_blackouts)
+    PPO_CHECK_MSG(w.end >= w.start, "inverted blackout window");
+  if (!faults_.pseudonym_blackouts.empty())
+    PPO_CHECK_MSG(
+        static_cast<bool>(hooks_.set_pseudonym_service_available),
+        "pseudonym blackouts need the availability hook");
+  for (const ServiceFaults::RelayCrash& c : faults_.relay_crashes) {
+    PPO_CHECK_MSG(c.revive_at < 0.0 || c.revive_at >= c.crash_at,
+                  "relay revival before its crash");
+    PPO_CHECK_MSG(hooks_.mix != nullptr,
+                  "relay crashes need a mix network");
+    PPO_CHECK_MSG(c.relay < hooks_.mix->num_relays(),
+                  "crashed relay id out of range");
+  }
+}
+
+void FaultInjector::arm() {
+  PPO_CHECK_MSG(!armed_, "fault injector already armed");
+  armed_ = true;
+
+  for (const Window& w : faults_.pseudonym_blackouts) {
+    sim_.schedule_at(w.start, [this] {
+      // Windows may overlap: the service is down while ANY is active.
+      if (active_blackouts_++ == 0)
+        hooks_.set_pseudonym_service_available(false);
+      ++counters_.blackouts_started;
+    });
+    sim_.schedule_at(w.end, [this] {
+      PPO_CHECK(active_blackouts_ > 0);
+      if (--active_blackouts_ == 0)
+        hooks_.set_pseudonym_service_available(true);
+      ++counters_.blackouts_ended;
+    });
+  }
+
+  for (const ServiceFaults::RelayCrash& c : faults_.relay_crashes) {
+    sim_.schedule_at(c.crash_at, [this, r = c.relay] {
+      hooks_.mix->fail_relay(r);
+      ++counters_.relays_crashed;
+    });
+    if (c.revive_at >= 0.0) {
+      sim_.schedule_at(c.revive_at, [this, r = c.relay] {
+        hooks_.mix->revive_relay(r);
+        ++counters_.relays_revived;
+      });
+    }
+  }
+}
+
+}  // namespace ppo::fault

@@ -1,0 +1,84 @@
+// FaultInjector: schedules *service-level* outages into the simulator
+// — pseudonym-service blackouts (resolution requests fail while the
+// window is active) and mix-relay crash/revive cycles. It drives the
+// target services through narrow hooks so the fault layer stays
+// decoupled from the overlay orchestration (the OverlayService wires
+// itself in; see overlay/service.hpp).
+//
+// Everything is data + scheduled events: with a fixed plan the
+// injected fault timeline is identical on every run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "sim/simulator.hpp"
+
+namespace ppo::privacylink {
+class MixNetwork;
+}
+
+namespace ppo::fault {
+
+/// Scheduled service-level adversities.
+struct ServiceFaults {
+  /// While a window is active, pseudonym resolution fails (lookups
+  /// return "unknown"); minting is unaffected — a node's pseudonym is
+  /// generated locally and registered when the service recovers.
+  std::vector<Window> pseudonym_blackouts;
+
+  /// One relay crash (and optional revival) of the mix network.
+  struct RelayCrash {
+    std::uint32_t relay = 0;   // privacylink::RelayId
+    double crash_at = 0.0;
+    /// Revival instant; < 0 means the relay never comes back.
+    double revive_at = -1.0;
+  };
+  std::vector<RelayCrash> relay_crashes;
+
+  bool empty() const {
+    return pseudonym_blackouts.empty() && relay_crashes.empty();
+  }
+};
+
+class FaultInjector {
+ public:
+  struct Hooks {
+    /// Toggles pseudonym-service availability (required when
+    /// `pseudonym_blackouts` is non-empty).
+    std::function<void(bool)> set_pseudonym_service_available;
+    /// Target of the relay crash/revive schedule (required when
+    /// `relay_crashes` is non-empty).
+    privacylink::MixNetwork* mix = nullptr;
+  };
+
+  struct Counters {
+    std::uint64_t blackouts_started = 0;
+    std::uint64_t blackouts_ended = 0;
+    std::uint64_t relays_crashed = 0;
+    std::uint64_t relays_revived = 0;
+  };
+
+  FaultInjector(sim::Simulator& sim, ServiceFaults faults, Hooks hooks);
+
+  /// Schedules every fault event. Call once, before running the
+  /// simulation past the earliest fault instant.
+  void arm();
+
+  const Counters& counters() const { return counters_; }
+
+  /// True while at least one blackout window is active.
+  bool blackout_active() const { return active_blackouts_ > 0; }
+
+ private:
+  sim::Simulator& sim_;
+  ServiceFaults faults_;
+  Hooks hooks_;
+  std::size_t active_blackouts_ = 0;
+  bool armed_ = false;
+  Counters counters_;
+};
+
+}  // namespace ppo::fault

@@ -1,0 +1,40 @@
+#include "fault/fault_plan.hpp"
+
+#include "common/check.hpp"
+
+namespace ppo::fault {
+
+bool FaultPlan::enabled() const {
+  return drop_probability > 0.0 || duplicate_probability > 0.0 ||
+         jitter_max > 0.0 || reorder_probability > 0.0 ||
+         !link_outages.empty() || !partitions.empty();
+}
+
+void FaultPlan::validate() const {
+  PPO_CHECK_MSG(drop_probability >= 0.0 && drop_probability <= 1.0,
+                "drop_probability must be in [0,1]");
+  PPO_CHECK_MSG(duplicate_probability >= 0.0 && duplicate_probability <= 1.0,
+                "duplicate_probability must be in [0,1]");
+  PPO_CHECK_MSG(reorder_probability >= 0.0 && reorder_probability <= 1.0,
+                "reorder_probability must be in [0,1]");
+  PPO_CHECK_MSG(jitter_min >= 0.0 && jitter_max >= jitter_min,
+                "invalid jitter window");
+  PPO_CHECK_MSG(
+      reorder_min_delay >= 0.0 && reorder_max_delay >= reorder_min_delay,
+      "invalid reorder delay window");
+  for (const Window& w : link_outages)
+    PPO_CHECK_MSG(w.end >= w.start, "inverted outage window");
+  for (const Partition& p : partitions) {
+    PPO_CHECK_MSG(p.window.end >= p.window.start,
+                  "inverted partition window");
+    PPO_CHECK_MSG(!p.group.empty(), "partition group must be non-empty");
+  }
+}
+
+bool FaultPlan::outage_at(double t) const {
+  for (const Window& w : link_outages)
+    if (w.contains(t)) return true;
+  return false;
+}
+
+}  // namespace ppo::fault

@@ -1,0 +1,84 @@
+// Deterministic fault-injection plans. A FaultPlan is pure data: the
+// per-message adversities (loss, delay jitter, duplication, held-back
+// reordering) and the scheduled adversities (link blackout windows,
+// network partitions) a simulated network should suffer, plus the seed
+// the fault stream is derived from. The same plan + seed always yields
+// the same fault pattern, so faulty experiments stay bit-reproducible
+// and sweepable on the ppo_runner pool.
+//
+// Plans are consumed by FaultyTransport (per-message + link-level
+// faults) and FaultInjector (service-level outages, see
+// fault_injector.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ppo::fault {
+
+/// Half-open time interval [start, end) in shuffling periods.
+struct Window {
+  double start = 0.0;
+  double end = 0.0;
+
+  bool contains(double t) const { return t >= start && t < end; }
+};
+
+/// A temporary network split: while the window is active, messages
+/// with exactly one endpoint inside `group` are dropped. Traffic
+/// within a side flows normally, so the overlay heals itself once the
+/// split ends.
+struct Partition {
+  Window window;
+  std::vector<graph::NodeId> group;
+};
+
+struct FaultPlan {
+  /// Each message is lost with this probability (drawn independently
+  /// per message, including duplicates and retransmissions).
+  double drop_probability = 0.0;
+
+  /// Each message spawns one extra copy with this probability. The
+  /// copy traverses the network independently (own loss/delay draws).
+  double duplicate_probability = 0.0;
+
+  /// Extra in-network delay added to every delivery, drawn uniformly
+  /// from [jitter_min, jitter_max]. Zero width at zero = no jitter.
+  double jitter_min = 0.0;
+  double jitter_max = 0.0;
+
+  /// With this probability a message is additionally held back for a
+  /// delay in [reorder_min_delay, reorder_max_delay] before delivery,
+  /// letting later messages overtake it.
+  double reorder_probability = 0.0;
+  double reorder_min_delay = 0.0;
+  double reorder_max_delay = 0.0;
+
+  /// Total link blackouts: every message sent while a window is
+  /// active is lost.
+  std::vector<Window> link_outages;
+
+  /// Scheduled network splits (see Partition).
+  std::vector<Partition> partitions;
+
+  /// Seed of the fault decision stream. Deliberately independent of
+  /// the simulation's own RNG tree: wrapping a transport never
+  /// perturbs the protocol's random draws.
+  std::uint64_t seed = 0x5EED;
+
+  /// True when any fault can ever fire. An all-zero plan is inert and
+  /// FaultyTransport guarantees bit-identical behaviour to the bare
+  /// inner transport.
+  bool enabled() const;
+
+  /// Throws CheckError on nonsense (negative probabilities/delays,
+  /// inverted windows).
+  void validate() const;
+
+  /// Is any link blackout active at time t?
+  bool outage_at(double t) const;
+};
+
+}  // namespace ppo::fault

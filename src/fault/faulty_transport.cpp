@@ -1,0 +1,110 @@
+#include "fault/faulty_transport.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace ppo::fault {
+
+FaultyTransport::FaultyTransport(sim::Simulator& sim,
+                                 privacylink::LinkTransport& inner,
+                                 FaultPlan plan)
+    : sim_(sim),
+      inner_(inner),
+      plan_(std::move(plan)),
+      rng_(plan_.seed ^ 0xFA017ULL) {
+  plan_.validate();
+  partition_masks_.reserve(plan_.partitions.size());
+  for (const Partition& p : plan_.partitions) {
+    const graph::NodeId max_id =
+        *std::max_element(p.group.begin(), p.group.end());
+    std::vector<char> mask(static_cast<std::size_t>(max_id) + 1, 0);
+    for (const graph::NodeId v : p.group) mask[v] = 1;
+    partition_masks_.push_back(std::move(mask));
+  }
+}
+
+bool FaultyTransport::in_partition_group(std::size_t partition,
+                                         graph::NodeId v) const {
+  const std::vector<char>& mask = partition_masks_[partition];
+  return v < mask.size() && mask[v] != 0;
+}
+
+FaultyTransport::Fate FaultyTransport::decide_fate(graph::NodeId from,
+                                                   graph::NodeId to) {
+  Fate fate;
+  const double now = sim_.now();
+  if (!plan_.link_outages.empty() && plan_.outage_at(now)) {
+    fate.drop = true;
+    fate.drop_counter = &counters_.outage_drops;
+    return fate;
+  }
+  for (std::size_t i = 0; i < plan_.partitions.size(); ++i) {
+    if (!plan_.partitions[i].window.contains(now)) continue;
+    if (in_partition_group(i, from) != in_partition_group(i, to)) {
+      fate.drop = true;
+      fate.drop_counter = &counters_.partition_drops;
+      return fate;
+    }
+  }
+  // Every draw below is guarded so an inert plan never touches the
+  // RNG (part of the zero-fault no-op guarantee).
+  if (plan_.drop_probability > 0.0 && rng_.bernoulli(plan_.drop_probability)) {
+    fate.drop = true;
+    fate.drop_counter = &counters_.injected_drops;
+    return fate;
+  }
+  if (plan_.jitter_max > 0.0)
+    fate.extra_delay += rng_.uniform_double(plan_.jitter_min, plan_.jitter_max);
+  if (plan_.reorder_probability > 0.0 &&
+      rng_.bernoulli(plan_.reorder_probability))
+    fate.extra_delay +=
+        rng_.uniform_double(plan_.reorder_min_delay, plan_.reorder_max_delay);
+  return fate;
+}
+
+bool FaultyTransport::send_copy(graph::NodeId from, graph::NodeId to,
+                                const sim::EventFn& on_deliver,
+                                const Fate& fate) {
+  bool accepted;
+  if (fate.drop) {
+    // The message leaves the sender and dies in the network: the inner
+    // transport still does the sender gating and its own accounting,
+    // but nothing ever reaches the destination handler.
+    accepted = inner_.send(from, to, [] {});
+    if (accepted && fate.drop_counter != nullptr) ++*fate.drop_counter;
+  } else if (fate.extra_delay > 0.0) {
+    accepted = inner_.send(
+        from, to, [this, delay = fate.extra_delay, fn = on_deliver] {
+          sim_.schedule_after(delay, [this, fn] {
+            ++delivered_;
+            fn();
+          });
+        });
+    if (accepted) ++counters_.delayed;
+  } else {
+    accepted = inner_.send(from, to, [this, fn = on_deliver] {
+      ++delivered_;
+      fn();
+    });
+  }
+  if (accepted) ++sent_;
+  return accepted;
+}
+
+bool FaultyTransport::send(graph::NodeId from, graph::NodeId to,
+                           sim::EventFn on_deliver) {
+  const Fate fate = decide_fate(from, to);
+  const bool accepted = send_copy(from, to, on_deliver, fate);
+  if (accepted && plan_.duplicate_probability > 0.0 &&
+      rng_.bernoulli(plan_.duplicate_probability)) {
+    ++counters_.duplicates;
+    // The copy traverses the network independently: own loss and
+    // delay draws, and it counts as one more message on the wire.
+    send_copy(from, to, on_deliver, decide_fate(from, to));
+  }
+  return accepted;
+}
+
+}  // namespace ppo::fault

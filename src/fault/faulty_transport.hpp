@@ -1,0 +1,81 @@
+// FaultyTransport: a deterministic fault-injecting decorator for any
+// LinkTransport. The inner transport keeps its own semantics (sender
+// gating, latency, destination-online delivery check); this wrapper
+// adds the adversities a FaultPlan describes on top: random message
+// loss, delay jitter, duplication, held-back reordering, link blackout
+// windows and network partitions.
+//
+// Guarantees:
+//  - a plan with no faults configured (FaultPlan::enabled() == false)
+//    makes the wrapper a true no-op: it forwards every send verbatim,
+//    never touches its RNG, and the simulation trajectory is
+//    bit-identical to running on the bare inner transport;
+//  - fault decisions are drawn from a private RNG seeded only by
+//    FaultPlan::seed, in send order, so a faulty run is reproducible
+//    across repeats and independent of pool scheduling.
+#pragma once
+
+#include "common/rng.hpp"
+#include "fault/fault_plan.hpp"
+#include "privacylink/link_transport.hpp"
+
+namespace ppo::fault {
+
+class FaultyTransport final : public privacylink::LinkTransport {
+ public:
+  /// Fault-specific accounting, on top of the sent/delivered counters
+  /// of the LinkTransport interface.
+  struct Counters {
+    std::uint64_t injected_drops = 0;   // random per-message loss
+    std::uint64_t outage_drops = 0;     // lost to a blackout window
+    std::uint64_t partition_drops = 0;  // lost crossing a partition
+    std::uint64_t duplicates = 0;       // extra copies spawned
+    std::uint64_t delayed = 0;          // messages given extra delay
+
+    std::uint64_t total_faulted() const {
+      return injected_drops + outage_drops + partition_drops + duplicates +
+             delayed;
+    }
+  };
+
+  /// `inner` must outlive the wrapper. The plan is validated here.
+  FaultyTransport(sim::Simulator& sim, privacylink::LinkTransport& inner,
+                  FaultPlan plan);
+
+  /// Sends through the inner transport, applying the plan's faults.
+  /// Returns false exactly when the inner transport refuses the send
+  /// (offline sender); fault-dropped messages still count as sent.
+  bool send(graph::NodeId from, graph::NodeId to,
+            sim::EventFn on_deliver) override;
+
+  std::uint64_t messages_sent() const override { return sent_; }
+  std::uint64_t messages_delivered() const override { return delivered_; }
+
+  const Counters& counters() const { return counters_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  /// How one message copy should fare, decided at send time.
+  struct Fate {
+    bool drop = false;
+    std::uint64_t* drop_counter = nullptr;
+    double extra_delay = 0.0;
+  };
+
+  Fate decide_fate(graph::NodeId from, graph::NodeId to);
+  bool send_copy(graph::NodeId from, graph::NodeId to,
+                 const sim::EventFn& on_deliver, const Fate& fate);
+  bool in_partition_group(std::size_t partition, graph::NodeId v) const;
+
+  sim::Simulator& sim_;
+  privacylink::LinkTransport& inner_;
+  FaultPlan plan_;
+  Rng rng_;
+  /// Per-partition membership masks, indexed like plan_.partitions.
+  std::vector<std::vector<char>> partition_masks_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  Counters counters_;
+};
+
+}  // namespace ppo::fault

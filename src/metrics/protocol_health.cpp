@@ -1,0 +1,32 @@
+#include "metrics/protocol_health.hpp"
+
+namespace ppo::metrics {
+
+double ProtocolHealth::completion_rate() const {
+  const std::uint64_t initiated = requests_sent - request_retries;
+  if (initiated == 0) return 0.0;
+  return static_cast<double>(exchanges_completed) /
+         static_cast<double>(initiated);
+}
+
+double ProtocolHealth::delivery_rate() const {
+  if (messages_sent == 0) return 0.0;
+  return static_cast<double>(messages_delivered) /
+         static_cast<double>(messages_sent);
+}
+
+ProtocolHealth& ProtocolHealth::merge(const ProtocolHealth& other) {
+  requests_sent += other.requests_sent;
+  responses_sent += other.responses_sent;
+  exchanges_completed += other.exchanges_completed;
+  request_timeouts += other.request_timeouts;
+  request_retries += other.request_retries;
+  exchanges_aborted += other.exchanges_aborted;
+  stale_responses += other.stale_responses;
+  messages_sent += other.messages_sent;
+  messages_delivered += other.messages_delivered;
+  messages_dropped += other.messages_dropped;
+  return *this;
+}
+
+}  // namespace ppo::metrics

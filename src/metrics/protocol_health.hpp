@@ -1,0 +1,37 @@
+// Protocol-level degradation accounting (fault-tolerance extension):
+// aggregates the per-node shuffle counters and the transport's
+// sent/delivered tallies into one health record that every figure's
+// JSON report can carry.
+#pragma once
+
+#include <cstdint>
+
+namespace ppo::metrics {
+
+struct ProtocolHealth {
+  // Overlay-protocol counters (summed over nodes).
+  std::uint64_t requests_sent = 0;   // retransmissions included
+  std::uint64_t responses_sent = 0;
+  std::uint64_t exchanges_completed = 0;
+  std::uint64_t request_timeouts = 0;
+  std::uint64_t request_retries = 0;
+  std::uint64_t exchanges_aborted = 0;
+  std::uint64_t stale_responses = 0;
+
+  // Transport-level accounting.
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+
+  /// Fraction of initiated exchanges that saw their response.
+  /// Retransmissions of the same exchange are not double-counted in
+  /// the denominator.
+  double completion_rate() const;
+
+  /// Fraction of accepted sends the transport actually delivered.
+  double delivery_rate() const;
+
+  ProtocolHealth& merge(const ProtocolHealth& other);
+};
+
+}  // namespace ppo::metrics

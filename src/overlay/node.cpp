@@ -133,9 +133,47 @@ void OverlayNode::shuffle_tick() {
     target = *owner;
   }
 
-  last_request_sent_ = compose_shuffle_set();
+  begin_exchange(target, compose_shuffle_set());
+}
+
+void OverlayNode::begin_exchange(NodeId target,
+                                 std::vector<PseudonymRecord> set) {
+  // A still-pending exchange is superseded: its response never
+  // arrived (or is still in flight and will be counted stale).
+  if (pending_) abort_pending_exchange();
+  pending_ = PendingExchange{++next_exchange_id_, target, std::move(set), 0,
+                             params_.shuffle_timeout};
   ++counters_.requests_sent;
-  env_.send_shuffle_request(id_, target, last_request_sent_);
+  env_.send_shuffle_request(id_, target, pending_->sent);
+  arm_exchange_timer();
+}
+
+void OverlayNode::arm_exchange_timer() {
+  if (params_.shuffle_timeout <= 0.0) return;
+  const std::uint64_t id = pending_->id;
+  env_.schedule(pending_->timeout,
+                [this, id] { handle_exchange_timeout(id); });
+}
+
+void OverlayNode::handle_exchange_timeout(std::uint64_t exchange_id) {
+  if (!pending_ || pending_->id != exchange_id)
+    return;  // exchange completed or superseded: stale timer
+  ++counters_.request_timeouts;
+  if (!online_ || pending_->retries_used >= params_.shuffle_max_retries) {
+    abort_pending_exchange();
+    return;
+  }
+  ++pending_->retries_used;
+  pending_->timeout *= params_.shuffle_retry_backoff;
+  ++counters_.request_retries;
+  ++counters_.requests_sent;
+  env_.send_shuffle_request(id_, pending_->target, pending_->sent);
+  arm_exchange_timer();
+}
+
+void OverlayNode::abort_pending_exchange() {
+  ++counters_.exchanges_aborted;
+  pending_.reset();
 }
 
 void OverlayNode::handle_shuffle_request(
@@ -151,9 +189,22 @@ void OverlayNode::handle_shuffle_request(
 void OverlayNode::handle_shuffle_response(
     const std::vector<PseudonymRecord>& received) {
   if (!online_) return;
+  if (!pending_) {
+    // Late (the exchange timed out or was superseded) or duplicated
+    // (already merged). The records are still valid gossip, but they
+    // must not be paired with another exchange's sent set: merge them
+    // additively, as if nothing had been offered in return.
+    ++counters_.stale_responses;
+    merge_received(received, {});
+    return;
+  }
   ++counters_.shuffles_completed;
-  merge_received(received, last_request_sent_);
-  last_request_sent_.clear();
+  // Move the sent set out before merging: merge_received may call
+  // back into shuffle state via the sampler/cache only, but the
+  // pending slot must be free for the next tick regardless.
+  const std::vector<PseudonymRecord> sent = std::move(pending_->sent);
+  pending_.reset();
+  merge_received(received, sent);
 }
 
 void OverlayNode::merge_received(const std::vector<PseudonymRecord>& received,

@@ -47,11 +47,19 @@ class NodeEnvironment {
 class OverlayNode {
  public:
   struct Counters {
-    std::uint64_t requests_sent = 0;
+    std::uint64_t requests_sent = 0;   // retransmissions included
     std::uint64_t responses_sent = 0;
     std::uint64_t shuffles_completed = 0;  // responses received
     std::uint64_t online_ticks = 0;
     std::size_t max_out_degree = 0;
+
+    /// Degradation accounting (fault-tolerance extension): how the
+    /// node fares when the network loses or delays its exchanges.
+    std::uint64_t request_timeouts = 0;    // timer fired, no response yet
+    std::uint64_t request_retries = 0;     // retransmissions sent
+    std::uint64_t exchanges_aborted = 0;   // pending exchange given up
+    std::uint64_t stale_responses = 0;     // response without a pending
+                                           // exchange (late or duplicate)
 
     std::uint64_t messages_sent() const {
       return requests_sent + responses_sent;
@@ -93,6 +101,8 @@ class OverlayNode {
   std::size_t out_degree() const;
 
   const Counters& counters() const { return counters_; }
+  /// An initiated shuffle is awaiting its response (test/diagnostic).
+  bool has_pending_exchange() const { return pending_.has_value(); }
   const SlotSampler::ReplacementCounters& replacement_counters() const {
     return sampler_.counters();
   }
@@ -131,7 +141,9 @@ class OverlayNode {
   void note_seen(const PseudonymRecord& record, sim::Time now);
 
   NodeId id_;
-  const OverlayParams& params_;
+  // By value: nodes outlive most callers' params objects (several
+  // tests pass temporaries), and the struct is small.
+  const OverlayParams params_;
   std::vector<NodeId> trusted_;
   NodeEnvironment& env_;
   Rng rng_;
@@ -147,9 +159,27 @@ class OverlayNode {
   bool ever_started_ = false;
   std::uint64_t renewal_epoch_ = 0;
 
-  /// Last set sent in an initiated shuffle, consumed by the matching
-  /// response (victim preference).
-  std::vector<PseudonymRecord> last_request_sent_;
+  /// The one in-flight initiated exchange. Timeout-scoped: a response
+  /// only merges while its exchange is pending, so a lost response
+  /// cannot leak the sent set into a later exchange and a duplicated
+  /// response cannot merge twice.
+  struct PendingExchange {
+    std::uint64_t id = 0;  // monotone exchange id, guards stale timers
+    NodeId target = 0;
+    /// This node's half of the exchange (CYCLON victim preference),
+    /// re-used verbatim by retransmissions.
+    std::vector<PseudonymRecord> sent;
+    std::size_t retries_used = 0;
+    double timeout = 0.0;  // current backoff interval
+  };
+
+  void begin_exchange(NodeId target, std::vector<PseudonymRecord> set);
+  void arm_exchange_timer();
+  void handle_exchange_timeout(std::uint64_t exchange_id);
+  void abort_pending_exchange();
+
+  std::optional<PendingExchange> pending_;
+  std::uint64_t next_exchange_id_ = 0;
 
   /// Adaptive-lifetime extension state.
   sim::Time offline_since_ = 0.0;

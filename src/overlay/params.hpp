@@ -35,6 +35,22 @@ struct OverlayParams {
   /// nodes whose pseudonym links expired while away.
   bool shuffle_on_rejoin = true;
 
+  /// Fault-tolerance extension: an initiated shuffle that has not
+  /// seen its response after this many periods times out (the pending
+  /// exchange is retried or aborted, never left dangling). 0 disables
+  /// the timer; the pending exchange then lives until the next
+  /// initiated shuffle replaces it. Should exceed the worst-case
+  /// round-trip of the transport in use.
+  double shuffle_timeout = 0.0;
+
+  /// Bounded retransmissions of a timed-out shuffle request (same
+  /// exchange, same pseudonym set). 0 = abort on first timeout.
+  std::size_t shuffle_max_retries = 0;
+
+  /// Each retransmission multiplies the timeout by this factor
+  /// (exponential backoff).
+  double shuffle_retry_backoff = 2.0;
+
   /// Extension (§III-C future work): nodes adapt their pseudonym
   /// lifetime to their own observed offline durations instead of the
   /// global constant.

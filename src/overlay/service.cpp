@@ -38,6 +38,14 @@ OverlayService::OverlayService(
     transport_ = std::make_unique<privacylink::Transport>(
         sim, options_.transport, rng_.split(), online);
   }
+  link_ = transport_.get();
+  if (options_.link_faults && options_.link_faults->enabled()) {
+    // Seeded from the plan, not from rng_: wrapping never perturbs
+    // the protocol's own random draws.
+    faulty_ = std::make_unique<fault::FaultyTransport>(
+        sim, *transport_, *options_.link_faults);
+    link_ = faulty_.get();
+  }
   nodes_.reserve(trust_graph.num_nodes());
   for (NodeId v = 0; v < trust_graph.num_nodes(); ++v) {
     const auto nbrs = trust_graph.neighbors(v);
@@ -101,19 +109,22 @@ PseudonymRecord OverlayService::mint_pseudonym(NodeId owner,
 }
 
 std::optional<NodeId> OverlayService::resolve(PseudonymValue value) {
+  // A blacked-out pseudonym service answers no resolution request;
+  // the protocol skips the shuffle round (graceful degradation).
+  if (!pseudonym_service_available_) return std::nullopt;
   return pseudonyms_.resolve(value, sim_.now());
 }
 
 void OverlayService::send_shuffle_request(NodeId from, NodeId to,
                                           std::vector<PseudonymRecord> set) {
-  transport_->send(from, to, [this, from, to, set = std::move(set)] {
+  link_->send(from, to, [this, from, to, set = std::move(set)] {
     nodes_[to]->handle_shuffle_request(from, set);
   });
 }
 
 void OverlayService::send_shuffle_response(NodeId from, NodeId to,
                                            std::vector<PseudonymRecord> set) {
-  transport_->send(from, to, [this, to, set = std::move(set)] {
+  link_->send(from, to, [this, to, set = std::move(set)] {
     nodes_[to]->handle_shuffle_response(set);
   });
 }
@@ -167,8 +178,28 @@ OverlayNode::Counters OverlayService::total_counters() const {
     total.shuffles_completed += c.shuffles_completed;
     total.online_ticks += c.online_ticks;
     total.max_out_degree = std::max(total.max_out_degree, c.max_out_degree);
+    total.request_timeouts += c.request_timeouts;
+    total.request_retries += c.request_retries;
+    total.exchanges_aborted += c.exchanges_aborted;
+    total.stale_responses += c.stale_responses;
   }
   return total;
+}
+
+metrics::ProtocolHealth OverlayService::protocol_health() const {
+  const OverlayNode::Counters c = total_counters();
+  metrics::ProtocolHealth health;
+  health.requests_sent = c.requests_sent;
+  health.responses_sent = c.responses_sent;
+  health.exchanges_completed = c.shuffles_completed;
+  health.request_timeouts = c.request_timeouts;
+  health.request_retries = c.request_retries;
+  health.exchanges_aborted = c.exchanges_aborted;
+  health.stale_responses = c.stale_responses;
+  health.messages_sent = link_->messages_sent();
+  health.messages_delivered = link_->messages_delivered();
+  health.messages_dropped = link_->messages_dropped();
+  return health;
 }
 
 }  // namespace ppo::overlay

@@ -5,11 +5,15 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "churn/churn_driver.hpp"
 #include "churn/churn_model.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/faulty_transport.hpp"
 #include "graph/graph.hpp"
+#include "metrics/protocol_health.hpp"
 #include "overlay/node.hpp"
 #include "overlay/params.hpp"
 #include "privacylink/mix_transport.hpp"
@@ -30,6 +34,12 @@ struct OverlayServiceOptions {
   bool use_mix_network = false;
   privacylink::MixOptions mix;
   privacylink::MixTransportOptions mix_transport;
+
+  /// Fault-injection extension: when set and enabled(), the transport
+  /// is wrapped in a FaultyTransport applying this plan. An absent or
+  /// inert plan leaves the simulation bit-identical to an unwrapped
+  /// run (the fault stream has its own seed).
+  std::optional<fault::FaultPlan> link_faults;
 };
 
 class OverlayService final : public NodeEnvironment {
@@ -66,6 +76,17 @@ class OverlayService final : public NodeEnvironment {
   }
   PseudonymRecord mint_pseudonym(NodeId owner, double lifetime) override;
   std::optional<NodeId> resolve(PseudonymValue value) override;
+
+  /// Pseudonym-service availability toggle, driven by a FaultInjector
+  /// blackout schedule: while unavailable, protocol-level resolution
+  /// (NodeEnvironment::resolve) fails. Metric snapshots keep their
+  /// omniscient view. Minting stays local (see fault_injector.hpp).
+  void set_pseudonym_service_available(bool available) {
+    pseudonym_service_available_ = available;
+  }
+  bool pseudonym_service_available() const {
+    return pseudonym_service_available_;
+  }
   void send_shuffle_request(NodeId from, NodeId to,
                             std::vector<PseudonymRecord> set) override;
   void send_shuffle_response(NodeId from, NodeId to,
@@ -80,12 +101,20 @@ class OverlayService final : public NodeEnvironment {
   OverlayNode& node(NodeId id) { return *nodes_[id]; }
   const OverlayNode& node(NodeId id) const { return *nodes_[id]; }
   churn::ChurnDriver& churn_driver() { return churn_; }
-  const privacylink::LinkTransport& transport() const { return *transport_; }
+  /// The transport protocol messages go through (the fault wrapper
+  /// when link_faults is enabled, the bare transport otherwise).
+  const privacylink::LinkTransport& transport() const { return *link_; }
   const privacylink::PseudonymService& pseudonym_service() const {
     return pseudonyms_;
   }
   /// The mix network backing the transport (mix mode only).
   const privacylink::MixNetwork* mix_network() const { return mix_.get(); }
+  /// Mutable access for fault-injection hooks (relay crash/revive).
+  privacylink::MixNetwork* mutable_mix_network() { return mix_.get(); }
+  /// The fault wrapper, if link_faults was set and enabled.
+  const fault::FaultyTransport* fault_transport() const {
+    return faulty_.get();
+  }
 
   /// The current overlay graph over ALL nodes (online and offline):
   /// trust edges plus an edge {u, v} whenever u holds a live
@@ -103,6 +132,9 @@ class OverlayService final : public NodeEnvironment {
   SlotSampler::ReplacementCounters total_replacements() const;
   OverlayNode::Counters total_counters() const;
 
+  /// Protocol + transport degradation rollup for figure reports.
+  metrics::ProtocolHealth protocol_health() const;
+
  private:
   /// Starts one node's periodic shuffle schedule.
   void start_ticks(NodeId v);
@@ -114,7 +146,10 @@ class OverlayService final : public NodeEnvironment {
   privacylink::PseudonymService pseudonyms_;
   churn::ChurnDriver churn_;
   std::unique_ptr<privacylink::MixNetwork> mix_;  // mix mode only
-  std::unique_ptr<privacylink::LinkTransport> transport_;
+  std::unique_ptr<privacylink::LinkTransport> transport_;  // bare inner
+  std::unique_ptr<fault::FaultyTransport> faulty_;  // optional wrapper
+  privacylink::LinkTransport* link_ = nullptr;  // what sends go through
+  bool pseudonym_service_available_ = true;
   std::vector<std::unique_ptr<OverlayNode>> nodes_;
   std::vector<sim::PeriodicTask> ticks_;
   bool started_ = false;

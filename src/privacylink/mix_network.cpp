@@ -133,9 +133,20 @@ void MixNetwork::fail_relay(RelayId r) {
   relays_[r].alive = false;
 }
 
+void MixNetwork::revive_relay(RelayId r) {
+  PPO_CHECK_MSG(r < relays_.size(), "relay id out of range");
+  relays_[r].alive = true;
+}
+
 bool MixNetwork::relay_alive(RelayId r) const {
   PPO_CHECK_MSG(r < relays_.size(), "relay id out of range");
   return relays_[r].alive;
+}
+
+std::size_t MixNetwork::live_relay_count() const {
+  std::size_t live = 0;
+  for (const Relay& r : relays_) live += r.alive ? 1 : 0;
+  return live;
 }
 
 }  // namespace ppo::privacylink

@@ -51,7 +51,11 @@ class MixNetwork {
 
   /// Failure injection: the relay stops forwarding.
   void fail_relay(RelayId r);
+  /// Crash recovery: the relay resumes forwarding (keys and replay
+  /// history survive the outage — a restart, not a fresh identity).
+  void revive_relay(RelayId r);
   bool relay_alive(RelayId r) const;
+  std::size_t live_relay_count() const;
 
   std::uint64_t messages_forwarded() const { return forwarded_; }
   std::uint64_t messages_dropped() const { return dropped_; }

@@ -22,6 +22,12 @@ bool MixTransport::send(graph::NodeId from, graph::NodeId to,
                         sim::EventFn on_deliver) {
   if (!is_online_(from)) return false;
   ++sent_;
+  if (mix_.live_relay_count() < options_.circuit_hops) {
+    // Not enough live relays for a circuit: the message is lost but
+    // the protocol keeps running and recovers once relays revive.
+    ++circuit_failures_;
+    return true;
+  }
 
   // The simulated payload only needs to identify the delivery: the
   // real content stays a closure, the bytes exercise the crypto path.

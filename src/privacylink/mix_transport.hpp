@@ -38,6 +38,11 @@ class MixTransport final : public LinkTransport {
   /// Total onion bytes put on the wire (all hops' ingress sizes).
   std::uint64_t bytes_sent() const { return bytes_sent_; }
 
+  /// Sends lost because fewer live relays than circuit hops remained
+  /// (graceful degradation: the message is counted sent and dropped
+  /// instead of aborting the run).
+  std::uint64_t circuit_failures() const { return circuit_failures_; }
+
  private:
   sim::Simulator& sim_;
   MixNetwork& mix_;
@@ -47,6 +52,7 @@ class MixTransport final : public LinkTransport {
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t circuit_failures_ = 0;
 };
 
 }  // namespace ppo::privacylink

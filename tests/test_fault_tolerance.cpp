@@ -1,0 +1,313 @@
+// Fault-tolerance integration tests: the hardened overlay protocol
+// under injected faults. Pins the acceptance properties of the
+// robustness extension — zero-fault runs are bit-identical to
+// fault-free ones, the fault sweep is jobs-invariant and repeatable,
+// retry/backoff buys back graceful degradation under loss, the
+// pseudonym service survives blackouts, and the overlay over the mix
+// network recovers from relay crash/revive cycles.
+#include <gtest/gtest.h>
+
+#include <iostream>
+
+#include "churn/churn_model.hpp"
+#include "experiments/figure_json.hpp"
+#include "experiments/figures.hpp"
+#include "fault/fault_injector.hpp"
+#include "graph/generators.hpp"
+#include "overlay/service.hpp"
+#include "privacylink/mix_transport.hpp"
+
+namespace ppo::experiments {
+namespace {
+
+overlay::OverlayParams small_params() {
+  overlay::OverlayParams p;
+  p.cache_size = 60;
+  p.shuffle_length = 8;
+  p.target_links = 12;
+  p.pseudonym_lifetime = 30.0;  // r = 1: links need continuous upkeep
+  return p;
+}
+
+/// A sparse, high-diameter trust graph whose online-induced subgraph
+/// shatters under churn — connectivity then genuinely depends on the
+/// overlay's pseudonym links staying fresh, which is exactly what
+/// message loss attacks.
+OverlayScenario ring_scenario(std::uint64_t seed) {
+  OverlayScenario s;
+  s.params = small_params();
+  s.churn.alpha = 0.5;
+  s.window.warmup = 150.0;
+  s.window.measure = 50.0;
+  s.window.sample_every = 10.0;
+  s.window.apl_sources = 16;
+  s.seed = seed;
+  return s;
+}
+
+fault::FaultPlan loss_plan(double loss, std::uint64_t seed) {
+  fault::FaultPlan plan;
+  plan.drop_probability = loss;
+  plan.seed = seed;
+  return plan;
+}
+
+void enable_retries(overlay::OverlayParams& p, std::size_t retries) {
+  p.shuffle_timeout = 0.25;  // >> the transport's 0.05 max latency
+  p.shuffle_max_retries = retries;
+  p.shuffle_retry_backoff = 2.0;
+}
+
+void expect_same_run(const OverlayRunResult& a, const OverlayRunResult& b) {
+  EXPECT_EQ(a.stats.frac_disconnected.mean(), b.stats.frac_disconnected.mean());
+  EXPECT_EQ(a.stats.norm_apl.mean(), b.stats.norm_apl.mean());
+  EXPECT_EQ(a.stats.online_fraction.mean(), b.stats.online_fraction.mean());
+  EXPECT_EQ(a.messages_total, b.messages_total);
+  EXPECT_EQ(a.replacements, b.replacements);
+  EXPECT_EQ(a.health.requests_sent, b.health.requests_sent);
+  EXPECT_EQ(a.health.messages_sent, b.health.messages_sent);
+  EXPECT_EQ(a.health.messages_delivered, b.health.messages_delivered);
+}
+
+/// Acceptance: a FaultyTransport with nothing to inject is a true
+/// no-op — the simulation trajectory matches the unwrapped run
+/// exactly, whether the plan is absent, inert, or enabled but idle.
+TEST(FaultTolerance, ZeroFaultPlanIsBitIdenticalToBaseline) {
+  const graph::Graph ring = graph::ring(48);
+  const OverlayScenario base = ring_scenario(5);
+
+  const auto bare = run_overlay(ring, base);
+
+  OverlayScenario inert = base;
+  inert.faults = fault::FaultPlan{};  // enabled() == false: no wrap
+  const auto with_inert = run_overlay(ring, inert);
+  expect_same_run(bare, with_inert);
+
+  OverlayScenario idle = base;
+  fault::FaultPlan far_future;
+  far_future.link_outages.push_back({1e9, 1e9 + 1.0});
+  idle.faults = far_future;  // enabled() == true: wraps, never fires
+  const auto with_idle = run_overlay(ring, idle);
+  expect_same_run(bare, with_idle);
+  EXPECT_EQ(with_idle.health.messages_dropped, bare.health.messages_dropped);
+}
+
+/// Acceptance: at 10% loss and alpha = 0.5, the retry machinery keeps
+/// the disconnected fraction within 2x of the lossless run, while the
+/// same loss without retries measurably degrades the protocol.
+TEST(FaultTolerance, RetryKeepsConnectivityUnderModerateLoss) {
+  const graph::Graph ring = graph::ring(64);
+  const OverlayScenario base = ring_scenario(7);
+
+  const auto lossless = run_overlay(ring, base);
+
+  OverlayScenario retry = base;
+  retry.faults = loss_plan(0.1, 0xFA11);
+  enable_retries(retry.params, 2);
+  const auto with_retry = run_overlay(ring, retry);
+
+  OverlayScenario no_retry = base;
+  no_retry.faults = loss_plan(0.1, 0xFA11);  // identical loss pattern
+  enable_retries(no_retry.params, 0);
+  const auto without_retry = run_overlay(ring, no_retry);
+
+  const double base_frac = lossless.stats.frac_disconnected.mean();
+  const double retry_frac = with_retry.stats.frac_disconnected.mean();
+  const double noretry_frac = without_retry.stats.frac_disconnected.mean();
+  std::cerr << "frac_disconnected lossless=" << base_frac
+            << " retry=" << retry_frac << " no-retry=" << noretry_frac
+            << "\n";
+  std::cerr << "completion lossless=" << lossless.health.completion_rate()
+            << " retry=" << with_retry.health.completion_rate()
+            << " no-retry=" << without_retry.health.completion_rate()
+            << "\n";
+
+  // Graceful degradation: retries hold the line...
+  EXPECT_LE(retry_frac, std::max(2.0 * base_frac, 0.02));
+  // ...and recover most of the lost exchanges,
+  EXPECT_GT(with_retry.health.completion_rate(),
+            without_retry.health.completion_rate() + 0.05);
+  EXPECT_GT(with_retry.health.request_retries, 0u);
+  EXPECT_GT(with_retry.health.request_timeouts, 0u);
+  // while the unhardened protocol visibly suffers.
+  EXPECT_EQ(without_retry.health.request_retries, 0u);
+  EXPECT_GE(noretry_frac, retry_frac);
+  EXPECT_GT(without_retry.health.exchanges_aborted,
+            lossless.health.exchanges_aborted);
+}
+
+TEST(FaultTolerance, TimeoutsAreScopedToTheirExchange) {
+  // At full availability with zero faults every response arrives well
+  // inside the timeout, so every armed timer must find its exchange
+  // already completed and stay silent: no timeout may abort an
+  // exchange that got its response, and the hardened protocol
+  // completes exactly as many exchanges as the unhardened one.
+  // (Under churn this does NOT hold — requests to offline nodes are
+  // dropped by the transport and legitimately time out.)
+  const graph::Graph ring = graph::ring(48);
+  OverlayScenario plain = ring_scenario(11);
+  plain.churn.alpha = 1.0;
+  OverlayScenario hardened = plain;
+  enable_retries(hardened.params, 2);
+
+  const auto a = run_overlay(ring, plain);
+  const auto b = run_overlay(ring, hardened);
+  EXPECT_EQ(b.health.request_retries, 0u);
+  EXPECT_EQ(b.health.request_timeouts, 0u);
+  EXPECT_EQ(a.health.exchanges_completed, b.health.exchanges_completed);
+  EXPECT_EQ(a.health.requests_sent, b.health.requests_sent);
+}
+
+TEST(FaultTolerance, SweepIsJobsInvariantAndRepeatable) {
+  WorkbenchOptions opts;
+  opts.seed = 17;
+  opts.social.num_nodes = 3000;
+  opts.social.sub_community_size = 50;
+  opts.social.community_size = 500;
+  opts.trust_nodes = 120;
+
+  FigureScale scale;
+  scale.window.warmup = 40.0;
+  scale.window.measure = 20.0;
+  scale.window.sample_every = 10.0;
+  scale.window.apl_sources = 8;
+  scale.alphas = {0.5, 1.0};
+  scale.seed = 3;
+
+  FaultToleranceSpec spec;
+  spec.loss_rates = {0.2};
+
+  const auto run = [&](std::size_t jobs) {
+    Workbench bench(opts);
+    FigureScale s = scale;
+    s.jobs = jobs;
+    return fault_tolerance_sweep(bench, s, spec);
+  };
+  const auto serial = run(1);
+  const auto parallel = run(8);
+  const auto repeat = run(8);
+
+  const auto expect_identical = [](const FaultFigure& a,
+                                   const FaultFigure& b) {
+    ASSERT_EQ(a.connectivity.size(), b.connectivity.size());
+    for (std::size_t j = 0; j < a.connectivity.size(); ++j) {
+      EXPECT_EQ(a.connectivity[j].name, b.connectivity[j].name);
+      EXPECT_EQ(a.connectivity[j].values, b.connectivity[j].values);
+      EXPECT_EQ(a.napl[j].values, b.napl[j].values);
+      EXPECT_EQ(a.completion[j].values, b.completion[j].values);
+      EXPECT_EQ(a.health[j].requests_sent, b.health[j].requests_sent);
+      EXPECT_EQ(a.health[j].messages_dropped, b.health[j].messages_dropped);
+    }
+  };
+  expect_identical(serial, parallel);
+  expect_identical(parallel, repeat);
+  EXPECT_EQ(serial.connectivity[0].name, "lossless");
+  EXPECT_EQ(serial.connectivity[1].name, "retry-loss0.20");
+  EXPECT_EQ(serial.connectivity[2].name, "no-retry-loss0.20");
+}
+
+TEST(FaultTolerance, FaultFigureJsonCarriesHealthBlock) {
+  WorkbenchOptions opts;
+  opts.seed = 17;
+  opts.social.num_nodes = 3000;
+  opts.social.sub_community_size = 50;
+  opts.social.community_size = 500;
+  opts.trust_nodes = 100;
+
+  FigureScale scale;
+  scale.window.warmup = 30.0;
+  scale.window.measure = 10.0;
+  scale.window.sample_every = 10.0;
+  scale.window.apl_sources = 8;
+  scale.alphas = {0.75};
+  scale.seed = 3;
+  scale.jobs = 2;
+
+  FaultToleranceSpec spec;
+  spec.loss_rates = {0.1};
+
+  Workbench bench(opts);
+  const auto fig = fault_tolerance_sweep(bench, scale, spec);
+  const runner::Json j = to_json(fig);
+  ASSERT_TRUE(j.is_object());
+  EXPECT_EQ(j.at("connectivity").size(), 3u);
+  EXPECT_EQ(j.at("completion").size(), 3u);
+  ASSERT_EQ(j.at("health").size(), 3u);
+  EXPECT_EQ(j.at("health").at(0).at("name").as_string(), "lossless");
+  EXPECT_GT(j.at("health").at(1).at("request_retries").as_uint(), 0u);
+  EXPECT_GT(j.at("health").at(2).at("request_timeouts").as_uint(), 0u);
+  EXPECT_EQ(j.at("health").at(2).at("request_retries").as_uint(), 0u);
+  EXPECT_GT(j.at("health").at(0).at("completion_rate").as_double(), 0.0);
+  // The document survives a dump/parse round trip unchanged.
+  EXPECT_EQ(runner::Json::parse(j.dump(2)), j);
+}
+
+TEST(FaultTolerance, PseudonymBlackoutDegradesGracefully) {
+  // A blackout spanning the whole measurement window: pseudonym-link
+  // shuffles cannot resolve their targets, so request traffic drops,
+  // but the protocol keeps running and the run completes normally.
+  const graph::Graph ring = graph::ring(48);
+  const OverlayScenario base = ring_scenario(13);
+
+  OverlayScenario dark = base;
+  dark.service_faults.pseudonym_blackouts.push_back(
+      {base.window.warmup, base.window.warmup + base.window.measure + 1.0});
+
+  const auto normal = run_overlay(ring, base);
+  const auto blacked_out = run_overlay(ring, dark);
+  EXPECT_LT(blacked_out.health.requests_sent, normal.health.requests_sent);
+  EXPECT_GT(blacked_out.health.exchanges_completed, 0u);
+}
+
+/// Satellite: the overlay over the full mix-network stack recovers
+/// after relays crash and revive. While too few relays are alive to
+/// build circuits, sends fail gracefully (counted, not fatal); once
+/// revived, shuffle exchanges resume.
+TEST(FaultTolerance, MixRelayCrashReviveRecovery) {
+  sim::Simulator sim;
+  const graph::Graph trust = graph::ring(12);
+  churn::ExponentialChurn model(
+      churn::ExponentialChurn::from_availability(0.999, 30.0));
+
+  overlay::OverlayServiceOptions options;
+  options.params = small_params();
+  options.use_mix_network = true;
+  options.mix.num_relays = 4;
+  options.mix_transport.circuit_hops = 3;
+  overlay::OverlayService service(sim, trust, model, options, Rng(3));
+
+  fault::ServiceFaults faults;
+  faults.relay_crashes.push_back({0, 10.0, 20.0});
+  faults.relay_crashes.push_back({1, 10.0, 20.0});
+  fault::FaultInjector::Hooks hooks;
+  hooks.mix = service.mutable_mix_network();
+  fault::FaultInjector injector(sim, faults, hooks);
+  injector.arm();
+  service.start();
+
+  const auto* mix_transport =
+      dynamic_cast<const privacylink::MixTransport*>(&service.transport());
+  ASSERT_NE(mix_transport, nullptr);
+
+  sim.run_until(10.5);
+  const std::uint64_t completed_before =
+      service.total_counters().shuffles_completed;
+  EXPECT_GT(completed_before, 0u);
+  EXPECT_EQ(service.mix_network()->live_relay_count(), 2u);
+
+  sim.run_until(20.0);
+  // Two live relays cannot form 3-hop circuits: every send in the
+  // outage window was counted and lost instead of aborting the run.
+  EXPECT_GT(mix_transport->circuit_failures(), 0u);
+  const std::uint64_t completed_during =
+      service.total_counters().shuffles_completed;
+
+  sim.run_until(40.0);
+  EXPECT_EQ(service.mix_network()->live_relay_count(), 4u);
+  EXPECT_GT(service.total_counters().shuffles_completed, completed_during);
+  EXPECT_EQ(injector.counters().relays_crashed, 2u);
+  EXPECT_EQ(injector.counters().relays_revived, 2u);
+}
+
+}  // namespace
+}  // namespace ppo::experiments

@@ -1,0 +1,342 @@
+// Fault-injection layer unit tests: FaultPlan validation, the
+// FaultyTransport decorator's fault semantics, its zero-fault no-op
+// guarantee and the LinkTransport drop-accounting invariant, plus the
+// FaultInjector's blackout scheduling.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/faulty_transport.hpp"
+#include "privacylink/transport.hpp"
+
+namespace ppo::fault {
+namespace {
+
+using privacylink::NodeId;
+
+struct Fixture {
+  sim::Simulator sim;
+  std::vector<char> online;
+  privacylink::Transport inner;
+  FaultyTransport faulty;
+
+  Fixture(std::size_t n, FaultPlan plan,
+          privacylink::TransportOptions opts = {.min_latency = 1.0,
+                                                .max_latency = 1.0})
+      : online(n, 1),
+        inner(sim, opts, Rng(7),
+              [this](NodeId v) { return online[v] != 0; }),
+        faulty(sim, inner, plan) {}
+};
+
+TEST(FaultPlan, DefaultPlanIsInert) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  plan.validate();  // does not throw
+}
+
+TEST(FaultPlan, AnyFaultKnobEnables) {
+  FaultPlan plan;
+  plan.drop_probability = 0.1;
+  EXPECT_TRUE(plan.enabled());
+
+  FaultPlan outage;
+  outage.link_outages.push_back({5.0, 6.0});
+  EXPECT_TRUE(outage.enabled());
+}
+
+TEST(FaultPlan, ValidateRejectsNonsense) {
+  FaultPlan plan;
+  plan.drop_probability = 1.5;
+  EXPECT_THROW(plan.validate(), CheckError);
+
+  FaultPlan inverted;
+  inverted.link_outages.push_back({6.0, 5.0});
+  EXPECT_THROW(inverted.validate(), CheckError);
+
+  FaultPlan empty_group;
+  empty_group.partitions.push_back({{0.0, 1.0}, {}});
+  EXPECT_THROW(empty_group.validate(), CheckError);
+
+  FaultPlan jitter;
+  jitter.jitter_min = 2.0;
+  jitter.jitter_max = 1.0;
+  EXPECT_THROW(jitter.validate(), CheckError);
+}
+
+TEST(FaultyTransport, InertPlanForwardsVerbatim) {
+  Fixture fx(3, FaultPlan{});
+  int deliveries = 0;
+  double delivered_at = -1.0;
+  fx.faulty.send(0, 1, [&] {
+    ++deliveries;
+    delivered_at = fx.sim.now();
+  });
+  fx.sim.run_all();
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_DOUBLE_EQ(delivered_at, 1.0);  // inner latency only
+  EXPECT_EQ(fx.faulty.messages_sent(), 1u);
+  EXPECT_EQ(fx.faulty.messages_delivered(), 1u);
+  EXPECT_EQ(fx.faulty.counters().total_faulted(), 0u);
+}
+
+TEST(FaultyTransport, EnabledButIdlePlanMatchesBareTransport) {
+  // A plan whose only fault is an outage window far in the future is
+  // enabled() (so services wrap it), yet until the window opens the
+  // wrapper must not disturb delivery times or draw from any RNG the
+  // protocol sees.
+  FaultPlan plan;
+  plan.link_outages.push_back({1e9, 1e9 + 1.0});
+
+  std::vector<double> bare_times;
+  {
+    sim::Simulator sim;
+    privacylink::Transport t(sim, {.min_latency = 0.1, .max_latency = 0.9},
+                             Rng(7), [](NodeId) { return true; });
+    for (int i = 0; i < 20; ++i)
+      t.send(0, 1, [&] { bare_times.push_back(sim.now()); });
+    sim.run_all();
+  }
+  std::vector<double> wrapped_times;
+  {
+    sim::Simulator sim;
+    privacylink::Transport t(sim, {.min_latency = 0.1, .max_latency = 0.9},
+                             Rng(7), [](NodeId) { return true; });
+    FaultyTransport faulty(sim, t, plan);
+    for (int i = 0; i < 20; ++i)
+      faulty.send(0, 1, [&] { wrapped_times.push_back(sim.now()); });
+    sim.run_all();
+  }
+  EXPECT_EQ(bare_times, wrapped_times);
+}
+
+TEST(FaultyTransport, OfflineSenderStillRefused) {
+  FaultPlan plan;
+  plan.drop_probability = 1.0;
+  Fixture fx(2, plan);
+  fx.online[0] = 0;
+  EXPECT_FALSE(fx.faulty.send(0, 1, [] {}));
+  fx.sim.run_all();
+  EXPECT_EQ(fx.faulty.messages_sent(), 0u);
+  EXPECT_EQ(fx.faulty.counters().injected_drops, 0u);
+}
+
+TEST(FaultyTransport, FullLossDropsEverything) {
+  FaultPlan plan;
+  plan.drop_probability = 1.0;
+  Fixture fx(2, plan);
+  int deliveries = 0;
+  for (int i = 0; i < 50; ++i) fx.faulty.send(0, 1, [&] { ++deliveries; });
+  fx.sim.run_all();
+  EXPECT_EQ(deliveries, 0);
+  EXPECT_EQ(fx.faulty.messages_sent(), 50u);
+  EXPECT_EQ(fx.faulty.messages_delivered(), 0u);
+  EXPECT_EQ(fx.faulty.counters().injected_drops, 50u);
+  EXPECT_EQ(fx.faulty.messages_dropped(), 50u);
+}
+
+/// The LinkTransport invariant messages_dropped() == sent - delivered
+/// must survive injected loss and duplication (which adds sends).
+/// All receivers stay online here, so every loss is the wrapper's
+/// doing and the fault counters explain the dropped total exactly.
+TEST(FaultyTransport, DropAccountingInvariantUnderMixedFaults) {
+  FaultPlan plan;
+  plan.drop_probability = 0.3;
+  plan.duplicate_probability = 0.3;
+  plan.jitter_max = 0.5;
+  Fixture fx(4, plan);
+  std::uint64_t deliveries = 0;
+  Rng traffic(99);
+  for (int i = 0; i < 300; ++i) {
+    const NodeId to = 1 + static_cast<NodeId>(traffic.uniform_u64(3));
+    fx.faulty.send(0, to, [&] { ++deliveries; });
+  }
+  fx.sim.run_all();
+
+  EXPECT_EQ(fx.faulty.messages_delivered(), deliveries);
+  EXPECT_EQ(fx.faulty.messages_dropped(),
+            fx.faulty.messages_sent() - fx.faulty.messages_delivered());
+  // The wrapper mirrors the inner transport's sends one-to-one
+  // (duplicates included) and every drop is attributed to its cause.
+  EXPECT_EQ(fx.faulty.messages_sent(), fx.inner.messages_sent());
+  const auto& c = fx.faulty.counters();
+  EXPECT_EQ(fx.faulty.messages_dropped(), c.injected_drops);
+  EXPECT_GT(c.injected_drops, 0u);
+  EXPECT_GT(c.duplicates, 0u);
+  EXPECT_GT(deliveries, 0u);
+}
+
+/// Same invariant when the inner transport is the one dropping:
+/// duplicated and delayed copies to an offline receiver die inside
+/// the inner transport, and the wrapper's ledger stays consistent.
+TEST(FaultyTransport, DropAccountingInvariantWithOfflineReceivers) {
+  FaultPlan plan;
+  plan.duplicate_probability = 0.5;
+  plan.jitter_max = 0.5;
+  Fixture fx(3, plan);
+  fx.online[2] = 0;  // permanently offline receiver
+  std::uint64_t deliveries = 0;
+  Rng traffic(99);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId to = 1 + static_cast<NodeId>(traffic.uniform_u64(2));
+    fx.faulty.send(0, to, [&] { ++deliveries; });
+  }
+  fx.sim.run_all();
+
+  EXPECT_EQ(fx.faulty.messages_delivered(), deliveries);
+  EXPECT_EQ(fx.faulty.messages_dropped(),
+            fx.faulty.messages_sent() - fx.faulty.messages_delivered());
+  // No fault drops configured: every loss is an inner
+  // (offline-receiver) drop, duplicates included.
+  EXPECT_EQ(fx.faulty.counters().injected_drops, 0u);
+  EXPECT_EQ(fx.faulty.messages_dropped(), fx.inner.messages_dropped());
+  EXPECT_GT(fx.faulty.messages_dropped(), 0u);
+  EXPECT_GT(fx.faulty.counters().duplicates, 0u);
+  EXPECT_GT(deliveries, 0u);
+}
+
+TEST(FaultyTransport, DuplicateDeliversTwice) {
+  FaultPlan plan;
+  plan.duplicate_probability = 1.0;
+  Fixture fx(2, plan);
+  int deliveries = 0;
+  fx.faulty.send(0, 1, [&] { ++deliveries; });
+  fx.sim.run_all();
+  EXPECT_EQ(deliveries, 2);
+  EXPECT_EQ(fx.faulty.messages_sent(), 2u);  // the copy is on the wire
+  EXPECT_EQ(fx.faulty.counters().duplicates, 1u);
+}
+
+TEST(FaultyTransport, OutageWindowDropsOnlyInside) {
+  FaultPlan plan;
+  plan.link_outages.push_back({4.0, 6.0});
+  Fixture fx(2, plan);
+  int deliveries = 0;
+  fx.sim.schedule_at(5.0, [&] {  // inside the window
+    fx.faulty.send(0, 1, [&] { ++deliveries; });
+  });
+  fx.sim.schedule_at(7.0, [&] {  // after it
+    fx.faulty.send(0, 1, [&] { ++deliveries; });
+  });
+  fx.sim.run_all();
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_EQ(fx.faulty.counters().outage_drops, 1u);
+}
+
+TEST(FaultyTransport, PartitionBlocksOnlyCrossTraffic) {
+  FaultPlan plan;
+  plan.partitions.push_back({{0.0, 10.0}, {0, 1}});
+  Fixture fx(4, plan);
+  int cross = 0, within = 0, later = 0;
+  fx.faulty.send(0, 2, [&] { ++cross; });   // group -> outside: dropped
+  fx.faulty.send(2, 1, [&] { ++cross; });   // outside -> group: dropped
+  fx.faulty.send(0, 1, [&] { ++within; });  // inside the group: flows
+  fx.faulty.send(2, 3, [&] { ++within; });  // outside the group: flows
+  fx.sim.schedule_at(11.0, [&] {            // split healed
+    fx.faulty.send(0, 2, [&] { ++later; });
+  });
+  fx.sim.run_all();
+  EXPECT_EQ(cross, 0);
+  EXPECT_EQ(within, 2);
+  EXPECT_EQ(later, 1);
+  EXPECT_EQ(fx.faulty.counters().partition_drops, 2u);
+}
+
+TEST(FaultyTransport, JitterDelaysDelivery) {
+  FaultPlan plan;
+  plan.jitter_min = 5.0;
+  plan.jitter_max = 5.0;
+  Fixture fx(2, plan);
+  double delivered_at = -1.0;
+  fx.faulty.send(0, 1, [&] { delivered_at = fx.sim.now(); });
+  fx.sim.run_all();
+  EXPECT_DOUBLE_EQ(delivered_at, 6.0);  // 1 inner latency + 5 jitter
+  EXPECT_EQ(fx.faulty.counters().delayed, 1u);
+  EXPECT_EQ(fx.faulty.messages_delivered(), 1u);
+}
+
+TEST(FaultyTransport, ReorderLetsLaterMessagesOvertake) {
+  FaultPlan plan;
+  plan.reorder_probability = 1.0;
+  plan.reorder_min_delay = 3.0;
+  plan.reorder_max_delay = 3.0;
+  Fixture fx(2, plan);
+  std::vector<int> order;
+  fx.faulty.send(0, 1, [&] { order.push_back(1); });
+  fx.sim.schedule_at(2.0, [&] {
+    // Bypass the plan for the second message so it keeps its nominal
+    // latency and overtakes the held-back first one.
+    fx.inner.send(0, 1, [&] { order.push_back(2); });
+  });
+  fx.sim.run_all();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST(FaultyTransport, FaultPatternIsDeterministic) {
+  const auto run = [] {
+    FaultPlan plan;
+    plan.drop_probability = 0.4;
+    plan.duplicate_probability = 0.2;
+    plan.jitter_max = 1.0;
+    plan.seed = 123;
+    Fixture fx(3, plan);
+    std::vector<double> times;
+    for (int i = 0; i < 100; ++i)
+      fx.faulty.send(0, 1 + (i % 2), [&] { times.push_back(fx.sim.now()); });
+    fx.sim.run_all();
+    return std::make_pair(times, fx.faulty.counters().total_faulted());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(FaultInjector, BlackoutTogglesAvailabilityHook) {
+  sim::Simulator sim;
+  ServiceFaults faults;
+  faults.pseudonym_blackouts.push_back({2.0, 4.0});
+  faults.pseudonym_blackouts.push_back({3.0, 5.0});  // overlapping
+
+  bool available = true;
+  std::vector<std::pair<double, bool>> toggles;
+  FaultInjector::Hooks hooks;
+  hooks.set_pseudonym_service_available = [&](bool a) {
+    available = a;
+    toggles.emplace_back(sim.now(), a);
+  };
+  FaultInjector injector(sim, faults, hooks);
+  injector.arm();
+
+  sim.run_until(2.5);
+  EXPECT_FALSE(available);
+  EXPECT_TRUE(injector.blackout_active());
+  sim.run_until(4.5);  // first window closed, second still open
+  EXPECT_FALSE(available);
+  sim.run_all();
+  EXPECT_TRUE(available);
+  EXPECT_FALSE(injector.blackout_active());
+  // Exactly one down-toggle (at 2.0) and one up-toggle (at 5.0):
+  // overlapping windows do not flap the service.
+  ASSERT_EQ(toggles.size(), 2u);
+  EXPECT_DOUBLE_EQ(toggles[0].first, 2.0);
+  EXPECT_FALSE(toggles[0].second);
+  EXPECT_DOUBLE_EQ(toggles[1].first, 5.0);
+  EXPECT_TRUE(toggles[1].second);
+  EXPECT_EQ(injector.counters().blackouts_started, 2u);
+  EXPECT_EQ(injector.counters().blackouts_ended, 2u);
+}
+
+TEST(FaultInjector, BlackoutsRequireTheHook) {
+  sim::Simulator sim;
+  ServiceFaults faults;
+  faults.pseudonym_blackouts.push_back({1.0, 2.0});
+  EXPECT_THROW(FaultInjector(sim, faults, {}), CheckError);
+}
+
+}  // namespace
+}  // namespace ppo::fault

@@ -56,6 +56,33 @@ TEST(MixNetwork, DeadRelayDropsTraffic) {
   EXPECT_TRUE(mix.relay_alive(0));
 }
 
+TEST(MixNetwork, RevivedRelayForwardsAgainWithSameIdentity) {
+  sim::Simulator sim;
+  MixNetwork mix(sim, {.num_relays = 4}, Rng(5));
+  Rng rng(6);
+  const std::vector<RelayId> route{0, 1, 2};
+
+  const auto key_before = mix.relay_public_key(1);
+  mix.fail_relay(1);
+  EXPECT_EQ(mix.live_relay_count(), 3u);
+  bool delivered = false;
+  mix.send(route, crypto::to_bytes("x"),
+           [&](crypto::Bytes) { delivered = true; }, rng);
+  sim.run_all();
+  EXPECT_FALSE(delivered);
+
+  mix.revive_relay(1);
+  EXPECT_TRUE(mix.relay_alive(1));
+  EXPECT_EQ(mix.live_relay_count(), 4u);
+  // A restart, not a fresh identity: the keypair survives the crash,
+  // so senders can keep using the published key.
+  EXPECT_EQ(mix.relay_public_key(1), key_before);
+  mix.send(route, crypto::to_bytes("y"),
+           [&](crypto::Bytes) { delivered = true; }, rng);
+  sim.run_all();
+  EXPECT_TRUE(delivered);
+}
+
 TEST(MixNetwork, RandomRouteAvoidsDeadRelays) {
   sim::Simulator sim;
   MixNetwork mix(sim, {.num_relays = 5}, Rng(7));
