@@ -75,6 +75,7 @@ inline experiments::FigureScale figure_scale(const Cli& cli) {
   scale.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
   scale.jobs = static_cast<std::size_t>(cli.get_int("jobs", 0));
   scale.progress = cli.get_bool("progress", false);
+  scale.shards = static_cast<std::size_t>(cli.get_int("shards", 0));
   if (cli.has("alphas")) {
     const auto alphas = parse_double_list(cli.get_string("alphas", ""));
     if (!alphas.empty()) scale.alphas = alphas;

@@ -1,0 +1,214 @@
+// Sharded-core scaling bench: ONE large overlay simulation (default
+// 100k nodes) run once per shard count, reporting wall time, event
+// throughput and a trajectory fingerprint. The fingerprint must agree
+// across every K >= 1 in --shard-list — that is the sharded core's
+// determinism contract — so this bench doubles as a large-scale
+// bit-identity check. K = 0 selects the legacy serial backend (its
+// fingerprint legitimately differs; see DESIGN.md).
+//
+// Speedup is hardware-dependent: on a single-core runner every K
+// costs about the same wall time and the numbers say so honestly.
+//
+// Overlay parameters are reduced relative to Table I (cache 50,
+// shuffle length 10, target links 20): at 100k nodes the paper-size
+// state would dominate memory, and the scaling question is about the
+// event core, not cache churn.
+//
+// --json <path> writes the machine-readable report (schema_version
+// shared with the figure benches).
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "churn/churn_model.hpp"
+#include "graph/generators.hpp"
+#include "overlay/service.hpp"
+#include "overlay/sharded_service.hpp"
+#include "sim/sharded_simulator.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace ppo;
+
+/// FNV-1a over the overlay snapshot's canonical edge list plus the
+/// protocol-health counters: equal fingerprints mean equal overlay
+/// trajectories for all practical purposes.
+std::uint64_t fingerprint(const graph::Graph& snapshot,
+                          const metrics::ProtocolHealth& health) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const auto& [u, v] : snapshot.edges()) {
+    mix(u);
+    mix(v);
+  }
+  mix(health.requests_sent);
+  mix(health.responses_sent);
+  mix(health.exchanges_completed);
+  mix(health.messages_sent);
+  mix(health.messages_delivered);
+  return h;
+}
+
+struct RunReport {
+  std::size_t shards = 0;  // 0 = serial backend
+  double wall_seconds = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t fingerprint = 0;
+  std::size_t online = 0;
+  metrics::ProtocolHealth health;
+};
+
+std::vector<std::size_t> parse_shard_list(const std::string& text) {
+  std::vector<std::size_t> out;
+  for (const double v : bench::parse_double_list(text))
+    out.push_back(static_cast<std::size_t>(v));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  bench::apply_logging(cli);
+
+  const std::size_t nodes =
+      static_cast<std::size_t>(cli.get_int("nodes", 100'000));
+  const double alpha = cli.get_double("alpha", 0.5);
+  const double horizon = cli.get_double("horizon", 20.0);
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const auto shard_list =
+      parse_shard_list(cli.get_string("shard-list", "1,2,4,8"));
+  if (shard_list.empty()) {
+    std::cerr << "--shard-list needs at least one entry\n";
+    return 2;
+  }
+
+  overlay::OverlayServiceOptions options;
+  options.params.cache_size = static_cast<std::size_t>(cli.get_int("cache", 50));
+  options.params.shuffle_length =
+      static_cast<std::size_t>(cli.get_int("shuffle-length", 10));
+  options.params.target_links =
+      static_cast<std::size_t>(cli.get_int("target-links", 20));
+  options.params.pseudonym_lifetime = 90.0;
+
+  std::cout << "==============================================================\n"
+            << "scale_single_run — sharded-core scaling on one large run\n"
+            << nodes << " nodes, alpha " << alpha << ", horizon " << horizon
+            << " periods (seed " << seed << ")\n"
+            << "==============================================================\n\n";
+
+  // A scale-free, clustered trust graph stands in for the sampled
+  // social graph — at this size the invitation pipeline would be the
+  // bottleneck, not the simulation under test.
+  Rng graph_rng(seed ^ 0x6EA4);
+  const graph::Graph trust = graph::holme_kim(nodes, 5, 0.3, graph_rng);
+
+  const churn::ExponentialChurn model =
+      churn::ExponentialChurn::from_availability(alpha, 30.0);
+
+  std::vector<RunReport> reports;
+  for (const std::size_t shards : shard_list) {
+    RunReport report;
+    report.shards = shards;
+    const bench::WallTimer timer;
+    if (shards == 0) {
+      sim::Simulator sim;
+      overlay::OverlayService service(sim, trust, model, options, Rng(seed));
+      service.start();
+      sim.run_until(horizon);
+      report.events = sim.events_executed();
+      report.health = service.protocol_health();
+      report.online = service.online_count();
+      report.fingerprint =
+          fingerprint(service.overlay_snapshot(), report.health);
+    } else {
+      sim::ShardedSimulator::Options so;
+      so.shards = shards;
+      so.num_actors = nodes;
+      so.lookahead = options.transport.min_latency;
+      sim::ShardedSimulator sim(so);
+      overlay::ShardedOverlayService service(sim, trust, model, options, seed);
+      service.start();
+      sim.run_until(horizon);
+      report.events = sim.events_executed();
+      report.health = service.protocol_health();
+      report.online = service.online_count();
+      report.fingerprint =
+          fingerprint(service.overlay_snapshot(), report.health);
+    }
+    report.wall_seconds = timer.seconds();
+    reports.push_back(report);
+
+    std::cout << "K=" << report.shards
+              << (report.shards == 0 ? " (serial)" : "") << ": "
+              << report.wall_seconds << " s, " << report.events
+              << " events, fingerprint " << std::hex << report.fingerprint
+              << std::dec << "\n";
+  }
+
+  // Bit-identity across every sharded K (the serial backend is a
+  // different, equally valid trajectory).
+  bool identical = true;
+  std::uint64_t sharded_fp = 0;
+  bool have_fp = false;
+  for (const RunReport& r : reports) {
+    if (r.shards == 0) continue;
+    if (!have_fp) {
+      sharded_fp = r.fingerprint;
+      have_fp = true;
+    } else if (r.fingerprint != sharded_fp) {
+      identical = false;
+    }
+  }
+  if (have_fp)
+    std::cout << "\nsharded trajectories "
+              << (identical ? "IDENTICAL across all K\n"
+                            : "DIVERGE — determinism bug!\n");
+
+  if (cli.has("json")) {
+    const std::string path = cli.get_string("json", "");
+    if (path.empty()) {
+      std::cerr << "--json needs a path\n";
+      return 2;
+    }
+    runner::Json doc = runner::Json::object();
+    doc["artefact"] = std::string("scale_single_run");
+    doc["schema_version"] =
+        static_cast<std::int64_t>(experiments::kFigureJsonSchemaVersion);
+    doc["nodes"] = static_cast<std::uint64_t>(nodes);
+    doc["alpha"] = alpha;
+    doc["horizon"] = horizon;
+    doc["seed"] = seed;
+    doc["identical_across_shards"] = identical;
+    runner::Json runs = runner::Json::array();
+    for (const RunReport& r : reports) {
+      runner::Json entry = runner::Json::object();
+      entry["shards"] = static_cast<std::uint64_t>(r.shards);
+      entry["wall_seconds"] = r.wall_seconds;
+      entry["events"] = r.events;
+      entry["fingerprint"] = r.fingerprint;
+      entry["online"] = static_cast<std::uint64_t>(r.online);
+      entry["health"] = experiments::to_json(r.health);
+      runs.push_back(std::move(entry));
+    }
+    doc["runs"] = std::move(runs);
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write --json file: " << path << "\n";
+      return 1;
+    }
+    out << doc.dump(2) << "\n";
+    std::cout << "wrote JSON report: " << path << "\n";
+  }
+  return identical ? 0 : 1;
+}

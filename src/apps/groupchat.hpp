@@ -25,6 +25,7 @@
 #include "common/stats.hpp"
 #include "overlay/service.hpp"
 #include "privacylink/transport.hpp"
+#include "sim/simulator.hpp"
 
 namespace ppo::apps {
 

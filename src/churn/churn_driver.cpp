@@ -2,13 +2,15 @@
 
 namespace ppo::churn {
 
-ChurnDriver::ChurnDriver(sim::Simulator& sim, std::size_t num_nodes,
-                         const ChurnModel& model, Rng rng)
+ChurnDriver::ChurnDriver(sim::SimulatorBackend& sim, std::size_t num_nodes,
+                         const ChurnModel& model, Rng rng,
+                         bool per_node_streams)
     : ChurnDriver(sim, std::vector<const ChurnModel*>(num_nodes, &model),
-                  rng) {}
+                  rng, per_node_streams) {}
 
-ChurnDriver::ChurnDriver(sim::Simulator& sim,
-                         std::vector<const ChurnModel*> models, Rng rng)
+ChurnDriver::ChurnDriver(sim::SimulatorBackend& sim,
+                         std::vector<const ChurnModel*> models, Rng rng,
+                         bool per_node_streams)
     : sim_(sim),
       num_nodes_(models.size()),
       models_(std::move(models)),
@@ -18,6 +20,11 @@ ChurnDriver::ChurnDriver(sim::Simulator& sim,
       epoch_(num_nodes_, 0) {
   for (const ChurnModel* model : models_)
     PPO_CHECK_MSG(model != nullptr, "null churn model");
+  if (per_node_streams) {
+    node_rngs_.reserve(num_nodes_);
+    for (std::size_t v = 0; v < num_nodes_; ++v)
+      node_rngs_.push_back(rng_.split());
+  }
 }
 
 void ChurnDriver::start(ChurnCallbacks callbacks, bool fire_initial) {
@@ -25,7 +32,7 @@ void ChurnDriver::start(ChurnCallbacks callbacks, bool fire_initial) {
   started_ = true;
   callbacks_ = std::move(callbacks);
   for (NodeId v = 0; v < num_nodes_; ++v) {
-    const bool starts_online = rng_.bernoulli(models_[v]->availability());
+    const bool starts_online = rng_for(v).bernoulli(models_[v]->availability());
     online_.set(v, starts_online);
     if (starts_online && fire_initial && callbacks_.on_online)
       callbacks_.on_online(v);
@@ -39,11 +46,12 @@ void ChurnDriver::schedule_transition(NodeId v) {
   // Exponential durations are memoryless, so drawing a fresh duration
   // for the initial residual state is exact; for other models it is a
   // standard approximation that converges after the first transition.
+  Rng& rng = rng_for(v);
   const double dwell = currently_online
-                           ? models_[v]->next_online_duration(rng_)
-                           : models_[v]->next_offline_duration(rng_);
+                           ? models_[v]->next_online_duration(rng)
+                           : models_[v]->next_offline_duration(rng);
   const std::uint64_t my_epoch = epoch_[v];
-  sim_.schedule_after(dwell, [this, v, my_epoch, currently_online] {
+  sim_.schedule_for(v, dwell, [this, v, my_epoch, currently_online] {
     if (epoch_[v] != my_epoch || failed_[v]) return;
     if (currently_online)
       go_offline(v);
@@ -68,6 +76,7 @@ NodeId ChurnDriver::add_node(const ChurnModel* model) {
   PPO_CHECK_MSG(!models_.empty(), "no base model to inherit");
   const auto v = static_cast<NodeId>(num_nodes_++);
   models_.push_back(model != nullptr ? model : models_.front());
+  if (!node_rngs_.empty()) node_rngs_.push_back(rng_.split());
   online_.resize(num_nodes_, false);
   failed_.push_back(0);
   epoch_.push_back(0);

@@ -8,7 +8,7 @@
 #include "churn/churn_model.hpp"
 #include "common/rng.hpp"
 #include "graph/graph.hpp"
-#include "sim/simulator.hpp"
+#include "sim/backend.hpp"
 
 namespace ppo::churn {
 
@@ -24,13 +24,22 @@ class ChurnDriver {
  public:
   /// Homogeneous population: all nodes share `model` (the paper gives
   /// every node the same availability parameters, §IV-B).
-  ChurnDriver(sim::Simulator& sim, std::size_t num_nodes,
-              const ChurnModel& model, Rng rng);
+  ChurnDriver(sim::SimulatorBackend& sim, std::size_t num_nodes,
+              const ChurnModel& model, Rng rng,
+              bool per_node_streams = false);
 
   /// Heterogeneous population (Yao et al.'s general setting): node v
   /// follows *models[v]. All pointers must outlive the driver.
-  ChurnDriver(sim::Simulator& sim,
-              std::vector<const ChurnModel*> models, Rng rng);
+  ///
+  /// With `per_node_streams` each node draws its dwell times from a
+  /// private stream split off `rng` in node order, so one node's
+  /// trajectory never perturbs another's — required for the sharded
+  /// backend, where transition events interleave differently per K.
+  /// The default (shared stream) preserves the legacy draw order
+  /// bit-exactly.
+  ChurnDriver(sim::SimulatorBackend& sim,
+              std::vector<const ChurnModel*> models, Rng rng,
+              bool per_node_streams = false);
 
   /// Samples initial states from each node's stationary distribution
   /// (online with probability alpha_v) and schedules the first
@@ -42,6 +51,7 @@ class ChurnDriver {
   const graph::NodeMask& online_mask() const { return online_; }
   std::size_t online_count() const { return online_.count(num_nodes_); }
   std::size_t num_nodes() const { return num_nodes_; }
+  bool per_node_streams() const { return !node_rngs_.empty(); }
 
   /// Failure injection: the node goes offline now and never returns
   /// (until revive()).
@@ -61,11 +71,15 @@ class ChurnDriver {
   void go_online(NodeId v);
   void go_offline(NodeId v);
   void schedule_transition(NodeId v);
+  Rng& rng_for(NodeId v) {
+    return node_rngs_.empty() ? rng_ : node_rngs_[v];
+  }
 
-  sim::Simulator& sim_;
+  sim::SimulatorBackend& sim_;
   std::size_t num_nodes_;
   std::vector<const ChurnModel*> models_;  // one per node
   Rng rng_;
+  std::vector<Rng> node_rngs_;  // non-empty iff per_node_streams
   graph::NodeMask online_;
   std::vector<char> failed_;
   /// Epoch counter per node: cancels stale transitions after

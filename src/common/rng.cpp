@@ -12,6 +12,21 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t a,
+                          std::uint64_t b, std::uint64_t c) {
+  // Chain SplitMix64 steps, folding one coordinate into the state
+  // before each step; every coordinate perturbs all later outputs.
+  std::uint64_t state = root;
+  std::uint64_t out = splitmix64(state);
+  state ^= a * 0xFF51AFD7ED558CCDULL;
+  out ^= splitmix64(state);
+  state ^= b * 0xC4CEB9FE1A85EC53ULL;
+  out ^= splitmix64(state);
+  state ^= c * 0xD6E8FEB86659FD93ULL;
+  out ^= splitmix64(state);
+  return out;
+}
+
 namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));

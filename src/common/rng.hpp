@@ -18,6 +18,16 @@ namespace ppo {
 /// Used for seeding and for deriving child stream seeds.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Stateless stream-seed derivation: a deterministic function of the
+/// root seed and up to three stream coordinates (e.g. a subsystem tag,
+/// a node id and a per-link message index). Unlike Rng::split(), the
+/// result does not depend on any call order, which makes it the right
+/// tool for K-invariant per-node / per-link streams in the sharded
+/// simulation core: the stream a component draws from is a pure
+/// function of *what* it is, never of *when* it was created.
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t a,
+                          std::uint64_t b = 0, std::uint64_t c = 0);
+
 /// xoshiro256** PRNG wrapped with the distribution helpers the library
 /// needs. Not thread-safe; use one Rng per logical component.
 class Rng {

@@ -68,6 +68,7 @@ Json to_json(const FigureScale& scale) {
   j["alphas"] = Json::array_of(scale.alphas);
   j["seed"] = scale.seed;
   j["jobs"] = static_cast<std::uint64_t>(scale.jobs);
+  j["shards"] = static_cast<std::uint64_t>(scale.shards);
   return j;
 }
 
@@ -87,6 +88,24 @@ Json series_block(const std::vector<Series>& series) {
   return arr;
 }
 
+/// Health rollups keyed by the matching series' name.
+Json health_block(const std::vector<metrics::ProtocolHealth>& health,
+                  const std::vector<Series>& names) {
+  Json arr = Json::array();
+  for (std::size_t i = 0; i < health.size(); ++i) {
+    Json h = to_json(health[i]);
+    h["name"] = names[i].name;
+    arr.push_back(std::move(h));
+  }
+  return arr;
+}
+
+Json named_health(const metrics::ProtocolHealth& health, const char* name) {
+  Json h = to_json(health);
+  h["name"] = name;
+  return h;
+}
+
 }  // namespace
 
 Json to_json(const SweepFigure& fig) {
@@ -94,6 +113,7 @@ Json to_json(const SweepFigure& fig) {
   j["alphas"] = Json::array_of(fig.alphas);
   j["connectivity"] = series_block(fig.connectivity);
   j["napl"] = series_block(fig.napl);
+  j["health"] = health_block(fig.health, fig.connectivity);
   j["telemetry"] = to_json(fig.telemetry);
   return j;
 }
@@ -106,6 +126,7 @@ Json to_json(const DegreeFigure& fig) {
     e["trust"] = to_json(entry.trust);
     e["overlay"] = to_json(entry.overlay);
     e["random"] = to_json(entry.random);
+    e["health"] = to_json(entry.health);
     entries.push_back(std::move(e));
   }
   Json j = Json::object();
@@ -129,6 +150,7 @@ Json to_json(const MessageFigure& fig) {
     Json e = Json::object();
     e["f"] = entry.f;
     e["mean_messages"] = entry.mean_messages;
+    e["health"] = to_json(entry.health);
     e["rows"] = std::move(rows);
     entries.push_back(std::move(e));
   }
@@ -143,8 +165,12 @@ Json to_json(const ConvergenceFigure& fig) {
   series.push_back(to_json(fig.trust));
   series.push_back(to_json(fig.overlay_r3));
   series.push_back(to_json(fig.overlay_r9));
+  Json health = Json::array();
+  health.push_back(named_health(fig.health_r3, "overlay-r3"));
+  health.push_back(named_health(fig.health_r9, "overlay-r9"));
   Json j = Json::object();
   j["series"] = std::move(series);
+  j["health"] = std::move(health);
   j["telemetry"] = to_json(fig.telemetry);
   return j;
 }
@@ -154,8 +180,13 @@ Json to_json(const ReplacementFigure& fig) {
   series.push_back(to_json(fig.r3));
   series.push_back(to_json(fig.r9));
   series.push_back(to_json(fig.r_infinite));
+  Json health = Json::array();
+  health.push_back(named_health(fig.health_r3, "r3"));
+  health.push_back(named_health(fig.health_r9, "r9"));
+  health.push_back(named_health(fig.health_r_infinite, "r-infinite"));
   Json j = Json::object();
   j["series"] = std::move(series);
+  j["health"] = std::move(health);
   j["telemetry"] = to_json(fig.telemetry);
   return j;
 }
@@ -166,13 +197,7 @@ Json to_json(const FaultFigure& fig) {
   j["connectivity"] = series_block(fig.connectivity);
   j["napl"] = series_block(fig.napl);
   j["completion"] = series_block(fig.completion);
-  Json health = Json::array();
-  for (std::size_t i = 0; i < fig.health.size(); ++i) {
-    Json h = to_json(fig.health[i]);
-    h["name"] = fig.connectivity[i].name;
-    health.push_back(std::move(h));
-  }
-  j["health"] = std::move(health);
+  j["health"] = health_block(fig.health, fig.connectivity);
   j["telemetry"] = to_json(fig.telemetry);
   return j;
 }

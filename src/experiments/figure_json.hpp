@@ -14,7 +14,9 @@
 
 namespace ppo::experiments {
 
-inline constexpr int kFigureJsonSchemaVersion = 1;
+/// v2: scale carries `shards`, and every figure payload reports
+/// ProtocolHealth rollups (`health` arrays keyed by series name).
+inline constexpr int kFigureJsonSchemaVersion = 2;
 
 runner::Json to_json(const runner::SweepTelemetry& telemetry);
 runner::Json to_json(const metrics::ProtocolHealth& health);

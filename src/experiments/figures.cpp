@@ -21,6 +21,7 @@ OverlayScenario base_scenario(const FigureScale& scale, double alpha,
   scenario.seed = scale.seed ^ seed_salt;
   // Table I: lifetime = 3 x Toff.
   scenario.params.pseudonym_lifetime = 3.0 * scenario.churn.mean_offline;
+  scenario.shards = scale.shards;
   return scenario;
 }
 
@@ -34,9 +35,14 @@ runner::SweepOptions sweep_options(const FigureScale& scale,
   return opt;
 }
 
-/// The (connectivity, napl) pair one alpha cell contributes to each
-/// output series, in series order.
-using CellValues = std::vector<std::pair<double, double>>;
+/// What one alpha cell contributes to each output series, in series
+/// order. Static baselines leave `health` zero.
+struct CellValue {
+  double conn = 0.0;
+  double napl = 0.0;
+  metrics::ProtocolHealth health;
+};
+using CellValues = std::vector<CellValue>;
 
 /// Common shape of the Figure 3/4 and Figure 7 sweeps: one shared
 /// Erdős–Rényi reference sized from a converged f = 0.5 overlay run,
@@ -79,14 +85,16 @@ SweepFigure run_alpha_sweep(Workbench& bench, const FigureScale& scale,
         return spec.cell(er, alpha, cell.index);
       });
 
+  fig.health.resize(spec.series.size());
   for (std::size_t j = 0; j < spec.series.size(); ++j) {
     Series conn{spec.series[j], {}}, napl{spec.series[j], {}};
     conn.values.reserve(grid.cells.size());
     napl.values.reserve(grid.cells.size());
     for (const CellValues& values : grid.cells) {
       PPO_CHECK(values.size() == spec.series.size());
-      conn.values.push_back(values[j].first);
-      napl.values.push_back(values[j].second);
+      conn.values.push_back(values[j].conn);
+      napl.values.push_back(values[j].napl);
+      fig.health[j].merge(values[j].health);
     }
     fig.connectivity.push_back(std::move(conn));
     fig.napl.push_back(std::move(napl));
@@ -123,11 +131,13 @@ SweepFigure availability_sweep(Workbench& bench, const FigureScale& scale) {
         run_static(er, scenario.churn, scale.window, scenario.seed ^ 3);
 
     return CellValues{
-        {s_t10.stats.frac_disconnected.mean(), s_t10.stats.norm_apl.mean()},
-        {s_t05.stats.frac_disconnected.mean(), s_t05.stats.norm_apl.mean()},
-        {o_t10.stats.frac_disconnected.mean(), o_t10.stats.norm_apl.mean()},
-        {o_t05.stats.frac_disconnected.mean(), o_t05.stats.norm_apl.mean()},
-        {s_er.stats.frac_disconnected.mean(), s_er.stats.norm_apl.mean()},
+        {s_t10.stats.frac_disconnected.mean(), s_t10.stats.norm_apl.mean(), {}},
+        {s_t05.stats.frac_disconnected.mean(), s_t05.stats.norm_apl.mean(), {}},
+        {o_t10.stats.frac_disconnected.mean(), o_t10.stats.norm_apl.mean(),
+         o_t10.health},
+        {o_t05.stats.frac_disconnected.mean(), o_t05.stats.norm_apl.mean(),
+         o_t05.health},
+        {s_er.stats.frac_disconnected.mean(), s_er.stats.norm_apl.mean(), {}},
     };
   };
   return run_alpha_sweep(bench, scale, spec);
@@ -150,8 +160,8 @@ SweepFigure lifetime_sweep(Workbench& bench, const FigureScale& scale) {
 
     const auto s_trust =
         run_static(trust, scenario.churn, scale.window, scenario.seed ^ 1);
-    values.emplace_back(s_trust.stats.frac_disconnected.mean(),
-                        s_trust.stats.norm_apl.mean());
+    values.push_back(CellValue{s_trust.stats.frac_disconnected.mean(),
+                               s_trust.stats.norm_apl.mean(), {}});
 
     for (std::size_t k = 0; k < std::size(kRatios); ++k) {
       OverlayScenario variant = scenario;
@@ -161,14 +171,14 @@ SweepFigure lifetime_sweep(Workbench& bench, const FigureScale& scale) {
               ? kInfiniteLifetime
               : kRatios[k].second * variant.churn.mean_offline;
       const auto run = run_overlay(trust, variant);
-      values.emplace_back(run.stats.frac_disconnected.mean(),
-                          run.stats.norm_apl.mean());
+      values.push_back(CellValue{run.stats.frac_disconnected.mean(),
+                                 run.stats.norm_apl.mean(), run.health});
     }
 
     const auto s_er =
         run_static(er, scenario.churn, scale.window, scenario.seed ^ 8);
-    values.emplace_back(s_er.stats.frac_disconnected.mean(),
-                        s_er.stats.norm_apl.mean());
+    values.push_back(CellValue{s_er.stats.frac_disconnected.mean(),
+                               s_er.stats.norm_apl.mean(), {}});
     return values;
   };
   return run_alpha_sweep(bench, scale, spec);
@@ -196,7 +206,7 @@ DegreeFigure degree_distributions(Workbench& bench, const FigureScale& scale,
             run_static(er, scenario.churn, scale.window, scenario.seed ^ 6);
 
         return DegreeFigure::PerF{f, s_trust.final_degree, o.final_degree,
-                                  s_er.final_degree};
+                                  s_er.final_degree, o.health};
       });
 
   DegreeFigure fig;
@@ -219,6 +229,7 @@ MessageFigure message_overhead(Workbench& bench, const FigureScale& scale,
 
         MessageFigure::PerF entry;
         entry.f = f;
+        entry.health = run.health;
         entry.rows.reserve(run.per_node.size());
         for (std::size_t v = 0; v < run.per_node.size(); ++v) {
           const auto& pn = run.per_node[v];
@@ -263,9 +274,17 @@ ConvergenceFigure convergence_trace(Workbench& bench, double horizon,
   opt.jobs = jobs;
   opt.root_seed = seed;
   opt.label = "convergence-trace";
+  struct TraceCell {
+    metrics::TimeSeries series;
+    metrics::ProtocolHealth health;
+  };
   auto grid = runner::run_grid(3, opt, [&](const runner::CellInfo& cell) {
-    if (cell.index == 0)
-      return run_static_trace(trust, churn, horizon, sample_every, seed ^ 1);
+    TraceCell out;
+    if (cell.index == 0) {
+      out.series =
+          run_static_trace(trust, churn, horizon, sample_every, seed ^ 1);
+      return out;
+    }
     const double ratio = cell.index == 1 ? 3.0 : 9.0;
     OverlayScenario scenario;
     scenario.churn = churn;
@@ -276,15 +295,19 @@ ConvergenceFigure convergence_trace(Workbench& bench, double horizon,
     spec.sample_every = sample_every;
     spec.track_connectivity = true;
     auto trace = run_overlay_trace(trust, scenario, spec);
-    return std::move(trace.connectivity);
+    out.series = std::move(trace.connectivity);
+    out.health = trace.health;
+    return out;
   });
 
-  grid.cells[0].set_name(fig.trust.name());
-  fig.trust = std::move(grid.cells[0]);
-  grid.cells[1].set_name(fig.overlay_r3.name());
-  fig.overlay_r3 = std::move(grid.cells[1]);
-  grid.cells[2].set_name(fig.overlay_r9.name());
-  fig.overlay_r9 = std::move(grid.cells[2]);
+  grid.cells[0].series.set_name(fig.trust.name());
+  fig.trust = std::move(grid.cells[0].series);
+  grid.cells[1].series.set_name(fig.overlay_r3.name());
+  fig.overlay_r3 = std::move(grid.cells[1].series);
+  fig.health_r3 = grid.cells[1].health;
+  grid.cells[2].series.set_name(fig.overlay_r9.name());
+  fig.overlay_r9 = std::move(grid.cells[2].series);
+  fig.health_r9 = grid.cells[2].health;
   fig.telemetry = std::move(grid.telemetry);
   return fig;
 }
@@ -336,6 +359,7 @@ FaultFigure fault_tolerance_sweep(Workbench& bench, const FigureScale& scale,
           fault::FaultPlan plan;
           plan.drop_probability = spec.loss_rates[k];
           plan.seed = base.seed ^ (0xFA0000 + k);
+          plan.per_link_streams = base.shards > 0;
           lossy.faults = plan;
           lossy.params.shuffle_timeout = spec.shuffle_timeout;
           lossy.params.shuffle_retry_backoff = spec.retry_backoff;
@@ -385,6 +409,10 @@ ReplacementFigure replacement_trace(Workbench& bench, double horizon,
   opt.jobs = jobs;
   opt.root_seed = seed;
   opt.label = "replacement-trace";
+  struct TraceCell {
+    metrics::TimeSeries series;
+    metrics::ProtocolHealth health;
+  };
   auto grid = runner::run_grid(
       std::size(kRatios), opt, [&](const runner::CellInfo& cell) {
         const double ratio = kRatios[cell.index];
@@ -400,15 +428,18 @@ ReplacementFigure replacement_trace(Workbench& bench, double horizon,
         spec.track_connectivity = false;
         spec.track_replacements = true;
         auto trace = run_overlay_trace(trust, scenario, spec);
-        return std::move(trace.replacements);
+        return TraceCell{std::move(trace.replacements), trace.health};
       });
 
-  grid.cells[0].set_name(fig.r3.name());
-  fig.r3 = std::move(grid.cells[0]);
-  grid.cells[1].set_name(fig.r9.name());
-  fig.r9 = std::move(grid.cells[1]);
-  grid.cells[2].set_name(fig.r_infinite.name());
-  fig.r_infinite = std::move(grid.cells[2]);
+  grid.cells[0].series.set_name(fig.r3.name());
+  fig.r3 = std::move(grid.cells[0].series);
+  fig.health_r3 = grid.cells[0].health;
+  grid.cells[1].series.set_name(fig.r9.name());
+  fig.r9 = std::move(grid.cells[1].series);
+  fig.health_r9 = grid.cells[1].health;
+  grid.cells[2].series.set_name(fig.r_infinite.name());
+  fig.r_infinite = std::move(grid.cells[2].series);
+  fig.health_r_infinite = grid.cells[2].health;
   fig.telemetry = std::move(grid.telemetry);
   return fig;
 }

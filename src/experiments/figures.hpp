@@ -28,6 +28,10 @@ struct FigureScale {
   std::size_t jobs = 0;
   /// Report per-cell completion/ETA lines to stderr.
   bool progress = false;
+  /// Simulation backend for every overlay run inside a cell: 0 = the
+  /// legacy serial Simulator, K >= 1 = the sharded core with K shard
+  /// workers (see OverlayScenario::shards for the contract).
+  std::size_t shards = 0;
 };
 
 /// Availability sweeps (Figures 3, 4, 7): one named series per curve,
@@ -36,6 +40,9 @@ struct SweepFigure {
   std::vector<double> alphas;
   std::vector<Series> connectivity;  // fraction of disconnected nodes
   std::vector<Series> napl;          // normalized average path length
+  /// Degradation rollup per series, summed over all alpha cells
+  /// (indexed like `connectivity`; static baselines stay zero).
+  std::vector<metrics::ProtocolHealth> health;
   runner::SweepTelemetry telemetry;  // wall-clock accounting per cell
 };
 
@@ -54,6 +61,7 @@ struct DegreeFigure {
     Histogram trust;
     Histogram overlay;
     Histogram random;
+    metrics::ProtocolHealth health;  // of the overlay run
   };
   std::vector<PerF> entries;
   runner::SweepTelemetry telemetry;
@@ -74,6 +82,7 @@ struct MessageFigure {
     double f;
     std::vector<Row> rows;          // every node, rank order
     double mean_messages = 0.0;     // network-wide average (paper: ~2)
+    metrics::ProtocolHealth health;
   };
   std::vector<PerF> entries;
   runner::SweepTelemetry telemetry;
@@ -88,6 +97,8 @@ struct ConvergenceFigure {
   metrics::TimeSeries trust{"trust-graph"};
   metrics::TimeSeries overlay_r3{"overlay-r3"};
   metrics::TimeSeries overlay_r9{"overlay-r9"};
+  metrics::ProtocolHealth health_r3;
+  metrics::ProtocolHealth health_r9;
   runner::SweepTelemetry telemetry;
 };
 ConvergenceFigure convergence_trace(Workbench& bench, double horizon,
@@ -100,6 +111,9 @@ struct ReplacementFigure {
   metrics::TimeSeries r3{"r3"};
   metrics::TimeSeries r9{"r9"};
   metrics::TimeSeries r_infinite{"r-infinite"};
+  metrics::ProtocolHealth health_r3;
+  metrics::ProtocolHealth health_r9;
+  metrics::ProtocolHealth health_r_infinite;
   runner::SweepTelemetry telemetry;
 };
 ReplacementFigure replacement_trace(Workbench& bench, double horizon,

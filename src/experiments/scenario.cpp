@@ -4,10 +4,13 @@
 
 #include "churn/churn_driver.hpp"
 #include "common/check.hpp"
+#include "fault/fault_stream.hpp"
 #include "graph/components.hpp"
 #include "graph/degree.hpp"
 #include "graph/generators.hpp"
 #include "overlay/service.hpp"
+#include "overlay/sharded_service.hpp"
+#include "sim/sharded_simulator.hpp"
 #include "sim/simulator.hpp"
 
 namespace ppo::experiments {
@@ -36,43 +39,90 @@ void accumulate(SnapshotStats& stats, const metrics::GraphMetrics& m,
   stats.total_edges.add(static_cast<double>(total_edges));
 }
 
-/// Builds the service-fault injector for a scenario (or nullptr when
-/// no service faults are scheduled) and arms it.
+/// Node-crash bursts materialized from the scenario's fault plan (the
+/// same victims on every backend — the stream is seed-derived).
+std::vector<fault::NodeCrashEvent> crash_events(
+    const OverlayScenario& scenario, std::size_t n) {
+  if (!scenario.faults || !scenario.faults->has_node_crashes()) return {};
+  return fault::materialize_node_crashes(*scenario.faults, n);
+}
+
+/// Wires a service's churn driver into the injector's node-crash
+/// hooks.
+template <typename Service>
+void wire_node_crash_hooks(fault::FaultInjector::Hooks& hooks,
+                           Service& service) {
+  hooks.fail_node = [&service](graph::NodeId v) {
+    service.churn_driver().fail_permanently(v);
+  };
+  hooks.revive_node = [&service](graph::NodeId v) {
+    service.churn_driver().revive(v);
+  };
+}
+
+/// Builds and arms the fault injector for the serial backend:
+/// service-level outages plus node-crash bursts from the plan.
+/// Returns nullptr when there is nothing to schedule.
 std::unique_ptr<fault::FaultInjector> arm_service_faults(
     sim::Simulator& sim, overlay::OverlayService& service,
-    const fault::ServiceFaults& faults) {
-  if (faults.empty()) return nullptr;
+    const OverlayScenario& scenario) {
+  std::vector<fault::NodeCrashEvent> crashes =
+      crash_events(scenario, service.num_nodes());
+  if (scenario.service_faults.empty() && crashes.empty()) return nullptr;
   fault::FaultInjector::Hooks hooks;
   hooks.set_pseudonym_service_available = [&service](bool available) {
     service.set_pseudonym_service_available(available);
   };
   hooks.mix = service.mutable_mix_network();
-  auto injector =
-      std::make_unique<fault::FaultInjector>(sim, faults, std::move(hooks));
+  if (!crashes.empty()) wire_node_crash_hooks(hooks, service);
+  auto injector = std::make_unique<fault::FaultInjector>(
+      sim, scenario.service_faults, std::move(hooks), std::move(crashes));
   injector->arm();
   return injector;
 }
 
-}  // namespace
+/// Sharded counterpart: only per-victim node crashes are schedulable
+/// (blackout/relay events have no owning actor).
+std::unique_ptr<fault::FaultInjector> arm_sharded_faults(
+    sim::ShardedSimulator& sim, overlay::ShardedOverlayService& service,
+    const OverlayScenario& scenario) {
+  PPO_CHECK_MSG(scenario.service_faults.empty(),
+                "service-level fault schedules are serial-backend only");
+  std::vector<fault::NodeCrashEvent> crashes =
+      crash_events(scenario, service.num_nodes());
+  if (crashes.empty()) return nullptr;
+  fault::FaultInjector::Hooks hooks;
+  wire_node_crash_hooks(hooks, service);
+  auto injector = std::make_unique<fault::FaultInjector>(
+      sim, fault::ServiceFaults{}, std::move(hooks), std::move(crashes));
+  injector->arm();
+  return injector;
+}
 
-OverlayRunResult run_overlay(const graph::Graph& trust,
-                             const OverlayScenario& scenario) {
-  sim::Simulator sim;
-  const auto model = scenario.churn.make();
-  overlay::OverlayServiceOptions options;
-  options.params = scenario.params;
-  options.link_faults = scenario.faults;
-  overlay::OverlayService service(sim, trust, *model, options,
-                                  Rng(scenario.seed));
-  const auto injector =
-      arm_service_faults(sim, service, scenario.service_faults);
-  service.start();
+sim::ShardedSimulator::Options sharded_options(
+    const OverlayScenario& scenario,
+    const overlay::OverlayServiceOptions& options, std::size_t n) {
+  sim::ShardedSimulator::Options so;
+  so.shards = scenario.shards;
+  so.num_actors = n;
+  so.lookahead = options.use_mix_network ? options.mix.min_hop_latency
+                                         : options.transport.min_latency;
+  return so;
+}
 
+/// The steady-state measurement loop, shared verbatim between the
+/// serial and sharded backends. `run_until(t)` advances the backend's
+/// clock to t; the local `now` bookkeeping reproduces the serial
+/// loop's time sequence bit-exactly.
+template <typename Service, typename RunUntilFn>
+OverlayRunResult measure_overlay(Service& service, RunUntilFn run_until,
+                                 const OverlayScenario& scenario,
+                                 std::size_t n) {
   Rng metric_rng(scenario.seed ^ 0xA11CE5);
   OverlayRunResult result;
-  const std::size_t n = trust.num_nodes();
 
-  sim.run_until(scenario.window.warmup);
+  run_until(scenario.window.warmup);
+  double now = scenario.window.warmup;
   const double end = scenario.window.warmup + scenario.window.measure;
   graph::Graph last_snapshot;
   while (true) {
@@ -82,8 +132,9 @@ OverlayRunResult run_overlay(const graph::Graph& trust,
                                scenario.window.apl_sources);
     accumulate(result.stats, m, n, snapshot.num_edges());
     last_snapshot = std::move(snapshot);
-    if (sim.now() + scenario.window.sample_every > end + 1e-9) break;
-    sim.run_until(sim.now() + scenario.window.sample_every);
+    if (now + scenario.window.sample_every > end + 1e-9) break;
+    now += scenario.window.sample_every;
+    run_until(now);
   }
 
   // Final-sample artifacts.
@@ -108,6 +159,72 @@ OverlayRunResult run_overlay(const graph::Graph& trust,
   result.messages_total = service.total_counters().messages_sent();
   result.health = service.protocol_health();
   return result;
+}
+
+/// Time-series loop shared between the backends (Figures 8 and 9).
+template <typename Service, typename RunUntilFn>
+OverlayTrace measure_overlay_trace(Service& service, RunUntilFn run_until,
+                                   const OverlayScenario& scenario,
+                                   const OverlayTraceSpec& spec,
+                                   std::size_t n) {
+  Rng metric_rng(scenario.seed ^ 0x7EA5E);
+  OverlayTrace trace;
+
+  std::uint64_t last_replacements = 0;
+  double last_time = 0.0;
+  for (double t = spec.sample_every; t <= spec.horizon + 1e-9;
+       t += spec.sample_every) {
+    run_until(t);
+    if (spec.track_connectivity) {
+      graph::Graph snapshot = service.overlay_snapshot();
+      const auto m = metrics::measure_graph(
+          snapshot, service.online_mask(), n, metric_rng, spec.apl_sources);
+      trace.connectivity.record(t, m.fraction_disconnected);
+    }
+    if (spec.track_replacements) {
+      const std::uint64_t now_total =
+          service.total_replacements().replacements();
+      const double dt = t - last_time;
+      const double online =
+          std::max<std::size_t>(1, service.online_count());
+      trace.replacements.record(
+          t, static_cast<double>(now_total - last_replacements) / dt /
+                 static_cast<double>(online));
+      last_replacements = now_total;
+      last_time = t;
+    }
+  }
+  trace.health = service.protocol_health();
+  return trace;
+}
+
+}  // namespace
+
+OverlayRunResult run_overlay(const graph::Graph& trust,
+                             const OverlayScenario& scenario) {
+  const auto model = scenario.churn.make();
+  overlay::OverlayServiceOptions options;
+  options.params = scenario.params;
+  options.link_faults = scenario.faults;
+  const std::size_t n = trust.num_nodes();
+
+  if (scenario.shards > 0) {
+    sim::ShardedSimulator sim(sharded_options(scenario, options, n));
+    overlay::ShardedOverlayService service(sim, trust, *model, options,
+                                           scenario.seed);
+    const auto injector = arm_sharded_faults(sim, service, scenario);
+    service.start();
+    return measure_overlay(
+        service, [&sim](double t) { sim.run_until(t); }, scenario, n);
+  }
+
+  sim::Simulator sim;
+  overlay::OverlayService service(sim, trust, *model, options,
+                                  Rng(scenario.seed));
+  const auto injector = arm_service_faults(sim, service, scenario);
+  service.start();
+  return measure_overlay(
+      service, [&sim](double t) { sim.run_until(t); }, scenario, n);
 }
 
 StaticRunResult run_static(const graph::Graph& g, const ChurnSpec& churn_spec,
@@ -139,46 +256,29 @@ StaticRunResult run_static(const graph::Graph& g, const ChurnSpec& churn_spec,
 OverlayTrace run_overlay_trace(const graph::Graph& trust,
                                OverlayScenario scenario,
                                const OverlayTraceSpec& spec) {
-  sim::Simulator sim;
   const auto model = scenario.churn.make();
   overlay::OverlayServiceOptions options;
   options.params = scenario.params;
   options.link_faults = scenario.faults;
-  overlay::OverlayService service(sim, trust, *model, options,
-                                  Rng(scenario.seed));
-  const auto injector =
-      arm_service_faults(sim, service, scenario.service_faults);
-  service.start();
-
-  Rng metric_rng(scenario.seed ^ 0x7EA5E);
-  OverlayTrace trace;
   const std::size_t n = trust.num_nodes();
 
-  std::uint64_t last_replacements = 0;
-  double last_time = 0.0;
-  for (double t = spec.sample_every; t <= spec.horizon + 1e-9;
-       t += spec.sample_every) {
-    sim.run_until(t);
-    if (spec.track_connectivity) {
-      graph::Graph snapshot = service.overlay_snapshot();
-      const auto m = metrics::measure_graph(
-          snapshot, service.online_mask(), n, metric_rng, spec.apl_sources);
-      trace.connectivity.record(t, m.fraction_disconnected);
-    }
-    if (spec.track_replacements) {
-      const std::uint64_t now_total =
-          service.total_replacements().replacements();
-      const double dt = t - last_time;
-      const double online =
-          std::max<std::size_t>(1, service.online_count());
-      trace.replacements.record(
-          t, static_cast<double>(now_total - last_replacements) / dt /
-                 static_cast<double>(online));
-      last_replacements = now_total;
-      last_time = t;
-    }
+  if (scenario.shards > 0) {
+    sim::ShardedSimulator sim(sharded_options(scenario, options, n));
+    overlay::ShardedOverlayService service(sim, trust, *model, options,
+                                           scenario.seed);
+    const auto injector = arm_sharded_faults(sim, service, scenario);
+    service.start();
+    return measure_overlay_trace(
+        service, [&sim](double t) { sim.run_until(t); }, scenario, spec, n);
   }
-  return trace;
+
+  sim::Simulator sim;
+  overlay::OverlayService service(sim, trust, *model, options,
+                                  Rng(scenario.seed));
+  const auto injector = arm_service_faults(sim, service, scenario);
+  service.start();
+  return measure_overlay_trace(
+      service, [&sim](double t) { sim.run_until(t); }, scenario, spec, n);
 }
 
 metrics::TimeSeries run_static_trace(const graph::Graph& g,

@@ -52,6 +52,14 @@ struct OverlayScenario {
   /// run) and scheduled service-level outages.
   std::optional<fault::FaultPlan> faults;
   fault::ServiceFaults service_faults;
+
+  /// Simulation backend. 0 = the legacy serial Simulator (bit-exact
+  /// with every earlier release). K >= 1 = the sharded core with K
+  /// shard workers; trajectories are identical for every K but differ
+  /// from the serial backend (different tie-break discipline). K > 0
+  /// requires service_faults to be empty and an enabled fault plan to
+  /// set per_link_streams (node_crashes in the plan are supported).
+  std::size_t shards = 0;
 };
 
 /// Aggregates of snapshot metrics over the measurement window.
@@ -112,6 +120,8 @@ struct OverlayTrace {
   /// Links replaced per ONLINE node per shuffling period within each
   /// sampling interval (expiry refills + better-pseudonym swaps).
   metrics::TimeSeries replacements{"replacements"};
+  /// Protocol + transport degradation rollup at the horizon.
+  metrics::ProtocolHealth health;
 };
 OverlayTrace run_overlay_trace(const graph::Graph& trust,
                                OverlayScenario scenario,

@@ -7,9 +7,13 @@
 
 namespace ppo::fault {
 
-FaultInjector::FaultInjector(sim::Simulator& sim, ServiceFaults faults,
-                             Hooks hooks)
-    : sim_(sim), faults_(std::move(faults)), hooks_(std::move(hooks)) {
+FaultInjector::FaultInjector(sim::SimulatorBackend& sim, ServiceFaults faults,
+                             Hooks hooks,
+                             std::vector<NodeCrashEvent> node_crashes)
+    : sim_(sim),
+      faults_(std::move(faults)),
+      hooks_(std::move(hooks)),
+      node_crashes_(std::move(node_crashes)) {
   for (const Window& w : faults_.pseudonym_blackouts)
     PPO_CHECK_MSG(w.end >= w.start, "inverted blackout window");
   if (!faults_.pseudonym_blackouts.empty())
@@ -23,6 +27,14 @@ FaultInjector::FaultInjector(sim::Simulator& sim, ServiceFaults faults,
                   "relay crashes need a mix network");
     PPO_CHECK_MSG(c.relay < hooks_.mix->num_relays(),
                   "crashed relay id out of range");
+  }
+  if (!node_crashes_.empty()) {
+    PPO_CHECK_MSG(static_cast<bool>(hooks_.fail_node),
+                  "node crashes need the fail_node hook");
+    for (const NodeCrashEvent& c : node_crashes_)
+      if (c.revive_at >= 0.0)
+        PPO_CHECK_MSG(static_cast<bool>(hooks_.revive_node),
+                      "node revivals need the revive_node hook");
   }
 }
 
@@ -55,6 +67,23 @@ void FaultInjector::arm() {
         hooks_.mix->revive_relay(r);
         ++counters_.relays_revived;
       });
+    }
+  }
+
+  // Each crash is scheduled for its victim, so on the sharded backend
+  // it executes on the victim's shard and only touches that node's
+  // churn state. The counters are bumped at arm time (the timeline is
+  // fixed data), keeping the event bodies free of shared writes.
+  for (const NodeCrashEvent& c : node_crashes_) {
+    sim_.schedule_at_for(c.node, c.at, [this, v = c.node] {
+      hooks_.fail_node(v);
+    });
+    ++counters_.nodes_crashed;
+    if (c.revive_at >= 0.0) {
+      sim_.schedule_at_for(c.node, c.revive_at, [this, v = c.node] {
+        hooks_.revive_node(v);
+      });
+      ++counters_.nodes_revived;
     }
   }
 }

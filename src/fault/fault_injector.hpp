@@ -1,12 +1,18 @@
 // FaultInjector: schedules *service-level* outages into the simulator
 // — pseudonym-service blackouts (resolution requests fail while the
-// window is active) and mix-relay crash/revive cycles. It drives the
-// target services through narrow hooks so the fault layer stays
-// decoupled from the overlay orchestration (the OverlayService wires
-// itself in; see overlay/service.hpp).
+// window is active), mix-relay crash/revive cycles, and correlated
+// node-crash bursts materialized from a FaultPlan (fault_stream.hpp).
+// It drives the target services through narrow hooks so the fault
+// layer stays decoupled from the overlay orchestration (the
+// OverlayService wires itself in; see overlay/service.hpp). Node
+// crashes route through the churn driver's fail/revive hooks, so
+// crash faults and availability churn share one seeded plan.
 //
 // Everything is data + scheduled events: with a fixed plan the
-// injected fault timeline is identical on every run.
+// injected fault timeline is identical on every run. Node-crash
+// events are scheduled *for their victim*, so they also run on the
+// sharded backend; blackout and relay events have no single actor and
+// are serial-backend only.
 #pragma once
 
 #include <cstdint>
@@ -14,7 +20,8 @@
 #include <vector>
 
 #include "fault/fault_plan.hpp"
-#include "sim/simulator.hpp"
+#include "fault/fault_stream.hpp"
+#include "sim/backend.hpp"
 
 namespace ppo::privacylink {
 class MixNetwork;
@@ -52,6 +59,10 @@ class FaultInjector {
     /// Target of the relay crash/revive schedule (required when
     /// `relay_crashes` is non-empty).
     privacylink::MixNetwork* mix = nullptr;
+    /// Node-crash targets (required when crash events are given) —
+    /// in practice ChurnDriver::fail_permanently / revive.
+    std::function<void(graph::NodeId)> fail_node;
+    std::function<void(graph::NodeId)> revive_node;
   };
 
   struct Counters {
@@ -59,9 +70,12 @@ class FaultInjector {
     std::uint64_t blackouts_ended = 0;
     std::uint64_t relays_crashed = 0;
     std::uint64_t relays_revived = 0;
+    std::uint64_t nodes_crashed = 0;
+    std::uint64_t nodes_revived = 0;
   };
 
-  FaultInjector(sim::Simulator& sim, ServiceFaults faults, Hooks hooks);
+  FaultInjector(sim::SimulatorBackend& sim, ServiceFaults faults,
+                Hooks hooks, std::vector<NodeCrashEvent> node_crashes = {});
 
   /// Schedules every fault event. Call once, before running the
   /// simulation past the earliest fault instant.
@@ -73,9 +87,10 @@ class FaultInjector {
   bool blackout_active() const { return active_blackouts_ > 0; }
 
  private:
-  sim::Simulator& sim_;
+  sim::SimulatorBackend& sim_;
   ServiceFaults faults_;
   Hooks hooks_;
+  std::vector<NodeCrashEvent> node_crashes_;
   std::size_t active_blackouts_ = 0;
   bool armed_ = false;
   Counters counters_;

@@ -7,7 +7,8 @@ namespace ppo::fault {
 bool FaultPlan::enabled() const {
   return drop_probability > 0.0 || duplicate_probability > 0.0 ||
          jitter_max > 0.0 || reorder_probability > 0.0 ||
-         !link_outages.empty() || !partitions.empty();
+         !link_outages.empty() || !partitions.empty() ||
+         !link_drop_overrides.empty();
 }
 
 void FaultPlan::validate() const {
@@ -28,6 +29,16 @@ void FaultPlan::validate() const {
     PPO_CHECK_MSG(p.window.end >= p.window.start,
                   "inverted partition window");
     PPO_CHECK_MSG(!p.group.empty(), "partition group must be non-empty");
+  }
+  for (const LinkDropOverride& o : link_drop_overrides) {
+    PPO_CHECK_MSG(o.drop_prob >= 0.0 && o.drop_prob <= 1.0,
+                  "link drop override must be in [0,1]");
+    PPO_CHECK_MSG(o.from != o.to, "link override needs two distinct ends");
+  }
+  for (const NodeCrashSpec& c : node_crashes) {
+    PPO_CHECK_MSG(c.at >= 0.0, "crash time must be non-negative");
+    PPO_CHECK_MSG(c.revive_at < 0.0 || c.revive_at > c.at,
+                  "revival must come after the crash");
   }
 }
 

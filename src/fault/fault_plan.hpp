@@ -35,6 +35,27 @@ struct Partition {
   std::vector<graph::NodeId> group;
 };
 
+/// Directional per-link loss override: messages from `from` to `to`
+/// use `drop_prob` instead of the plan-wide drop_probability. The
+/// reverse direction is unaffected, so asymmetric links (one-way
+/// packet loss, as real access networks exhibit) are expressible.
+struct LinkDropOverride {
+  graph::NodeId from = 0;
+  graph::NodeId to = 0;
+  double drop_prob = 0.0;
+};
+
+/// Correlated node-crash burst: at time `at`, `count` nodes (sampled
+/// deterministically from the plan seed) fail permanently; if
+/// `revive_at` >= 0 they all come back then. Consumed by
+/// FaultInjector, which drives them through the churn driver so crash
+/// faults and availability churn share one seeded plan.
+struct NodeCrashSpec {
+  double at = 0.0;
+  std::size_t count = 0;
+  double revive_at = -1.0;  // < 0: never
+};
+
 struct FaultPlan {
   /// Each message is lost with this probability (drawn independently
   /// per message, including duplicates and retransmissions).
@@ -63,15 +84,34 @@ struct FaultPlan {
   /// Scheduled network splits (see Partition).
   std::vector<Partition> partitions;
 
+  /// Directional per-link loss overrides (see LinkDropOverride). A
+  /// later entry for the same (from, to) pair wins.
+  std::vector<LinkDropOverride> link_drop_overrides;
+
+  /// Correlated node-crash bursts (see NodeCrashSpec). Not a
+  /// transport fault: FaultInjector materializes the victims and
+  /// drives them through the churn driver.
+  std::vector<NodeCrashSpec> node_crashes;
+
   /// Seed of the fault decision stream. Deliberately independent of
   /// the simulation's own RNG tree: wrapping a transport never
   /// perturbs the protocol's random draws.
   std::uint64_t seed = 0x5EED;
 
-  /// True when any fault can ever fire. An all-zero plan is inert and
-  /// FaultyTransport guarantees bit-identical behaviour to the bare
-  /// inner transport.
+  /// Derive each link's fate stream per (seed, from, to, message
+  /// index) instead of from one shared sequential stream. Fault
+  /// patterns then depend only on a link's own traffic — required for
+  /// K-invariance on the sharded backend, opt-in elsewhere. The
+  /// zero-fault guarantee below holds in both modes.
+  bool per_link_streams = false;
+
+  /// True when any transport-level fault can ever fire. An all-zero
+  /// plan is inert and FaultyTransport guarantees bit-identical
+  /// behaviour to the bare inner transport. Node crashes are not
+  /// transport faults and do not count (see has_node_crashes()).
   bool enabled() const;
+
+  bool has_node_crashes() const { return !node_crashes.empty(); }
 
   /// Throws CheckError on nonsense (negative probabilities/delays,
   /// inverted windows).

@@ -1,0 +1,36 @@
+#include "fault/fault_stream.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace ppo::fault {
+
+std::vector<NodeCrashEvent> materialize_node_crashes(const FaultPlan& plan,
+                                                     std::size_t num_nodes) {
+  std::vector<NodeCrashEvent> events;
+  for (std::size_t burst = 0; burst < plan.node_crashes.size(); ++burst) {
+    const NodeCrashSpec& spec = plan.node_crashes[burst];
+    PPO_CHECK_MSG(spec.count <= num_nodes,
+                  "crash burst larger than the population");
+    std::vector<graph::NodeId> all(num_nodes);
+    for (std::size_t v = 0; v < num_nodes; ++v)
+      all[v] = static_cast<graph::NodeId>(v);
+    // Tag 0xC0A5 ("crash") keeps this stream disjoint from the
+    // transport fate streams derived off the same plan seed.
+    Rng rng(derive_seed(plan.seed ^ 0xC0A5ULL, burst));
+    std::vector<graph::NodeId> victims = rng.sample(all, spec.count);
+    std::sort(victims.begin(), victims.end());
+    for (const graph::NodeId v : victims)
+      events.push_back(NodeCrashEvent{v, spec.at, spec.revive_at});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const NodeCrashEvent& a, const NodeCrashEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.node < b.node;
+            });
+  return events;
+}
+
+}  // namespace ppo::fault

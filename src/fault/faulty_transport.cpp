@@ -7,14 +7,21 @@
 
 namespace ppo::fault {
 
-FaultyTransport::FaultyTransport(sim::Simulator& sim,
+FaultyTransport::FaultyTransport(sim::SimulatorBackend& sim,
                                  privacylink::LinkTransport& inner,
-                                 FaultPlan plan)
+                                 FaultPlan plan, std::size_t num_nodes)
     : sim_(sim),
       inner_(inner),
       plan_(std::move(plan)),
       rng_(plan_.seed ^ 0xFA017ULL) {
   plan_.validate();
+  if (plan_.per_link_streams) {
+    PPO_CHECK_MSG(num_nodes > 0,
+                  "per_link_streams needs the node count to key senders");
+    link_counts_.resize(num_nodes);
+  }
+  for (const LinkDropOverride& o : plan_.link_drop_overrides)
+    drop_overrides_[link_key(o.from, o.to)] = o.drop_prob;
   partition_masks_.reserve(plan_.partitions.size());
   for (const Partition& p : plan_.partitions) {
     const graph::NodeId max_id =
@@ -25,10 +32,27 @@ FaultyTransport::FaultyTransport(sim::Simulator& sim,
   }
 }
 
+FaultyTransport::Counters FaultyTransport::counters() const {
+  Counters out;
+  out.injected_drops = counters_.injected_drops.load(std::memory_order_relaxed);
+  out.outage_drops = counters_.outage_drops.load(std::memory_order_relaxed);
+  out.partition_drops =
+      counters_.partition_drops.load(std::memory_order_relaxed);
+  out.duplicates = counters_.duplicates.load(std::memory_order_relaxed);
+  out.delayed = counters_.delayed.load(std::memory_order_relaxed);
+  return out;
+}
+
 bool FaultyTransport::in_partition_group(std::size_t partition,
                                          graph::NodeId v) const {
   const std::vector<char>& mask = partition_masks_[partition];
   return v < mask.size() && mask[v] != 0;
+}
+
+double FaultyTransport::drop_probability_on(graph::NodeId from,
+                                            graph::NodeId to) const {
+  const auto it = drop_overrides_.find(link_key(from, to));
+  return it != drop_overrides_.end() ? it->second : plan_.drop_probability;
 }
 
 FaultyTransport::Fate FaultyTransport::decide_fate(graph::NodeId from,
@@ -48,19 +72,31 @@ FaultyTransport::Fate FaultyTransport::decide_fate(graph::NodeId from,
       return fate;
     }
   }
+  // Pick the decision stream: the legacy shared RNG, or a stream
+  // derived from this link's own message index so the pattern is
+  // independent of how other links' traffic interleaves.
+  Rng link_rng(0);
+  Rng* rng = &rng_;
+  if (plan_.per_link_streams) {
+    const std::uint64_t index = link_counts_[from][to]++;
+    link_rng = Rng(derive_seed(plan_.seed ^ 0xFA017ULL, from, to, index));
+    rng = &link_rng;
+  }
   // Every draw below is guarded so an inert plan never touches the
   // RNG (part of the zero-fault no-op guarantee).
-  if (plan_.drop_probability > 0.0 && rng_.bernoulli(plan_.drop_probability)) {
+  const double drop_prob = drop_probability_on(from, to);
+  if (drop_prob > 0.0 && rng->bernoulli(drop_prob)) {
     fate.drop = true;
     fate.drop_counter = &counters_.injected_drops;
     return fate;
   }
   if (plan_.jitter_max > 0.0)
-    fate.extra_delay += rng_.uniform_double(plan_.jitter_min, plan_.jitter_max);
-  if (plan_.reorder_probability > 0.0 &&
-      rng_.bernoulli(plan_.reorder_probability))
     fate.extra_delay +=
-        rng_.uniform_double(plan_.reorder_min_delay, plan_.reorder_max_delay);
+        rng->uniform_double(plan_.jitter_min, plan_.jitter_max);
+  if (plan_.reorder_probability > 0.0 &&
+      rng->bernoulli(plan_.reorder_probability))
+    fate.extra_delay +=
+        rng->uniform_double(plan_.reorder_min_delay, plan_.reorder_max_delay);
   return fate;
 }
 
@@ -73,23 +109,24 @@ bool FaultyTransport::send_copy(graph::NodeId from, graph::NodeId to,
     // transport still does the sender gating and its own accounting,
     // but nothing ever reaches the destination handler.
     accepted = inner_.send(from, to, [] {});
-    if (accepted && fate.drop_counter != nullptr) ++*fate.drop_counter;
+    if (accepted && fate.drop_counter != nullptr)
+      fate.drop_counter->fetch_add(1, std::memory_order_relaxed);
   } else if (fate.extra_delay > 0.0) {
     accepted = inner_.send(
         from, to, [this, delay = fate.extra_delay, fn = on_deliver] {
           sim_.schedule_after(delay, [this, fn] {
-            ++delivered_;
+            delivered_.fetch_add(1, std::memory_order_relaxed);
             fn();
           });
         });
-    if (accepted) ++counters_.delayed;
+    if (accepted) counters_.delayed.fetch_add(1, std::memory_order_relaxed);
   } else {
     accepted = inner_.send(from, to, [this, fn = on_deliver] {
-      ++delivered_;
+      delivered_.fetch_add(1, std::memory_order_relaxed);
       fn();
     });
   }
-  if (accepted) ++sent_;
+  if (accepted) sent_.fetch_add(1, std::memory_order_relaxed);
   return accepted;
 }
 
@@ -97,12 +134,24 @@ bool FaultyTransport::send(graph::NodeId from, graph::NodeId to,
                            sim::EventFn on_deliver) {
   const Fate fate = decide_fate(from, to);
   const bool accepted = send_copy(from, to, on_deliver, fate);
-  if (accepted && plan_.duplicate_probability > 0.0 &&
-      rng_.bernoulli(plan_.duplicate_probability)) {
-    ++counters_.duplicates;
-    // The copy traverses the network independently: own loss and
-    // delay draws, and it counts as one more message on the wire.
-    send_copy(from, to, on_deliver, decide_fate(from, to));
+  if (accepted && plan_.duplicate_probability > 0.0) {
+    // The duplication decision uses the same stream discipline as the
+    // fates: shared draw order in legacy mode, a fresh per-link index
+    // in per-link mode.
+    bool duplicate;
+    if (plan_.per_link_streams) {
+      const std::uint64_t index = link_counts_[from][to]++;
+      Rng r(derive_seed(plan_.seed ^ 0xFA017ULL, from, to, index));
+      duplicate = r.bernoulli(plan_.duplicate_probability);
+    } else {
+      duplicate = rng_.bernoulli(plan_.duplicate_probability);
+    }
+    if (duplicate) {
+      counters_.duplicates.fetch_add(1, std::memory_order_relaxed);
+      // The copy traverses the network independently: own loss and
+      // delay draws, and it counts as one more message on the wire.
+      send_copy(from, to, on_deliver, decide_fate(from, to));
+    }
   }
   return accepted;
 }

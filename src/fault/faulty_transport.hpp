@@ -2,22 +2,30 @@
 // LinkTransport. The inner transport keeps its own semantics (sender
 // gating, latency, destination-online delivery check); this wrapper
 // adds the adversities a FaultPlan describes on top: random message
-// loss, delay jitter, duplication, held-back reordering, link blackout
-// windows and network partitions.
+// loss (plan-wide or per-link overridden), delay jitter, duplication,
+// held-back reordering, link blackout windows and network partitions.
 //
 // Guarantees:
 //  - a plan with no faults configured (FaultPlan::enabled() == false)
 //    makes the wrapper a true no-op: it forwards every send verbatim,
 //    never touches its RNG, and the simulation trajectory is
 //    bit-identical to running on the bare inner transport;
-//  - fault decisions are drawn from a private RNG seeded only by
-//    FaultPlan::seed, in send order, so a faulty run is reproducible
-//    across repeats and independent of pool scheduling.
+//  - fault decisions are reproducible: with the legacy shared stream
+//    they are drawn from a private RNG seeded only by FaultPlan::seed
+//    in send order; with plan.per_link_streams each decision comes
+//    from a stream derived per (seed, from, to, link message index),
+//    so a link's fault pattern depends only on its own traffic — the
+//    form the sharded backend requires for K-invariance.
 #pragma once
+
+#include <atomic>
+#include <unordered_map>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "fault/fault_plan.hpp"
 #include "privacylink/link_transport.hpp"
+#include "sim/backend.hpp"
 
 namespace ppo::fault {
 
@@ -39,8 +47,11 @@ class FaultyTransport final : public privacylink::LinkTransport {
   };
 
   /// `inner` must outlive the wrapper. The plan is validated here.
-  FaultyTransport(sim::Simulator& sim, privacylink::LinkTransport& inner,
-                  FaultPlan plan);
+  /// `num_nodes` bounds sender ids and is required (> 0) when
+  /// plan.per_link_streams is set.
+  FaultyTransport(sim::SimulatorBackend& sim,
+                  privacylink::LinkTransport& inner, FaultPlan plan,
+                  std::size_t num_nodes = 0);
 
   /// Sends through the inner transport, applying the plan's faults.
   /// Returns false exactly when the inner transport refuses the send
@@ -48,34 +59,62 @@ class FaultyTransport final : public privacylink::LinkTransport {
   bool send(graph::NodeId from, graph::NodeId to,
             sim::EventFn on_deliver) override;
 
-  std::uint64_t messages_sent() const override { return sent_; }
-  std::uint64_t messages_delivered() const override { return delivered_; }
+  std::uint64_t messages_sent() const override {
+    return sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t messages_delivered() const override {
+    return delivered_.load(std::memory_order_relaxed);
+  }
 
-  const Counters& counters() const { return counters_; }
+  /// Snapshot of the fault counters (consistent only outside windows).
+  Counters counters() const;
   const FaultPlan& plan() const { return plan_; }
 
+  /// Effective loss probability on the directed link from -> to
+  /// (override if present, else the plan-wide probability).
+  double drop_probability_on(graph::NodeId from, graph::NodeId to) const;
+
  private:
+  using AtomicCount = std::atomic<std::uint64_t>;
+
   /// How one message copy should fare, decided at send time.
   struct Fate {
     bool drop = false;
-    std::uint64_t* drop_counter = nullptr;
+    AtomicCount* drop_counter = nullptr;
     double extra_delay = 0.0;
   };
+
+  static std::uint64_t link_key(graph::NodeId from, graph::NodeId to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
 
   Fate decide_fate(graph::NodeId from, graph::NodeId to);
   bool send_copy(graph::NodeId from, graph::NodeId to,
                  const sim::EventFn& on_deliver, const Fate& fate);
   bool in_partition_group(std::size_t partition, graph::NodeId v) const;
 
-  sim::Simulator& sim_;
+  sim::SimulatorBackend& sim_;
   privacylink::LinkTransport& inner_;
   FaultPlan plan_;
-  Rng rng_;
+  Rng rng_;  // shared fate stream (legacy mode)
+  /// Per-sender message counters for per-link stream derivation,
+  /// indexed by sender — only the sender's shard ever touches its
+  /// slot, so no lock is needed.
+  std::vector<std::unordered_map<graph::NodeId, std::uint64_t>> link_counts_;
+  /// Directional drop overrides keyed by link_key(); later plan
+  /// entries win.
+  std::unordered_map<std::uint64_t, double> drop_overrides_;
   /// Per-partition membership masks, indexed like plan_.partitions.
   std::vector<std::vector<char>> partition_masks_;
-  std::uint64_t sent_ = 0;
-  std::uint64_t delivered_ = 0;
-  Counters counters_;
+  AtomicCount sent_{0};
+  AtomicCount delivered_{0};
+  struct {
+    AtomicCount injected_drops{0};
+    AtomicCount outage_drops{0};
+    AtomicCount partition_drops{0};
+    AtomicCount duplicates{0};
+    AtomicCount delayed{0};
+  } counters_;
 };
 
 }  // namespace ppo::fault

@@ -1,0 +1,270 @@
+#include "overlay/sharded_service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace ppo::overlay {
+
+namespace {
+
+/// derive_seed subsystem tags. Stable constants: changing one changes
+/// every sharded trajectory.
+constexpr std::uint64_t kChurnStream = 1;
+constexpr std::uint64_t kTransportStream = 2;
+constexpr std::uint64_t kNodeProtocolStream = 3;
+constexpr std::uint64_t kMintStream = 4;
+constexpr std::uint64_t kTickPhaseStream = 5;
+constexpr std::uint64_t kMixStream = 6;
+constexpr std::uint64_t kMixTransportStream = 7;
+
+constexpr NodeId kNoExternalNode = static_cast<NodeId>(-1);
+
+}  // namespace
+
+ShardedOverlayService::ShardedOverlayService(
+    sim::ShardedSimulator& sim, const graph::Graph& trust_graph,
+    const churn::ChurnModel& churn_model, OverlayServiceOptions options,
+    std::uint64_t seed)
+    : ShardedOverlayService(sim, trust_graph,
+                            std::vector<const churn::ChurnModel*>(
+                                trust_graph.num_nodes(), &churn_model),
+                            options, seed) {}
+
+ShardedOverlayService::ShardedOverlayService(
+    sim::ShardedSimulator& sim, const graph::Graph& trust_graph,
+    std::vector<const churn::ChurnModel*> churn_models,
+    OverlayServiceOptions options, std::uint64_t seed)
+    : sim_(sim),
+      trust_graph_(trust_graph),
+      options_(options),
+      seed_(seed),
+      pseudonyms_(options_.params.pseudonym_bits),
+      churn_(sim, std::move(churn_models), Rng(derive_seed(seed, kChurnStream)),
+             /*per_node_streams=*/true),
+      external_node_(kNoExternalNode) {
+  const std::size_t n = trust_graph.num_nodes();
+  PPO_CHECK_MSG(n >= 2, "trust graph too small");
+  PPO_CHECK_MSG(churn_.num_nodes() == n, "one churn model per node required");
+  PPO_CHECK_MSG(sim_.num_actors() == n,
+                "simulator actor count must equal the node count");
+  // Barrier-published mints cannot see collisions with mints from
+  // other shards in the same window; a wide value space makes them
+  // vanishingly unlikely (and publish still checks).
+  PPO_CHECK_MSG(options_.params.pseudonym_bits >= 48,
+                "sharded runs need >= 48 pseudonym bits");
+  const auto online = [this](NodeId v) { return churn_.is_online(v); };
+  if (options_.use_mix_network) {
+    // The relay pool (keys, replay history, liveness) is global
+    // mutable state — it cannot be partitioned across shard workers.
+    PPO_CHECK_MSG(sim_.num_shards() == 1,
+                  "mix mode requires a single shard");
+    mix_ = std::make_unique<privacylink::MixNetwork>(
+        sim, options_.mix, Rng(derive_seed(seed, kMixStream)));
+    transport_ = std::make_unique<privacylink::MixTransport>(
+        sim, *mix_, options_.mix_transport,
+        Rng(derive_seed(seed, kMixTransportStream)), online);
+  } else {
+    PPO_CHECK_MSG(options_.transport.min_latency >= sim_.lookahead(),
+                  "transport min latency below the lookahead window");
+    transport_ = std::make_unique<privacylink::Transport>(
+        sim, options_.transport, Rng(derive_seed(seed, kTransportStream)),
+        online, /*per_sender_streams=*/n);
+  }
+  link_ = transport_.get();
+  if (options_.link_faults && options_.link_faults->enabled()) {
+    PPO_CHECK_MSG(options_.link_faults->per_link_streams,
+                  "sharded runs need per_link_streams fault plans");
+    faulty_ = std::make_unique<fault::FaultyTransport>(
+        sim, *transport_, *options_.link_faults, n);
+    link_ = faulty_.get();
+  }
+  nodes_.reserve(n);
+  mint_rngs_.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto nbrs = trust_graph.neighbors(v);
+    nodes_.push_back(std::make_unique<OverlayNode>(
+        v, options_.params, std::vector<NodeId>(nbrs.begin(), nbrs.end()),
+        *this, Rng(derive_seed(seed, kNodeProtocolStream, v))));
+    mint_rngs_.push_back(Rng(derive_seed(seed, kMintStream, v)));
+  }
+  pending_mints_.resize(sim_.num_shards());
+  sim_.set_barrier_hook([this] { publish_pending_mints(); });
+}
+
+void ShardedOverlayService::start() {
+  PPO_CHECK_MSG(!started_, "overlay service already started");
+  started_ = true;
+
+  // Initial on_online callbacks fire in external context (setup);
+  // later transitions are events targeted at their node. The wrapper
+  // attributes external callbacks so schedule() can route timers.
+  const auto run_as = [this](NodeId v, auto&& fn) {
+    if (sim_.current_shard() == sim::ShardedSimulator::kNoShard) {
+      external_node_ = v;
+      fn();
+      external_node_ = kNoExternalNode;
+    } else {
+      fn();
+    }
+  };
+  churn_.start(churn::ChurnCallbacks{
+      .on_online =
+          [this, run_as](NodeId v) {
+            run_as(v, [this, v] { nodes_[v]->handle_online(); });
+          },
+      .on_offline =
+          [this, run_as](NodeId v) {
+            run_as(v, [this, v] { nodes_[v]->handle_offline(); });
+          },
+  });
+
+  const double period = options_.params.shuffle_period;
+  ticks_.reserve(nodes_.size());
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    Rng phase_rng(derive_seed(seed_, kTickPhaseStream, v));
+    const double phase = phase_rng.uniform_double(0.0, period);
+    ticks_.push_back(sim::PeriodicTask::start(
+        sim_, phase, period, [this, v] { nodes_[v]->shuffle_tick(); }, v));
+  }
+}
+
+PseudonymRecord ShardedOverlayService::mint_pseudonym(NodeId owner,
+                                                      double lifetime) {
+  PPO_CHECK_MSG(lifetime > 0.0, "pseudonym lifetime must be positive");
+  Rng& rng = mint_rngs_[owner];
+  const sim::Time t = sim_.now();
+  PseudonymValue value = 0;
+  for (int attempt = 0;; ++attempt) {
+    PPO_CHECK_MSG(attempt < 1000, "pseudonym space exhausted — widen `bits`");
+    value = privacylink::random_pseudonym_value(rng, pseudonyms_.bits());
+    if (!pseudonyms_.alive(value, t)) break;
+  }
+  const PseudonymRecord record{value, t + lifetime};
+  const std::size_t shard = sim_.current_shard();
+  if (shard == sim::ShardedSimulator::kNoShard) {
+    pseudonyms_.register_minted(owner, record, t);  // setup: no window
+  } else {
+    pending_mints_[shard].push_back(PendingMint{owner, record});
+  }
+  return record;
+}
+
+void ShardedOverlayService::publish_pending_mints() {
+  const sim::Time t = sim_.now();
+  for (std::vector<PendingMint>& mints : pending_mints_) {
+    for (const PendingMint& m : mints)
+      pseudonyms_.register_minted(m.owner, m.record, t);
+    mints.clear();
+  }
+  // lookup() never erases, so reclaim expired registrations here
+  // (behaviour-neutral: expired values are unroutable either way).
+  if (t - last_gc_ >= 50.0) {
+    pseudonyms_.collect_garbage(t);
+    last_gc_ = t;
+  }
+}
+
+std::optional<NodeId> ShardedOverlayService::resolve(PseudonymValue value) {
+  // A blacked-out pseudonym service answers no resolution request;
+  // the protocol skips the shuffle round (graceful degradation).
+  if (!pseudonym_service_available_) return std::nullopt;
+  return pseudonyms_.lookup(value, sim_.now());
+}
+
+void ShardedOverlayService::send_shuffle_request(
+    NodeId from, NodeId to, std::vector<PseudonymRecord> set) {
+  link_->send(from, to, [this, from, to, set = std::move(set)] {
+    nodes_[to]->handle_shuffle_request(from, set);
+  });
+}
+
+void ShardedOverlayService::send_shuffle_response(
+    NodeId from, NodeId to, std::vector<PseudonymRecord> set) {
+  link_->send(from, to, [this, to, set = std::move(set)] {
+    nodes_[to]->handle_shuffle_response(set);
+  });
+}
+
+void ShardedOverlayService::schedule(double delay, sim::EventFn fn) {
+  if (sim_.current_shard() == sim::ShardedSimulator::kNoShard) {
+    PPO_CHECK_MSG(external_node_ != kNoExternalNode,
+                  "external timer without a node to attribute it to");
+    sim_.schedule_for(external_node_, delay, std::move(fn));
+  } else {
+    sim_.schedule_after(delay, std::move(fn));
+  }
+}
+
+graph::Graph ShardedOverlayService::overlay_snapshot() const {
+  graph::Graph overlay(nodes_.size());
+  for (const auto& [u, v] : trust_graph_.edges()) overlay.add_edge(u, v);
+  for (NodeId u = 0; u < nodes_.size(); ++u) {
+    for (const PseudonymValue value : nodes_[u]->pseudonym_links()) {
+      const auto owner = pseudonyms_.lookup(value, sim_.now());
+      if (owner && *owner != u) overlay.add_edge(u, *owner);
+    }
+  }
+  overlay.finalize();
+  return overlay;
+}
+
+std::vector<NodeId> ShardedOverlayService::current_peers(NodeId v) const {
+  PPO_CHECK_MSG(v < nodes_.size(), "node out of range");
+  std::vector<NodeId> peers(nodes_[v]->trusted_links());
+  for (const PseudonymValue value : nodes_[v]->pseudonym_links()) {
+    const auto owner = pseudonyms_.lookup(value, sim_.now());
+    if (owner && *owner != v) peers.push_back(*owner);
+  }
+  std::sort(peers.begin(), peers.end());
+  peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
+  return peers;
+}
+
+SlotSampler::ReplacementCounters ShardedOverlayService::total_replacements()
+    const {
+  SlotSampler::ReplacementCounters total;
+  for (const auto& node : nodes_) {
+    const auto& c = node->replacement_counters();
+    total.refills_after_expiry += c.refills_after_expiry;
+    total.better_displacements += c.better_displacements;
+    total.initial_fills += c.initial_fills;
+  }
+  return total;
+}
+
+OverlayNode::Counters ShardedOverlayService::total_counters() const {
+  OverlayNode::Counters total;
+  for (const auto& node : nodes_) {
+    const auto& c = node->counters();
+    total.requests_sent += c.requests_sent;
+    total.responses_sent += c.responses_sent;
+    total.shuffles_completed += c.shuffles_completed;
+    total.online_ticks += c.online_ticks;
+    total.max_out_degree = std::max(total.max_out_degree, c.max_out_degree);
+    total.request_timeouts += c.request_timeouts;
+    total.request_retries += c.request_retries;
+    total.exchanges_aborted += c.exchanges_aborted;
+    total.stale_responses += c.stale_responses;
+  }
+  return total;
+}
+
+metrics::ProtocolHealth ShardedOverlayService::protocol_health() const {
+  const OverlayNode::Counters c = total_counters();
+  metrics::ProtocolHealth health;
+  health.requests_sent = c.requests_sent;
+  health.responses_sent = c.responses_sent;
+  health.exchanges_completed = c.shuffles_completed;
+  health.request_timeouts = c.request_timeouts;
+  health.request_retries = c.request_retries;
+  health.exchanges_aborted = c.exchanges_aborted;
+  health.stale_responses = c.stale_responses;
+  health.messages_sent = link_->messages_sent();
+  health.messages_delivered = link_->messages_delivered();
+  health.messages_dropped = link_->messages_dropped();
+  return health;
+}
+
+}  // namespace ppo::overlay

@@ -1,0 +1,145 @@
+// Shard-aware variant of OverlayService: the same protocol nodes, but
+// orchestrated on a sim::ShardedSimulator so independent nodes run on
+// parallel shard workers. The service's job is to keep every source
+// of randomness and every mutable structure *node-keyed*, which is
+// what makes the trajectory bit-identical across shard counts:
+//
+//  - every RNG stream is derived statelessly from (seed, subsystem
+//    tag, node id) via derive_seed() — churn dwell times, protocol
+//    draws, pseudonym values and tick phases belong to their node, not
+//    to a global draw order;
+//  - the transport runs per-sender latency streams, and an enabled
+//    fault plan must use per-link fate streams;
+//  - the pseudonym registry is read-only while a window runs: nodes
+//    resolve through the const lookup() path, and freshly minted
+//    pseudonyms are buffered per shard and published at the window
+//    barrier (safe because a mint gossiped at time t cannot be
+//    resolved by a remote node before t + min_latency, which is at
+//    least one window away).
+//
+// Differences from the serial OverlayService: run the simulation via
+// ShardedSimulator::run_until (exclusive of its end time); dynamic
+// membership (add_member) and service-level fault schedules
+// (pseudonym blackouts, relay crashes) are not supported — node-crash
+// bursts ARE supported, via FaultInjector's per-victim events.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "churn/churn_driver.hpp"
+#include "churn/churn_model.hpp"
+#include "fault/faulty_transport.hpp"
+#include "graph/graph.hpp"
+#include "metrics/protocol_health.hpp"
+#include "overlay/node.hpp"
+#include "overlay/service.hpp"
+#include "privacylink/mix_transport.hpp"
+#include "privacylink/pseudonym_service.hpp"
+#include "privacylink/transport.hpp"
+#include "sim/periodic.hpp"
+#include "sim/sharded_simulator.hpp"
+
+namespace ppo::overlay {
+
+class ShardedOverlayService final : public NodeEnvironment {
+ public:
+  /// `sim.num_actors()` must equal the trust graph's node count.
+  /// Mix mode additionally requires a single shard (the relay pool is
+  /// global state). An enabled link-fault plan must set
+  /// per_link_streams.
+  ShardedOverlayService(sim::ShardedSimulator& sim,
+                        const graph::Graph& trust_graph,
+                        const churn::ChurnModel& churn_model,
+                        OverlayServiceOptions options, std::uint64_t seed);
+
+  ShardedOverlayService(sim::ShardedSimulator& sim,
+                        const graph::Graph& trust_graph,
+                        std::vector<const churn::ChurnModel*> churn_models,
+                        OverlayServiceOptions options, std::uint64_t seed);
+
+  /// Samples initial online states and schedules churn + shuffle
+  /// ticks. Each node's tick phase comes from its own derived stream.
+  void start();
+
+  // --- NodeEnvironment ---
+  sim::Time now() const override { return sim_.now(); }
+  bool is_online(NodeId node) const override {
+    return churn_.is_online(node);
+  }
+  PseudonymRecord mint_pseudonym(NodeId owner, double lifetime) override;
+  std::optional<NodeId> resolve(PseudonymValue value) override;
+  void send_shuffle_request(NodeId from, NodeId to,
+                            std::vector<PseudonymRecord> set) override;
+  void send_shuffle_response(NodeId from, NodeId to,
+                             std::vector<PseudonymRecord> set) override;
+  void schedule(double delay, sim::EventFn fn) override;
+
+  void set_pseudonym_service_available(bool available) {
+    pseudonym_service_available_ = available;
+  }
+  bool pseudonym_service_available() const {
+    return pseudonym_service_available_;
+  }
+
+  // --- inspection (mirrors OverlayService; call between windows) ---
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const graph::Graph& trust_graph() const { return trust_graph_; }
+  const graph::NodeMask& online_mask() const { return churn_.online_mask(); }
+  std::size_t online_count() const { return churn_.online_count(); }
+  OverlayNode& node(NodeId id) { return *nodes_[id]; }
+  const OverlayNode& node(NodeId id) const { return *nodes_[id]; }
+  churn::ChurnDriver& churn_driver() { return churn_; }
+  const privacylink::LinkTransport& transport() const { return *link_; }
+  const privacylink::PseudonymService& pseudonym_service() const {
+    return pseudonyms_;
+  }
+  const privacylink::MixNetwork* mix_network() const { return mix_.get(); }
+  const fault::FaultyTransport* fault_transport() const {
+    return faulty_.get();
+  }
+
+  graph::Graph overlay_snapshot() const;
+  std::vector<NodeId> current_peers(NodeId v) const;
+  SlotSampler::ReplacementCounters total_replacements() const;
+  OverlayNode::Counters total_counters() const;
+  metrics::ProtocolHealth protocol_health() const;
+
+ private:
+  struct PendingMint {
+    NodeId owner;
+    PseudonymRecord record;
+  };
+
+  /// Barrier hook: registers every pseudonym minted during the window
+  /// (shard order, then mint order — deterministic for a fixed K and
+  /// value-identical across K), then periodically GCs the registry.
+  void publish_pending_mints();
+
+  sim::ShardedSimulator& sim_;
+  graph::Graph trust_graph_;
+  OverlayServiceOptions options_;
+  std::uint64_t seed_;
+  privacylink::PseudonymService pseudonyms_;
+  churn::ChurnDriver churn_;
+  std::unique_ptr<privacylink::MixNetwork> mix_;  // mix mode only
+  std::unique_ptr<privacylink::LinkTransport> transport_;  // bare inner
+  std::unique_ptr<fault::FaultyTransport> faulty_;  // optional wrapper
+  privacylink::LinkTransport* link_ = nullptr;  // what sends go through
+  bool pseudonym_service_available_ = true;
+  std::vector<std::unique_ptr<OverlayNode>> nodes_;
+  /// Per-node pseudonym-value streams (derive_seed tag 4): a node's
+  /// mint sequence is a function of its own mints alone.
+  std::vector<Rng> mint_rngs_;
+  std::vector<sim::PeriodicTask> ticks_;
+  /// Freshly minted records per shard, published at the barrier.
+  std::vector<std::vector<PendingMint>> pending_mints_;
+  /// Node whose callback is running while in external context (start
+  /// / churn-callback bootstrap), so schedule() can attribute timers.
+  NodeId external_node_ = privacylink::NodeId(-1);
+  sim::Time last_gc_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace ppo::overlay

@@ -28,7 +28,7 @@ std::uint64_t message_fingerprint(crypto::BytesView message) {
 
 }  // namespace
 
-MixNetwork::MixNetwork(sim::Simulator& sim, MixOptions options, Rng rng)
+MixNetwork::MixNetwork(sim::SimulatorBackend& sim, MixOptions options, Rng rng)
     : sim_(sim), options_(options), rng_(rng) {
   PPO_CHECK_MSG(options_.num_relays >= 1, "mix needs at least one relay");
   relays_.reserve(options_.num_relays);

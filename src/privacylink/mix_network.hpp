@@ -12,7 +12,7 @@
 
 #include "common/rng.hpp"
 #include "privacylink/onion.hpp"
-#include "sim/simulator.hpp"
+#include "sim/backend.hpp"
 
 namespace ppo::privacylink {
 
@@ -28,7 +28,7 @@ struct MixOptions {
 
 class MixNetwork {
  public:
-  MixNetwork(sim::Simulator& sim, MixOptions options, Rng rng);
+  MixNetwork(sim::SimulatorBackend& sim, MixOptions options, Rng rng);
 
   std::size_t num_relays() const { return relays_.size(); }
   const crypto::X25519Key& relay_public_key(RelayId r) const;
@@ -75,7 +75,7 @@ class MixNetwork {
                std::function<void(crypto::Bytes)> deliver);
   double hop_latency();
 
-  sim::Simulator& sim_;
+  sim::SimulatorBackend& sim_;
   MixOptions options_;
   Rng rng_;
   std::vector<Relay> relays_;

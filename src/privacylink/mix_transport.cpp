@@ -6,7 +6,7 @@
 
 namespace ppo::privacylink {
 
-MixTransport::MixTransport(sim::Simulator& sim, MixNetwork& mix,
+MixTransport::MixTransport(sim::SimulatorBackend& sim, MixNetwork& mix,
                            MixTransportOptions options, Rng rng,
                            std::function<bool(graph::NodeId)> is_online)
     : sim_(sim),

@@ -25,7 +25,7 @@ class MixTransport final : public LinkTransport {
   /// `is_online` plays the same gating role as in the ideal
   /// transport — the exit relay cannot hand the message to an
   /// offline destination.
-  MixTransport(sim::Simulator& sim, MixNetwork& mix,
+  MixTransport(sim::SimulatorBackend& sim, MixNetwork& mix,
                MixTransportOptions options, Rng rng,
                std::function<bool(graph::NodeId)> is_online);
 
@@ -44,7 +44,7 @@ class MixTransport final : public LinkTransport {
   std::uint64_t circuit_failures() const { return circuit_failures_; }
 
  private:
-  sim::Simulator& sim_;
+  sim::SimulatorBackend& sim_;
   MixNetwork& mix_;
   MixTransportOptions options_;
   Rng rng_;

@@ -32,6 +32,24 @@ std::optional<NodeId> PseudonymService::resolve(PseudonymValue value,
   return it->second.owner;
 }
 
+std::optional<NodeId> PseudonymService::lookup(PseudonymValue value,
+                                               sim::Time now) const {
+  const auto it = owners_.find(value);
+  if (it == owners_.end() || it->second.expiry <= now) return std::nullopt;
+  return it->second.owner;
+}
+
+void PseudonymService::register_minted(NodeId owner,
+                                       const PseudonymRecord& record,
+                                       sim::Time now) {
+  const auto it = owners_.find(record.value);
+  PPO_CHECK_MSG(it == owners_.end() || it->second.expiry <= now ||
+                    it->second.owner == owner,
+                "pseudonym collision across owners — widen `bits`");
+  owners_.insert_or_assign(record.value,
+                           Registration{owner, record.expiry});
+}
+
 bool PseudonymService::alive(PseudonymValue value, sim::Time now) const {
   const auto it = owners_.find(value);
   return it != owners_.end() && it->second.expiry > now;

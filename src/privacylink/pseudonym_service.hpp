@@ -34,6 +34,19 @@ class PseudonymService {
   /// Expired pseudonyms are unroutable and get garbage-collected.
   std::optional<NodeId> resolve(PseudonymValue value, sim::Time now);
 
+  /// Read-only resolution: like resolve() but never mutates the
+  /// registry, so concurrent lookups from shard workers are safe
+  /// (expired entries are simply reported unknown; reclaim them with
+  /// collect_garbage() at a quiescent point).
+  std::optional<NodeId> lookup(PseudonymValue value, sim::Time now) const;
+
+  /// Registers a pseudonym minted elsewhere (the sharded overlay
+  /// service draws values from per-node streams and publishes them at
+  /// window barriers). The value must not collide with a live
+  /// registration of a different owner.
+  void register_minted(NodeId owner, const PseudonymRecord& record,
+                       sim::Time now);
+
   /// True if `value` is registered and alive at `now`.
   bool alive(PseudonymValue value, sim::Time now) const;
 

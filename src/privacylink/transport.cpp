@@ -6,8 +6,9 @@
 
 namespace ppo::privacylink {
 
-Transport::Transport(sim::Simulator& sim, TransportOptions options, Rng rng,
-                     std::function<bool(NodeId)> is_online)
+Transport::Transport(sim::SimulatorBackend& sim, TransportOptions options,
+                     Rng rng, std::function<bool(NodeId)> is_online,
+                     std::size_t per_sender_streams)
     : sim_(sim),
       options_(options),
       rng_(rng),
@@ -16,16 +17,20 @@ Transport::Transport(sim::Simulator& sim, TransportOptions options, Rng rng,
                     options_.max_latency >= options_.min_latency,
                 "invalid latency window");
   PPO_CHECK_MSG(static_cast<bool>(is_online_), "online oracle required");
+  sender_rngs_.reserve(per_sender_streams);
+  for (std::size_t v = 0; v < per_sender_streams; ++v)
+    sender_rngs_.push_back(rng_.split());
 }
 
 bool Transport::send(NodeId from, NodeId to, sim::EventFn on_deliver) {
   if (!is_online_(from)) return false;
-  ++sent_;
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  Rng& rng = sender_rngs_.empty() ? rng_ : sender_rngs_[from];
   const double latency =
-      rng_.uniform_double(options_.min_latency, options_.max_latency);
-  sim_.schedule_after(latency, [this, to, fn = std::move(on_deliver)] {
+      rng.uniform_double(options_.min_latency, options_.max_latency);
+  sim_.schedule_for(to, latency, [this, to, fn = std::move(on_deliver)] {
     if (!is_online_(to)) return;  // link dark: the far end went offline
-    ++delivered_;
+    delivered_.fetch_add(1, std::memory_order_relaxed);
     fn();
   });
   return true;

@@ -5,13 +5,15 @@
 // contributes latency, the online gate, and accounting.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "graph/graph.hpp"
 #include "privacylink/link_transport.hpp"
-#include "sim/simulator.hpp"
+#include "sim/backend.hpp"
 
 namespace ppo::privacylink {
 
@@ -29,24 +31,36 @@ class Transport final : public LinkTransport {
  public:
   /// `is_online(v)` gates both send (source must be online) and
   /// delivery (destination must be online at arrival time).
-  Transport(sim::Simulator& sim, TransportOptions options, Rng rng,
-            std::function<bool(NodeId)> is_online);
+  ///
+  /// `per_sender_streams` > 0 gives each of that many sender ids a
+  /// private latency stream split off `rng` in id order: latencies
+  /// then depend only on the sender's own send sequence, never on the
+  /// global interleaving — required for K-invariance on the sharded
+  /// backend. 0 (default) keeps the legacy shared stream bit-exactly.
+  Transport(sim::SimulatorBackend& sim, TransportOptions options, Rng rng,
+            std::function<bool(NodeId)> is_online,
+            std::size_t per_sender_streams = 0);
 
   /// Sends a message from `from` to `to`; `on_deliver` runs at the
   /// arrival time iff the destination is online then. Returns false
   /// (message not sent at all) only when the sender is offline.
   bool send(NodeId from, NodeId to, sim::EventFn on_deliver) override;
 
-  std::uint64_t messages_sent() const override { return sent_; }
-  std::uint64_t messages_delivered() const override { return delivered_; }
+  std::uint64_t messages_sent() const override {
+    return sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t messages_delivered() const override {
+    return delivered_.load(std::memory_order_relaxed);
+  }
 
  private:
-  sim::Simulator& sim_;
+  sim::SimulatorBackend& sim_;
   TransportOptions options_;
   Rng rng_;
+  std::vector<Rng> sender_rngs_;  // non-empty iff per-sender streams
   std::function<bool(NodeId)> is_online_;
-  std::uint64_t sent_ = 0;
-  std::uint64_t delivered_ = 0;
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> delivered_{0};
 };
 
 }  // namespace ppo::privacylink

@@ -1,0 +1,19 @@
+#include "sim/backend.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace ppo::sim {
+
+void SimulatorBackend::schedule_after(Time delay, EventFn fn) {
+  PPO_CHECK_MSG(delay >= 0.0, "negative delay");
+  schedule_at(now() + delay, std::move(fn));
+}
+
+void SimulatorBackend::schedule_for(ActorId actor, Time delay, EventFn fn) {
+  PPO_CHECK_MSG(delay >= 0.0, "negative delay");
+  schedule_at_for(actor, now() + delay, std::move(fn));
+}
+
+}  // namespace ppo::sim

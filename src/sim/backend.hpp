@@ -1,0 +1,60 @@
+// Scheduling interface of the simulation core, extracted so protocol
+// components (transports, churn, timers, the overlay service) run
+// unchanged on either backend:
+//  - sim::Simulator — the original serial event loop (one global
+//    queue, ties broken by scheduling order);
+//  - sim::ShardedSimulator — the deterministically-parallel core that
+//    partitions actors (nodes) into shards and runs them in lockstep
+//    epochs (sharded_simulator.hpp).
+//
+// The one addition over the old Simulator surface is the *actor*
+// dimension: schedule_for / schedule_at_for name the node an event
+// belongs to, so a sharded backend can route it to that node's shard.
+// The serial backend ignores the actor, which keeps existing call
+// sites bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace ppo::sim {
+
+/// Virtual time. The unit throughout the library is one shuffling
+/// period (paper §IV).
+using Time = double;
+
+using EventFn = std::function<void()>;
+
+/// Identifies the actor (overlay node) an event belongs to. Actor ids
+/// coincide with graph::NodeId in practice.
+using ActorId = std::uint32_t;
+
+/// Sentinel for events scheduled outside any actor's context (setup
+/// code, the measurement loop). Sharded backends only accept it
+/// between windows.
+inline constexpr ActorId kExternalActor = 0xFFFFFFFFu;
+
+class SimulatorBackend {
+ public:
+  virtual ~SimulatorBackend() = default;
+
+  /// Current virtual time: the executing event's timestamp while an
+  /// event runs, the window/run floor otherwise.
+  virtual Time now() const = 0;
+
+  /// Schedules `fn` at absolute time `t` (>= now) in the context of
+  /// the actor currently executing (sharded backends route it to that
+  /// actor's shard; outside event context they reject it — use
+  /// schedule_at_for).
+  virtual void schedule_at(Time t, EventFn fn) = 0;
+
+  /// Schedules `fn` at absolute time `t` on `actor`'s queue. The
+  /// serial backend ignores the actor.
+  virtual void schedule_at_for(ActorId actor, Time t, EventFn fn) = 0;
+
+  /// Convenience: `delay` time units from now (delay >= 0).
+  void schedule_after(Time delay, EventFn fn);
+  void schedule_for(ActorId actor, Time delay, EventFn fn);
+};
+
+}  // namespace ppo::sim

@@ -2,40 +2,49 @@
 
 #include <utility>
 
+#include "common/check.hpp"
+
 namespace ppo::sim {
 
 namespace {
 
-void schedule_tick(Simulator& sim, Time delay, Time period,
-                   std::shared_ptr<PeriodicTask::State> state, EventFn fn);
+void schedule_tick(SimulatorBackend& sim, Time delay, Time period,
+                   ActorId actor, std::shared_ptr<PeriodicTask::State> state,
+                   EventFn fn);
 
 struct Tick {
-  Simulator* sim;
+  SimulatorBackend* sim;
   Time period;
+  ActorId actor;
   std::shared_ptr<PeriodicTask::State> state;
   EventFn fn;
 
   void operator()() {
     if (!state->active) return;
     fn();
-    if (state->active) schedule_tick(*sim, period, period, state, fn);
+    if (state->active) schedule_tick(*sim, period, period, actor, state, fn);
   }
 };
 
-void schedule_tick(Simulator& sim, Time delay, Time period,
-                   std::shared_ptr<PeriodicTask::State> state, EventFn fn) {
-  sim.schedule_after(delay,
-                     Tick{&sim, period, std::move(state), std::move(fn)});
+void schedule_tick(SimulatorBackend& sim, Time delay, Time period,
+                   ActorId actor, std::shared_ptr<PeriodicTask::State> state,
+                   EventFn fn) {
+  Tick tick{&sim, period, actor, std::move(state), std::move(fn)};
+  if (actor == kExternalActor) {
+    sim.schedule_after(delay, std::move(tick));
+  } else {
+    sim.schedule_for(actor, delay, std::move(tick));
+  }
 }
 
 }  // namespace
 
-PeriodicTask PeriodicTask::start(Simulator& sim, Time phase, Time period,
-                                 EventFn fn) {
+PeriodicTask PeriodicTask::start(SimulatorBackend& sim, Time phase,
+                                 Time period, EventFn fn, ActorId actor) {
   PPO_CHECK_MSG(period > 0.0, "period must be positive");
   PeriodicTask task;
   task.state_ = std::make_shared<State>();
-  schedule_tick(sim, phase, period, task.state_, std::move(fn));
+  schedule_tick(sim, phase, period, actor, task.state_, std::move(fn));
   return task;
 }
 

@@ -1,10 +1,10 @@
-// Cancellable periodic task on top of the Simulator — used for
+// Cancellable periodic task on top of a SimulatorBackend — used for
 // shuffle ticks and metric sampling.
 #pragma once
 
 #include <memory>
 
-#include "sim/simulator.hpp"
+#include "sim/backend.hpp"
 
 namespace ppo::sim {
 
@@ -14,9 +14,12 @@ class PeriodicTask {
  public:
   PeriodicTask() = default;
 
-  /// Starts `fn` at now + `phase`, then every `period`.
-  static PeriodicTask start(Simulator& sim, Time phase, Time period,
-                            EventFn fn);
+  /// Starts `fn` at now + `phase`, then every `period`. When `actor`
+  /// is given, every tick is scheduled for that actor — required on
+  /// the sharded backend, where a task must belong to a shard; the
+  /// serial backend ignores it.
+  static PeriodicTask start(SimulatorBackend& sim, Time phase, Time period,
+                            EventFn fn, ActorId actor = kExternalActor);
 
   bool active() const { return state_ && state_->active; }
   void cancel();

@@ -1,0 +1,174 @@
+#include "sim/sharded_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace ppo::sim {
+
+namespace {
+
+/// Execution context of the event running on this thread, if any.
+/// Thread-local so shard workers resolve now()/schedule_at against
+/// their own in-flight event without synchronization.
+struct ExecContext {
+  const ShardedSimulator* sim = nullptr;
+  std::size_t shard = ShardedSimulator::kNoShard;
+  ActorId actor = kExternalActor;
+  Time now = 0.0;
+};
+
+thread_local ExecContext* tls_ctx = nullptr;
+
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(Options options) : options_(options) {
+  PPO_CHECK_MSG(options_.shards >= 1, "need at least one shard");
+  PPO_CHECK_MSG(options_.num_actors >= 1, "need at least one actor");
+  PPO_CHECK_MSG(options_.lookahead > 0.0 && std::isfinite(options_.lookahead),
+                "lookahead must be positive and finite");
+  queues_.resize(options_.shards);
+  mailboxes_.resize(options_.shards);
+  for (auto& row : mailboxes_) row.resize(options_.shards);
+  actor_seq_.assign(options_.num_actors, 0);
+  shard_executed_.assign(options_.shards, 0);
+  if (options_.shards > 1) {
+    pool_ = std::make_unique<runner::ThreadPool>(options_.shards,
+                                                 2 * options_.shards);
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() = default;
+
+std::size_t ShardedSimulator::shard_of(ActorId actor, std::size_t shards) {
+  if (shards <= 1) return 0;
+  std::uint64_t state = actor;
+  return static_cast<std::size_t>(splitmix64(state) % shards);
+}
+
+std::size_t ShardedSimulator::current_shard() const {
+  const ExecContext* ctx = tls_ctx;
+  return (ctx != nullptr && ctx->sim == this) ? ctx->shard : kNoShard;
+}
+
+Time ShardedSimulator::now() const {
+  const ExecContext* ctx = tls_ctx;
+  return (ctx != nullptr && ctx->sim == this) ? ctx->now : now_;
+}
+
+void ShardedSimulator::schedule_at(Time t, EventFn fn) {
+  ExecContext* ctx = tls_ctx;
+  PPO_CHECK_MSG(ctx != nullptr && ctx->sim == this,
+                "outside event context the sharded backend needs an explicit "
+                "actor: use schedule_at_for / schedule_for");
+  schedule_at_for(ctx->actor, t, std::move(fn));
+}
+
+void ShardedSimulator::schedule_at_for(ActorId actor, Time t, EventFn fn) {
+  PPO_CHECK_MSG(std::isfinite(t), "event time must be finite");
+  PPO_CHECK_MSG(static_cast<bool>(fn), "event callback must be callable");
+  PPO_CHECK_MSG(actor < options_.num_actors, "actor out of range");
+  const std::size_t dst = shard_of(actor);
+  ExecContext* ctx = tls_ctx;
+  if (ctx != nullptr && ctx->sim == this) {
+    PPO_CHECK_MSG(t >= ctx->now, "cannot schedule into the past");
+    Entry entry{t, ctx->actor, actor_seq_[ctx->actor]++, actor,
+                std::move(fn)};
+    if (dst == ctx->shard) {
+      queues_[dst].push(std::move(entry));
+    } else {
+      // The lookahead guarantee: cross-shard events always land at or
+      // beyond the current window's end, so delivering them at the
+      // barrier loses nothing — and makes K-invariance provable.
+      PPO_CHECK_MSG(t >= window_end_,
+                    "cross-shard event inside the current window violates "
+                    "the lookahead contract (latency < lookahead?)");
+      mailboxes_[ctx->shard][dst].push_back(std::move(entry));
+    }
+  } else {
+    PPO_CHECK_MSG(!in_window_, "external scheduling during a window");
+    PPO_CHECK_MSG(t >= now_, "cannot schedule into the past");
+    queues_[dst].push(
+        Entry{t, kExternalActor, external_seq_++, actor, std::move(fn)});
+  }
+}
+
+void ShardedSimulator::run_shard_window(std::size_t shard, Time window_end) {
+  ExecContext ctx;
+  ctx.sim = this;
+  ctx.shard = shard;
+  ExecContext* const prev = tls_ctx;
+  tls_ctx = &ctx;
+  Queue& queue = queues_[shard];
+  std::uint64_t executed = 0;
+  while (!queue.empty() && queue.top().time < window_end) {
+    // Move the entry out before popping so the callback may push more
+    // events into this queue.
+    Entry entry = std::move(const_cast<Entry&>(queue.top()));
+    queue.pop();
+    ctx.actor = entry.target;
+    ctx.now = entry.time;
+    ++executed;
+    entry.fn();
+  }
+  tls_ctx = prev;
+  shard_executed_[shard] += executed;
+}
+
+void ShardedSimulator::drain_mailboxes() {
+  // Single-threaded at the barrier. Push order is irrelevant: the
+  // queues order by the globally unique (time, origin, seq) key.
+  for (auto& row : mailboxes_) {
+    for (std::size_t dst = 0; dst < row.size(); ++dst) {
+      for (Entry& entry : row[dst]) queues_[dst].push(std::move(entry));
+      row[dst].clear();
+    }
+  }
+}
+
+std::size_t ShardedSimulator::run_until(Time end) {
+  PPO_CHECK_MSG(!in_window_, "run_until is not reentrant");
+  PPO_CHECK_MSG(std::isfinite(end) && end >= now_, "cannot run backwards");
+  const std::uint64_t before = events_executed();
+  while (now_ < end) {
+    const Time window_end = std::min(now_ + options_.lookahead, end);
+    PPO_CHECK_MSG(window_end > now_, "window degenerated (clock too large "
+                                     "for the lookahead resolution)");
+    window_end_ = window_end;
+    in_window_ = true;
+    if (pool_ == nullptr) {
+      run_shard_window(0, window_end);
+    } else {
+      for (std::size_t s = 0; s < queues_.size(); ++s) {
+        pool_->submit([this, s, window_end] {
+          run_shard_window(s, window_end);
+        });
+      }
+      pool_->drain();  // barrier; rethrows a worker's exception
+    }
+    in_window_ = false;
+    drain_mailboxes();
+    now_ = window_end;
+    if (barrier_hook_) barrier_hook_();
+  }
+  return static_cast<std::size_t>(events_executed() - before);
+}
+
+std::uint64_t ShardedSimulator::events_executed() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : shard_executed_) total += n;
+  return total;
+}
+
+std::size_t ShardedSimulator::pending() const {
+  std::size_t total = 0;
+  for (const Queue& q : queues_) total += q.size();
+  for (const auto& row : mailboxes_)
+    for (const auto& box : row) total += box.size();
+  return total;
+}
+
+}  // namespace ppo::sim

@@ -1,0 +1,152 @@
+// Deterministically-parallel simulation backend: actors (overlay
+// nodes) are partitioned into K shards by a stable hash of their id,
+// each shard owns a private event queue, and the shards execute in
+// lockstep windows of one lookahead interval on a runner::ThreadPool.
+//
+// Determinism contract (the whole point): for a fixed root seed the
+// simulation trajectory is BIT-IDENTICAL for every shard count K,
+// provided the protocol obeys two rules that the overlay stack
+// satisfies by construction (and this class enforces with checks):
+//
+//  1. Lookahead. Every event one actor schedules for a *different*
+//     actor lies at least `lookahead` in the future (transport
+//     latency >= min_latency). Windows are exactly `lookahead` long,
+//     so a cross-actor event sent inside window w always executes in
+//     window w+1 or later — on every K, including K=1. Cross-shard
+//     events travel through per-(src,dst) mailboxes that are drained
+//     single-threaded at the window barrier; a cross-shard event that
+//     would land inside the current window is a hard error.
+//
+//  2. Node-keyed state. Actors only touch their own state (plus
+//     read-only shared structures) while a window runs; anything
+//     shared mutably is published at barriers.
+//
+// Canonical ordering: every event carries (time, origin actor,
+// per-origin sequence number). That triple is a total order that does
+// not depend on sharding — the per-origin counter advances with the
+// origin's own execution, which rule 1+2 make K-invariant — and every
+// shard queue pops in that order. Equal-time events from different
+// origins are ordered by origin id, not by arrival.
+//
+// run_until(end) is EXCLUSIVE of events at exactly `end` (they run in
+// the next call), unlike the serial Simulator's inclusive run_until:
+// a window pops strictly-less-than its end so that an event at a
+// barrier executes in the next window no matter which side of the
+// mailbox it arrived on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+#include "sim/backend.hpp"
+
+namespace ppo::runner {
+class ThreadPool;
+}
+
+namespace ppo::sim {
+
+class ShardedSimulator final : public SimulatorBackend {
+ public:
+  struct Options {
+    /// Shard (and worker-thread) count. 1 = serial execution on the
+    /// caller's thread, still with the canonical event order — the
+    /// reference run every K is bit-identical to.
+    std::size_t shards = 1;
+    /// Number of actors; actor ids must be < num_actors.
+    std::size_t num_actors = 0;
+    /// Window length per lockstep epoch. Must be <= the minimum
+    /// cross-actor event latency (transport min_latency).
+    Time lookahead = 0.01;
+  };
+
+  explicit ShardedSimulator(Options options);
+  ~ShardedSimulator() override;
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  // --- SimulatorBackend ---
+  Time now() const override;
+  void schedule_at(Time t, EventFn fn) override;
+  void schedule_at_for(ActorId actor, Time t, EventFn fn) override;
+
+  /// Runs lockstep windows until `end` (exclusive of events exactly at
+  /// `end`); the clock advances to `end`. Returns events executed.
+  std::size_t run_until(Time end);
+
+  std::size_t num_shards() const { return queues_.size(); }
+  std::size_t num_actors() const { return options_.num_actors; }
+  Time lookahead() const { return options_.lookahead; }
+
+  /// Stable shard assignment: a SplitMix64 hash of the actor id, so
+  /// the mapping is independent of insertion order and uniform even
+  /// for clustered id ranges.
+  static std::size_t shard_of(ActorId actor, std::size_t shards);
+  std::size_t shard_of(ActorId actor) const {
+    return shard_of(actor, num_shards());
+  }
+
+  /// Shard of the actor executing on the calling thread, or kNoShard
+  /// outside of a window (setup / measurement code).
+  static constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
+  std::size_t current_shard() const;
+
+  /// Runs single-threaded at the end of every window, after
+  /// cross-shard mail has been delivered — the publication point for
+  /// per-shard buffers (e.g. freshly minted pseudonyms).
+  void set_barrier_hook(std::function<void()> hook) {
+    barrier_hook_ = std::move(hook);
+  }
+
+  std::uint64_t events_executed() const;
+  std::size_t pending() const;
+  bool idle() const { return pending() == 0; }
+
+ private:
+  struct Entry {
+    Time time = 0.0;
+    /// Scheduling actor and its per-origin sequence number:
+    /// (time, origin, seq) is the canonical, K-invariant total order.
+    ActorId origin = kExternalActor;
+    std::uint64_t seq = 0;
+    /// Actor the event runs as (= the executing context for events it
+    /// schedules in turn).
+    ActorId target = kExternalActor;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.origin != b.origin) return a.origin > b.origin;
+      return a.seq > b.seq;
+    }
+  };
+  using Queue = std::priority_queue<Entry, std::vector<Entry>, Later>;
+
+  void run_shard_window(std::size_t shard, Time window_end);
+  void drain_mailboxes();
+
+  Options options_;
+  Time now_ = 0.0;         // window floor (authoritative between windows)
+  Time window_end_ = 0.0;  // current window's exclusive end
+  bool in_window_ = false;
+  std::vector<Queue> queues_;  // one per shard, owned by its worker
+  /// mailboxes_[src][dst]: cross-shard events written lock-free by
+  /// shard src's worker during a window, drained at the barrier.
+  std::vector<std::vector<std::vector<Entry>>> mailboxes_;
+  /// Per-origin sequence counters. actor_seq_[a] is only touched
+  /// while actor a executes (on a's shard), so it needs no lock and
+  /// its value stream is K-invariant.
+  std::vector<std::uint64_t> actor_seq_;
+  std::uint64_t external_seq_ = 0;  // origin counter for setup events
+  std::vector<std::uint64_t> shard_executed_;  // per shard
+  std::function<void()> barrier_hook_;
+  std::unique_ptr<runner::ThreadPool> pool_;  // absent when shards == 1
+};
+
+}  // namespace ppo::sim

@@ -12,11 +12,6 @@ void Simulator::schedule_at(Time t, EventFn fn) {
   queue_.push(Entry{t, next_seq_++, std::move(fn)});
 }
 
-void Simulator::schedule_after(Time delay, EventFn fn) {
-  PPO_CHECK_MSG(delay >= 0.0, "negative delay");
-  schedule_at(now_ + delay, std::move(fn));
-}
-
 void Simulator::execute_next() {
   // Move the entry out before popping so the callback may schedule
   // more events (which mutates the queue).

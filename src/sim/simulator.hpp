@@ -11,25 +11,25 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "sim/backend.hpp"
 
 namespace ppo::sim {
 
-/// Virtual time. The unit throughout the library is one shuffling
-/// period (paper §IV).
-using Time = double;
-
-using EventFn = std::function<void()>;
-
-class Simulator {
+/// The serial backend: one global queue, ties broken by scheduling
+/// order. See backend.hpp for the interface contract and
+/// sharded_simulator.hpp for the parallel backend.
+class Simulator final : public SimulatorBackend {
  public:
-  Time now() const { return now_; }
+  Time now() const override { return now_; }
 
   /// Schedules `fn` at absolute time `t` (>= now). Events at equal
   /// times run in scheduling order (stable).
-  void schedule_at(Time t, EventFn fn);
+  void schedule_at(Time t, EventFn fn) override;
 
-  /// Schedules `fn` `delay` time units from now (delay >= 0).
-  void schedule_after(Time delay, EventFn fn);
+  /// The serial backend has no shards: the actor is ignored.
+  void schedule_at_for(ActorId /*actor*/, Time t, EventFn fn) override {
+    schedule_at(t, std::move(fn));
+  }
 
   /// Runs events with time <= `end`, then advances the clock to
   /// `end`. Returns the number of events executed.

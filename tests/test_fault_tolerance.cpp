@@ -13,6 +13,7 @@
 #include "experiments/figure_json.hpp"
 #include "experiments/figures.hpp"
 #include "fault/fault_injector.hpp"
+#include "sim/simulator.hpp"
 #include "graph/generators.hpp"
 #include "overlay/service.hpp"
 #include "privacylink/mix_transport.hpp"

@@ -10,6 +10,7 @@
 #include "fault/fault_injector.hpp"
 #include "fault/faulty_transport.hpp"
 #include "privacylink/transport.hpp"
+#include "sim/simulator.hpp"
 
 namespace ppo::fault {
 namespace {
@@ -28,7 +29,7 @@ struct Fixture {
       : online(n, 1),
         inner(sim, opts, Rng(7),
               [this](NodeId v) { return online[v] != 0; }),
-        faulty(sim, inner, plan) {}
+        faulty(sim, inner, plan, n) {}
 };
 
 TEST(FaultPlan, DefaultPlanIsInert) {
@@ -336,6 +337,186 @@ TEST(FaultInjector, BlackoutsRequireTheHook) {
   ServiceFaults faults;
   faults.pseudonym_blackouts.push_back({1.0, 2.0});
   EXPECT_THROW(FaultInjector(sim, faults, {}), CheckError);
+}
+
+TEST(FaultPlan, ValidatesLinkDropOverridesAndCrashes) {
+  FaultPlan bad_prob;
+  bad_prob.link_drop_overrides.push_back({0, 1, 1.5});
+  EXPECT_THROW(bad_prob.validate(), CheckError);
+
+  FaultPlan self_link;
+  self_link.link_drop_overrides.push_back({2, 2, 0.5});
+  EXPECT_THROW(self_link.validate(), CheckError);
+
+  FaultPlan bad_crash;
+  bad_crash.node_crashes.push_back({-1.0, 3, -1.0});
+  EXPECT_THROW(bad_crash.validate(), CheckError);
+
+  FaultPlan revive_before_crash;
+  revive_before_crash.node_crashes.push_back({5.0, 3, 4.0});
+  EXPECT_THROW(revive_before_crash.validate(), CheckError);
+
+  FaultPlan ok;
+  ok.link_drop_overrides.push_back({0, 1, 1.0});
+  ok.node_crashes.push_back({5.0, 3, 8.0});
+  ok.validate();
+  EXPECT_TRUE(ok.enabled());           // overrides are transport faults
+  EXPECT_TRUE(ok.has_node_crashes());  // crashes are not
+  FaultPlan crashes_only;
+  crashes_only.node_crashes.push_back({5.0, 3, -1.0});
+  EXPECT_FALSE(crashes_only.enabled());
+}
+
+/// Directional override: a -> b is dead while b -> a flows — the
+/// asymmetric-link case the plan-wide drop probability cannot express.
+TEST(FaultyTransport, LinkDropOverrideIsDirectional) {
+  FaultPlan plan;
+  plan.link_drop_overrides.push_back({0, 1, 1.0});
+  Fixture fx(2, plan);
+  EXPECT_DOUBLE_EQ(fx.faulty.drop_probability_on(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(fx.faulty.drop_probability_on(1, 0), 0.0);
+
+  int forward = 0, reverse = 0;
+  for (int i = 0; i < 25; ++i) {
+    fx.faulty.send(0, 1, [&] { ++forward; });
+    fx.faulty.send(1, 0, [&] { ++reverse; });
+  }
+  fx.sim.run_all();
+  EXPECT_EQ(forward, 0);
+  EXPECT_EQ(reverse, 25);
+  EXPECT_EQ(fx.faulty.counters().injected_drops, 25u);
+}
+
+TEST(FaultyTransport, LaterOverrideForSameLinkWins) {
+  FaultPlan plan;
+  plan.drop_probability = 0.0;
+  plan.link_drop_overrides.push_back({0, 1, 1.0});
+  plan.link_drop_overrides.push_back({0, 1, 0.0});
+  Fixture fx(2, plan);
+  EXPECT_DOUBLE_EQ(fx.faulty.drop_probability_on(0, 1), 0.0);
+  int deliveries = 0;
+  fx.faulty.send(0, 1, [&] { ++deliveries; });
+  fx.sim.run_all();
+  EXPECT_EQ(deliveries, 1);
+}
+
+/// A plan with overrides present but zero-fault everywhere must be
+/// bit-identical to the bare transport — the zero-fault guarantee
+/// extends to the new knobs, in both stream modes.
+TEST(FaultyTransport, ZeroFaultOverridesKeepBitIdentity) {
+  for (const bool per_link : {false, true}) {
+    FaultPlan plan;
+    plan.link_drop_overrides.push_back({0, 1, 0.0});
+    plan.per_link_streams = per_link;
+
+    std::vector<double> bare_times;
+    {
+      sim::Simulator sim;
+      privacylink::Transport t(sim, {.min_latency = 0.1, .max_latency = 0.9},
+                               Rng(7), [](NodeId) { return true; });
+      for (int i = 0; i < 20; ++i)
+        t.send(0, 1, [&] { bare_times.push_back(sim.now()); });
+      sim.run_all();
+    }
+    std::vector<double> wrapped_times;
+    {
+      sim::Simulator sim;
+      privacylink::Transport t(sim, {.min_latency = 0.1, .max_latency = 0.9},
+                               Rng(7), [](NodeId) { return true; });
+      FaultyTransport faulty(sim, t, plan, /*num_nodes=*/2);
+      for (int i = 0; i < 20; ++i)
+        faulty.send(0, 1, [&] { wrapped_times.push_back(sim.now()); });
+      sim.run_all();
+    }
+    EXPECT_EQ(bare_times, wrapped_times) << "per_link_streams=" << per_link;
+  }
+}
+
+TEST(FaultyTransport, PerLinkStreamsNeedTheNodeCount) {
+  FaultPlan plan;
+  plan.drop_probability = 0.5;
+  plan.per_link_streams = true;
+  sim::Simulator sim;
+  privacylink::Transport t(sim, {}, Rng(7), [](NodeId) { return true; });
+  EXPECT_THROW(FaultyTransport(sim, t, plan), CheckError);
+}
+
+/// Per-link fate streams depend only on a link's own traffic: traffic
+/// on OTHER links must not shift a link's fault pattern (the property
+/// the sharded backend needs).
+TEST(FaultyTransport, PerLinkStreamsIsolateLinks) {
+  FaultPlan plan;
+  plan.drop_probability = 0.4;
+  plan.per_link_streams = true;
+  plan.seed = 99;
+
+  const auto deliveries_on_01 = [&plan](bool extra_traffic) {
+    Fixture fx(3, plan);
+    std::vector<int> delivered;
+    for (int i = 0; i < 60; ++i) {
+      const int idx = i;
+      fx.faulty.send(0, 1, [&delivered, idx] { delivered.push_back(idx); });
+      if (extra_traffic) fx.faulty.send(0, 2, [] {});
+    }
+    fx.sim.run_all();
+    return delivered;
+  };
+  EXPECT_EQ(deliveries_on_01(false), deliveries_on_01(true));
+}
+
+TEST(FaultStream, CrashMaterializationIsDeterministicAndSorted) {
+  FaultPlan plan;
+  plan.seed = 0xABCD;
+  plan.node_crashes.push_back({5.0, 8, 12.0});
+  plan.node_crashes.push_back({2.0, 4, -1.0});
+
+  const auto a = materialize_node_crashes(plan, 100);
+  const auto b = materialize_node_crashes(plan, 100);
+  ASSERT_EQ(a.size(), 12u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].revive_at, b[i].revive_at);
+    if (i > 0) {
+      EXPECT_TRUE(a[i - 1].at < a[i].at ||
+                  (a[i - 1].at == a[i].at && a[i - 1].node < a[i].node));
+    }
+  }
+  // Victims within one burst are distinct.
+  for (std::size_t i = 1; i < 4; ++i) EXPECT_NE(a[i].node, a[i - 1].node);
+
+  // A burst cannot crash more nodes than exist.
+  FaultPlan overfull;
+  overfull.node_crashes.push_back({1.0, 10, -1.0});
+  EXPECT_THROW(materialize_node_crashes(overfull, 5), CheckError);
+}
+
+TEST(FaultInjector, NodeCrashesDriveTheHooks) {
+  sim::Simulator sim;
+  std::vector<std::pair<double, graph::NodeId>> crashed, revived;
+  FaultInjector::Hooks hooks;
+  hooks.fail_node = [&](graph::NodeId v) { crashed.emplace_back(sim.now(), v); };
+  hooks.revive_node = [&](graph::NodeId v) {
+    revived.emplace_back(sim.now(), v);
+  };
+  std::vector<NodeCrashEvent> events{{3, 2.0, 6.0}, {7, 4.0, -1.0}};
+  FaultInjector injector(sim, {}, hooks, events);
+  injector.arm();
+  EXPECT_EQ(injector.counters().nodes_crashed, 2u);
+  EXPECT_EQ(injector.counters().nodes_revived, 1u);
+
+  sim.run_all();
+  ASSERT_EQ(crashed.size(), 2u);
+  EXPECT_EQ(crashed[0], std::make_pair(2.0, graph::NodeId{3}));
+  EXPECT_EQ(crashed[1], std::make_pair(4.0, graph::NodeId{7}));
+  ASSERT_EQ(revived.size(), 1u);
+  EXPECT_EQ(revived[0], std::make_pair(6.0, graph::NodeId{3}));
+}
+
+TEST(FaultInjector, NodeCrashesRequireTheHooks) {
+  sim::Simulator sim;
+  std::vector<NodeCrashEvent> events{{1, 2.0, -1.0}};
+  EXPECT_THROW(FaultInjector(sim, {}, {}, events), CheckError);
 }
 
 }  // namespace

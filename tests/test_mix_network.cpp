@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "privacylink/mix_network.hpp"
+#include "sim/simulator.hpp"
 
 namespace ppo::privacylink {
 namespace {

@@ -1,0 +1,156 @@
+// Compares two BENCH_*.json reports (the figure benches' --json
+// output) and flags wall-clock regressions.
+//
+//   bench_diff <baseline.json> <candidate.json> [--threshold 0.20]
+//
+// Compares the envelope's total `wall_seconds` and, when both reports
+// carry sweep telemetry, the per-cell seconds. Exit code: 0 = within
+// threshold (or candidate faster), 1 = regression beyond threshold,
+// 2 = usage/parse error. Reports from different artefacts or schema
+// versions diff with a warning — the numbers may not be comparable.
+//
+// Intended for CI: run the reduced-scale bench, then diff against the
+// committed baseline (e.g. BENCH_fig3.json) so >20% slowdowns surface
+// in the job log before they land.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/json.hpp"
+
+namespace {
+
+using ppo::runner::Json;
+
+Json load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "bench_diff: cannot read " << path << "\n";
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return Json::parse(buf.str());
+  } catch (const std::exception& e) {
+    std::cerr << "bench_diff: " << path << ": " << e.what() << "\n";
+    std::exit(2);
+  }
+}
+
+double ratio_change(double baseline, double candidate) {
+  if (baseline <= 0.0) return 0.0;
+  return (candidate - baseline) / baseline;
+}
+
+std::string percent(double change) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", 100.0 * change);
+  return buf;
+}
+
+/// Pulls the per-cell telemetry seconds out of a report, if present
+/// (the figure payload lives under "figure", telemetry under
+/// "figure.telemetry").
+std::vector<double> cell_seconds(const Json& doc) {
+  std::vector<double> out;
+  if (!doc.contains("figure")) return out;
+  const Json& fig = doc.at("figure");
+  if (!fig.is_object() || !fig.contains("telemetry")) return out;
+  const Json& telemetry = fig.at("telemetry");
+  if (!telemetry.is_object() || !telemetry.contains("cell_seconds")) return out;
+  const Json& cells = telemetry.at("cell_seconds");
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    out.push_back(cells.at(i).as_double());
+  return out;
+}
+
+std::string field_or(const Json& doc, const char* key,
+                     const std::string& fallback) {
+  if (doc.contains(key) && doc.at(key).is_string())
+    return doc.at(key).as_string();
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  double threshold = 0.20;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold") {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_diff: --threshold needs a value\n";
+        return 2;
+      }
+      threshold = std::stod(argv[++i]);
+    } else if (arg.rfind("--threshold=", 0) == 0) {
+      threshold = std::stod(arg.substr(12));
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::cerr << "usage: bench_diff <baseline.json> <candidate.json>"
+                 " [--threshold 0.20]\n";
+    return 2;
+  }
+
+  const Json baseline = load(paths[0]);
+  const Json candidate = load(paths[1]);
+
+  const std::string base_artefact = field_or(baseline, "artefact", "?");
+  const std::string cand_artefact = field_or(candidate, "artefact", "?");
+  if (base_artefact != cand_artefact)
+    std::cerr << "bench_diff: WARNING: comparing different artefacts ('"
+              << base_artefact << "' vs '" << cand_artefact << "')\n";
+  if (baseline.contains("schema_version") &&
+      candidate.contains("schema_version") &&
+      baseline.at("schema_version").as_int() !=
+          candidate.at("schema_version").as_int())
+    std::cerr << "bench_diff: WARNING: schema versions differ ("
+              << baseline.at("schema_version").as_int() << " vs "
+              << candidate.at("schema_version").as_int() << ")\n";
+
+  bool regression = false;
+
+  const double base_wall = baseline.contains("wall_seconds")
+                               ? baseline.at("wall_seconds").as_double()
+                               : 0.0;
+  const double cand_wall = candidate.contains("wall_seconds")
+                               ? candidate.at("wall_seconds").as_double()
+                               : 0.0;
+  const double wall_change = ratio_change(base_wall, cand_wall);
+  std::cout << base_artefact << ": wall_seconds " << base_wall << " -> "
+            << cand_wall << " (" << percent(wall_change) << ")\n";
+  if (wall_change > threshold) {
+    std::cout << "  REGRESSION: total wall time up more than "
+              << percent(threshold) << "\n";
+    regression = true;
+  }
+
+  const std::vector<double> base_cells = cell_seconds(baseline);
+  const std::vector<double> cand_cells = cell_seconds(candidate);
+  if (!base_cells.empty() && base_cells.size() == cand_cells.size()) {
+    for (std::size_t i = 0; i < base_cells.size(); ++i) {
+      const double change = ratio_change(base_cells[i], cand_cells[i]);
+      if (change > threshold) {
+        std::cout << "  REGRESSION: cell " << i << " " << base_cells[i]
+                  << " s -> " << cand_cells[i] << " s ("
+                  << percent(change) << ")\n";
+        regression = true;
+      }
+    }
+  } else if (base_cells.size() != cand_cells.size()) {
+    std::cout << "  (cell telemetry not comparable: " << base_cells.size()
+              << " vs " << cand_cells.size() << " cells)\n";
+  }
+
+  std::cout << (regression ? "RESULT: regression beyond threshold\n"
+                           : "RESULT: within threshold\n");
+  return regression ? 1 : 0;
+}
