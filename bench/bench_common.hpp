@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -22,6 +23,9 @@
 #include "experiments/figure_json.hpp"
 #include "experiments/figures.hpp"
 #include "experiments/workbench.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "runner/json.hpp"
 
 namespace ppo::bench {
@@ -76,6 +80,7 @@ inline experiments::FigureScale figure_scale(const Cli& cli) {
   scale.jobs = static_cast<std::size_t>(cli.get_int("jobs", 0));
   scale.progress = cli.get_bool("progress", false);
   scale.shards = static_cast<std::size_t>(cli.get_int("shards", 0));
+  scale.replicas = static_cast<std::size_t>(cli.get_int("replicas", 1));
   if (cli.has("alphas")) {
     const auto alphas = parse_double_list(cli.get_string("alphas", ""));
     if (!alphas.empty()) scale.alphas = alphas;
@@ -86,6 +91,72 @@ inline experiments::FigureScale figure_scale(const Cli& cli) {
 inline void apply_logging(const Cli& cli) {
   set_log_level(parse_log_level(cli.get_string("log", "warn")));
 }
+
+/// `--trace=<cats>` (or PPO_TRACE) session for a bench run: owns the
+/// tracer, installs it on construction when any category is enabled,
+/// and exports Chrome-trace + JSONL artefacts on finish(). Categories:
+/// all, none, or a comma list of sim/shard/shuffle/pseudonym/
+/// transport/churn/log/user.
+class TraceSession {
+ public:
+  explicit TraceSession(const Cli& cli) {
+    const std::string spec = cli.get_string("trace", "");
+    std::uint32_t mask = 0;
+    try {
+      mask = obs::parse_trace_categories(spec);
+    } catch (const std::exception& e) {
+      std::cerr << e.what()
+                << " (expected all/none or a comma list of sim,shard,"
+                   "shuffle,pseudonym,transport,churn,log,user)\n";
+      std::exit(2);
+    }
+    if (mask == obs::kTraceNone) return;
+    tracer_ = std::make_unique<obs::Tracer>();
+    obs::install_tracer(tracer_.get(), mask);
+  }
+
+  ~TraceSession() {
+    if (tracer_ != nullptr) obs::uninstall_tracer();
+  }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  bool active() const { return tracer_ != nullptr; }
+
+  /// Parallel sweep cells interleave their records into one trace;
+  /// still valid (records carry sim-time and origin) but confusing to
+  /// eyeball. Nudge towards --jobs 1 for per-run traces.
+  void warn_if_parallel(std::size_t jobs) const {
+    if (active() && jobs != 1)
+      std::cerr << "note: tracing a parallel sweep (--jobs != 1) merges "
+                   "all cells into one trace; use --jobs 1 for a "
+                   "per-cell-ordered timeline\n";
+  }
+
+  /// Uninstalls the tracer and writes `<stem>.trace.json` (Chrome
+  /// trace_event, for chrome://tracing / Perfetto) and
+  /// `<stem>.trace.jsonl`. No-op when tracing is off.
+  void finish(const std::string& stem) {
+    if (tracer_ == nullptr) return;
+    obs::uninstall_tracer();
+    const auto records = tracer_->merged();
+    const std::string chrome_path = stem + ".trace.json";
+    const std::string jsonl_path = stem + ".trace.jsonl";
+    obs::write_file(chrome_path, obs::chrome_trace_json(records));
+    obs::write_file(jsonl_path, obs::trace_jsonl(records));
+    std::cout << "wrote trace: " << chrome_path << " (+ .jsonl), "
+              << records.size() << " records";
+    if (tracer_->records_dropped() > 0)
+      std::cout << ", " << tracer_->records_dropped()
+                << " dropped at buffer capacity";
+    std::cout << "\n";
+    tracer_.reset();
+  }
+
+ private:
+  std::unique_ptr<obs::Tracer> tracer_;
+};
 
 /// Prints the bench banner: which paper artefact this reproduces and
 /// the effective scale.
@@ -123,7 +194,8 @@ class WallTimer {
 inline bool write_json_report(const Cli& cli, const std::string& artefact,
                               const experiments::Workbench& bench,
                               const experiments::FigureScale& scale,
-                              runner::Json figure, double wall_seconds) {
+                              runner::Json figure, double wall_seconds,
+                              const obs::MetricsRegistry* metrics = nullptr) {
   if (!cli.has("json")) return false;
   const std::string path = cli.get_string("json", "");
   if (path.empty()) {
@@ -140,6 +212,8 @@ inline bool write_json_report(const Cli& cli, const std::string& artefact,
   doc["jobs"] = static_cast<std::uint64_t>(
       scale.jobs == 0 ? runner::default_jobs() : scale.jobs);
   doc["wall_seconds"] = wall_seconds;
+  if (metrics != nullptr && !metrics->empty())
+    doc["metrics"] = obs::to_json(*metrics);
   doc["figure"] = std::move(figure);
 
   std::ofstream out(path);

@@ -41,9 +41,12 @@ int main(int argc, char** argv) {
           static_cast<std::int64_t>(spec.max_retries)));
   spec.retry_backoff = cli.get_double("backoff", spec.retry_backoff);
 
+  bench::TraceSession trace(cli);
+  trace.warn_if_parallel(scale.jobs == 0 ? runner::default_jobs() : scale.jobs);
   const bench::WallTimer timer;
   const auto fig = experiments::fault_tolerance_sweep(bench, scale, spec);
   const double wall = timer.seconds();
+  trace.finish("fault_tolerance");
 
   print_series_table(std::cout,
                      "fraction of disconnected nodes vs availability",
@@ -70,7 +73,8 @@ int main(int argc, char** argv) {
   std::cout << "\n# degradation accounting (summed over alphas)\n";
   health.print(std::cout);
 
+  const auto metrics = experiments::collect_metrics(fig);
   bench::write_json_report(cli, "fault_tolerance", bench, scale,
-                           experiments::to_json(fig), wall);
+                           experiments::to_json(fig), wall, &metrics);
   return 0;
 }

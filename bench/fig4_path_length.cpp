@@ -22,14 +22,18 @@ int main(int argc, char** argv) {
                       bench);
 
   const auto scale = bench::figure_scale(cli);
+  bench::TraceSession trace(cli);
+  trace.warn_if_parallel(scale.jobs == 0 ? runner::default_jobs() : scale.jobs);
   const bench::WallTimer timer;
   const auto fig = experiments::availability_sweep(bench, scale);
   const double wall = timer.seconds();
+  trace.finish("fig4_path_length");
 
   print_series_table(std::cout,
                      "normalized average path length vs availability",
                      "alpha", fig.alphas, fig.napl, 2);
+  const auto metrics = experiments::collect_metrics(fig);
   bench::write_json_report(cli, "fig4_path_length", bench, scale,
-                           experiments::to_json(fig), wall);
+                           experiments::to_json(fig), wall, &metrics);
   return 0;
 }

@@ -22,9 +22,12 @@ int main(int argc, char** argv) {
                       bench);
 
   const auto scale = bench::figure_scale(cli);
+  bench::TraceSession trace(cli);
+  trace.warn_if_parallel(scale.jobs == 0 ? runner::default_jobs() : scale.jobs);
   const bench::WallTimer timer;
   const auto fig = experiments::lifetime_sweep(bench, scale);
   const double wall = timer.seconds();
+  trace.finish("fig7_pseudonym_lifetime");
 
   print_series_table(std::cout,
                      "fraction of disconnected nodes vs availability",
@@ -33,7 +36,8 @@ int main(int argc, char** argv) {
                      "normalized average path length vs availability "
                      "(companion data, not a separate paper figure)",
                      "alpha", fig.alphas, fig.napl, 2);
+  const auto metrics = experiments::collect_metrics(fig);
   bench::write_json_report(cli, "fig7_pseudonym_lifetime", bench, scale,
-                           experiments::to_json(fig), wall);
+                           experiments::to_json(fig), wall, &metrics);
   return 0;
 }

@@ -18,6 +18,7 @@
 // shared with the figure benches).
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -66,7 +67,29 @@ struct RunReport {
   std::uint64_t fingerprint = 0;
   std::size_t online = 0;
   metrics::ProtocolHealth health;
+  std::vector<sim::ShardedSimulator::ShardStats> shard_stats;
 };
+
+/// Per-run registry: health rollup plus the per-shard load profile
+/// (dimension shard=K), the `metrics` block of each JSON run entry.
+obs::MetricsRegistry run_metrics(const RunReport& report, bool profiled) {
+  obs::MetricsRegistry registry;
+  experiments::add_health_metrics(registry, report.health, {});
+  for (std::size_t s = 0; s < report.shard_stats.size(); ++s) {
+    const auto& st = report.shard_stats[s];
+    const obs::MetricDims dims{{"shard", std::to_string(s)}};
+    registry.add_counter("shard_events", st.events, dims);
+    registry.add_counter("shard_windows", st.windows, dims);
+    registry.add_counter("shard_mailbox_out", st.mailbox_out, dims);
+    registry.set_gauge("shard_max_queue", static_cast<double>(st.max_queue),
+                       dims);
+    if (profiled) {
+      registry.set_gauge("shard_busy_seconds", st.busy_seconds, dims);
+      registry.set_gauge("shard_stall_seconds", st.stall_seconds, dims);
+    }
+  }
+  return registry;
+}
 
 std::vector<std::size_t> parse_shard_list(const std::string& text) {
   std::vector<std::size_t> out;
@@ -92,6 +115,9 @@ int main(int argc, char** argv) {
     std::cerr << "--shard-list needs at least one entry\n";
     return 2;
   }
+  const bool profile = cli.get_bool("profile", false);
+  const std::string trace_stem =
+      cli.get_string("trace-out", "scale_single_run");
 
   overlay::OverlayServiceOptions options;
   options.params.cache_size = static_cast<std::size_t>(cli.get_int("cache", 50));
@@ -120,6 +146,10 @@ int main(int argc, char** argv) {
   for (const std::size_t shards : shard_list) {
     RunReport report;
     report.shards = shards;
+    // One tracer per run so every K gets its own artefact pair; the
+    // emitted records never touch simulation state, so the reported
+    // fingerprints are bit-identical with --trace on or off.
+    bench::TraceSession trace(cli);
     const bench::WallTimer timer;
     if (shards == 0) {
       sim::Simulator sim;
@@ -136,6 +166,7 @@ int main(int argc, char** argv) {
       so.shards = shards;
       so.num_actors = nodes;
       so.lookahead = options.transport.min_latency;
+      so.profile = profile;
       sim::ShardedSimulator sim(so);
       overlay::ShardedOverlayService service(sim, trust, model, options, seed);
       service.start();
@@ -145,8 +176,10 @@ int main(int argc, char** argv) {
       report.online = service.online_count();
       report.fingerprint =
           fingerprint(service.overlay_snapshot(), report.health);
+      report.shard_stats = sim.shard_stats();
     }
     report.wall_seconds = timer.seconds();
+    trace.finish(trace_stem + ".k" + std::to_string(shards));
     reports.push_back(report);
 
     std::cout << "K=" << report.shards
@@ -154,6 +187,17 @@ int main(int argc, char** argv) {
               << report.wall_seconds << " s, " << report.events
               << " events, fingerprint " << std::hex << report.fingerprint
               << std::dec << "\n";
+    if (profile && !report.shard_stats.empty()) {
+      std::cout << "  shard  events      mailbox_out  max_queue  busy_s   "
+                   "stall_s\n";
+      for (std::size_t s = 0; s < report.shard_stats.size(); ++s) {
+        const auto& st = report.shard_stats[s];
+        std::printf("  %-6zu %-11llu %-12llu %-10zu %-8.3f %-8.3f\n", s,
+                    static_cast<unsigned long long>(st.events),
+                    static_cast<unsigned long long>(st.mailbox_out),
+                    st.max_queue, st.busy_seconds, st.stall_seconds);
+      }
+    }
   }
 
   // Bit-identity across every sharded K (the serial backend is a
@@ -199,6 +243,26 @@ int main(int argc, char** argv) {
       entry["fingerprint"] = r.fingerprint;
       entry["online"] = static_cast<std::uint64_t>(r.online);
       entry["health"] = experiments::to_json(r.health);
+      const obs::MetricsRegistry metrics = run_metrics(r, profile);
+      entry["metrics"] = obs::to_json(metrics);
+      if (!r.shard_stats.empty()) {
+        runner::Json shard_profile = runner::Json::array();
+        for (std::size_t s = 0; s < r.shard_stats.size(); ++s) {
+          const auto& st = r.shard_stats[s];
+          runner::Json row = runner::Json::object();
+          row["shard"] = static_cast<std::uint64_t>(s);
+          row["events"] = st.events;
+          row["windows"] = st.windows;
+          row["mailbox_out"] = st.mailbox_out;
+          row["max_queue"] = static_cast<std::uint64_t>(st.max_queue);
+          if (profile) {
+            row["busy_seconds"] = st.busy_seconds;
+            row["stall_seconds"] = st.stall_seconds;
+          }
+          shard_profile.push_back(std::move(row));
+        }
+        entry["shard_profile"] = std::move(shard_profile);
+      }
       runs.push_back(std::move(entry));
     }
     doc["runs"] = std::move(runs);

@@ -1,5 +1,7 @@
 #include "churn/churn_driver.hpp"
 
+#include "obs/trace.hpp"
+
 namespace ppo::churn {
 
 ChurnDriver::ChurnDriver(sim::SimulatorBackend& sim, std::size_t num_nodes,
@@ -63,11 +65,13 @@ void ChurnDriver::schedule_transition(NodeId v) {
 
 void ChurnDriver::go_online(NodeId v) {
   online_.set(v, true);
+  PPO_TRACE_EVENT(ppo::obs::TraceCategory::kChurn, "online", v);
   if (callbacks_.on_online) callbacks_.on_online(v);
 }
 
 void ChurnDriver::go_offline(NodeId v) {
   online_.set(v, false);
+  PPO_TRACE_EVENT(ppo::obs::TraceCategory::kChurn, "offline", v);
   if (callbacks_.on_offline) callbacks_.on_offline(v);
 }
 

@@ -1,7 +1,12 @@
 #include "common/logging.hpp"
 
 #include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
+
+#include "common/simtime.hpp"
 
 namespace ppo {
 
@@ -10,6 +15,8 @@ LogLevel g_level = LogLevel::kWarn;
 
 const char* level_name(LogLevel level) {
   switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
     case LogLevel::kDebug:
       return "DEBUG";
     case LogLevel::kInfo:
@@ -23,6 +30,19 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+std::string wall_timestamp() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const auto ms = duration_cast<milliseconds>(now.time_since_epoch()) % 1000;
+  const std::time_t t = system_clock::to_time_t(now);
+  std::tm tm{};
+  localtime_r(&t, &tm);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d.%03d", tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms.count()));
+  return buf;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level = level; }
@@ -32,6 +52,7 @@ LogLevel log_level() { return g_level; }
 LogLevel parse_log_level(const std::string& name) {
   std::string s;
   for (char c : name) s += static_cast<char>(std::tolower(c));
+  if (s == "trace") return LogLevel::kTrace;
   if (s == "debug") return LogLevel::kDebug;
   if (s == "info") return LogLevel::kInfo;
   if (s == "warn" || s == "warning") return LogLevel::kWarn;
@@ -39,9 +60,26 @@ LogLevel parse_log_level(const std::string& name) {
   return LogLevel::kOff;
 }
 
+void set_trace_log_sink(TraceLogSink sink) {
+  detail::g_trace_log_sink.store(sink, std::memory_order_release);
+}
+
 namespace detail {
 void emit(LogLevel level, const std::string& message) {
-  std::cerr << "[" << level_name(level) << "] " << message << '\n';
+  if (level == LogLevel::kTrace) {
+    if (TraceLogSink sink = g_trace_log_sink.load(std::memory_order_acquire))
+      sink(message);
+    if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  }
+  std::string line = "[" + wall_timestamp() + "] [" + level_name(level) + "]";
+  if (sim_time_context_active()) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), " (t=%.6f)", sim_time_context());
+    line += buf;
+  }
+  line += ' ';
+  line += message;
+  std::cerr << line << '\n';
 }
 }  // namespace detail
 

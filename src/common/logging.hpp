@@ -1,23 +1,53 @@
 // Leveled logging to stderr. Off by default above WARN so simulation
 // hot paths stay quiet; benches flip the level via --log or PPO_LOG.
+//
+// Messages are prefixed with the wall-clock timestamp and, when the
+// calling thread is inside a simulation run, the current sim time:
+//   [12:34:56.789] [INFO] (t=41.250000) message
+//
+// kTrace is below kDebug and has a second consumer: when a trace sink
+// is installed (ppo_obs does this while a tracer with the `log`
+// category is active), kTrace messages are captured as trace records
+// even if the stderr threshold would discard them.
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
 namespace ppo {
 
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+enum class LogLevel {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
 
-/// Global threshold; messages below it are discarded.
+/// Global threshold; messages below it are discarded (except kTrace
+/// routing, see above).
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off"
+/// (case-insensitive).
 LogLevel parse_log_level(const std::string& name);
 
+/// Sink kTrace messages are routed to regardless of the stderr
+/// threshold; nullptr disables routing. Installed by the tracer.
+using TraceLogSink = void (*)(const std::string& message);
+void set_trace_log_sink(TraceLogSink sink);
+
 namespace detail {
+inline std::atomic<TraceLogSink> g_trace_log_sink{nullptr};
 void emit(LogLevel level, const std::string& message);
+}  // namespace detail
+
+/// True when kTrace messages have somewhere to go.
+inline bool trace_log_routed() {
+  return detail::g_trace_log_sink.load(std::memory_order_relaxed) != nullptr;
 }
 
 /// Stream-style logger: LogMessage(LogLevel::kInfo) << "x=" << x;
@@ -43,12 +73,14 @@ class LogMessage {
 
 }  // namespace ppo
 
-#define PPO_LOG(level)                                  \
-  if (static_cast<int>(level) < static_cast<int>(::ppo::log_level())) \
-    ;                                                   \
-  else                                                  \
+#define PPO_LOG(level)                                                      \
+  if (!(static_cast<int>(level) >= static_cast<int>(::ppo::log_level()) || \
+        ((level) == ::ppo::LogLevel::kTrace && ::ppo::trace_log_routed())))  \
+    ;                                                                       \
+  else                                                                      \
     ::ppo::LogMessage(level)
 
+#define PPO_LOG_TRACE PPO_LOG(::ppo::LogLevel::kTrace)
 #define PPO_LOG_INFO PPO_LOG(::ppo::LogLevel::kInfo)
 #define PPO_LOG_WARN PPO_LOG(::ppo::LogLevel::kWarn)
 #define PPO_LOG_ERROR PPO_LOG(::ppo::LogLevel::kError)

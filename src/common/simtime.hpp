@@ -1,0 +1,30 @@
+// Thread-local "current simulation time" slot, published by whichever
+// simulation backend is executing events on this thread and read by
+// the logging prefix and the ppo_obs tracer. Lives in ppo_common so
+// low-level consumers (logging) need no dependency on the sim or obs
+// libraries; the publishers pay two plain TLS stores per event.
+#pragma once
+
+namespace ppo {
+
+namespace detail {
+inline thread_local double g_sim_time = 0.0;
+inline thread_local bool g_sim_time_active = false;
+}  // namespace detail
+
+/// Publishes the sim time of the event executing on this thread.
+inline void set_sim_time_context(double t) {
+  detail::g_sim_time = t;
+  detail::g_sim_time_active = true;
+}
+
+/// Marks this thread as outside any simulation run.
+inline void clear_sim_time_context() { detail::g_sim_time_active = false; }
+
+/// True while a backend has published a time on this thread.
+inline bool sim_time_context_active() { return detail::g_sim_time_active; }
+
+/// Last published sim time (0.0 if never set).
+inline double sim_time_context() { return detail::g_sim_time; }
+
+}  // namespace ppo

@@ -49,6 +49,12 @@ double RunningStats::min() const { return n_ == 0 ? 0.0 : min_; }
 
 double RunningStats::max() const { return n_ == 0 ? 0.0 : max_; }
 
+double ci95_half_width(const RunningStats& stats) {
+  if (stats.count() < 2) return 0.0;
+  return 1.96 * stats.stddev() /
+         std::sqrt(static_cast<double>(stats.count()));
+}
+
 double percentile(std::vector<double> values, double q) {
   PPO_CHECK_MSG(!values.empty(), "percentile of empty sample");
   PPO_CHECK_MSG(q >= 0.0 && q <= 1.0, "percentile q must be in [0,1]");

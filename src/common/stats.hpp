@@ -33,6 +33,10 @@ class RunningStats {
   double max_ = 0.0;
 };
 
+/// Half-width of the normal-approximation 95% confidence interval of
+/// the mean (1.96 * stddev / sqrt(n)); 0 for fewer than two samples.
+double ci95_half_width(const RunningStats& stats);
+
 /// Percentile of a sample set with linear interpolation between order
 /// statistics. `q` in [0,1]. Sorts a copy; fine for metric-sized data.
 double percentile(std::vector<double> values, double q);

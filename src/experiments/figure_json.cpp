@@ -69,6 +69,7 @@ Json to_json(const FigureScale& scale) {
   j["seed"] = scale.seed;
   j["jobs"] = static_cast<std::uint64_t>(scale.jobs);
   j["shards"] = static_cast<std::uint64_t>(scale.shards);
+  j["replicas"] = static_cast<std::uint64_t>(scale.replicas);
   return j;
 }
 
@@ -111,8 +112,11 @@ Json named_health(const metrics::ProtocolHealth& health, const char* name) {
 Json to_json(const SweepFigure& fig) {
   Json j = Json::object();
   j["alphas"] = Json::array_of(fig.alphas);
+  j["replicas"] = static_cast<std::uint64_t>(fig.replicas);
   j["connectivity"] = series_block(fig.connectivity);
   j["napl"] = series_block(fig.napl);
+  j["connectivity_ci"] = series_block(fig.connectivity_ci);
+  j["napl_ci"] = series_block(fig.napl_ci);
   j["health"] = health_block(fig.health, fig.connectivity);
   j["telemetry"] = to_json(fig.telemetry);
   return j;
@@ -194,12 +198,62 @@ Json to_json(const ReplacementFigure& fig) {
 Json to_json(const FaultFigure& fig) {
   Json j = Json::object();
   j["alphas"] = Json::array_of(fig.alphas);
+  j["replicas"] = static_cast<std::uint64_t>(fig.replicas);
   j["connectivity"] = series_block(fig.connectivity);
   j["napl"] = series_block(fig.napl);
   j["completion"] = series_block(fig.completion);
+  j["connectivity_ci"] = series_block(fig.connectivity_ci);
+  j["napl_ci"] = series_block(fig.napl_ci);
+  j["completion_ci"] = series_block(fig.completion_ci);
   j["health"] = health_block(fig.health, fig.connectivity);
   j["telemetry"] = to_json(fig.telemetry);
   return j;
+}
+
+void add_health_metrics(obs::MetricsRegistry& registry,
+                        const metrics::ProtocolHealth& health,
+                        const obs::MetricDims& dims) {
+  registry.add_counter("protocol_requests_sent", health.requests_sent, dims);
+  registry.add_counter("protocol_responses_sent", health.responses_sent, dims);
+  registry.add_counter("protocol_exchanges_completed",
+                       health.exchanges_completed, dims);
+  registry.add_counter("protocol_request_timeouts", health.request_timeouts,
+                       dims);
+  registry.add_counter("protocol_request_retries", health.request_retries,
+                       dims);
+  registry.add_counter("protocol_exchanges_aborted", health.exchanges_aborted,
+                       dims);
+  registry.add_counter("protocol_stale_responses", health.stale_responses,
+                       dims);
+  registry.add_counter("transport_messages_sent", health.messages_sent, dims);
+  registry.add_counter("transport_messages_delivered",
+                       health.messages_delivered, dims);
+  registry.add_counter("transport_messages_dropped", health.messages_dropped,
+                       dims);
+  registry.set_gauge("protocol_completion_rate", health.completion_rate(),
+                     dims);
+  registry.set_gauge("transport_delivery_rate", health.delivery_rate(), dims);
+}
+
+namespace {
+
+obs::MetricsRegistry health_registry(
+    const std::vector<metrics::ProtocolHealth>& health,
+    const std::vector<Series>& names) {
+  obs::MetricsRegistry registry;
+  for (std::size_t i = 0; i < health.size(); ++i)
+    add_health_metrics(registry, health[i], {{"series", names[i].name}});
+  return registry;
+}
+
+}  // namespace
+
+obs::MetricsRegistry collect_metrics(const SweepFigure& fig) {
+  return health_registry(fig.health, fig.connectivity);
+}
+
+obs::MetricsRegistry collect_metrics(const FaultFigure& fig) {
+  return health_registry(fig.health, fig.connectivity);
 }
 
 }  // namespace ppo::experiments

@@ -10,13 +10,18 @@
 #pragma once
 
 #include "experiments/figures.hpp"
+#include "obs/metrics_registry.hpp"
 #include "runner/json.hpp"
 
 namespace ppo::experiments {
 
 /// v2: scale carries `shards`, and every figure payload reports
 /// ProtocolHealth rollups (`health` arrays keyed by series name).
-inline constexpr int kFigureJsonSchemaVersion = 2;
+/// v3: scale carries `replicas`; the sweep figures report 95%
+/// confidence half-widths (`connectivity_ci`/`napl_ci`/
+/// `completion_ci`) and their replica count; the bench envelope can
+/// carry a `metrics` registry block (counters/gauges/histograms).
+inline constexpr int kFigureJsonSchemaVersion = 3;
 
 runner::Json to_json(const runner::SweepTelemetry& telemetry);
 runner::Json to_json(const metrics::ProtocolHealth& health);
@@ -32,5 +37,17 @@ runner::Json to_json(const MessageFigure& fig);
 runner::Json to_json(const ConvergenceFigure& fig);
 runner::Json to_json(const ReplacementFigure& fig);
 runner::Json to_json(const FaultFigure& fig);
+
+/// Folds a ProtocolHealth rollup into `registry` as
+/// `protocol_*`/`transport_*` counters plus rate gauges, all under
+/// `dims` (e.g. {{"series", "overlay-f0.5"}}).
+void add_health_metrics(obs::MetricsRegistry& registry,
+                        const metrics::ProtocolHealth& health,
+                        const obs::MetricDims& dims);
+
+/// Registry snapshots scraped from a figure's health rollups, one
+/// dimension per series — the `metrics` block of the bench envelope.
+obs::MetricsRegistry collect_metrics(const SweepFigure& fig);
+obs::MetricsRegistry collect_metrics(const FaultFigure& fig);
 
 }  // namespace ppo::experiments

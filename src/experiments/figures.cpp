@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/stats.hpp"
 
 namespace ppo::experiments {
 
@@ -79,25 +80,40 @@ SweepFigure run_alpha_sweep(Workbench& bench, const FigureScale& scale,
           std::llround(sizing_run.stats.total_edges.mean())),
       scale.seed ^ spec.er_seed_salt);
 
+  // Alpha-major cell layout: cell index a*R + r. With R = 1 the index
+  // equals the historical per-alpha index, so every seed salt — and
+  // therefore every trajectory — is unchanged.
+  const std::size_t replicas = std::max<std::size_t>(1, scale.replicas);
+  fig.replicas = replicas;
   auto grid = runner::run_grid(
-      scale.alphas, sweep_options(scale, spec.label),
-      [&](double alpha, const runner::CellInfo& cell) {
+      scale.alphas.size() * replicas, sweep_options(scale, spec.label),
+      [&](const runner::CellInfo& cell) {
+        const double alpha = scale.alphas[cell.index / replicas];
         return spec.cell(er, alpha, cell.index);
       });
 
   fig.health.resize(spec.series.size());
   for (std::size_t j = 0; j < spec.series.size(); ++j) {
     Series conn{spec.series[j], {}}, napl{spec.series[j], {}};
-    conn.values.reserve(grid.cells.size());
-    napl.values.reserve(grid.cells.size());
-    for (const CellValues& values : grid.cells) {
-      PPO_CHECK(values.size() == spec.series.size());
-      conn.values.push_back(values[j].conn);
-      napl.values.push_back(values[j].napl);
-      fig.health[j].merge(values[j].health);
+    Series conn_ci{spec.series[j], {}}, napl_ci{spec.series[j], {}};
+    for (std::size_t a = 0; a < scale.alphas.size(); ++a) {
+      RunningStats sc, sn;
+      for (std::size_t r = 0; r < replicas; ++r) {
+        const CellValues& values = grid.cells[a * replicas + r];
+        PPO_CHECK(values.size() == spec.series.size());
+        sc.add(values[j].conn);
+        sn.add(values[j].napl);
+        fig.health[j].merge(values[j].health);
+      }
+      conn.values.push_back(sc.mean());
+      napl.values.push_back(sn.mean());
+      conn_ci.values.push_back(ci95_half_width(sc));
+      napl_ci.values.push_back(ci95_half_width(sn));
     }
     fig.connectivity.push_back(std::move(conn));
     fig.napl.push_back(std::move(napl));
+    fig.connectivity_ci.push_back(std::move(conn_ci));
+    fig.napl_ci.push_back(std::move(napl_ci));
   }
   fig.telemetry = std::move(grid.telemetry);
   return fig;
@@ -339,9 +355,12 @@ FaultFigure fault_tolerance_sweep(Workbench& bench, const FigureScale& scale,
     metrics::ProtocolHealth health;
   };
 
+  const std::size_t replicas = std::max<std::size_t>(1, scale.replicas);
   auto grid = runner::run_grid(
-      scale.alphas, sweep_options(scale, "fault-tolerance-sweep"),
-      [&](double alpha, const runner::CellInfo& cell) {
+      scale.alphas.size() * replicas,
+      sweep_options(scale, "fault-tolerance-sweep"),
+      [&](const runner::CellInfo& cell) {
+        const double alpha = scale.alphas[cell.index / replicas];
         std::vector<CellEntry> values;
         values.reserve(1 + 2 * spec.loss_rates.size());
         const OverlayScenario base =
@@ -377,22 +396,34 @@ FaultFigure fault_tolerance_sweep(Workbench& bench, const FigureScale& scale,
 
   FaultFigure fig;
   fig.alphas = scale.alphas;
+  fig.replicas = replicas;
   fig.health.resize(names.size());
   for (std::size_t j = 0; j < names.size(); ++j) {
     Series conn{names[j], {}}, napl{names[j], {}}, comp{names[j], {}};
-    conn.values.reserve(grid.cells.size());
-    napl.values.reserve(grid.cells.size());
-    comp.values.reserve(grid.cells.size());
-    for (const auto& values : grid.cells) {
-      PPO_CHECK(values.size() == names.size());
-      conn.values.push_back(values[j].conn);
-      napl.values.push_back(values[j].napl);
-      comp.values.push_back(values[j].health.completion_rate());
-      fig.health[j].merge(values[j].health);
+    Series conn_ci{names[j], {}}, napl_ci{names[j], {}}, comp_ci{names[j], {}};
+    for (std::size_t a = 0; a < scale.alphas.size(); ++a) {
+      RunningStats sc, sn, sp;
+      for (std::size_t r = 0; r < replicas; ++r) {
+        const auto& values = grid.cells[a * replicas + r];
+        PPO_CHECK(values.size() == names.size());
+        sc.add(values[j].conn);
+        sn.add(values[j].napl);
+        sp.add(values[j].health.completion_rate());
+        fig.health[j].merge(values[j].health);
+      }
+      conn.values.push_back(sc.mean());
+      napl.values.push_back(sn.mean());
+      comp.values.push_back(sp.mean());
+      conn_ci.values.push_back(ci95_half_width(sc));
+      napl_ci.values.push_back(ci95_half_width(sn));
+      comp_ci.values.push_back(ci95_half_width(sp));
     }
     fig.connectivity.push_back(std::move(conn));
     fig.napl.push_back(std::move(napl));
     fig.completion.push_back(std::move(comp));
+    fig.connectivity_ci.push_back(std::move(conn_ci));
+    fig.napl_ci.push_back(std::move(napl_ci));
+    fig.completion_ci.push_back(std::move(comp_ci));
   }
   fig.telemetry = std::move(grid.telemetry);
   return fig;

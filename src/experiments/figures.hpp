@@ -32,6 +32,12 @@ struct FigureScale {
   /// legacy serial Simulator, K >= 1 = the sharded core with K shard
   /// workers (see OverlayScenario::shards for the contract).
   std::size_t shards = 0;
+  /// Independent repetitions per sweep cell (distinct seeds). With
+  /// R > 1 the sweep figures report the mean over replicas plus a 95%
+  /// confidence half-width per point; R = 1 reproduces the historical
+  /// single-run values bit-identically. Applies to the alpha sweeps
+  /// (Figures 3/4/7 and the fault-tolerance sweep).
+  std::size_t replicas = 1;
 };
 
 /// Availability sweeps (Figures 3, 4, 7): one named series per curve,
@@ -40,9 +46,15 @@ struct SweepFigure {
   std::vector<double> alphas;
   std::vector<Series> connectivity;  // fraction of disconnected nodes
   std::vector<Series> napl;          // normalized average path length
-  /// Degradation rollup per series, summed over all alpha cells
-  /// (indexed like `connectivity`; static baselines stay zero).
+  /// 95% confidence half-widths per point, indexed like the value
+  /// series. All-zero when `replicas` is 1.
+  std::vector<Series> connectivity_ci;
+  std::vector<Series> napl_ci;
+  /// Degradation rollup per series, summed over all alpha cells and
+  /// replicas (indexed like `connectivity`; static baselines stay
+  /// zero). Counter magnitudes scale with `replicas`.
   std::vector<metrics::ProtocolHealth> health;
+  std::size_t replicas = 1;          // repetitions behind each point
   runner::SweepTelemetry telemetry;  // wall-clock accounting per cell
 };
 
@@ -140,9 +152,14 @@ struct FaultFigure {
   std::vector<Series> connectivity;  // fraction of disconnected nodes
   std::vector<Series> napl;          // normalized average path length
   std::vector<Series> completion;    // exchange completion rate
-  /// Degradation rollup per series, summed over all alpha cells
-  /// (indexed like `connectivity`).
+  /// 95% confidence half-widths (all-zero when `replicas` is 1).
+  std::vector<Series> connectivity_ci;
+  std::vector<Series> napl_ci;
+  std::vector<Series> completion_ci;
+  /// Degradation rollup per series, summed over all alpha cells and
+  /// replicas (indexed like `connectivity`).
   std::vector<metrics::ProtocolHealth> health;
+  std::size_t replicas = 1;
   runner::SweepTelemetry telemetry;
 };
 FaultFigure fault_tolerance_sweep(Workbench& bench, const FigureScale& scale,

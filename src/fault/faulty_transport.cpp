@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace ppo::fault {
 
@@ -109,8 +110,11 @@ bool FaultyTransport::send_copy(graph::NodeId from, graph::NodeId to,
     // transport still does the sender gating and its own accounting,
     // but nothing ever reaches the destination handler.
     accepted = inner_.send(from, to, [] {});
-    if (accepted && fate.drop_counter != nullptr)
+    if (accepted && fate.drop_counter != nullptr) {
       fate.drop_counter->fetch_add(1, std::memory_order_relaxed);
+      PPO_TRACE_EVENT(ppo::obs::TraceCategory::kTransport, "drop", from,
+                      (ppo::obs::TraceArg{"to", static_cast<double>(to)}));
+    }
   } else if (fate.extra_delay > 0.0) {
     accepted = inner_.send(
         from, to, [this, delay = fate.extra_delay, fn = on_deliver] {

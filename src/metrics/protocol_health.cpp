@@ -1,9 +1,22 @@
 #include "metrics/protocol_health.hpp"
 
+#include <limits>
+
 namespace ppo::metrics {
 
+namespace {
+std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  return a > max - b ? max : a + b;
+}
+}  // namespace
+
 double ProtocolHealth::completion_rate() const {
-  const std::uint64_t initiated = requests_sent - request_retries;
+  // Retries can exceed requests in a merge of partial snapshots (a
+  // retry counted in one window, its original request in another);
+  // clamp instead of wrapping to a huge denominator.
+  const std::uint64_t initiated =
+      requests_sent >= request_retries ? requests_sent - request_retries : 0;
   if (initiated == 0) return 0.0;
   return static_cast<double>(exchanges_completed) /
          static_cast<double>(initiated);
@@ -16,16 +29,19 @@ double ProtocolHealth::delivery_rate() const {
 }
 
 ProtocolHealth& ProtocolHealth::merge(const ProtocolHealth& other) {
-  requests_sent += other.requests_sent;
-  responses_sent += other.responses_sent;
-  exchanges_completed += other.exchanges_completed;
-  request_timeouts += other.request_timeouts;
-  request_retries += other.request_retries;
-  exchanges_aborted += other.exchanges_aborted;
-  stale_responses += other.stale_responses;
-  messages_sent += other.messages_sent;
-  messages_delivered += other.messages_delivered;
-  messages_dropped += other.messages_dropped;
+  requests_sent = saturating_add(requests_sent, other.requests_sent);
+  responses_sent = saturating_add(responses_sent, other.responses_sent);
+  exchanges_completed =
+      saturating_add(exchanges_completed, other.exchanges_completed);
+  request_timeouts = saturating_add(request_timeouts, other.request_timeouts);
+  request_retries = saturating_add(request_retries, other.request_retries);
+  exchanges_aborted =
+      saturating_add(exchanges_aborted, other.exchanges_aborted);
+  stale_responses = saturating_add(stale_responses, other.stale_responses);
+  messages_sent = saturating_add(messages_sent, other.messages_sent);
+  messages_delivered =
+      saturating_add(messages_delivered, other.messages_delivered);
+  messages_dropped = saturating_add(messages_dropped, other.messages_dropped);
   return *this;
 }
 

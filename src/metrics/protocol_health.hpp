@@ -31,6 +31,8 @@ struct ProtocolHealth {
   /// Fraction of accepted sends the transport actually delivered.
   double delivery_rate() const;
 
+  /// Counter-wise sum, saturating at the uint64 maximum instead of
+  /// wrapping (replicated sweeps merge many runs).
   ProtocolHealth& merge(const ProtocolHealth& other);
 };
 

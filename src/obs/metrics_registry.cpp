@@ -1,0 +1,64 @@
+#include "obs/metrics_registry.hpp"
+
+namespace ppo::obs {
+
+std::string metric_key(const std::string& name, const MetricDims& dims) {
+  if (dims.empty()) return name;
+  std::string key = name;
+  key += '{';
+  bool first = true;
+  for (const auto& [k, v] : dims) {
+    if (!first) key += ',';
+    first = false;
+    key += k;
+    key += '=';
+    key += v;
+  }
+  key += '}';
+  return key;
+}
+
+void MetricsRegistry::add_counter(const std::string& name, std::uint64_t delta,
+                                  const MetricDims& dims) {
+  counters_[metric_key(name, dims)] += delta;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value,
+                                const MetricDims& dims) {
+  gauges_[metric_key(name, dims)] = value;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const MetricDims& dims) {
+  return histograms_[metric_key(name, dims)];
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& key) const {
+  auto it = counters_.find(key);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+runner::Json to_json(const MetricsRegistry& registry) {
+  auto doc = runner::Json::object();
+  auto counters = runner::Json::object();
+  for (const auto& [key, value] : registry.counters()) counters[key] = value;
+  doc["counters"] = std::move(counters);
+  auto gauges = runner::Json::object();
+  for (const auto& [key, value] : registry.gauges()) gauges[key] = value;
+  doc["gauges"] = std::move(gauges);
+  auto histograms = runner::Json::object();
+  for (const auto& [key, h] : registry.histograms()) {
+    auto cell = runner::Json::object();
+    cell["count"] = static_cast<std::uint64_t>(h.total());
+    cell["mean"] = h.empty() ? 0.0 : h.mean();
+    cell["p50"] = static_cast<std::uint64_t>(h.empty() ? 0 : h.quantile(0.50));
+    cell["p90"] = static_cast<std::uint64_t>(h.empty() ? 0 : h.quantile(0.90));
+    cell["p99"] = static_cast<std::uint64_t>(h.empty() ? 0 : h.quantile(0.99));
+    cell["max"] = static_cast<std::uint64_t>(h.empty() ? 0 : h.max_value());
+    histograms[key] = std::move(cell);
+  }
+  doc["histograms"] = std::move(histograms);
+  return doc;
+}
+
+}  // namespace ppo::obs

@@ -1,0 +1,62 @@
+// Named metrics registry: counters, gauges and histograms with
+// free-form dimensions (per-node, per-shard, ...), scraped into figure
+// `--json` reports next to ProtocolHealth. Populated at scrape time
+// from run results — it is not a hot-path structure, so it favours a
+// deterministic, ordered layout over write throughput.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "runner/json.hpp"
+
+namespace ppo::obs {
+
+/// Dimension list rendered into the metric key, e.g. {{"shard","3"}}.
+using MetricDims = std::vector<std::pair<std::string, std::string>>;
+
+/// Prometheus-style key: name alone, or `name{k=v,k2=v2}` with
+/// dimensions in the order given.
+std::string metric_key(const std::string& name, const MetricDims& dims);
+
+class MetricsRegistry {
+ public:
+  /// Adds to a (creating-on-first-use) counter.
+  void add_counter(const std::string& name, std::uint64_t delta,
+                   const MetricDims& dims = {});
+
+  /// Sets a gauge to its latest value.
+  void set_gauge(const std::string& name, double value,
+                 const MetricDims& dims = {});
+
+  /// Histogram cell; add samples via the returned reference.
+  Histogram& histogram(const std::string& name, const MetricDims& dims = {});
+
+  std::uint64_t counter(const std::string& key) const;  // 0 if absent
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// {"counters": {...}, "gauges": {...}, "histograms": {key: {count,
+/// mean, p50, p90, p99, max}}} — keys sorted, so reports diff cleanly.
+runner::Json to_json(const MetricsRegistry& registry);
+
+}  // namespace ppo::obs

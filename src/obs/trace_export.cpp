@@ -1,0 +1,106 @@
+#include "obs/trace_export.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "runner/json.hpp"
+
+namespace ppo::obs {
+
+namespace {
+
+const char* phase_code(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kInstant:
+      return "i";
+    case TracePhase::kCounter:
+      return "C";
+    case TracePhase::kBegin:
+      return "b";
+    case TracePhase::kEnd:
+      return "e";
+  }
+  return "i";
+}
+
+std::string hex_id(std::uint64_t id) {
+  static const char* digits = "0123456789abcdef";
+  std::string s = "0x";
+  bool leading = true;
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    unsigned nibble = (id >> shift) & 0xF;
+    if (leading && nibble == 0 && shift != 0) continue;
+    leading = false;
+    s += digits[nibble];
+  }
+  return s;
+}
+
+runner::Json args_json(const TraceRecord& r) {
+  auto args = runner::Json::object();
+  if (r.phase == TracePhase::kCounter) args["value"] = r.value;
+  for (const auto& a : r.args)
+    if (a.key != nullptr) args[a.key] = a.value;
+  if (!r.text.empty()) args["message"] = r.text;
+  return args;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TraceRecord>& records) {
+  std::string out = "{\"traceEvents\":[";
+  std::string line;
+  bool first = true;
+  for (const auto& r : records) {
+    auto ev = runner::Json::object();
+    ev["name"] = r.name;
+    ev["cat"] = trace_category_name(r.category);
+    ev["ph"] = phase_code(r.phase);
+    if (r.phase == TracePhase::kBegin || r.phase == TracePhase::kEnd)
+      ev["id"] = hex_id(r.id);
+    ev["ts"] = r.time * 1e6;  // sim seconds -> trace microseconds
+    ev["pid"] = static_cast<std::uint64_t>(r.shard);
+    ev["tid"] = static_cast<std::uint64_t>(r.origin);
+    if (r.phase == TracePhase::kInstant) ev["s"] = "t";  // thread-scoped
+    auto args = args_json(r);
+    if (args.size() > 0) ev["args"] = std::move(args);
+    if (!first) out += ',';
+    first = false;
+    out += '\n';
+    out += ev.dump();
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string trace_jsonl(const std::vector<TraceRecord>& records) {
+  std::string out;
+  for (const auto& r : records) {
+    auto line = runner::Json::object();
+    line["t"] = r.time;
+    if (r.origin != kExternalOrigin)
+      line["origin"] = static_cast<std::uint64_t>(r.origin);
+    line["shard"] = static_cast<std::uint64_t>(r.shard);
+    line["cat"] = trace_category_name(r.category);
+    line["ph"] = phase_code(r.phase);
+    line["name"] = r.name;
+    if (r.phase == TracePhase::kBegin || r.phase == TracePhase::kEnd)
+      line["id"] = r.id;
+    if (r.phase == TracePhase::kCounter) line["value"] = r.value;
+    for (const auto& a : r.args)
+      if (a.key != nullptr) line[a.key] = a.value;
+    if (!r.text.empty()) line["message"] = r.text;
+    out += line.dump();
+    out += '\n';
+  }
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out << content;
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace ppo::obs

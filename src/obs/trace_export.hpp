@@ -1,0 +1,27 @@
+// Exporters for merged trace records: Chrome trace_event JSON (open in
+// chrome://tracing or https://ui.perfetto.dev) and line-delimited JSON
+// for ad-hoc tooling (jq, tools/trace_summarize).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace ppo::obs {
+
+/// Chrome trace_event document ({"traceEvents": [...]}) for records in
+/// canonical merge order. Mapping: sim seconds → microsecond `ts`,
+/// shard → `pid`, origin → `tid`; spans become async nestable b/e
+/// pairs correlated by hex id; counters become "C" events.
+std::string chrome_trace_json(const std::vector<TraceRecord>& records);
+
+/// One compact JSON object per record, newline-delimited, in the given
+/// order. Fields: t, origin (absent for external), shard, cat, ph,
+/// name, and id/value/args/text when set.
+std::string trace_jsonl(const std::vector<TraceRecord>& records);
+
+/// Writes `content` to `path`; throws std::runtime_error on failure.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace ppo::obs

@@ -3,10 +3,18 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace ppo::overlay {
 
 namespace {
+
+/// Globally unique async-span id for one exchange attempt: node ids
+/// and per-node exchange counters are both K-invariant, so the trace
+/// pairs identically for every shard count.
+std::uint64_t exchange_span_id(NodeId node, std::uint64_t exchange_id) {
+  return (static_cast<std::uint64_t>(node) << 32) | (exchange_id & 0xFFFFFFFF);
+}
 
 /// S = max(min_slots, target - trust_degree): hubs already have their
 /// connectivity and get few or no pseudonym slots (§III-D).
@@ -143,6 +151,10 @@ void OverlayNode::begin_exchange(NodeId target,
   if (pending_) abort_pending_exchange();
   pending_ = PendingExchange{++next_exchange_id_, target, std::move(set), 0,
                              params_.shuffle_timeout};
+  PPO_TRACE_SPAN_BEGIN(ppo::obs::TraceCategory::kShuffle, "exchange", id_,
+                       exchange_span_id(id_, pending_->id),
+                       (ppo::obs::TraceArg{"target",
+                                           static_cast<double>(target)}));
   ++counters_.requests_sent;
   env_.send_shuffle_request(id_, target, pending_->sent);
   arm_exchange_timer();
@@ -159,6 +171,9 @@ void OverlayNode::handle_exchange_timeout(std::uint64_t exchange_id) {
   if (!pending_ || pending_->id != exchange_id)
     return;  // exchange completed or superseded: stale timer
   ++counters_.request_timeouts;
+  PPO_TRACE_EVENT(ppo::obs::TraceCategory::kShuffle, "timeout", id_,
+                  (ppo::obs::TraceArg{"target",
+                                      static_cast<double>(pending_->target)}));
   if (!online_ || pending_->retries_used >= params_.shuffle_max_retries) {
     abort_pending_exchange();
     return;
@@ -166,6 +181,9 @@ void OverlayNode::handle_exchange_timeout(std::uint64_t exchange_id) {
   ++pending_->retries_used;
   pending_->timeout *= params_.shuffle_retry_backoff;
   ++counters_.request_retries;
+  PPO_TRACE_EVENT(ppo::obs::TraceCategory::kShuffle, "retry", id_,
+                  (ppo::obs::TraceArg{
+                      "attempt", static_cast<double>(pending_->retries_used)}));
   ++counters_.requests_sent;
   env_.send_shuffle_request(id_, pending_->target, pending_->sent);
   arm_exchange_timer();
@@ -173,6 +191,9 @@ void OverlayNode::handle_exchange_timeout(std::uint64_t exchange_id) {
 
 void OverlayNode::abort_pending_exchange() {
   ++counters_.exchanges_aborted;
+  PPO_TRACE_EVENT(ppo::obs::TraceCategory::kShuffle, "abort", id_);
+  PPO_TRACE_SPAN_END(ppo::obs::TraceCategory::kShuffle, "exchange", id_,
+                     exchange_span_id(id_, pending_->id));
   pending_.reset();
 }
 
@@ -195,10 +216,13 @@ void OverlayNode::handle_shuffle_response(
     // must not be paired with another exchange's sent set: merge them
     // additively, as if nothing had been offered in return.
     ++counters_.stale_responses;
+    PPO_TRACE_EVENT(ppo::obs::TraceCategory::kShuffle, "stale_response", id_);
     merge_received(received, {});
     return;
   }
   ++counters_.shuffles_completed;
+  PPO_TRACE_SPAN_END(ppo::obs::TraceCategory::kShuffle, "exchange", id_,
+                     exchange_span_id(id_, pending_->id));
   // Move the sent set out before merging: merge_received may call
   // back into shuffle state via the sampler/cache only, but the
   // pending slot must be free for the next tick regardless.

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace ppo::overlay {
 
@@ -142,6 +143,8 @@ PseudonymRecord ShardedOverlayService::mint_pseudonym(NodeId owner,
     if (!pseudonyms_.alive(value, t)) break;
   }
   const PseudonymRecord record{value, t + lifetime};
+  PPO_TRACE_EVENT(ppo::obs::TraceCategory::kPseudonym, "mint", owner,
+                  (ppo::obs::TraceArg{"lifetime", lifetime}));
   const std::size_t shard = sim_.current_shard();
   if (shard == sim::ShardedSimulator::kNoShard) {
     pseudonyms_.register_minted(owner, record, t);  // setup: no window

@@ -1,6 +1,7 @@
 #include "privacylink/pseudonym_service.hpp"
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace ppo::privacylink {
 
@@ -15,6 +16,8 @@ PseudonymRecord PseudonymService::create(NodeId owner, sim::Time now,
       owners_.erase(it);                      // stale registration: reuse
     }
     owners_.emplace(value, Registration{owner, now + lifetime});
+    PPO_TRACE_EVENT(ppo::obs::TraceCategory::kPseudonym, "mint", owner,
+                    (ppo::obs::TraceArg{"lifetime", lifetime}));
     return PseudonymRecord{value, now + lifetime};
   }
   PPO_CHECK_MSG(false, "pseudonym space exhausted — widen `bits`");
@@ -56,12 +59,18 @@ bool PseudonymService::alive(PseudonymValue value, sim::Time now) const {
 }
 
 void PseudonymService::collect_garbage(sim::Time now) {
+  std::size_t expired = 0;
   for (auto it = owners_.begin(); it != owners_.end();) {
-    if (it->second.expiry <= now)
+    if (it->second.expiry <= now) {
       it = owners_.erase(it);
-    else
+      ++expired;
+    } else {
       ++it;
+    }
   }
+  if (expired > 0)
+    PPO_TRACE_COUNTER(ppo::obs::TraceCategory::kPseudonym, "expired",
+                      ppo::obs::kExternalOrigin, expired);
 }
 
 }  // namespace ppo::privacylink

@@ -1,10 +1,13 @@
 #include "sim/sharded_simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <utility>
 
 #include "common/rng.hpp"
+#include "common/simtime.hpp"
+#include "obs/trace.hpp"
 #include "runner/thread_pool.hpp"
 
 namespace ppo::sim {
@@ -34,7 +37,8 @@ ShardedSimulator::ShardedSimulator(Options options) : options_(options) {
   mailboxes_.resize(options_.shards);
   for (auto& row : mailboxes_) row.resize(options_.shards);
   actor_seq_.assign(options_.num_actors, 0);
-  shard_executed_.assign(options_.shards, 0);
+  stats_.assign(options_.shards, ShardStats{});
+  window_busy_.assign(options_.shards, 0.0);
   if (options_.shards > 1) {
     pool_ = std::make_unique<runner::ThreadPool>(options_.shards,
                                                  2 * options_.shards);
@@ -86,6 +90,7 @@ void ShardedSimulator::schedule_at_for(ActorId actor, Time t, EventFn fn) {
       PPO_CHECK_MSG(t >= window_end_,
                     "cross-shard event inside the current window violates "
                     "the lookahead contract (latency < lookahead?)");
+      ++stats_[ctx->shard].mailbox_out;
       mailboxes_[ctx->shard][dst].push_back(std::move(entry));
     }
   } else {
@@ -97,12 +102,17 @@ void ShardedSimulator::schedule_at_for(ActorId actor, Time t, EventFn fn) {
 }
 
 void ShardedSimulator::run_shard_window(std::size_t shard, Time window_end) {
+  using Clock = std::chrono::steady_clock;
+  const auto wall_start = options_.profile ? Clock::now() : Clock::time_point{};
   ExecContext ctx;
   ctx.sim = this;
   ctx.shard = shard;
   ExecContext* const prev = tls_ctx;
   tls_ctx = &ctx;
+  obs::set_trace_shard(static_cast<std::uint32_t>(shard));
+  ShardStats& stats = stats_[shard];
   Queue& queue = queues_[shard];
+  stats.max_queue = std::max(stats.max_queue, queue.size());
   std::uint64_t executed = 0;
   while (!queue.empty() && queue.top().time < window_end) {
     // Move the entry out before popping so the callback may push more
@@ -111,21 +121,41 @@ void ShardedSimulator::run_shard_window(std::size_t shard, Time window_end) {
     queue.pop();
     ctx.actor = entry.target;
     ctx.now = entry.time;
+    set_sim_time_context(entry.time);
     ++executed;
     entry.fn();
   }
+  if (executed > 0 && obs::trace_enabled(obs::TraceCategory::kShard)) {
+    set_sim_time_context(window_end);
+    PPO_TRACE_COUNTER(obs::TraceCategory::kShard, "window_events",
+                      obs::kExternalOrigin, executed);
+  }
   tls_ctx = prev;
-  shard_executed_[shard] += executed;
+  obs::set_trace_shard(0);
+  stats.events += executed;
+  ++stats.windows;
+  if (options_.profile) {
+    window_busy_[shard] =
+        std::chrono::duration<double>(Clock::now() - wall_start).count();
+    stats.busy_seconds += window_busy_[shard];
+  }
 }
 
 void ShardedSimulator::drain_mailboxes() {
   // Single-threaded at the barrier. Push order is irrelevant: the
   // queues order by the globally unique (time, origin, seq) key.
+  std::size_t drained = 0;
   for (auto& row : mailboxes_) {
     for (std::size_t dst = 0; dst < row.size(); ++dst) {
+      drained += row[dst].size();
       for (Entry& entry : row[dst]) queues_[dst].push(std::move(entry));
       row[dst].clear();
     }
+  }
+  if (drained > 0 && obs::trace_enabled(obs::TraceCategory::kSim)) {
+    set_sim_time_context(window_end_);
+    PPO_TRACE_COUNTER(obs::TraceCategory::kSim, "mailbox_drained",
+                      obs::kExternalOrigin, drained);
   }
 }
 
@@ -142,16 +172,29 @@ std::size_t ShardedSimulator::run_until(Time end) {
     if (pool_ == nullptr) {
       run_shard_window(0, window_end);
     } else {
+      using Clock = std::chrono::steady_clock;
+      const auto wall_start =
+          options_.profile ? Clock::now() : Clock::time_point{};
       for (std::size_t s = 0; s < queues_.size(); ++s) {
         pool_->submit([this, s, window_end] {
           run_shard_window(s, window_end);
         });
       }
       pool_->drain();  // barrier; rethrows a worker's exception
+      if (options_.profile) {
+        // A shard's stall is the tail of the window it spent waiting
+        // for the slowest shard — the skew trace_summarize tabulates.
+        const double window_wall =
+            std::chrono::duration<double>(Clock::now() - wall_start).count();
+        for (std::size_t s = 0; s < stats_.size(); ++s)
+          stats_[s].stall_seconds +=
+              std::max(0.0, window_wall - window_busy_[s]);
+      }
     }
     in_window_ = false;
     drain_mailboxes();
     now_ = window_end;
+    set_sim_time_context(now_);
     if (barrier_hook_) barrier_hook_();
   }
   return static_cast<std::size_t>(events_executed() - before);
@@ -159,7 +202,7 @@ std::size_t ShardedSimulator::run_until(Time end) {
 
 std::uint64_t ShardedSimulator::events_executed() const {
   std::uint64_t total = 0;
-  for (const std::uint64_t n : shard_executed_) total += n;
+  for (const ShardStats& s : stats_) total += s.events;
   return total;
 }
 

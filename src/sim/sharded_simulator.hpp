@@ -62,6 +62,23 @@ class ShardedSimulator final : public SimulatorBackend {
     /// Window length per lockstep epoch. Must be <= the minimum
     /// cross-actor event latency (transport min_latency).
     Time lookahead = 0.01;
+    /// Collect per-shard wall-clock busy/stall timings (two steady
+    /// clock reads per shard per window). Event/mailbox/queue-depth
+    /// counters in ShardStats are maintained regardless.
+    bool profile = false;
+  };
+
+  /// Per-shard load profile, the input to the shard-skew analysis in
+  /// tools/trace_summarize. Counter fields are exact and K-invariant;
+  /// the *_seconds fields are wall-clock and only filled when
+  /// Options::profile is set.
+  struct ShardStats {
+    std::uint64_t events = 0;        // events executed on this shard
+    std::uint64_t windows = 0;       // windows this shard participated in
+    std::uint64_t mailbox_out = 0;   // cross-shard events sent from here
+    std::size_t max_queue = 0;       // high-water pending-queue depth
+    double busy_seconds = 0.0;       // wall time inside run_shard_window
+    double stall_seconds = 0.0;      // window wall time minus busy time
   };
 
   explicit ShardedSimulator(Options options);
@@ -107,6 +124,9 @@ class ShardedSimulator final : public SimulatorBackend {
   std::size_t pending() const;
   bool idle() const { return pending() == 0; }
 
+  /// One entry per shard; read only between run_until calls.
+  const std::vector<ShardStats>& shard_stats() const { return stats_; }
+
  private:
   struct Entry {
     Time time = 0.0;
@@ -144,7 +164,13 @@ class ShardedSimulator final : public SimulatorBackend {
   /// its value stream is K-invariant.
   std::vector<std::uint64_t> actor_seq_;
   std::uint64_t external_seq_ = 0;  // origin counter for setup events
-  std::vector<std::uint64_t> shard_executed_;  // per shard
+  /// stats_[s] is written by shard s's worker during a window (events,
+  /// mailbox_out, max_queue, busy) and by the coordinator at barriers
+  /// (stall) — never both at once.
+  std::vector<ShardStats> stats_;
+  /// Busy wall-seconds of the window in flight, per shard; consumed by
+  /// the coordinator right after the barrier to compute stall.
+  std::vector<double> window_busy_;
   std::function<void()> barrier_hook_;
   std::unique_ptr<runner::ThreadPool> pool_;  // absent when shards == 1
 };

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <utility>
 
+#include "common/simtime.hpp"
+
 namespace ppo::sim {
 
 void Simulator::schedule_at(Time t, EventFn fn) {
@@ -18,6 +20,7 @@ void Simulator::execute_next() {
   Entry entry = std::move(const_cast<Entry&>(queue_.top()));
   queue_.pop();
   now_ = entry.time;
+  set_sim_time_context(now_);
   ++executed_;
   entry.fn();
 }
@@ -30,6 +33,7 @@ std::size_t Simulator::run_until(Time end) {
     ++count;
   }
   now_ = end;
+  set_sim_time_context(now_);
   return count;
 }
 

@@ -1,0 +1,98 @@
+// Logging satellite: level parsing (incl. the new trace level), lazy
+// evaluation of disabled sites, and kTrace routing into the tracer via
+// the trace-log sink.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "obs/trace.hpp"
+
+namespace ppo {
+namespace {
+
+std::vector<std::string>& sink_messages() {
+  static std::vector<std::string> messages;
+  return messages;
+}
+
+void capture_sink(const std::string& message) {
+  sink_messages().push_back(message);
+}
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override {
+    set_log_level(previous_);
+    set_trace_log_sink(nullptr);
+    sink_messages().clear();
+  }
+
+ private:
+  LogLevel previous_;
+};
+
+TEST_F(LoggingTest, ParsesAllLevels) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("TRACE"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("nonsense"), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, TraceOrdersBelowDebug) {
+  EXPECT_LT(static_cast<int>(LogLevel::kTrace),
+            static_cast<int>(LogLevel::kDebug));
+}
+
+TEST_F(LoggingTest, DisabledSitesDoNotEvaluateTheStream) {
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  const auto expensive = [&evaluations] {
+    ++evaluations;
+    return 1;
+  };
+  PPO_LOG_TRACE << "x=" << expensive();
+  PPO_LOG_INFO << "x=" << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LoggingTest, TraceSinkReceivesMessagesRegardlessOfThreshold) {
+  set_log_level(LogLevel::kOff);  // stderr would discard everything
+  set_trace_log_sink(&capture_sink);
+  PPO_LOG_TRACE << "routed " << 42;
+  // Higher levels are NOT routed to the sink.
+  set_log_level(LogLevel::kError);
+  PPO_LOG_ERROR << "stderr only";
+  ASSERT_EQ(sink_messages().size(), 1u);
+  EXPECT_EQ(sink_messages()[0], "routed 42");
+}
+
+TEST_F(LoggingTest, InstalledTracerCapturesTraceLogsAsRecords) {
+  set_log_level(LogLevel::kOff);
+  obs::Tracer tracer;
+  obs::install_tracer(&tracer,
+                      static_cast<std::uint32_t>(obs::TraceCategory::kLog));
+  set_sim_time_context(3.25);
+  PPO_LOG_TRACE << "inside the simulation";
+  clear_sim_time_context();
+  obs::uninstall_tracer();
+
+  const auto records = tracer.merged();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].category, obs::TraceCategory::kLog);
+  EXPECT_EQ(records[0].time, 3.25);
+  EXPECT_EQ(records[0].origin, obs::kExternalOrigin);
+  EXPECT_EQ(records[0].text, "inside the simulation");
+  // Uninstalling removed the sink again.
+  EXPECT_FALSE(trace_log_routed());
+}
+
+}  // namespace
+}  // namespace ppo

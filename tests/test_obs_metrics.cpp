@@ -1,0 +1,66 @@
+// Metrics registry: key rendering, counter/gauge/histogram semantics
+// and the JSON projection the bench envelopes embed.
+#include <gtest/gtest.h>
+
+#include "obs/metrics_registry.hpp"
+#include "runner/json.hpp"
+
+namespace ppo::obs {
+namespace {
+
+TEST(MetricKey, RendersDimensionsInOrder) {
+  EXPECT_EQ(metric_key("events", {}), "events");
+  EXPECT_EQ(metric_key("events", {{"shard", "3"}}), "events{shard=3}");
+  EXPECT_EQ(metric_key("events", {{"shard", "3"}, {"node", "17"}}),
+            "events{shard=3,node=17}");
+}
+
+TEST(MetricsRegistry, CountersAccumulate) {
+  MetricsRegistry registry;
+  EXPECT_TRUE(registry.empty());
+  registry.add_counter("sent", 3);
+  registry.add_counter("sent", 4);
+  registry.add_counter("sent", 1, {{"shard", "0"}});
+  EXPECT_EQ(registry.counter("sent"), 7u);
+  EXPECT_EQ(registry.counter("sent{shard=0}"), 1u);
+  EXPECT_EQ(registry.counter("absent"), 0u);
+  EXPECT_FALSE(registry.empty());
+}
+
+TEST(MetricsRegistry, GaugesKeepLatestValue) {
+  MetricsRegistry registry;
+  registry.set_gauge("rate", 0.25);
+  registry.set_gauge("rate", 0.75);
+  ASSERT_EQ(registry.gauges().count("rate"), 1u);
+  EXPECT_EQ(registry.gauges().at("rate"), 0.75);
+}
+
+TEST(MetricsRegistry, HistogramCellsAreStable) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("latency", {{"node", "5"}});
+  h.add(1);
+  h.add(3);
+  // Second lookup returns the same cell.
+  EXPECT_EQ(registry.histogram("latency", {{"node", "5"}}).total(), 2u);
+}
+
+TEST(MetricsRegistry, JsonProjectionCarriesAllSections) {
+  MetricsRegistry registry;
+  registry.add_counter("sent", 5, {{"series", "overlay"}});
+  registry.set_gauge("completion", 0.5);
+  Histogram& h = registry.histogram("degree");
+  for (std::size_t i = 1; i <= 4; ++i) h.add(i);
+
+  const auto doc = runner::Json::parse(to_json(registry).dump());
+  EXPECT_EQ(doc.at("counters").at("sent{series=overlay}").as_uint(), 5u);
+  EXPECT_EQ(doc.at("gauges").at("completion").as_double(), 0.5);
+  const auto& deg = doc.at("histograms").at("degree");
+  EXPECT_EQ(deg.at("count").as_uint(), 4u);
+  EXPECT_EQ(deg.at("mean").as_double(), 2.5);
+  EXPECT_TRUE(deg.contains("p50"));
+  EXPECT_TRUE(deg.contains("p99"));
+  EXPECT_EQ(deg.at("max").as_double(), 4.0);
+}
+
+}  // namespace
+}  // namespace ppo::obs

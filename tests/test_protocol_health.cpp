@@ -1,0 +1,91 @@
+// ProtocolHealth edge cases: zero denominators, retry-heavy merges of
+// partial snapshots, and saturating counter aggregation.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "metrics/protocol_health.hpp"
+
+namespace ppo::metrics {
+namespace {
+
+constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+
+TEST(ProtocolHealth, RatesAreZeroWithoutTraffic) {
+  const ProtocolHealth h;
+  EXPECT_EQ(h.completion_rate(), 0.0);
+  EXPECT_EQ(h.delivery_rate(), 0.0);
+}
+
+TEST(ProtocolHealth, CompletionRateDiscountsRetries) {
+  ProtocolHealth h;
+  h.requests_sent = 10;   // includes 4 retransmissions
+  h.request_retries = 4;  // -> 6 initiated exchanges
+  h.exchanges_completed = 3;
+  EXPECT_DOUBLE_EQ(h.completion_rate(), 0.5);
+}
+
+TEST(ProtocolHealth, CompletionRateClampsRetryExcess) {
+  // A merge of partial snapshots can count a retry in one window and
+  // its original request in another; the denominator must clamp to
+  // zero instead of wrapping.
+  ProtocolHealth h;
+  h.requests_sent = 2;
+  h.request_retries = 5;
+  h.exchanges_completed = 2;
+  EXPECT_EQ(h.completion_rate(), 0.0);
+}
+
+TEST(ProtocolHealth, DeliveryRate) {
+  ProtocolHealth h;
+  h.messages_sent = 8;
+  h.messages_delivered = 6;
+  EXPECT_DOUBLE_EQ(h.delivery_rate(), 0.75);
+}
+
+TEST(ProtocolHealth, MergeSumsEveryCounter) {
+  ProtocolHealth a, b;
+  a.requests_sent = 1;
+  a.responses_sent = 2;
+  a.exchanges_completed = 3;
+  a.request_timeouts = 4;
+  a.request_retries = 5;
+  a.exchanges_aborted = 6;
+  a.stale_responses = 7;
+  a.messages_sent = 8;
+  a.messages_delivered = 9;
+  a.messages_dropped = 10;
+  b = a;
+  a.merge(b);
+  EXPECT_EQ(a.requests_sent, 2u);
+  EXPECT_EQ(a.responses_sent, 4u);
+  EXPECT_EQ(a.exchanges_completed, 6u);
+  EXPECT_EQ(a.request_timeouts, 8u);
+  EXPECT_EQ(a.request_retries, 10u);
+  EXPECT_EQ(a.exchanges_aborted, 12u);
+  EXPECT_EQ(a.stale_responses, 14u);
+  EXPECT_EQ(a.messages_sent, 16u);
+  EXPECT_EQ(a.messages_delivered, 18u);
+  EXPECT_EQ(a.messages_dropped, 20u);
+}
+
+TEST(ProtocolHealth, MergeSaturatesInsteadOfWrapping) {
+  ProtocolHealth a, b;
+  a.messages_sent = kMax - 1;
+  b.messages_sent = 5;
+  a.merge(b);
+  EXPECT_EQ(a.messages_sent, kMax);
+  // Saturated again stays put.
+  a.merge(b);
+  EXPECT_EQ(a.messages_sent, kMax);
+}
+
+TEST(ProtocolHealth, MergeReturnsSelfForChaining) {
+  ProtocolHealth a, b, c;
+  b.requests_sent = 1;
+  c.requests_sent = 2;
+  EXPECT_EQ(a.merge(b).merge(c).requests_sent, 3u);
+}
+
+}  // namespace
+}  // namespace ppo::metrics

@@ -2,12 +2,20 @@
 // output) and flags wall-clock regressions.
 //
 //   bench_diff <baseline.json> <candidate.json> [--threshold 0.20]
+//              [--strict-counters]
 //
 // Compares the envelope's total `wall_seconds` and, when both reports
-// carry sweep telemetry, the per-cell seconds. Exit code: 0 = within
-// threshold (or candidate faster), 1 = regression beyond threshold,
-// 2 = usage/parse error. Reports from different artefacts or schema
-// versions diff with a warning — the numbers may not be comparable.
+// carry sweep telemetry, the per-cell seconds. Also diffs every
+// ProtocolHealth rollup found anywhere in the two documents
+// (recognized by its requests_sent/messages_sent counters, keyed by
+// JSON path) and the envelope's `metrics` registry block — advisory by
+// default, since counter drift usually means the workload changed, not
+// that it regressed. `--strict-counters` turns any counter difference
+// into a failure, which is how CI pins exact determinism of a fixed
+// seed. Exit code: 0 = within threshold (or candidate faster), 1 =
+// regression beyond threshold, 2 = usage/parse error. Reports from
+// different artefacts or schema versions diff with a warning — the
+// numbers may not be comparable.
 //
 // Intended for CI: run the reduced-scale bench, then diff against the
 // committed baseline (e.g. BENCH_fig3.json) so >20% slowdowns surface
@@ -15,6 +23,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -75,11 +84,108 @@ std::string field_or(const Json& doc, const char* key,
   return fallback;
 }
 
+/// A ProtocolHealth rollup is any object carrying both flagship
+/// counters — that shape is stable across every bench that embeds one.
+bool looks_like_health(const Json& value) {
+  return value.is_object() && value.contains("requests_sent") &&
+         value.contains("messages_sent");
+}
+
+/// Collects every health rollup in the document keyed by its JSON
+/// path (e.g. "figure.health[2]"), with the entry's own "name"/"alpha"
+/// discriminator appended so paths stay meaningful when arrays are
+/// reordered between schema versions.
+void collect_health(const Json& value, const std::string& path,
+                    std::map<std::string, const Json*>& out) {
+  if (looks_like_health(value)) {
+    std::string key = path;
+    if (value.contains("name") && value.at("name").is_string())
+      key += "(" + value.at("name").as_string() + ")";
+    else if (value.contains("alpha") && value.at("alpha").is_number())
+      key += "(alpha=" + std::to_string(value.at("alpha").as_double()) + ")";
+    out.emplace(key, &value);
+    return;
+  }
+  if (value.is_object()) {
+    for (const auto& [k, v] : value.members())
+      collect_health(v, path.empty() ? k : path + "." + k, out);
+  } else if (value.is_array()) {
+    for (std::size_t i = 0; i < value.size(); ++i)
+      collect_health(value.at(i), path + "[" + std::to_string(i) + "]", out);
+  }
+}
+
+/// Diffs the numeric members two health rollups share. Returns the
+/// number of differing counters (rates are reported but not counted —
+/// they are derived values).
+std::size_t diff_health(const std::string& key, const Json& base,
+                        const Json& cand) {
+  std::size_t changed = 0;
+  for (const auto& [name, bval] : base.members()) {
+    if (!bval.is_number() || !cand.contains(name)) continue;
+    const Json& cval = cand.at(name);
+    if (!cval.is_number()) continue;
+    const double b = bval.as_double();
+    const double c = cval.as_double();
+    if (b == c) continue;
+    const bool rate = name.find("_rate") != std::string::npos;
+    std::cout << "  health " << key << "." << name << ": " << b << " -> "
+              << c;
+    if (b > 0.0) std::cout << " (" << percent(ratio_change(b, c)) << ")";
+    std::cout << (rate ? " [derived]" : "") << "\n";
+    if (!rate) ++changed;
+  }
+  return changed;
+}
+
+/// Diffs one section ("counters" or "gauges") of two envelope
+/// `metrics` registry blocks. Returns the number of differing or
+/// missing entries.
+std::size_t diff_metric_section(const Json& base, const Json& cand,
+                                const char* section) {
+  std::size_t changed = 0;
+  const bool has_base = base.contains(section) && base.at(section).is_object();
+  const bool has_cand = cand.contains(section) && cand.at(section).is_object();
+  if (!has_base && !has_cand) return 0;
+  if (has_base) {
+    for (const auto& [key, bval] : base.at(section).members()) {
+      if (!has_cand || !cand.at(section).contains(key)) {
+        std::cout << "  metrics." << section << " " << key
+                  << ": missing from candidate\n";
+        ++changed;
+        continue;
+      }
+      const Json& cval = cand.at(section).at(key);
+      if (!bval.is_number() || !cval.is_number()) continue;
+      const double b = bval.as_double();
+      const double c = cval.as_double();
+      if (b == c) continue;
+      std::cout << "  metrics." << section << " " << key << ": " << b
+                << " -> " << c;
+      if (b > 0.0) std::cout << " (" << percent(ratio_change(b, c)) << ")";
+      std::cout << "\n";
+      ++changed;
+    }
+  }
+  if (has_cand) {
+    for (const auto& [key, cval] : cand.at(section).members()) {
+      (void)cval;
+      if (!has_base || !base.at(section).contains(key)) {
+        std::cout << "  metrics." << section << " " << key
+                  << ": new in candidate\n";
+        ++changed;
+      }
+    }
+  }
+  return changed;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
   double threshold = 0.20;
+  bool strict_counters = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threshold") {
@@ -90,13 +196,15 @@ int main(int argc, char** argv) {
       threshold = std::stod(argv[++i]);
     } else if (arg.rfind("--threshold=", 0) == 0) {
       threshold = std::stod(arg.substr(12));
+    } else if (arg == "--strict-counters") {
+      strict_counters = true;
     } else {
       paths.push_back(arg);
     }
   }
   if (paths.size() != 2) {
     std::cerr << "usage: bench_diff <baseline.json> <candidate.json>"
-                 " [--threshold 0.20]\n";
+                 " [--threshold 0.20] [--strict-counters]\n";
     return 2;
   }
 
@@ -148,6 +256,49 @@ int main(int argc, char** argv) {
   } else if (base_cells.size() != cand_cells.size()) {
     std::cout << "  (cell telemetry not comparable: " << base_cells.size()
               << " vs " << cand_cells.size() << " cells)\n";
+  }
+
+  // Health rollups anywhere in the documents, matched by JSON path.
+  std::map<std::string, const Json*> base_health, cand_health;
+  collect_health(baseline, "", base_health);
+  collect_health(candidate, "", cand_health);
+  std::size_t counter_changes = 0;
+  for (const auto& [key, base_entry] : base_health) {
+    const auto it = cand_health.find(key);
+    if (it == cand_health.end()) {
+      std::cout << "  health " << key << ": missing from candidate\n";
+      ++counter_changes;
+      continue;
+    }
+    counter_changes += diff_health(key, *base_entry, *it->second);
+  }
+  for (const auto& [key, entry] : cand_health) {
+    (void)entry;
+    if (base_health.find(key) == base_health.end()) {
+      std::cout << "  health " << key << ": new in candidate\n";
+      ++counter_changes;
+    }
+  }
+
+  // Envelope metrics registry block (schema v3).
+  const bool base_has_metrics =
+      baseline.contains("metrics") && baseline.at("metrics").is_object();
+  const bool cand_has_metrics =
+      candidate.contains("metrics") && candidate.at("metrics").is_object();
+  if (base_has_metrics || cand_has_metrics) {
+    static const Json kEmpty = Json::object();
+    const Json& bm = base_has_metrics ? baseline.at("metrics") : kEmpty;
+    const Json& cm = cand_has_metrics ? candidate.at("metrics") : kEmpty;
+    counter_changes += diff_metric_section(bm, cm, "counters");
+    diff_metric_section(bm, cm, "gauges");  // derived values: advisory only
+  }
+
+  if (counter_changes > 0) {
+    std::cout << "  " << counter_changes
+              << " counter difference(s) — workload changed"
+              << (strict_counters ? "" : " (advisory; --strict-counters to fail)")
+              << "\n";
+    if (strict_counters) regression = true;
   }
 
   std::cout << (regression ? "RESULT: regression beyond threshold\n"

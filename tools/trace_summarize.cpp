@@ -1,0 +1,228 @@
+// Summarizes a .trace.jsonl artefact (the JSONL export of the sim
+// tracer, see src/obs) without opening a browser:
+//
+//   trace_summarize <run.trace.jsonl> [--top 10]
+//
+// Prints three views:
+//   - record counts per category and per event name (top N),
+//   - a per-shard load table (records, executed events from the
+//     "window_events" counters, drained mailbox messages),
+//   - shuffle-exchange latency percentiles, overall and for the
+//     busiest nodes, matched from the begin/end span records.
+//
+// Exit code: 0 on success, 2 on usage/parse errors.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "runner/json.hpp"
+
+namespace {
+
+using ppo::runner::Json;
+
+struct ShardLoad {
+  std::uint64_t records = 0;
+  double window_events = 0.0;    // sum of "window_events" counters
+  double mailbox_drained = 0.0;  // sum of "mailbox_drained" counters
+};
+
+struct NodeLatency {
+  std::vector<double> latencies;
+};
+
+std::string fmt(double v, int decimals = 3) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::size_t top = 10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--top") {
+      if (i + 1 >= argc) {
+        std::cerr << "trace_summarize: --top needs a value\n";
+        return 2;
+      }
+      top = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg.rfind("--top=", 0) == 0) {
+      top = static_cast<std::size_t>(std::stoul(arg.substr(6)));
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::cerr << "usage: trace_summarize <run.trace.jsonl> [--top N]\n";
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "usage: trace_summarize <run.trace.jsonl> [--top N]\n";
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "trace_summarize: cannot read " << path << "\n";
+    return 2;
+  }
+
+  std::uint64_t total = 0;
+  double t_min = 0.0, t_max = 0.0;
+  std::map<std::string, std::uint64_t> by_category;
+  std::map<std::string, std::uint64_t> by_name;  // "cat/name"
+  std::map<std::uint64_t, ShardLoad> shards;
+  // Open exchange spans keyed by span id; completed latencies per node.
+  std::map<std::uint64_t, double> open_spans;
+  std::map<std::uint64_t, NodeLatency> nodes;
+  std::vector<double> all_latencies;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    Json rec;
+    try {
+      rec = Json::parse(line);
+    } catch (const std::exception& e) {
+      std::cerr << "trace_summarize: " << path << ":" << line_no << ": "
+                << e.what() << "\n";
+      return 2;
+    }
+    const double t = rec.contains("t") ? rec.at("t").as_double() : 0.0;
+    if (total == 0) t_min = t_max = t;
+    t_min = std::min(t_min, t);
+    t_max = std::max(t_max, t);
+    ++total;
+
+    const std::string cat =
+        rec.contains("cat") ? rec.at("cat").as_string() : "?";
+    const std::string name =
+        rec.contains("name") ? rec.at("name").as_string() : "?";
+    ++by_category[cat];
+    ++by_name[cat + "/" + name];
+
+    const std::uint64_t shard =
+        rec.contains("shard") ? rec.at("shard").as_uint() : 0;
+    ShardLoad& load = shards[shard];
+    ++load.records;
+    if (rec.contains("value")) {
+      if (name == "window_events")
+        load.window_events += rec.at("value").as_double();
+      else if (name == "mailbox_drained")
+        load.mailbox_drained += rec.at("value").as_double();
+    }
+
+    // Exchange spans: "b" opens, the matching-id "e" closes. Aborted
+    // exchanges also emit an "e", so every open span terminates.
+    if (name == "exchange" && rec.contains("ph") && rec.contains("id")) {
+      const std::string ph = rec.at("ph").as_string();
+      const std::uint64_t id = rec.at("id").as_uint();
+      if (ph == "b") {
+        open_spans[id] = t;
+      } else if (ph == "e") {
+        const auto it = open_spans.find(id);
+        if (it != open_spans.end()) {
+          const double latency = t - it->second;
+          open_spans.erase(it);
+          all_latencies.push_back(latency);
+          // Span id encodes the initiating node in the high 32 bits.
+          nodes[id >> 32].latencies.push_back(latency);
+        }
+      }
+    }
+  }
+
+  std::cout << path << ": " << total << " records, sim-time [" << fmt(t_min)
+            << ", " << fmt(t_max) << "]\n\n";
+  if (total == 0) return 0;
+
+  // --- categories / names ------------------------------------------
+  ppo::TextTable cats({"category", "records", "share"});
+  {
+    std::vector<std::pair<std::string, std::uint64_t>> sorted(
+        by_category.begin(), by_category.end());
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second > b.second;
+                     });
+    for (const auto& [cat, count] : sorted)
+      cats.add_row({cat, std::to_string(count),
+                    fmt(100.0 * static_cast<double>(count) /
+                            static_cast<double>(total), 1) + "%"});
+  }
+  std::cout << "# records per category\n";
+  cats.print(std::cout);
+
+  ppo::TextTable names({"event", "records"});
+  {
+    std::vector<std::pair<std::string, std::uint64_t>> sorted(
+        by_name.begin(), by_name.end());
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second > b.second;
+                     });
+    for (std::size_t i = 0; i < sorted.size() && i < top; ++i)
+      names.add_row({sorted[i].first, std::to_string(sorted[i].second)});
+  }
+  std::cout << "\n# top events\n";
+  names.print(std::cout);
+
+  // --- per-shard load ----------------------------------------------
+  if (shards.size() > 1 || shards.begin()->first != 0) {
+    ppo::TextTable shard_table(
+        {"shard", "records", "window_events", "mailbox_drained"});
+    for (const auto& [shard, load] : shards)
+      shard_table.add_row({std::to_string(shard),
+                           std::to_string(load.records),
+                           fmt(load.window_events, 0),
+                           fmt(load.mailbox_drained, 0)});
+    std::cout << "\n# per-shard load\n";
+    shard_table.print(std::cout);
+  }
+
+  // --- exchange latency --------------------------------------------
+  if (!all_latencies.empty()) {
+    std::cout << "\n# shuffle-exchange latency (sim-time, "
+              << all_latencies.size() << " completed spans, "
+              << open_spans.size() << " still open)\n";
+    ppo::TextTable overall({"p50", "p90", "p99", "max"});
+    overall.add_row({fmt(ppo::percentile(all_latencies, 0.50)),
+                     fmt(ppo::percentile(all_latencies, 0.90)),
+                     fmt(ppo::percentile(all_latencies, 0.99)),
+                     fmt(*std::max_element(all_latencies.begin(),
+                                           all_latencies.end()))});
+    overall.print(std::cout);
+
+    std::vector<std::pair<std::uint64_t, const NodeLatency*>> busiest;
+    for (const auto& [node, lat] : nodes) busiest.emplace_back(node, &lat);
+    std::stable_sort(busiest.begin(), busiest.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second->latencies.size() >
+                              b.second->latencies.size();
+                     });
+    ppo::TextTable per_node({"node", "exchanges", "p50", "p90", "max"});
+    for (std::size_t i = 0; i < busiest.size() && i < top; ++i) {
+      const auto& lat = busiest[i].second->latencies;
+      per_node.add_row({std::to_string(busiest[i].first),
+                        std::to_string(lat.size()),
+                        fmt(ppo::percentile(lat, 0.50)),
+                        fmt(ppo::percentile(lat, 0.90)),
+                        fmt(*std::max_element(lat.begin(), lat.end()))});
+    }
+    std::cout << "\n# busiest nodes by completed exchanges\n";
+    per_node.print(std::cout);
+  }
+  return 0;
+}
