@@ -96,7 +96,7 @@ inline void apply_logging(const Cli& cli) {
 /// tracer, installs it on construction when any category is enabled,
 /// and exports Chrome-trace + JSONL artefacts on finish(). Categories:
 /// all, none, or a comma list of sim/shard/shuffle/pseudonym/
-/// transport/churn/log/user.
+/// transport/churn/log/user/adversary.
 class TraceSession {
  public:
   explicit TraceSession(const Cli& cli) {
@@ -107,7 +107,7 @@ class TraceSession {
     } catch (const std::exception& e) {
       std::cerr << e.what()
                 << " (expected all/none or a comma list of sim,shard,"
-                   "shuffle,pseudonym,transport,churn,log,user)\n";
+                   "shuffle,pseudonym,transport,churn,log,user,adversary)\n";
       std::exit(2);
     }
     if (mask == obs::kTraceNone) return;

@@ -2,6 +2,15 @@
 // Reports Chord lookup cost (hops ~ log2 n) across ring sizes and
 // registration survival under storage-node failures at different
 // replication factors.
+//
+// --ring-sizes N1,N2,...  lookup rings            (default 16,...,4096)
+// --trials T              lookups per ring        (default 400)
+// --survival-ring N       survival-study ring     (default 128)
+// --pseudonyms P          registrations           (default 200)
+// --replications R1,...   replication factors     (default 1,2,4)
+// --failures F1,...       failed-node fractions   (default 0.1,0.25,0.5)
+// --jobs N runs the grid cells in parallel (bit-identical output for
+// any N); --json <path> writes the machine-readable report.
 #include <iostream>
 
 #include <cmath>
@@ -15,54 +24,153 @@ int main(int argc, char** argv) {
   using namespace ppo;
   const Cli cli(argc, argv);
   bench::apply_logging(cli);
+  experiments::Workbench bench(bench::workbench_options(cli));
   std::cout << "==============================================================\n"
                "Substrate — DHT-backed pseudonym service (paper §III-B)\n"
                "==============================================================\n\n";
 
+  std::vector<std::size_t> ring_sizes{16, 64, 256, 1024, 4096};
+  if (cli.has("ring-sizes")) {
+    ring_sizes.clear();
+    for (const double n : bench::parse_double_list(
+             cli.get_string("ring-sizes", "")))
+      ring_sizes.push_back(static_cast<std::size_t>(n));
+  }
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 400));
+  const auto survival_ring =
+      static_cast<std::size_t>(cli.get_int("survival-ring", 128));
+  const auto pseudonyms =
+      static_cast<std::size_t>(cli.get_int("pseudonyms", 200));
+  std::vector<std::size_t> replications{1, 2, 4};
+  if (cli.has("replications")) {
+    replications.clear();
+    for (const double r : bench::parse_double_list(
+             cli.get_string("replications", "")))
+      replications.push_back(static_cast<std::size_t>(r));
+  }
+  std::vector<double> failures{0.10, 0.25, 0.50};
+  if (cli.has("failures")) {
+    const auto f = bench::parse_double_list(cli.get_string("failures", ""));
+    if (!f.empty()) failures = f;
+  }
+
+  const auto scale = bench::figure_scale(cli);
+  runner::SweepOptions opt;
+  opt.jobs = scale.jobs;
+  opt.root_seed = scale.seed;
+  opt.progress = scale.progress;
+  opt.label = "dht-pseudonym-service";
+
+  // One flat grid: the first |ring_sizes| cells measure lookup cost,
+  // the rest one (replication, failure) survival combination each.
+  struct CellOut {
+    double mean_hops = 0.0;
+    double max_hops = 0.0;
+    double alive_fraction = 0.0;
+  };
+  const std::size_t survival_cells = replications.size() * failures.size();
+  const bench::WallTimer timer;
+  auto grid = runner::run_grid(
+      ring_sizes.size() + survival_cells, opt,
+      [&](const runner::CellInfo& cell) {
+        CellOut out;
+        if (cell.index < ring_sizes.size()) {
+          const std::size_t n = ring_sizes[cell.index];
+          Rng rng(derive_seed(cell.seed, 1));
+          dht::ChordRing ring({.num_nodes = n}, rng);
+          Rng keys(derive_seed(cell.seed, 2));
+          RunningStats hops;
+          for (std::size_t trial = 0; trial < trials; ++trial) {
+            const auto res = ring.lookup(keys.next_u64(), keys.uniform_u64(n));
+            if (res.ok) hops.add(static_cast<double>(res.hops));
+          }
+          out.mean_hops = hops.mean();
+          out.max_hops = hops.max();
+          return out;
+        }
+        const std::size_t s = cell.index - ring_sizes.size();
+        const std::size_t repl = replications[s / failures.size()];
+        const double failure = failures[s % failures.size()];
+        Rng rng(derive_seed(cell.seed, 3));
+        dht::ChordRing ring(
+            {.num_nodes = survival_ring, .replication = repl}, rng);
+        dht::DhtPseudonymService service(ring);
+        Rng prng(derive_seed(cell.seed, 4));
+        std::vector<dht::PseudonymRecord> records;
+        for (dht::NodeId owner = 0; owner < pseudonyms; ++owner)
+          records.push_back(service.create(owner, 0.0, 1000.0, prng));
+        Rng pick(derive_seed(cell.seed, 5));
+        const auto to_kill =
+            static_cast<std::size_t>(failure *
+                                     static_cast<double>(survival_ring));
+        for (std::size_t k = 0; k < to_kill; ++k)
+          ring.fail_node(pick.uniform_u64(survival_ring));
+        std::size_t alive = 0;
+        for (dht::NodeId owner = 0; owner < pseudonyms; ++owner)
+          alive += (service.resolve(records[owner].value, 1.0) ==
+                    std::optional<dht::NodeId>(owner));
+        out.alive_fraction =
+            static_cast<double>(alive) / static_cast<double>(pseudonyms);
+        return out;
+      });
+  const double wall = timer.seconds();
+
   TextTable hops_table({"ring size", "mean hops", "max hops", "log2(n)"});
-  for (const std::size_t n : {16u, 64u, 256u, 1024u, 4096u}) {
-    Rng rng(1);
-    dht::ChordRing ring({.num_nodes = n}, rng);
-    Rng keys(2);
-    RunningStats hops;
-    for (int trial = 0; trial < 400; ++trial) {
-      const auto res =
-          ring.lookup(keys.next_u64(), keys.uniform_u64(n));
-      if (res.ok) hops.add(static_cast<double>(res.hops));
-    }
-    hops_table.add_row({std::to_string(n), TextTable::num(hops.mean(), 2),
-                        TextTable::num(hops.max(), 0),
-                        TextTable::num(std::log2(static_cast<double>(n)), 1)});
+  Series mean_hops{"mean-hops", {}}, max_hops{"max-hops", {}};
+  for (std::size_t i = 0; i < ring_sizes.size(); ++i) {
+    const auto& c = grid.cells[i];
+    mean_hops.values.push_back(c.mean_hops);
+    max_hops.values.push_back(c.max_hops);
+    hops_table.add_row(
+        {std::to_string(ring_sizes[i]), TextTable::num(c.mean_hops, 2),
+         TextTable::num(c.max_hops, 0),
+         TextTable::num(std::log2(static_cast<double>(ring_sizes[i])), 1)});
   }
   hops_table.print(std::cout);
 
-  std::cout << "\nregistration survival under storage failures "
-               "(ring 128, 200 pseudonyms):\n";
-  TextTable surv({"replication", "failed 10%", "failed 25%", "failed 50%"});
-  for (const std::size_t repl : {1u, 2u, 4u}) {
-    std::vector<std::string> row{std::to_string(repl)};
-    for (const double failure : {0.10, 0.25, 0.50}) {
-      Rng rng(3);
-      dht::ChordRing ring({.num_nodes = 128, .replication = repl}, rng);
-      dht::DhtPseudonymService service(ring);
-      Rng prng(4);
-      std::vector<dht::PseudonymRecord> records;
-      for (dht::NodeId owner = 0; owner < 200; ++owner)
-        records.push_back(service.create(owner, 0.0, 1000.0, prng));
-      Rng pick(5);
-      const auto to_kill = static_cast<std::size_t>(failure * 128);
-      for (std::size_t k = 0; k < to_kill; ++k)
-        ring.fail_node(pick.uniform_u64(128));
-      std::size_t alive = 0;
-      for (dht::NodeId owner = 0; owner < 200; ++owner)
-        alive += (service.resolve(records[owner].value, 1.0) ==
-                  std::optional<dht::NodeId>(owner));
-      row.push_back(TextTable::num(static_cast<double>(alive) / 200.0, 3));
+  std::cout << "\nregistration survival under storage failures (ring "
+            << survival_ring << ", " << pseudonyms << " pseudonyms):\n";
+  std::vector<std::string> surv_header{"replication"};
+  for (const double failure : failures) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "failed %.0f%%", failure * 100.0);
+    surv_header.push_back(buf);
+  }
+  TextTable surv(surv_header);
+  std::vector<Series> survival;
+  for (std::size_t r = 0; r < replications.size(); ++r) {
+    std::vector<std::string> row{std::to_string(replications[r])};
+    Series series{"repl-" + std::to_string(replications[r]), {}};
+    for (std::size_t f = 0; f < failures.size(); ++f) {
+      const auto& c = grid.cells[ring_sizes.size() + r * failures.size() + f];
+      series.values.push_back(c.alive_fraction);
+      row.push_back(TextTable::num(c.alive_fraction, 3));
     }
     surv.add_row(std::move(row));
+    survival.push_back(std::move(series));
   }
   surv.print(std::cout);
   std::cout << "\nexpected: hops grow ~log2(n); replication >= 3 keeps "
                "(nearly) all registrations resolvable at 25% failures.\n";
+
+  runner::Json fig = runner::Json::object();
+  {
+    std::vector<double> sizes;
+    for (const std::size_t n : ring_sizes)
+      sizes.push_back(static_cast<double>(n));
+    fig["ring_sizes"] = runner::Json::array_of(sizes);
+  }
+  runner::Json hop_series = runner::Json::array();
+  hop_series.push_back(experiments::to_json(mean_hops));
+  hop_series.push_back(experiments::to_json(max_hops));
+  fig["lookup_hops"] = std::move(hop_series);
+  fig["failures"] = runner::Json::array_of(failures);
+  runner::Json surv_series = runner::Json::array();
+  for (const auto& series : survival)
+    surv_series.push_back(experiments::to_json(series));
+  fig["survival"] = std::move(surv_series);
+  fig["telemetry"] = experiments::to_json(grid.telemetry);
+  bench::write_json_report(cli, "dht_pseudonym_service", bench, scale,
+                           std::move(fig), wall);
   return 0;
 }

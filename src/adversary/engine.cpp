@@ -1,0 +1,205 @@
+#include "adversary/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "obs/trace.hpp"
+
+namespace ppo::adversary {
+
+namespace {
+
+// Per-attacker behaviour stream tag; fresh, see kRoleSeedTag note.
+constexpr std::uint64_t kBehaviorSeedTag = 0xBE4A0ull;
+
+constexpr auto kAdv = ppo::obs::TraceCategory::kAdversary;
+
+}  // namespace
+
+AdversaryEngine::AdversaryEngine(const AdversaryPlan& plan,
+                                 std::size_t num_nodes, EngineConfig config)
+    : plan_(plan),
+      config_(config),
+      assignment_(materialize_roles(plan, num_nodes)) {
+  PPO_CHECK_MSG(config_.shuffle_length >= 1, "shuffle_length must be >= 1");
+  PPO_CHECK_MSG(config_.pseudonym_bits >= 1 && config_.pseudonym_bits <= 64,
+                "pseudonym_bits must be in [1,64]");
+  states_.resize(num_nodes);
+  redirect_.assign(num_nodes, kNoVictim);
+  for (NodeId v = 0; v < static_cast<NodeId>(num_nodes); ++v) {
+    if (assignment_.roles[v] == Role::kHonest) continue;
+    states_[v].rng = Rng(derive_seed(plan_.seed ^ kBehaviorSeedTag, v));
+    // Eclipsers aim their requests straight at the victim; the
+    // services point polluters at a fixed trusted neighbour.
+    if (assignment_.roles[v] == Role::kEclipser)
+      redirect_[v] = assignment_.victim[v];
+  }
+}
+
+void AdversaryEngine::set_reference_probe(
+    std::function<std::vector<PseudonymValue>(NodeId)> probe) {
+  probe_ = std::move(probe);
+}
+
+void AdversaryEngine::set_request_redirect(NodeId attacker, NodeId target) {
+  redirect_[attacker] = target;
+}
+
+NodeId AdversaryEngine::redirect_request_target(NodeId from,
+                                                NodeId original) const {
+  const NodeId target = redirect_[from];
+  return target == kNoVictim ? original : target;
+}
+
+double AdversaryEngine::tick_rate_multiplier(NodeId v) const {
+  return assignment_.roles[v] == Role::kCachePolluter
+             ? plan_.polluter_tick_multiplier
+             : 1.0;
+}
+
+PseudonymRecord AdversaryEngine::forged_record(NodeState& st,
+                                               sim::Time now) const {
+  const PseudonymValue value = privacylink::random_pseudonym_value(
+      st.rng, config_.pseudonym_bits);
+  const double stretch =
+      st.rng.uniform_double(0.5, plan_.forged_lifetime_factor);
+  return PseudonymRecord{value, now + config_.pseudonym_lifetime * stretch};
+}
+
+void AdversaryEngine::fill_forged(NodeId from, sim::Time now,
+                                  std::vector<PseudonymRecord>& set,
+                                  NodeState& st) {
+  // The own record rides last in every composed set; keep it so the
+  // attacker stays reachable and keeps attracting exchanges.
+  const bool keep_own = !set.empty();
+  const PseudonymRecord own = keep_own ? set.back() : PseudonymRecord{};
+  set.clear();
+  const std::size_t forged =
+      config_.shuffle_length - (keep_own ? 1 : 0);
+  for (std::size_t i = 0; i < forged; ++i)
+    set.push_back(forged_record(st, now));
+  if (keep_own) set.push_back(own);
+  st.counters.forged_injected += forged;
+  PPO_TRACE_COUNTER(kAdv, "forged_injected", from, forged);
+}
+
+void AdversaryEngine::fill_replayed(NodeId from, sim::Time now,
+                                    std::vector<PseudonymRecord>& set,
+                                    NodeState& st) {
+  if (st.memory.empty()) return;
+  const bool keep_own = !set.empty();
+  const PseudonymRecord own = keep_own ? set.back() : PseudonymRecord{};
+  set.clear();
+  const std::size_t replays =
+      std::min(config_.shuffle_length - (keep_own ? 1 : 0),
+               st.memory.size());
+  for (std::size_t i = 0; i < replays; ++i) {
+    PseudonymRecord record = st.memory[st.replay_cursor];
+    st.replay_cursor = (st.replay_cursor + 1) % st.memory.size();
+    // Re-inject the harvested (typically long-expired) value with a
+    // forged extended expiry.
+    const double stretch =
+        st.rng.uniform_double(0.5, plan_.forged_lifetime_factor);
+    record.expiry = now + config_.pseudonym_lifetime * stretch;
+    set.push_back(record);
+  }
+  if (keep_own) set.push_back(own);
+  st.counters.replays_injected += replays;
+  PPO_TRACE_COUNTER(kAdv, "replays_injected", from, replays);
+}
+
+void AdversaryEngine::fill_eclipse(NodeId from, sim::Time now,
+                                   std::vector<PseudonymRecord>& set,
+                                   NodeState& st,
+                                   std::vector<PseudonymRecord>& to_register) {
+  const NodeId victim = assignment_.victim[from];
+  if (victim == kNoVictim || !probe_) return;
+  if (!st.refs_probed) {
+    // Sampler references are fixed at node construction; one probe
+    // per attacker suffices (and keeps cross-shard reads read-only).
+    st.victim_refs = probe_(victim);
+    st.refs_probed = true;
+  }
+  if (st.victim_refs.empty()) return;
+  const bool keep_own = !set.empty();
+  const PseudonymRecord own = keep_own ? set.back() : PseudonymRecord{};
+  set.clear();
+  const std::size_t wanted =
+      std::min(plan_.eclipse_records,
+               config_.shuffle_length - (keep_own ? 1 : 0));
+  const PseudonymValue mask =
+      config_.pseudonym_bits >= 64
+          ? ~PseudonymValue{0}
+          : ((PseudonymValue{1} << config_.pseudonym_bits) - 1);
+  for (std::size_t i = 0; i < wanted; ++i) {
+    const PseudonymValue ref =
+        st.victim_refs[st.eclipse_cursor % st.victim_refs.size()];
+    ++st.eclipse_cursor;
+    const std::uint64_t delta = st.rng.uniform_u64(plan_.eclipse_offset) + 1;
+    const PseudonymValue value =
+        (st.rng.bernoulli(0.5) ? ref - delta : ref + delta) & mask;
+    const PseudonymRecord record{value, now + config_.pseudonym_lifetime};
+    set.push_back(record);
+    to_register.push_back(record);
+  }
+  if (keep_own) set.push_back(own);
+  st.counters.eclipse_records_injected += wanted;
+  PPO_TRACE_COUNTER(kAdv, "eclipse_injected", from, wanted);
+}
+
+OutgoingVerdict AdversaryEngine::transform_outgoing(
+    NodeId from, sim::Time now, bool is_response,
+    std::vector<PseudonymRecord>& set) {
+  OutgoingVerdict verdict;
+  NodeState& st = states_[from];
+  switch (assignment_.roles[from]) {
+    case Role::kHonest:
+      break;
+    case Role::kCachePolluter:
+      fill_forged(from, now, set, st);
+      break;
+    case Role::kReplayer:
+      fill_replayed(from, now, set, st);
+      break;
+    case Role::kEclipser:
+      fill_eclipse(from, now, set, st, verdict.to_register);
+      break;
+    case Role::kDropper:
+      // Defector: harvest via requests, never reciprocate.
+      if (is_response) {
+        verdict.suppress = true;
+        ++st.counters.responses_suppressed;
+        PPO_TRACE_EVENT(kAdv, "response_suppressed", from);
+      }
+      break;
+  }
+  return verdict;
+}
+
+void AdversaryEngine::observe_received(
+    NodeId to, const std::vector<PseudonymRecord>& set) {
+  if (assignment_.roles[to] != Role::kReplayer) return;
+  NodeState& st = states_[to];
+  for (const PseudonymRecord& record : set) {
+    if (st.memory.size() < plan_.replay_memory) {
+      st.memory.push_back(record);
+    } else {
+      st.memory[st.memory_next] = record;
+      st.memory_next = (st.memory_next + 1) % st.memory.size();
+    }
+  }
+}
+
+AdversaryEngine::Counters AdversaryEngine::total_counters() const {
+  Counters total;
+  for (const NodeState& st : states_) {
+    total.forged_injected += st.counters.forged_injected;
+    total.replays_injected += st.counters.replays_injected;
+    total.eclipse_records_injected += st.counters.eclipse_records_injected;
+    total.responses_suppressed += st.counters.responses_suppressed;
+  }
+  return total;
+}
+
+}  // namespace ppo::adversary

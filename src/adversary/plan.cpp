@@ -1,0 +1,102 @@
+#include "adversary/plan.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace ppo::adversary {
+
+namespace {
+
+// Fresh stream tag for role materialization. Must stay distinct from
+// the fault-layer tags (0xFA017, 0xC0A5) and never be reused for a
+// different purpose: changing it changes every adversarial trajectory.
+constexpr std::uint64_t kRoleSeedTag = 0x401E5ull;
+
+std::size_t role_count(double fraction, std::size_t n) {
+  return static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(n)));
+}
+
+void check_fraction(double f, const char* what) {
+  PPO_CHECK_MSG(f >= 0.0 && f <= 1.0, what);
+}
+
+}  // namespace
+
+const char* role_name(Role role) {
+  switch (role) {
+    case Role::kHonest: return "honest";
+    case Role::kCachePolluter: return "polluter";
+    case Role::kEclipser: return "eclipser";
+    case Role::kDropper: return "dropper";
+    case Role::kReplayer: return "replayer";
+  }
+  return "?";
+}
+
+bool AdversaryPlan::enabled() const {
+  return polluter_fraction > 0.0 || eclipser_fraction > 0.0 ||
+         dropper_fraction > 0.0 || replayer_fraction > 0.0;
+}
+
+void AdversaryPlan::validate() const {
+  check_fraction(polluter_fraction, "polluter_fraction must be in [0,1]");
+  check_fraction(eclipser_fraction, "eclipser_fraction must be in [0,1]");
+  check_fraction(dropper_fraction, "dropper_fraction must be in [0,1]");
+  check_fraction(replayer_fraction, "replayer_fraction must be in [0,1]");
+  PPO_CHECK_MSG(polluter_fraction + eclipser_fraction + dropper_fraction +
+                        replayer_fraction <=
+                    1.0 + 1e-9,
+                "role fractions must sum to at most 1");
+  PPO_CHECK_MSG(polluter_tick_multiplier >= 1.0,
+                "polluter_tick_multiplier must be >= 1");
+  PPO_CHECK_MSG(forged_lifetime_factor >= 0.5,
+                "forged_lifetime_factor must be >= 0.5");
+  PPO_CHECK_MSG(eclipse_offset >= 1, "eclipse_offset must be >= 1");
+}
+
+RoleAssignment materialize_roles(const AdversaryPlan& plan,
+                                 std::size_t num_nodes) {
+  plan.validate();
+  RoleAssignment out;
+  out.roles.assign(num_nodes, Role::kHonest);
+  out.victim.assign(num_nodes, kNoVictim);
+  if (!plan.enabled() || num_nodes == 0) return out;
+
+  std::vector<NodeId> ids(num_nodes);
+  std::iota(ids.begin(), ids.end(), NodeId{0});
+  Rng rng(derive_seed(plan.seed, kRoleSeedTag));
+  rng.shuffle(ids);
+
+  const std::size_t polluters = role_count(plan.polluter_fraction, num_nodes);
+  const std::size_t eclipsers = role_count(plan.eclipser_fraction, num_nodes);
+  const std::size_t droppers = role_count(plan.dropper_fraction, num_nodes);
+  const std::size_t replayers = role_count(plan.replayer_fraction, num_nodes);
+
+  std::size_t next = 0;
+  const auto take = [&](std::size_t count, Role role) {
+    for (std::size_t i = 0; i < count && next < num_nodes; ++i, ++next)
+      out.roles[ids[next]] = role;
+  };
+  take(polluters, Role::kCachePolluter);
+  take(eclipsers, Role::kEclipser);
+  take(droppers, Role::kDropper);
+  take(replayers, Role::kReplayer);
+  out.attacker_count = next;
+
+  // Victims: the unshuffled tail of `ids` is exactly the honest set.
+  if (next < num_nodes) {
+    const std::size_t honest = num_nodes - next;
+    for (NodeId v = 0; v < static_cast<NodeId>(num_nodes); ++v) {
+      if (out.roles[v] != Role::kEclipser) continue;
+      out.victim[v] = ids[next + static_cast<std::size_t>(
+                                     rng.uniform_u64(honest))];
+    }
+  }
+  return out;
+}
+
+}  // namespace ppo::adversary

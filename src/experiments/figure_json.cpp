@@ -25,6 +25,18 @@ Json to_json(const metrics::ProtocolHealth& health) {
   j["messages_sent"] = health.messages_sent;
   j["messages_delivered"] = health.messages_delivered;
   j["messages_dropped"] = health.messages_dropped;
+  j["forged_rejected"] = health.forged_rejected;
+  j["requests_rate_limited"] = health.requests_rate_limited;
+  j["displacements_damped"] = health.displacements_damped;
+  j["forged_injected"] = health.forged_injected;
+  j["replays_injected"] = health.replays_injected;
+  j["eclipse_records_injected"] = health.eclipse_records_injected;
+  j["responses_suppressed"] = health.responses_suppressed;
+  j["slots_eclipsed"] = health.slots_eclipsed;
+  j["honest_requests_sent"] = health.honest_requests_sent;
+  j["honest_request_retries"] = health.honest_request_retries;
+  j["honest_exchanges_completed"] = health.honest_exchanges_completed;
+  j["honest_completion_rate"] = health.honest_completion_rate();
   j["completion_rate"] = health.completion_rate();
   j["delivery_rate"] = health.delivery_rate();
   return j;
@@ -210,6 +222,20 @@ Json to_json(const FaultFigure& fig) {
   return j;
 }
 
+Json to_json(const AdversaryFigure& fig) {
+  Json j = Json::object();
+  j["fractions"] = Json::array_of(fig.fractions);
+  j["replicas"] = static_cast<std::uint64_t>(fig.replicas);
+  j["zero_adversary_identical"] = fig.zero_adversary_identical;
+  j["connectivity"] = series_block(fig.connectivity);
+  j["completion"] = series_block(fig.completion);
+  j["connectivity_ci"] = series_block(fig.connectivity_ci);
+  j["completion_ci"] = series_block(fig.completion_ci);
+  j["health"] = health_block(fig.health, fig.connectivity);
+  j["telemetry"] = to_json(fig.telemetry);
+  return j;
+}
+
 void add_health_metrics(obs::MetricsRegistry& registry,
                         const metrics::ProtocolHealth& health,
                         const obs::MetricDims& dims) {
@@ -230,6 +256,26 @@ void add_health_metrics(obs::MetricsRegistry& registry,
                        health.messages_delivered, dims);
   registry.add_counter("transport_messages_dropped", health.messages_dropped,
                        dims);
+  registry.add_counter("defense_forged_rejected", health.forged_rejected,
+                       dims);
+  registry.add_counter("defense_requests_rate_limited",
+                       health.requests_rate_limited, dims);
+  registry.add_counter("defense_displacements_damped",
+                       health.displacements_damped, dims);
+  registry.add_counter("attack_forged_injected", health.forged_injected, dims);
+  registry.add_counter("attack_replays_injected", health.replays_injected,
+                       dims);
+  registry.add_counter("attack_eclipse_records_injected",
+                       health.eclipse_records_injected, dims);
+  registry.add_counter("attack_responses_suppressed",
+                       health.responses_suppressed, dims);
+  registry.add_counter("attack_slots_eclipsed", health.slots_eclipsed, dims);
+  registry.add_counter("protocol_honest_requests_sent",
+                       health.honest_requests_sent, dims);
+  registry.add_counter("protocol_honest_exchanges_completed",
+                       health.honest_exchanges_completed, dims);
+  registry.set_gauge("protocol_honest_completion_rate",
+                     health.honest_completion_rate(), dims);
   registry.set_gauge("protocol_completion_rate", health.completion_rate(),
                      dims);
   registry.set_gauge("transport_delivery_rate", health.delivery_rate(), dims);
@@ -253,6 +299,10 @@ obs::MetricsRegistry collect_metrics(const SweepFigure& fig) {
 }
 
 obs::MetricsRegistry collect_metrics(const FaultFigure& fig) {
+  return health_registry(fig.health, fig.connectivity);
+}
+
+obs::MetricsRegistry collect_metrics(const AdversaryFigure& fig) {
   return health_registry(fig.health, fig.connectivity);
 }
 

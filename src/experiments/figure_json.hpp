@@ -9,6 +9,7 @@
 // wall_seconds and per-cell seconds.
 #pragma once
 
+#include "experiments/adversary_study.hpp"
 #include "experiments/figures.hpp"
 #include "obs/metrics_registry.hpp"
 #include "runner/json.hpp"
@@ -37,6 +38,7 @@ runner::Json to_json(const MessageFigure& fig);
 runner::Json to_json(const ConvergenceFigure& fig);
 runner::Json to_json(const ReplacementFigure& fig);
 runner::Json to_json(const FaultFigure& fig);
+runner::Json to_json(const AdversaryFigure& fig);
 
 /// Folds a ProtocolHealth rollup into `registry` as
 /// `protocol_*`/`transport_*` counters plus rate gauges, all under
@@ -49,5 +51,6 @@ void add_health_metrics(obs::MetricsRegistry& registry,
 /// dimension per series — the `metrics` block of the bench envelope.
 obs::MetricsRegistry collect_metrics(const SweepFigure& fig);
 obs::MetricsRegistry collect_metrics(const FaultFigure& fig);
+obs::MetricsRegistry collect_metrics(const AdversaryFigure& fig);
 
 }  // namespace ppo::experiments

@@ -81,13 +81,18 @@ std::unique_ptr<fault::FaultInjector> arm_service_faults(
   return injector;
 }
 
-/// Sharded counterpart: only per-victim node crashes are schedulable
-/// (blackout/relay events have no owning actor).
+/// Sharded counterpart: per-victim node crashes are schedulable
+/// events; pseudonym blackouts are installed as data windows the
+/// service's resolve() consults (no owning actor needed). Relay
+/// crashes stay serial-only here — the scenario layer has no mix
+/// mode.
 std::unique_ptr<fault::FaultInjector> arm_sharded_faults(
     sim::ShardedSimulator& sim, overlay::ShardedOverlayService& service,
     const OverlayScenario& scenario) {
-  PPO_CHECK_MSG(scenario.service_faults.empty(),
-                "service-level fault schedules are serial-backend only");
+  PPO_CHECK_MSG(scenario.service_faults.relay_crashes.empty(),
+                "relay-crash schedules are serial-backend only");
+  service.set_pseudonym_blackout_windows(
+      scenario.service_faults.pseudonym_blackouts);
   std::vector<fault::NodeCrashEvent> crashes =
       crash_events(scenario, service.num_nodes());
   if (crashes.empty()) return nullptr;
@@ -206,6 +211,7 @@ OverlayRunResult run_overlay(const graph::Graph& trust,
   overlay::OverlayServiceOptions options;
   options.params = scenario.params;
   options.link_faults = scenario.faults;
+  options.adversary = scenario.adversary;
   const std::size_t n = trust.num_nodes();
 
   if (scenario.shards > 0) {
@@ -260,6 +266,7 @@ OverlayTrace run_overlay_trace(const graph::Graph& trust,
   overlay::OverlayServiceOptions options;
   options.params = scenario.params;
   options.link_faults = scenario.faults;
+  options.adversary = scenario.adversary;
   const std::size_t n = trust.num_nodes();
 
   if (scenario.shards > 0) {

@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "adversary/plan.hpp"
 #include "churn/churn_model.hpp"
 #include "common/histogram.hpp"
 #include "common/stats.hpp"
@@ -53,12 +54,19 @@ struct OverlayScenario {
   std::optional<fault::FaultPlan> faults;
   fault::ServiceFaults service_faults;
 
+  /// Byzantine-adversary extension (§III-E): seeded attacker roles
+  /// driven through the overlay service on either backend. Absent or
+  /// zero-fraction = bit-identical to an adversary-free run.
+  std::optional<adversary::AdversaryPlan> adversary;
+
   /// Simulation backend. 0 = the legacy serial Simulator (bit-exact
   /// with every earlier release). K >= 1 = the sharded core with K
   /// shard workers; trajectories are identical for every K but differ
   /// from the serial backend (different tie-break discipline). K > 0
-  /// requires service_faults to be empty and an enabled fault plan to
-  /// set per_link_streams (node_crashes in the plan are supported).
+  /// requires an enabled fault plan to set per_link_streams;
+  /// node_crashes and pseudonym_blackouts in service_faults are
+  /// supported (blackouts become data windows), relay_crashes are not
+  /// (the scenario layer has no mix mode).
   std::size_t shards = 0;
 };
 

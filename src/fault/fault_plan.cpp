@@ -8,7 +8,8 @@ bool FaultPlan::enabled() const {
   return drop_probability > 0.0 || duplicate_probability > 0.0 ||
          jitter_max > 0.0 || reorder_probability > 0.0 ||
          !link_outages.empty() || !partitions.empty() ||
-         !link_drop_overrides.empty();
+         !link_drop_overrides.empty() || gilbert_elliott.enabled() ||
+         diurnal.enabled();
 }
 
 void FaultPlan::validate() const {
@@ -40,6 +41,22 @@ void FaultPlan::validate() const {
     PPO_CHECK_MSG(c.revive_at < 0.0 || c.revive_at > c.at,
                   "revival must come after the crash");
   }
+  const GilbertElliottProfile& ge = gilbert_elliott;
+  PPO_CHECK_MSG(ge.p_good_to_bad >= 0.0 && ge.p_good_to_bad <= 1.0,
+                "p_good_to_bad must be in [0,1]");
+  PPO_CHECK_MSG(ge.p_bad_to_good >= 0.0 && ge.p_bad_to_good <= 1.0,
+                "p_bad_to_good must be in [0,1]");
+  PPO_CHECK_MSG(ge.good_drop >= 0.0 && ge.good_drop <= 1.0,
+                "good_drop must be in [0,1]");
+  PPO_CHECK_MSG(ge.bad_drop >= 0.0 && ge.bad_drop <= 1.0,
+                "bad_drop must be in [0,1]");
+  PPO_CHECK_MSG(ge.horizon >= 0.0, "GE horizon must be non-negative");
+  if (ge.enabled())
+    PPO_CHECK_MSG(ge.step > 0.0, "GE step must be positive");
+  PPO_CHECK_MSG(diurnal.amplitude >= 0.0 && diurnal.amplitude <= 1.0,
+                "diurnal amplitude must be in [0,1]");
+  if (diurnal.enabled())
+    PPO_CHECK_MSG(diurnal.period > 0.0, "diurnal period must be positive");
 }
 
 bool FaultPlan::outage_at(double t) const {

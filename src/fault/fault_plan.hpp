@@ -56,6 +56,46 @@ struct NodeCrashSpec {
   double revive_at = -1.0;  // < 0: never
 };
 
+/// Bursty loss via a two-state Gilbert-Elliott chain: the network is
+/// in a "good" or "bad" state, switching with the given per-step
+/// probabilities, and the active state's drop probability is ADDED to
+/// the plan's per-link loss (clamped to [0,1]). The chain is stepped
+/// on a fixed grid and pre-materialized from the plan seed at
+/// wrap time, so queries are read-only — the profile is K-invariant
+/// on the sharded backend by construction.
+struct GilbertElliottProfile {
+  double p_good_to_bad = 0.0;
+  double p_bad_to_good = 0.0;
+  double good_drop = 0.0;  // extra loss while in the good state
+  double bad_drop = 0.0;   // extra loss while in the bad state
+  double step = 1.0;       // chain step, in shuffling periods
+  /// Time the materialized chain must cover (>= the run length);
+  /// queries past it stay in the last state.
+  double horizon = 0.0;
+
+  bool enabled() const {
+    return horizon > 0.0 && (good_drop > 0.0 || bad_drop > 0.0);
+  }
+
+  /// Long-run fraction of steps spent in the bad state.
+  double stationary_bad() const {
+    const double denom = p_good_to_bad + p_bad_to_good;
+    return denom > 0.0 ? p_good_to_bad / denom : 0.0;
+  }
+};
+
+/// Diurnal loss: a sinusoidal extra drop probability
+/// amplitude * 0.5 * (1 + sin(2*pi*(t + phase) / period)), added to
+/// the per-link loss (clamped to [0,1]). Pure function of time —
+/// trivially K-invariant.
+struct DiurnalProfile {
+  double amplitude = 0.0;  // peak extra loss, in [0,1]
+  double period = 0.0;     // full day length, in shuffling periods
+  double phase = 0.0;      // shifts where the peak falls
+
+  bool enabled() const { return amplitude > 0.0 && period > 0.0; }
+};
+
 struct FaultPlan {
   /// Each message is lost with this probability (drawn independently
   /// per message, including duplicates and retransmissions).
@@ -87,6 +127,12 @@ struct FaultPlan {
   /// Directional per-link loss overrides (see LinkDropOverride). A
   /// later entry for the same (from, to) pair wins.
   std::vector<LinkDropOverride> link_drop_overrides;
+
+  /// Time-varying loss profiles. Both compose additively with the
+  /// per-link loss (including overrides) and with each other; the sum
+  /// is clamped to [0,1] per message.
+  GilbertElliottProfile gilbert_elliott;
+  DiurnalProfile diurnal;
 
   /// Correlated node-crash bursts (see NodeCrashSpec). Not a
   /// transport fault: FaultInjector materializes the victims and

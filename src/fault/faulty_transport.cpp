@@ -1,6 +1,7 @@
 #include "fault/faulty_transport.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/check.hpp"
@@ -23,6 +24,22 @@ FaultyTransport::FaultyTransport(sim::SimulatorBackend& sim,
   }
   for (const LinkDropOverride& o : plan_.link_drop_overrides)
     drop_overrides_[link_key(o.from, o.to)] = o.drop_prob;
+  if (plan_.gilbert_elliott.enabled()) {
+    // Materialize the whole burst chain up front from its own derived
+    // stream: fate draws never interleave with the chain's, and state
+    // queries are read-only (K-invariant on the sharded backend).
+    const GilbertElliottProfile& ge = plan_.gilbert_elliott;
+    const auto steps =
+        static_cast<std::size_t>(ge.horizon / ge.step) + 1;
+    Rng chain_rng(derive_seed(plan_.seed, 0x6E11ULL));
+    ge_bad_.reserve(steps);
+    bool bad = false;
+    for (std::size_t i = 0; i < steps; ++i) {
+      ge_bad_.push_back(bad ? 1 : 0);
+      const double flip = bad ? ge.p_bad_to_good : ge.p_good_to_bad;
+      if (flip > 0.0 && chain_rng.bernoulli(flip)) bad = !bad;
+    }
+  }
   partition_masks_.reserve(plan_.partitions.size());
   for (const Partition& p : plan_.partitions) {
     const graph::NodeId max_id =
@@ -56,6 +73,23 @@ double FaultyTransport::drop_probability_on(graph::NodeId from,
   return it != drop_overrides_.end() ? it->second : plan_.drop_probability;
 }
 
+double FaultyTransport::profile_extra_drop(double t) const {
+  double extra = 0.0;
+  if (!ge_bad_.empty()) {
+    const GilbertElliottProfile& ge = plan_.gilbert_elliott;
+    auto index = static_cast<std::size_t>(std::max(t, 0.0) / ge.step);
+    index = std::min(index, ge_bad_.size() - 1);
+    extra += ge_bad_[index] != 0 ? ge.bad_drop : ge.good_drop;
+  }
+  if (plan_.diurnal.enabled()) {
+    const DiurnalProfile& d = plan_.diurnal;
+    constexpr double kTwoPi = 6.283185307179586;
+    extra += d.amplitude * 0.5 *
+             (1.0 + std::sin(kTwoPi * (t + d.phase) / d.period));
+  }
+  return extra;
+}
+
 FaultyTransport::Fate FaultyTransport::decide_fate(graph::NodeId from,
                                                    graph::NodeId to) {
   Fate fate;
@@ -85,7 +119,8 @@ FaultyTransport::Fate FaultyTransport::decide_fate(graph::NodeId from,
   }
   // Every draw below is guarded so an inert plan never touches the
   // RNG (part of the zero-fault no-op guarantee).
-  const double drop_prob = drop_probability_on(from, to);
+  const double drop_prob = std::min(
+      1.0, drop_probability_on(from, to) + profile_extra_drop(now));
   if (drop_prob > 0.0 && rng->bernoulli(drop_prob)) {
     fate.drop = true;
     fate.drop_counter = &counters_.injected_drops;

@@ -74,6 +74,12 @@ class FaultyTransport final : public privacylink::LinkTransport {
   /// (override if present, else the plan-wide probability).
   double drop_probability_on(graph::NodeId from, graph::NodeId to) const;
 
+  /// Extra loss the time-varying profiles (Gilbert-Elliott burst
+  /// state + diurnal sinusoid) contribute at time t. Read-only: the
+  /// GE chain is pre-materialized at construction, so this is safe to
+  /// call from parallel shard workers. 0 with both profiles off.
+  double profile_extra_drop(double t) const;
+
  private:
   using AtomicCount = std::atomic<std::uint64_t>;
 
@@ -104,6 +110,9 @@ class FaultyTransport final : public privacylink::LinkTransport {
   /// Directional drop overrides keyed by link_key(); later plan
   /// entries win.
   std::unordered_map<std::uint64_t, double> drop_overrides_;
+  /// Gilbert-Elliott state per chain step (1 = bad), pre-materialized
+  /// from the plan seed; empty when the profile is off.
+  std::vector<char> ge_bad_;
   /// Per-partition membership masks, indexed like plan_.partitions.
   std::vector<std::vector<char>> partition_masks_;
   AtomicCount sent_{0};

@@ -22,6 +22,16 @@ double ProtocolHealth::completion_rate() const {
          static_cast<double>(initiated);
 }
 
+double ProtocolHealth::honest_completion_rate() const {
+  const std::uint64_t initiated =
+      honest_requests_sent >= honest_request_retries
+          ? honest_requests_sent - honest_request_retries
+          : 0;
+  if (initiated == 0) return 0.0;
+  return static_cast<double>(honest_exchanges_completed) /
+         static_cast<double>(initiated);
+}
+
 double ProtocolHealth::delivery_rate() const {
   if (messages_sent == 0) return 0.0;
   return static_cast<double>(messages_delivered) /
@@ -42,6 +52,24 @@ ProtocolHealth& ProtocolHealth::merge(const ProtocolHealth& other) {
   messages_delivered =
       saturating_add(messages_delivered, other.messages_delivered);
   messages_dropped = saturating_add(messages_dropped, other.messages_dropped);
+  forged_rejected = saturating_add(forged_rejected, other.forged_rejected);
+  requests_rate_limited =
+      saturating_add(requests_rate_limited, other.requests_rate_limited);
+  displacements_damped =
+      saturating_add(displacements_damped, other.displacements_damped);
+  forged_injected = saturating_add(forged_injected, other.forged_injected);
+  replays_injected = saturating_add(replays_injected, other.replays_injected);
+  eclipse_records_injected = saturating_add(eclipse_records_injected,
+                                            other.eclipse_records_injected);
+  responses_suppressed =
+      saturating_add(responses_suppressed, other.responses_suppressed);
+  slots_eclipsed = saturating_add(slots_eclipsed, other.slots_eclipsed);
+  honest_requests_sent =
+      saturating_add(honest_requests_sent, other.honest_requests_sent);
+  honest_request_retries =
+      saturating_add(honest_request_retries, other.honest_request_retries);
+  honest_exchanges_completed = saturating_add(
+      honest_exchanges_completed, other.honest_exchanges_completed);
   return *this;
 }
 

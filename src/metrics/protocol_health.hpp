@@ -23,10 +23,33 @@ struct ProtocolHealth {
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;
 
+  // Byzantine-adversary accounting (§III-E extension). Defense side:
+  // what the protocol's countermeasures caught.
+  std::uint64_t forged_rejected = 0;       // dropped by merge validation
+  std::uint64_t requests_rate_limited = 0; // dropped by per-peer limiter
+  std::uint64_t displacements_damped = 0;  // sampler slot-churn damping
+  // Attack side: what the adversary engine injected (0 without one).
+  std::uint64_t forged_injected = 0;
+  std::uint64_t replays_injected = 0;
+  std::uint64_t eclipse_records_injected = 0;
+  std::uint64_t responses_suppressed = 0;
+  /// Honest sampler slots resolving to an attacker at snapshot time.
+  std::uint64_t slots_eclipsed = 0;
+  /// The same shuffle counters restricted to HONEST nodes. Equal to
+  /// the global counters without an adversary; under attack they are
+  /// the fair basis for comparing defenses (the global rate also
+  /// counts the attackers' own deliberately-starved exchanges).
+  std::uint64_t honest_requests_sent = 0;
+  std::uint64_t honest_request_retries = 0;
+  std::uint64_t honest_exchanges_completed = 0;
+
   /// Fraction of initiated exchanges that saw their response.
   /// Retransmissions of the same exchange are not double-counted in
   /// the denominator.
   double completion_rate() const;
+
+  /// completion_rate() over the honest subset.
+  double honest_completion_rate() const;
 
   /// Fraction of accepted sends the transport actually delivered.
   double delivery_rate() const;

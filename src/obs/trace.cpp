@@ -33,6 +33,7 @@ constexpr CategoryName kCategoryNames[] = {
     {static_cast<std::uint32_t>(TraceCategory::kChurn), "churn"},
     {static_cast<std::uint32_t>(TraceCategory::kLog), "log"},
     {static_cast<std::uint32_t>(TraceCategory::kUser), "user"},
+    {static_cast<std::uint32_t>(TraceCategory::kAdversary), "adversary"},
 };
 }  // namespace
 

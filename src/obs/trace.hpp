@@ -41,10 +41,11 @@ enum class TraceCategory : std::uint32_t {
   kChurn = 1u << 5,      // node up/down transitions
   kLog = 1u << 6,        // kTrace-level log messages routed here
   kUser = 1u << 7,       // ad-hoc instrumentation
+  kAdversary = 1u << 8,  // Byzantine attack/defense events
 };
 
 inline constexpr std::uint32_t kTraceNone = 0;
-inline constexpr std::uint32_t kTraceAll = 0xFFu;
+inline constexpr std::uint32_t kTraceAll = 0x1FFu;
 
 /// Record shape, loosely after Chrome's trace_event phases.
 enum class TracePhase : std::uint8_t {
@@ -161,8 +162,9 @@ inline void set_trace_shard(std::uint32_t shard) {
 }
 
 /// Parses "all", "none"/"" or a comma list of category names
-/// (sim, shard, shuffle, pseudonym, transport, churn, log, user) into
-/// a mask. Throws std::invalid_argument on unknown names.
+/// (sim, shard, shuffle, pseudonym, transport, churn, log, user,
+/// adversary) into a mask. Throws std::invalid_argument on unknown
+/// names.
 std::uint32_t parse_trace_categories(const std::string& spec);
 
 /// Category bit → lower-case name ("shuffle"); "?" for unknown bits.

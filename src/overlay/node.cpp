@@ -37,7 +37,7 @@ OverlayNode::OverlayNode(NodeId id, const OverlayParams& params,
       rng_(rng),
       cache_(params.cache_size),
       sampler_(slots_for(params, trusted_.size()), params.pseudonym_bits,
-               rng_),
+               rng_, params.sampler_min_dwell),
       offline_ewma_(params.pseudonym_lifetime /
                     std::max(params.adaptive_lifetime_factor, 1e-9)) {
   PPO_CHECK_MSG(params.shuffle_length >= 1, "shuffle_length must be >= 1");
@@ -197,9 +197,38 @@ void OverlayNode::abort_pending_exchange() {
   pending_.reset();
 }
 
+double OverlayNode::max_accepted_lifetime() const {
+  if (params_.max_accepted_lifetime > 0.0)
+    return params_.max_accepted_lifetime;
+  // Honest mints carry at most `lifetime` of remaining validity the
+  // instant they are minted, strictly less by the time they arrive.
+  return params_.adaptive_lifetime ? params_.adaptive_max_lifetime
+                                   : params_.pseudonym_lifetime;
+}
+
+bool OverlayNode::admit_request(NodeId from, sim::Time now) {
+  RateBucket& bucket = request_rate_[from];
+  if (now - bucket.window_start >= params_.peer_rate_window) {
+    bucket.window_start = now;
+    bucket.accepted = 0;
+  }
+  if (bucket.accepted >= params_.peer_rate_limit) return false;
+  ++bucket.accepted;
+  return true;
+}
+
 void OverlayNode::handle_shuffle_request(
     NodeId from, const std::vector<PseudonymRecord>& received) {
   if (!online_) return;  // defensive: transport already gates this
+  if (params_.peer_rate_limit > 0 && !admit_request(from, env_.now())) {
+    // Over the per-peer budget: drop the request whole — no response
+    // (the sender's timeout/backoff absorbs it) and no merge, so a
+    // flood neither pollutes this node nor amplifies through it.
+    ++counters_.requests_rate_limited;
+    PPO_TRACE_EVENT(ppo::obs::TraceCategory::kAdversary, "rate_limited", id_,
+                    (ppo::obs::TraceArg{"peer", static_cast<double>(from)}));
+    return;
+  }
   ensure_own_pseudonym();
   std::vector<PseudonymRecord> response = compose_shuffle_set();
   ++counters_.responses_sent;
@@ -234,12 +263,39 @@ void OverlayNode::handle_shuffle_response(
 void OverlayNode::merge_received(const std::vector<PseudonymRecord>& received,
                                  const std::vector<PseudonymRecord>& sent) {
   const sim::Time now = env_.now();
+
+  // Expiry/format validation defense (§III-E): an honest record's
+  // value fits the pseudonym width and its remaining lifetime never
+  // exceeds what the service would have granted at mint time. Records
+  // failing either test are forged — they touch neither the cache nor
+  // the sampler.
+  const std::vector<PseudonymRecord>* records = &received;
+  std::vector<PseudonymRecord> accepted;
+  if (params_.validate_received) {
+    const double limit = max_accepted_lifetime() + 1e-9;
+    accepted.reserve(received.size());
+    for (const PseudonymRecord& record : received) {
+      const bool format_ok =
+          params_.pseudonym_bits >= 64 ||
+          (record.value >> params_.pseudonym_bits) == 0;
+      if (!format_ok || record.expiry - now > limit) {
+        ++counters_.forged_rejected;
+        continue;
+      }
+      accepted.push_back(record);
+    }
+    if (accepted.size() != received.size())
+      PPO_TRACE_COUNTER(ppo::obs::TraceCategory::kAdversary, "forged_rejected",
+                        id_, received.size() - accepted.size());
+    records = &accepted;
+  }
+
   const PseudonymValue own_value = own_ ? own_->value : 0;
-  cache_.merge(received, own_value, sent, now, rng_);
+  cache_.merge(*records, own_value, sent, now, rng_);
   // Every received pseudonym is offered to the sampler, cached or not
   // (§III-D-2) — except ones addressing this very node (current or a
   // still-circulating previous pseudonym of ours).
-  for (const PseudonymRecord& record : received) {
+  for (const PseudonymRecord& record : *records) {
     if (!record.valid_at(now)) continue;
     if (std::find(own_history_.begin(), own_history_.end(), record.value) !=
         own_history_.end())

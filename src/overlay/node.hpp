@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/flat_map.hpp"
@@ -61,6 +62,12 @@ class OverlayNode {
     std::uint64_t stale_responses = 0;     // response without a pending
                                            // exchange (late or duplicate)
 
+    /// Byzantine-defense accounting (§III-E extension): records
+    /// rejected by expiry/format validation on merge, and shuffle
+    /// requests dropped by the per-peer rate limiter.
+    std::uint64_t forged_rejected = 0;
+    std::uint64_t requests_rate_limited = 0;
+
     std::uint64_t messages_sent() const {
       return requests_sent + responses_sent;
     }
@@ -95,6 +102,13 @@ class OverlayNode {
 
   /// Current pseudonym links: distinct live sampled values.
   std::vector<PseudonymValue> pseudonym_links() const;
+
+  /// The sampler's permanent reference values (immutable after
+  /// construction; safe to read across shards). Exposed for the
+  /// §III-E eclipse-attack studies and their accounting.
+  std::vector<PseudonymValue> sampler_references() const {
+    return sampler_.references();
+  }
   const std::vector<NodeId>& trusted_links() const { return trusted_; }
 
   /// Out-degree right now: trusted links + live pseudonym links.
@@ -106,6 +120,8 @@ class OverlayNode {
   const SlotSampler::ReplacementCounters& replacement_counters() const {
     return sampler_.counters();
   }
+  /// Direct sampler access (slot inspection for eclipse accounting).
+  const SlotSampler& sampler() const { return sampler_; }
   const PseudonymCache& cache() const { return cache_; }
 
   /// Own live pseudonym, if any (test/diagnostic use).
@@ -136,6 +152,11 @@ class OverlayNode {
 
   /// Builds this node's half of a shuffle exchange.
   std::vector<PseudonymRecord> compose_shuffle_set();
+
+  /// Defense helpers (§III-E): the longest remaining lifetime a
+  /// received record may claim, and the per-peer rate-limit gate.
+  double max_accepted_lifetime() const;
+  bool admit_request(NodeId from, sim::Time now);
 
   /// Records a gossiped pseudonym for the population estimator.
   void note_seen(const PseudonymRecord& record, sim::Time now);
@@ -189,6 +210,14 @@ class OverlayNode {
   /// gossip, with their expiries (purged opportunistically).
   std::vector<PseudonymRecord> seen_pseudonyms_;
   FlatMap64 seen_index_;
+
+  /// Per-peer request-acceptance window (rate-limit defense). Only
+  /// populated when params.peer_rate_limit > 0.
+  struct RateBucket {
+    sim::Time window_start = -1e18;
+    std::uint32_t accepted = 0;
+  };
+  std::unordered_map<NodeId, RateBucket> request_rate_;
 
   Counters counters_;
 };

@@ -73,6 +73,37 @@ struct OverlayParams {
   /// pseudonyms (never displacing live ones). Used by
   /// bench/ablation_sampling.
   bool naive_sampling = false;
+
+  // --- Byzantine defenses (§III-E). All off by default: baseline
+  // trajectories must stay bit-identical when no defense is armed. ---
+
+  /// Reject received records whose value does not fit pseudonym_bits
+  /// or whose remaining lifetime exceeds the longest any honest mint
+  /// can carry — forged/replayed records with stretched expiries never
+  /// enter the cache or the sampler (counted as forged_rejected).
+  bool validate_received = false;
+
+  /// Overrides the derived max-accepted remaining lifetime (> 0).
+  /// Default 0 derives it: adaptive_max_lifetime when adaptive
+  /// lifetimes are on, else pseudonym_lifetime.
+  double max_accepted_lifetime = 0.0;
+
+  /// Max shuffle requests accepted from one peer per rate window
+  /// (0 = off). Excess requests are dropped without a response, so the
+  /// sender's own timeout/backoff machinery absorbs the rejection.
+  /// Honest initiators spread requests across ~target_links peers and
+  /// stay far below any sane limit; flooding attackers concentrate.
+  std::size_t peer_rate_limit = 0;
+
+  /// Rate-limit window length in periods.
+  double peer_rate_window = 10.0;
+
+  /// Slot-churn damping: a live sampler slot entry may only be
+  /// displaced by a numerically closer record after it has held the
+  /// slot this long (0 = off). Expiry-driven refills are unaffected,
+  /// so honest link replacement keeps working; eclipse attackers must
+  /// wait out the dwell between capture steps.
+  double sampler_min_dwell = 0.0;
 };
 
 }  // namespace ppo::overlay

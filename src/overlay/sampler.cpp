@@ -9,7 +9,9 @@ namespace ppo::overlay {
 using privacylink::pseudonym_distance;
 using privacylink::random_pseudonym_value;
 
-SlotSampler::SlotSampler(std::size_t slots, unsigned bits, Rng& rng) {
+SlotSampler::SlotSampler(std::size_t slots, unsigned bits, Rng& rng,
+                         double min_dwell)
+    : min_dwell_(min_dwell) {
   slots_.reserve(slots);
   for (std::size_t i = 0; i < slots; ++i) {
     Slot slot;
@@ -29,6 +31,7 @@ void SlotSampler::place(Slot& slot, const PseudonymRecord& record,
   if (!slot.record) {
     slot.record = record;
     slot.record_distance = pseudonym_distance(record.value, slot.reference);
+    slot.placed_at = now;
     if (slot.vacated_by_expiry) {
       ++counters_.refills_after_expiry;
       slot.vacated_by_expiry = false;
@@ -51,8 +54,15 @@ void SlotSampler::place(Slot& slot, const PseudonymRecord& record,
   const bool tie_later_expiry =
       offered == slot.record_distance && record.expiry > slot.record->expiry;
   if (closer || tie_later_expiry) {
+    // Damping defense: a live entry keeps its slot until it has
+    // dwelled min_dwell periods, no matter how close the challenger.
+    if (min_dwell_ > 0.0 && now - slot.placed_at < min_dwell_) {
+      ++counters_.displacements_damped;
+      return;
+    }
     slot.record = record;
     slot.record_distance = offered;
+    slot.placed_at = now;
     ++counters_.better_displacements;
   }
 }
@@ -108,6 +118,13 @@ std::pair<PseudonymValue, std::optional<PseudonymRecord>> SlotSampler::slot(
     std::size_t i) const {
   PPO_CHECK_MSG(i < slots_.size(), "slot index out of range");
   return {slots_[i].reference, slots_[i].record};
+}
+
+std::vector<PseudonymValue> SlotSampler::references() const {
+  std::vector<PseudonymValue> refs;
+  refs.reserve(slots_.size());
+  for (const Slot& slot : slots_) refs.push_back(slot.reference);
+  return refs;
 }
 
 }  // namespace ppo::overlay

@@ -30,6 +30,8 @@ class SlotSampler {
     std::uint64_t refills_after_expiry = 0;
     std::uint64_t better_displacements = 0;
     std::uint64_t initial_fills = 0;
+    /// Displacements deferred by slot-churn damping (defense).
+    std::uint64_t displacements_damped = 0;
 
     std::uint64_t replacements() const {
       return refills_after_expiry + better_displacements;
@@ -38,7 +40,13 @@ class SlotSampler {
 
   /// Creates `slots` slots with reference values drawn from `rng` at
   /// `bits` width. Reference values never change (§III-D).
-  SlotSampler(std::size_t slots, unsigned bits, Rng& rng);
+  ///
+  /// `min_dwell` > 0 arms slot-churn damping
+  /// (OverlayParams::sampler_min_dwell): a live entry can only be
+  /// displaced by a closer record once it has held its slot for
+  /// `min_dwell` periods. 0 keeps the original rule bit-identically.
+  SlotSampler(std::size_t slots, unsigned bits, Rng& rng,
+              double min_dwell = 0.0);
 
   std::size_t slot_count() const { return slots_.size(); }
 
@@ -67,6 +75,11 @@ class SlotSampler {
   std::pair<PseudonymValue, std::optional<PseudonymRecord>> slot(
       std::size_t i) const;
 
+  /// The permanent reference values R_i, in slot order. Immutable
+  /// after construction, so concurrent reads (the adversary engine's
+  /// eclipse probe crosses shards) are safe.
+  std::vector<PseudonymValue> references() const;
+
  private:
   struct Slot {
     PseudonymValue reference;
@@ -74,6 +87,8 @@ class SlotSampler {
     /// |record->value - reference|, cached because the §III-D rule
     /// re-evaluates it for every offered pseudonym (hot path).
     std::uint64_t record_distance = 0;
+    /// When the current record was placed (damping clock).
+    sim::Time placed_at = 0.0;
     /// Set when the slot once held a pseudonym that expired and has
     /// not been refilled yet — the next fill is a replacement.
     bool vacated_by_expiry = false;
@@ -85,6 +100,7 @@ class SlotSampler {
              bool check_closeness);
 
   std::vector<Slot> slots_;
+  double min_dwell_ = 0.0;
   ReplacementCounters counters_;
 };
 

@@ -53,6 +53,25 @@ OverlayService::OverlayService(
         v, options_.params,
         std::vector<NodeId>(nbrs.begin(), nbrs.end()), *this, rng_.split()));
   }
+  init_adversary();
+}
+
+void OverlayService::init_adversary() {
+  if (!options_.adversary || !options_.adversary->enabled()) return;
+  engine_ = std::make_unique<adversary::AdversaryEngine>(
+      *options_.adversary, nodes_.size(),
+      adversary::EngineConfig{options_.params.shuffle_length,
+                              options_.params.pseudonym_lifetime,
+                              options_.params.pseudonym_bits});
+  engine_->set_reference_probe(
+      [this](NodeId v) { return nodes_[v]->sampler_references(); });
+  // Polluters concentrate their flood on a fixed trusted neighbour
+  // (eclipsers aim at their victim, set by the engine itself).
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    if (engine_->role_of(v) != adversary::Role::kCachePolluter) continue;
+    const auto nbrs = trust_graph_.neighbors(v);
+    if (!nbrs.empty()) engine_->set_request_redirect(v, nbrs.front());
+  }
 }
 
 void OverlayService::start() {
@@ -69,7 +88,12 @@ void OverlayService::start() {
 }
 
 void OverlayService::start_ticks(NodeId v) {
-  const double period = options_.params.shuffle_period;
+  // Attack tempo: polluters tick polluter_tick_multiplier× faster.
+  // The phase draw count per node is unchanged (one draw either way),
+  // so honest nodes' streams are unaffected by the multiplier.
+  const double period =
+      options_.params.shuffle_period /
+      (engine_ ? engine_->tick_rate_multiplier(v) : 1.0);
   const double phase = rng_.uniform_double(0.0, period);
   ticks_.push_back(sim::PeriodicTask::start(
       sim_, phase, period, [this, v] { nodes_[v]->shuffle_tick(); }));
@@ -117,14 +141,33 @@ std::optional<NodeId> OverlayService::resolve(PseudonymValue value) {
 
 void OverlayService::send_shuffle_request(NodeId from, NodeId to,
                                           std::vector<PseudonymRecord> set) {
+  if (engine_) {
+    const auto verdict =
+        engine_->transform_outgoing(from, sim_.now(), /*is_response=*/false,
+                                    set);
+    for (const PseudonymRecord& record : verdict.to_register)
+      pseudonyms_.try_register_minted(from, record, sim_.now());
+    if (verdict.suppress) return;
+    to = engine_->redirect_request_target(from, to);
+  }
   link_->send(from, to, [this, from, to, set = std::move(set)] {
+    if (engine_) engine_->observe_received(to, set);
     nodes_[to]->handle_shuffle_request(from, set);
   });
 }
 
 void OverlayService::send_shuffle_response(NodeId from, NodeId to,
                                            std::vector<PseudonymRecord> set) {
+  if (engine_) {
+    const auto verdict =
+        engine_->transform_outgoing(from, sim_.now(), /*is_response=*/true,
+                                    set);
+    for (const PseudonymRecord& record : verdict.to_register)
+      pseudonyms_.try_register_minted(from, record, sim_.now());
+    if (verdict.suppress) return;  // defector swallows the response
+  }
   link_->send(from, to, [this, to, set = std::move(set)] {
+    if (engine_) engine_->observe_received(to, set);
     nodes_[to]->handle_shuffle_response(set);
   });
 }
@@ -165,6 +208,7 @@ SlotSampler::ReplacementCounters OverlayService::total_replacements() const {
     total.refills_after_expiry += c.refills_after_expiry;
     total.better_displacements += c.better_displacements;
     total.initial_fills += c.initial_fills;
+    total.displacements_damped += c.displacements_damped;
   }
   return total;
 }
@@ -182,8 +226,29 @@ OverlayNode::Counters OverlayService::total_counters() const {
     total.request_retries += c.request_retries;
     total.exchanges_aborted += c.exchanges_aborted;
     total.stale_responses += c.stale_responses;
+    total.forged_rejected += c.forged_rejected;
+    total.requests_rate_limited += c.requests_rate_limited;
   }
   return total;
+}
+
+std::uint64_t OverlayService::count_eclipsed_slots() const {
+  if (!engine_) return 0;
+  const sim::Time now = sim_.now();
+  std::uint64_t eclipsed = 0;
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    if (engine_->role_of(v) != adversary::Role::kHonest) continue;
+    const SlotSampler& sampler = nodes_[v]->sampler();
+    for (std::size_t i = 0; i < sampler.slot_count(); ++i) {
+      const auto [ref, record] = sampler.slot(i);
+      (void)ref;
+      if (!record || !record->valid_at(now)) continue;
+      const auto owner = pseudonyms_.lookup(record->value, now);
+      if (owner && engine_->role_of(*owner) != adversary::Role::kHonest)
+        ++eclipsed;
+    }
+  }
+  return eclipsed;
 }
 
 metrics::ProtocolHealth OverlayService::protocol_health() const {
@@ -199,6 +264,30 @@ metrics::ProtocolHealth OverlayService::protocol_health() const {
   health.messages_sent = link_->messages_sent();
   health.messages_delivered = link_->messages_delivered();
   health.messages_dropped = link_->messages_dropped();
+  health.forged_rejected = c.forged_rejected;
+  health.requests_rate_limited = c.requests_rate_limited;
+  health.displacements_damped = total_replacements().displacements_damped;
+  health.honest_requests_sent = c.requests_sent;
+  health.honest_request_retries = c.request_retries;
+  health.honest_exchanges_completed = c.shuffles_completed;
+  if (engine_) {
+    const auto attack = engine_->total_counters();
+    health.forged_injected = attack.forged_injected;
+    health.replays_injected = attack.replays_injected;
+    health.eclipse_records_injected = attack.eclipse_records_injected;
+    health.responses_suppressed = attack.responses_suppressed;
+    health.slots_eclipsed = count_eclipsed_slots();
+    health.honest_requests_sent = 0;
+    health.honest_request_retries = 0;
+    health.honest_exchanges_completed = 0;
+    for (NodeId v = 0; v < nodes_.size(); ++v) {
+      if (engine_->role_of(v) != adversary::Role::kHonest) continue;
+      const auto& nc = nodes_[v]->counters();
+      health.honest_requests_sent += nc.requests_sent;
+      health.honest_request_retries += nc.request_retries;
+      health.honest_exchanges_completed += nc.shuffles_completed;
+    }
+  }
   return health;
 }
 

@@ -8,6 +8,8 @@
 #include <optional>
 #include <vector>
 
+#include "adversary/engine.hpp"
+#include "adversary/plan.hpp"
 #include "churn/churn_driver.hpp"
 #include "churn/churn_model.hpp"
 #include "fault/fault_plan.hpp"
@@ -40,6 +42,14 @@ struct OverlayServiceOptions {
   /// inert plan leaves the simulation bit-identical to an unwrapped
   /// run (the fault stream has its own seed).
   std::optional<fault::FaultPlan> link_faults;
+
+  /// Byzantine-adversary extension (§III-E): when set and enabled(),
+  /// an AdversaryEngine intercepts the shuffle send seams and drives
+  /// the plan's attacker roles. An absent or zero-fraction plan skips
+  /// engine construction entirely, so the run stays bit-identical to
+  /// the unwrapped baseline (the engine draws only from plan-derived
+  /// streams, never from the service RNG).
+  std::optional<adversary::AdversaryPlan> adversary;
 };
 
 class OverlayService final : public NodeEnvironment {
@@ -115,6 +125,10 @@ class OverlayService final : public NodeEnvironment {
   const fault::FaultyTransport* fault_transport() const {
     return faulty_.get();
   }
+  /// The adversary engine, if an enabled plan was set.
+  const adversary::AdversaryEngine* adversary_engine() const {
+    return engine_.get();
+  }
 
   /// The current overlay graph over ALL nodes (online and offline):
   /// trust edges plus an edge {u, v} whenever u holds a live
@@ -139,6 +153,13 @@ class OverlayService final : public NodeEnvironment {
   /// Starts one node's periodic shuffle schedule.
   void start_ticks(NodeId v);
 
+  /// Builds the adversary engine when an enabled plan is configured.
+  void init_adversary();
+
+  /// Sampler slots of honest nodes currently resolving to an attacker
+  /// (the eclipse-capture measure; 0 without an engine).
+  std::uint64_t count_eclipsed_slots() const;
+
   sim::Simulator& sim_;
   graph::Graph trust_graph_;  // owned: add_member mutates it
   OverlayServiceOptions options_;
@@ -150,6 +171,7 @@ class OverlayService final : public NodeEnvironment {
   std::unique_ptr<fault::FaultyTransport> faulty_;  // optional wrapper
   privacylink::LinkTransport* link_ = nullptr;  // what sends go through
   bool pseudonym_service_available_ = true;
+  std::unique_ptr<adversary::AdversaryEngine> engine_;  // optional
   std::vector<std::unique_ptr<OverlayNode>> nodes_;
   std::vector<sim::PeriodicTask> ticks_;
   bool started_ = false;

@@ -57,15 +57,16 @@ ShardedOverlayService::ShardedOverlayService(
                 "sharded runs need >= 48 pseudonym bits");
   const auto online = [this](NodeId v) { return churn_.is_online(v); };
   if (options_.use_mix_network) {
-    // The relay pool (keys, replay history, liveness) is global
-    // mutable state — it cannot be partitioned across shard workers.
-    PPO_CHECK_MSG(sim_.num_shards() == 1,
-                  "mix mode requires a single shard");
+    // Relay hops stay on the sender's shard; only the exit hop
+    // crosses shards, so it must clear the lookahead window.
+    PPO_CHECK_MSG(options_.mix.min_hop_latency >= sim_.lookahead(),
+                  "mix min hop latency below the lookahead window");
     mix_ = std::make_unique<privacylink::MixNetwork>(
         sim, options_.mix, Rng(derive_seed(seed, kMixStream)));
     transport_ = std::make_unique<privacylink::MixTransport>(
         sim, *mix_, options_.mix_transport,
-        Rng(derive_seed(seed, kMixTransportStream)), online);
+        Rng(derive_seed(seed, kMixTransportStream)), online,
+        /*per_sender_streams=*/n);
   } else {
     PPO_CHECK_MSG(options_.transport.min_latency >= sim_.lookahead(),
                   "transport min latency below the lookahead window");
@@ -91,7 +92,28 @@ ShardedOverlayService::ShardedOverlayService(
     mint_rngs_.push_back(Rng(derive_seed(seed, kMintStream, v)));
   }
   pending_mints_.resize(sim_.num_shards());
+  pending_adversary_mints_.resize(sim_.num_shards());
   sim_.set_barrier_hook([this] { publish_pending_mints(); });
+  init_adversary();
+}
+
+void ShardedOverlayService::init_adversary() {
+  if (!options_.adversary || !options_.adversary->enabled()) return;
+  engine_ = std::make_unique<adversary::AdversaryEngine>(
+      *options_.adversary, nodes_.size(),
+      adversary::EngineConfig{options_.params.shuffle_length,
+                              options_.params.pseudonym_lifetime,
+                              options_.params.pseudonym_bits});
+  // Sampler references are immutable after node construction, so the
+  // probe is safe to run from any shard worker (the engine caches the
+  // result on first use).
+  engine_->set_reference_probe(
+      [this](NodeId v) { return nodes_[v]->sampler_references(); });
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    if (engine_->role_of(v) != adversary::Role::kCachePolluter) continue;
+    const auto nbrs = trust_graph_.neighbors(v);
+    if (!nbrs.empty()) engine_->set_request_redirect(v, nbrs.front());
+  }
 }
 
 void ShardedOverlayService::start() {
@@ -121,9 +143,14 @@ void ShardedOverlayService::start() {
           },
   });
 
-  const double period = options_.params.shuffle_period;
   ticks_.reserve(nodes_.size());
   for (NodeId v = 0; v < nodes_.size(); ++v) {
+    // Attack tempo: polluters tick polluter_tick_multiplier× faster.
+    // Phase streams are node-keyed, so the multiplier cannot perturb
+    // any other node's draws.
+    const double period =
+        options_.params.shuffle_period /
+        (engine_ ? engine_->tick_rate_multiplier(v) : 1.0);
     Rng phase_rng(derive_seed(seed_, kTickPhaseStream, v));
     const double phase = phase_rng.uniform_double(0.0, period);
     ticks_.push_back(sim::PeriodicTask::start(
@@ -161,6 +188,24 @@ void ShardedOverlayService::publish_pending_mints() {
       pseudonyms_.register_minted(m.owner, m.record, t);
     mints.clear();
   }
+  // Adversary mints second, in (owner, value) order: the first writer
+  // of a value keeps it while live (try_register_minted), and sorting
+  // makes "first" a function of the window's contents, not of how the
+  // contents were split across shards.
+  std::vector<PendingMint> adversarial;
+  for (std::vector<PendingMint>& mints : pending_adversary_mints_) {
+    adversarial.insert(adversarial.end(), mints.begin(), mints.end());
+    mints.clear();
+  }
+  if (!adversarial.empty()) {
+    std::sort(adversarial.begin(), adversarial.end(),
+              [](const PendingMint& a, const PendingMint& b) {
+                if (a.owner != b.owner) return a.owner < b.owner;
+                return a.record.value < b.record.value;
+              });
+    for (const PendingMint& m : adversarial)
+      pseudonyms_.try_register_minted(m.owner, m.record, t);
+  }
   // lookup() never erases, so reclaim expired registrations here
   // (behaviour-neutral: expired values are unroutable either way).
   if (t - last_gc_ >= 50.0) {
@@ -173,19 +218,53 @@ std::optional<NodeId> ShardedOverlayService::resolve(PseudonymValue value) {
   // A blacked-out pseudonym service answers no resolution request;
   // the protocol skips the shuffle round (graceful degradation).
   if (!pseudonym_service_available_) return std::nullopt;
-  return pseudonyms_.lookup(value, sim_.now());
+  const sim::Time t = sim_.now();
+  for (const fault::Window& w : pseudonym_blackouts_)
+    if (w.contains(t)) return std::nullopt;
+  return pseudonyms_.lookup(value, t);
 }
 
 void ShardedOverlayService::send_shuffle_request(
     NodeId from, NodeId to, std::vector<PseudonymRecord> set) {
+  if (engine_) {
+    const auto verdict =
+        engine_->transform_outgoing(from, sim_.now(), /*is_response=*/false,
+                                    set);
+    for (const PseudonymRecord& record : verdict.to_register) {
+      const std::size_t shard = sim_.current_shard();
+      if (shard == sim::ShardedSimulator::kNoShard) {
+        pseudonyms_.try_register_minted(from, record, sim_.now());
+      } else {
+        pending_adversary_mints_[shard].push_back(PendingMint{from, record});
+      }
+    }
+    if (verdict.suppress) return;
+    to = engine_->redirect_request_target(from, to);
+  }
   link_->send(from, to, [this, from, to, set = std::move(set)] {
+    if (engine_) engine_->observe_received(to, set);
     nodes_[to]->handle_shuffle_request(from, set);
   });
 }
 
 void ShardedOverlayService::send_shuffle_response(
     NodeId from, NodeId to, std::vector<PseudonymRecord> set) {
+  if (engine_) {
+    const auto verdict =
+        engine_->transform_outgoing(from, sim_.now(), /*is_response=*/true,
+                                    set);
+    for (const PseudonymRecord& record : verdict.to_register) {
+      const std::size_t shard = sim_.current_shard();
+      if (shard == sim::ShardedSimulator::kNoShard) {
+        pseudonyms_.try_register_minted(from, record, sim_.now());
+      } else {
+        pending_adversary_mints_[shard].push_back(PendingMint{from, record});
+      }
+    }
+    if (verdict.suppress) return;  // defector swallows the response
+  }
   link_->send(from, to, [this, to, set = std::move(set)] {
+    if (engine_) engine_->observe_received(to, set);
     nodes_[to]->handle_shuffle_response(set);
   });
 }
@@ -233,6 +312,7 @@ SlotSampler::ReplacementCounters ShardedOverlayService::total_replacements()
     total.refills_after_expiry += c.refills_after_expiry;
     total.better_displacements += c.better_displacements;
     total.initial_fills += c.initial_fills;
+    total.displacements_damped += c.displacements_damped;
   }
   return total;
 }
@@ -250,8 +330,29 @@ OverlayNode::Counters ShardedOverlayService::total_counters() const {
     total.request_retries += c.request_retries;
     total.exchanges_aborted += c.exchanges_aborted;
     total.stale_responses += c.stale_responses;
+    total.forged_rejected += c.forged_rejected;
+    total.requests_rate_limited += c.requests_rate_limited;
   }
   return total;
+}
+
+std::uint64_t ShardedOverlayService::count_eclipsed_slots() const {
+  if (!engine_) return 0;
+  const sim::Time now = sim_.now();
+  std::uint64_t eclipsed = 0;
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    if (engine_->role_of(v) != adversary::Role::kHonest) continue;
+    const SlotSampler& sampler = nodes_[v]->sampler();
+    for (std::size_t i = 0; i < sampler.slot_count(); ++i) {
+      const auto [ref, record] = sampler.slot(i);
+      (void)ref;
+      if (!record || !record->valid_at(now)) continue;
+      const auto owner = pseudonyms_.lookup(record->value, now);
+      if (owner && engine_->role_of(*owner) != adversary::Role::kHonest)
+        ++eclipsed;
+    }
+  }
+  return eclipsed;
 }
 
 metrics::ProtocolHealth ShardedOverlayService::protocol_health() const {
@@ -267,6 +368,30 @@ metrics::ProtocolHealth ShardedOverlayService::protocol_health() const {
   health.messages_sent = link_->messages_sent();
   health.messages_delivered = link_->messages_delivered();
   health.messages_dropped = link_->messages_dropped();
+  health.forged_rejected = c.forged_rejected;
+  health.requests_rate_limited = c.requests_rate_limited;
+  health.displacements_damped = total_replacements().displacements_damped;
+  health.honest_requests_sent = c.requests_sent;
+  health.honest_request_retries = c.request_retries;
+  health.honest_exchanges_completed = c.shuffles_completed;
+  if (engine_) {
+    const auto attack = engine_->total_counters();
+    health.forged_injected = attack.forged_injected;
+    health.replays_injected = attack.replays_injected;
+    health.eclipse_records_injected = attack.eclipse_records_injected;
+    health.responses_suppressed = attack.responses_suppressed;
+    health.slots_eclipsed = count_eclipsed_slots();
+    health.honest_requests_sent = 0;
+    health.honest_request_retries = 0;
+    health.honest_exchanges_completed = 0;
+    for (NodeId v = 0; v < nodes_.size(); ++v) {
+      if (engine_->role_of(v) != adversary::Role::kHonest) continue;
+      const auto& nc = nodes_[v]->counters();
+      health.honest_requests_sent += nc.requests_sent;
+      health.honest_request_retries += nc.request_retries;
+      health.honest_exchanges_completed += nc.shuffles_completed;
+    }
+  }
   return health;
 }
 

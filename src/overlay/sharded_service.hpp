@@ -19,9 +19,12 @@
 //
 // Differences from the serial OverlayService: run the simulation via
 // ShardedSimulator::run_until (exclusive of its end time); dynamic
-// membership (add_member) and service-level fault schedules
-// (pseudonym blackouts, relay crashes) are not supported — node-crash
-// bursts ARE supported, via FaultInjector's per-victim events.
+// membership (add_member) is not supported. Service-level faults ARE
+// supported, but data-driven instead of event-driven: node-crash
+// bursts run via FaultInjector's per-victim events, and pseudonym
+// blackouts are installed up front as windows
+// (set_pseudonym_blackout_windows) that resolve() consults — no
+// shared mutable toggle, so shard workers stay race-free.
 #pragma once
 
 #include <memory>
@@ -46,9 +49,9 @@ namespace ppo::overlay {
 class ShardedOverlayService final : public NodeEnvironment {
  public:
   /// `sim.num_actors()` must equal the trust graph's node count.
-  /// Mix mode additionally requires a single shard (the relay pool is
-  /// global state). An enabled link-fault plan must set
-  /// per_link_streams.
+  /// Mix mode additionally requires min_hop_latency to clear the
+  /// lookahead window (the exit hop crosses shards). An enabled
+  /// link-fault plan must set per_link_streams.
   ShardedOverlayService(sim::ShardedSimulator& sim,
                         const graph::Graph& trust_graph,
                         const churn::ChurnModel& churn_model,
@@ -83,6 +86,15 @@ class ShardedOverlayService final : public NodeEnvironment {
     return pseudonym_service_available_;
   }
 
+  /// Sharded replacement for FaultInjector's blackout events: install
+  /// the full blackout schedule before start(). resolve() fails while
+  /// any window contains now(). Read-only during windows, so it is
+  /// safe under parallel shard workers and K-invariant by
+  /// construction. Call before running the simulation.
+  void set_pseudonym_blackout_windows(std::vector<fault::Window> windows) {
+    pseudonym_blackouts_ = std::move(windows);
+  }
+
   // --- inspection (mirrors OverlayService; call between windows) ---
   std::size_t num_nodes() const { return nodes_.size(); }
   const graph::Graph& trust_graph() const { return trust_graph_; }
@@ -98,6 +110,12 @@ class ShardedOverlayService final : public NodeEnvironment {
   const privacylink::MixNetwork* mix_network() const { return mix_.get(); }
   const fault::FaultyTransport* fault_transport() const {
     return faulty_.get();
+  }
+  /// Mutable access for fault-injection hooks (relay crash/revive).
+  privacylink::MixNetwork* mutable_mix_network() { return mix_.get(); }
+  /// The adversary engine, if an enabled plan was set.
+  const adversary::AdversaryEngine* adversary_engine() const {
+    return engine_.get();
   }
 
   graph::Graph overlay_snapshot() const;
@@ -115,7 +133,18 @@ class ShardedOverlayService final : public NodeEnvironment {
   /// Barrier hook: registers every pseudonym minted during the window
   /// (shard order, then mint order — deterministic for a fixed K and
   /// value-identical across K), then periodically GCs the registry.
+  /// Adversary-minted records are published afterwards, sorted by
+  /// (owner, value): their values are AIMED (not uniform), so live
+  /// collisions are legitimate outcomes whose resolution must not
+  /// depend on shard count.
   void publish_pending_mints();
+
+  /// Builds the adversary engine when an enabled plan is configured.
+  void init_adversary();
+
+  /// Sampler slots of honest nodes currently resolving to an attacker
+  /// (the eclipse-capture measure; 0 without an engine).
+  std::uint64_t count_eclipsed_slots() const;
 
   sim::ShardedSimulator& sim_;
   graph::Graph trust_graph_;
@@ -135,6 +164,12 @@ class ShardedOverlayService final : public NodeEnvironment {
   std::vector<sim::PeriodicTask> ticks_;
   /// Freshly minted records per shard, published at the barrier.
   std::vector<std::vector<PendingMint>> pending_mints_;
+  /// Adversary-minted (eclipse) records per shard; published at the
+  /// barrier in (owner, value) order — see publish_pending_mints().
+  std::vector<std::vector<PendingMint>> pending_adversary_mints_;
+  /// Installed blackout schedule (read-only while windows run).
+  std::vector<fault::Window> pseudonym_blackouts_;
+  std::unique_ptr<adversary::AdversaryEngine> engine_;  // optional
   /// Node whose callback is running while in external context (start
   /// / churn-callback bootstrap), so schedule() can attribute timers.
   NodeId external_node_ = privacylink::NodeId(-1);

@@ -33,7 +33,7 @@ MixNetwork::MixNetwork(sim::SimulatorBackend& sim, MixOptions options, Rng rng)
   PPO_CHECK_MSG(options_.num_relays >= 1, "mix needs at least one relay");
   relays_.reserve(options_.num_relays);
   for (std::size_t i = 0; i < options_.num_relays; ++i)
-    relays_.push_back(Relay{crypto::x25519_keypair(random_key(rng_)), true, {}});
+    relays_.push_back(Relay{crypto::x25519_keypair(random_key(rng_)), true, {}, {}});
 }
 
 const crypto::X25519Key& MixNetwork::relay_public_key(RelayId r) const {
@@ -41,22 +41,32 @@ const crypto::X25519Key& MixNetwork::relay_public_key(RelayId r) const {
   return relays_[r].keys.public_key;
 }
 
+bool MixNetwork::alive_at(const Relay& r, double t) const {
+  if (!r.alive) return false;
+  for (const CrashWindow& w : r.crashes)
+    if (t >= w.crash_at && (w.revive_at < 0.0 || t < w.revive_at))
+      return false;
+  return true;
+}
+
 std::vector<RelayId> MixNetwork::random_route(std::size_t hops,
                                               Rng& rng) const {
+  const double now = sim_.now();
   std::vector<RelayId> alive;
   for (RelayId r = 0; r < relays_.size(); ++r)
-    if (relays_[r].alive) alive.push_back(r);
+    if (alive_at(relays_[r], now)) alive.push_back(r);
   PPO_CHECK_MSG(alive.size() >= hops, "not enough live relays for route");
   return rng.sample(alive, hops);
 }
 
-double MixNetwork::hop_latency() {
-  return rng_.uniform_double(options_.min_hop_latency,
-                             options_.max_hop_latency);
+double MixNetwork::hop_latency(Rng& rng) const {
+  return rng.uniform_double(options_.min_hop_latency,
+                            options_.max_hop_latency);
 }
 
 void MixNetwork::send(const std::vector<RelayId>& route, crypto::Bytes payload,
-                      std::function<void(crypto::Bytes)> deliver, Rng& rng) {
+                      std::function<void(crypto::Bytes)> deliver, Rng& rng,
+                      sim::ActorId deliver_actor) {
   PPO_CHECK_MSG(!route.empty(), "empty mix route");
   std::vector<HopSpec> hops;
   hops.reserve(route.size());
@@ -67,64 +77,89 @@ void MixNetwork::send(const std::vector<RelayId>& route, crypto::Bytes payload,
   }
   crypto::Bytes wrapped = onion_wrap(
       hops, crypto::BytesView(payload.data(), payload.size()), rng);
-  sim_.schedule_after(hop_latency(),
+  // One caller-stream draw seeds every hop latency of this message:
+  // the whole trajectory is a function of the sender's send sequence.
+  Rng msg_rng(rng.next_u64());
+  const double entry_latency = hop_latency(msg_rng);
+  sim_.schedule_after(entry_latency,
                       [this, entry = route.front(), msg = std::move(wrapped),
-                       deliver = std::move(deliver)]() mutable {
-                        forward(entry, std::move(msg), std::move(deliver));
+                       deliver = std::move(deliver), msg_rng,
+                       deliver_actor]() mutable {
+                        forward(entry, std::move(msg), std::move(deliver),
+                                msg_rng, deliver_actor);
                       });
 }
 
 void MixNetwork::forward(RelayId relay, crypto::Bytes message,
-                         std::function<void(crypto::Bytes)> deliver) {
+                         std::function<void(crypto::Bytes)> deliver,
+                         Rng msg_rng, sim::ActorId deliver_actor) {
   Relay& r = relays_[relay];
-  if (!r.alive) {
-    ++dropped_;
+  if (!alive_at(r, sim_.now())) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   if (options_.replay_protection) {
     const std::uint64_t fp =
         message_fingerprint(crypto::BytesView(message.data(), message.size()));
-    if (std::find(r.seen.begin(), r.seen.end(), fp) != r.seen.end()) {
-      ++replays_blocked_;
-      ++dropped_;
+    bool replay;
+    {
+      const std::lock_guard<std::mutex> lock(seen_mutex_);
+      replay = std::find(r.seen.begin(), r.seen.end(), fp) != r.seen.end();
+      if (!replay) r.seen.push_back(fp);
+    }
+    if (replay) {
+      replays_blocked_.fetch_add(1, std::memory_order_relaxed);
+      dropped_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    r.seen.push_back(fp);
   }
   const auto layer = onion_unwrap(
       r.keys.private_key, crypto::BytesView(message.data(), message.size()));
   if (!layer) {  // tampered or malformed: drop silently
-    ++dropped_;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  ++forwarded_;
+  forwarded_.fetch_add(1, std::memory_order_relaxed);
+  const double latency = hop_latency(msg_rng);
   if (layer->next_hop == kFinalHop) {
     crypto::Bytes payload = layer->inner;
-    sim_.schedule_after(hop_latency(), [deliver = std::move(deliver),
-                                        payload = std::move(payload)]() mutable {
+    auto deliver_fn = [deliver = std::move(deliver),
+                       payload = std::move(payload)]() mutable {
       deliver(std::move(payload));
-    });
+    };
+    // The exit hop is the only shard crossing: relay hops stay on the
+    // sender's shard, the delivery belongs to the destination actor.
+    if (deliver_actor == sim::kExternalActor)
+      sim_.schedule_after(latency, std::move(deliver_fn));
+    else
+      sim_.schedule_for(deliver_actor, latency, std::move(deliver_fn));
     return;
   }
   if (layer->next_hop >= relays_.size()) {
-    ++dropped_;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   crypto::Bytes inner = layer->inner;
   const RelayId next = layer->next_hop;
-  sim_.schedule_after(hop_latency(), [this, next, inner = std::move(inner),
-                                      deliver = std::move(deliver)]() mutable {
-    forward(next, std::move(inner), std::move(deliver));
-  });
+  sim_.schedule_after(latency,
+                      [this, next, inner = std::move(inner),
+                       deliver = std::move(deliver), msg_rng,
+                       deliver_actor]() mutable {
+                        forward(next, std::move(inner), std::move(deliver),
+                                msg_rng, deliver_actor);
+                      });
 }
 
 void MixNetwork::inject(RelayId relay, crypto::Bytes message,
                         std::function<void(crypto::Bytes)> deliver) {
   PPO_CHECK_MSG(relay < relays_.size(), "relay id out of range");
-  sim_.schedule_after(hop_latency(),
+  Rng msg_rng(rng_.next_u64());
+  const double latency = hop_latency(msg_rng);
+  sim_.schedule_after(latency,
                       [this, relay, msg = std::move(message),
-                       deliver = std::move(deliver)]() mutable {
-                        forward(relay, std::move(msg), std::move(deliver));
+                       deliver = std::move(deliver), msg_rng]() mutable {
+                        forward(relay, std::move(msg), std::move(deliver),
+                                msg_rng, sim::kExternalActor);
                       });
 }
 
@@ -138,14 +173,22 @@ void MixNetwork::revive_relay(RelayId r) {
   relays_[r].alive = true;
 }
 
+void MixNetwork::schedule_crash(RelayId r, double crash_at, double revive_at) {
+  PPO_CHECK_MSG(r < relays_.size(), "relay id out of range");
+  PPO_CHECK_MSG(revive_at < 0.0 || revive_at > crash_at,
+                "revival must come after the crash");
+  relays_[r].crashes.push_back(CrashWindow{crash_at, revive_at});
+}
+
 bool MixNetwork::relay_alive(RelayId r) const {
   PPO_CHECK_MSG(r < relays_.size(), "relay id out of range");
-  return relays_[r].alive;
+  return alive_at(relays_[r], sim_.now());
 }
 
 std::size_t MixNetwork::live_relay_count() const {
+  const double now = sim_.now();
   std::size_t live = 0;
-  for (const Relay& r : relays_) live += r.alive ? 1 : 0;
+  for (const Relay& r : relays_) live += alive_at(r, now) ? 1 : 0;
   return live;
 }
 

@@ -4,10 +4,22 @@
 // cryptography; the overlay evaluation runs on the ideal Transport
 // (as the paper assumes), while examples, the timing-attack study and
 // the mix benches exercise this substrate.
+//
+// Shard-safety: every hop latency of a message comes from a
+// per-message stream seeded by one draw from the CALLER's rng, so a
+// message's trajectory is a function of its sender's own send
+// sequence — never of how other traffic interleaves. Relay replay
+// lists are mutex-guarded and the counters are atomic (replay
+// blocking is order-independent: however two copies interleave, the
+// second sees the first's fingerprint). Relay crashes on the sharded
+// backend are data (schedule_crash windows, read-only while windows
+// run) instead of events (fail_relay/revive_relay, serial-only).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -33,55 +45,87 @@ class MixNetwork {
   std::size_t num_relays() const { return relays_.size(); }
   const crypto::X25519Key& relay_public_key(RelayId r) const;
 
-  /// Picks `hops` distinct random live relays as a route.
+  /// Picks `hops` distinct random relays alive right now as a route.
   std::vector<RelayId> random_route(std::size_t hops, Rng& rng) const;
 
   /// Onion-wraps `payload` over `route` and injects it at the first
   /// relay. `deliver` runs with the payload when the exit relay
   /// finishes, unless a relay on the path is down or the message is
   /// tampered/replayed (then it is silently dropped, like a real mix).
+  /// All of the message's hop latencies derive from ONE next_u64 draw
+  /// on `rng` (the caller's stream). When `deliver_actor` is given,
+  /// the final delivery is scheduled FOR that actor — required on the
+  /// sharded backend, where the last hop crosses shards.
   void send(const std::vector<RelayId>& route, crypto::Bytes payload,
-            std::function<void(crypto::Bytes)> deliver, Rng& rng);
+            std::function<void(crypto::Bytes)> deliver, Rng& rng,
+            sim::ActorId deliver_actor = sim::kExternalActor);
 
   /// Injects a raw (already onion-wrapped) message at a relay — what
   /// an adversary replaying captured traffic would do. Used by the
-  /// replay-defence tests and the attack benches.
+  /// replay-defence tests and the attack benches. Serial-only: hop
+  /// latencies come from the network's own stream.
   void inject(RelayId relay, crypto::Bytes message,
               std::function<void(crypto::Bytes)> deliver);
 
-  /// Failure injection: the relay stops forwarding.
+  /// Failure injection, event form (serial backend): the relay stops
+  /// forwarding.
   void fail_relay(RelayId r);
   /// Crash recovery: the relay resumes forwarding (keys and replay
   /// history survive the outage — a restart, not a fresh identity).
   void revive_relay(RelayId r);
+
+  /// Failure injection, data form (both backends): the relay is down
+  /// during [crash_at, revive_at), or forever when revive_at < 0.
+  /// Install the full schedule before running the simulation — the
+  /// windows are read-only while events execute.
+  void schedule_crash(RelayId r, double crash_at, double revive_at = -1.0);
+
   bool relay_alive(RelayId r) const;
   std::size_t live_relay_count() const;
 
-  std::uint64_t messages_forwarded() const { return forwarded_; }
-  std::uint64_t messages_dropped() const { return dropped_; }
-  std::uint64_t replays_blocked() const { return replays_blocked_; }
+  std::uint64_t messages_forwarded() const {
+    return forwarded_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t messages_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t replays_blocked() const {
+    return replays_blocked_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// Scheduled outage window; revive_at < 0 means forever.
+  struct CrashWindow {
+    double crash_at = 0.0;
+    double revive_at = -1.0;
+  };
+
   struct Relay {
     crypto::X25519KeyPair keys;
     bool alive = true;
     /// Hashes of messages already forwarded (replay defence). Bounded
     /// in practice by pseudonym lifetime (§III-C); unbounded here as
-    /// simulation runs are finite.
+    /// simulation runs are finite. Guarded by seen_mutex_.
     std::vector<std::uint64_t> seen;
+    std::vector<CrashWindow> crashes;
   };
 
   void forward(RelayId relay, crypto::Bytes message,
-               std::function<void(crypto::Bytes)> deliver);
-  double hop_latency();
+               std::function<void(crypto::Bytes)> deliver, Rng msg_rng,
+               sim::ActorId deliver_actor);
+  bool alive_at(const Relay& r, double t) const;
+  double hop_latency(Rng& rng) const;
 
   sim::SimulatorBackend& sim_;
   MixOptions options_;
   Rng rng_;
   std::vector<Relay> relays_;
-  std::uint64_t forwarded_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t replays_blocked_ = 0;
+  /// One lock for all replay lists: uncontended in serial runs, and
+  /// mix-mode sharded runs are small-scale by design.
+  mutable std::mutex seen_mutex_;
+  std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> replays_blocked_{0};
 };
 
 }  // namespace ppo::privacylink

@@ -8,7 +8,8 @@ namespace ppo::privacylink {
 
 MixTransport::MixTransport(sim::SimulatorBackend& sim, MixNetwork& mix,
                            MixTransportOptions options, Rng rng,
-                           std::function<bool(graph::NodeId)> is_online)
+                           std::function<bool(graph::NodeId)> is_online,
+                           std::size_t per_sender_streams)
     : sim_(sim),
       mix_(mix),
       options_(options),
@@ -16,16 +17,19 @@ MixTransport::MixTransport(sim::SimulatorBackend& sim, MixNetwork& mix,
       is_online_(std::move(is_online)) {
   PPO_CHECK_MSG(options_.circuit_hops >= 1, "circuits need >= 1 hop");
   PPO_CHECK_MSG(static_cast<bool>(is_online_), "online oracle required");
+  sender_rngs_.reserve(per_sender_streams);
+  for (std::size_t v = 0; v < per_sender_streams; ++v)
+    sender_rngs_.push_back(rng_.split());
 }
 
 bool MixTransport::send(graph::NodeId from, graph::NodeId to,
                         sim::EventFn on_deliver) {
   if (!is_online_(from)) return false;
-  ++sent_;
+  sent_.fetch_add(1, std::memory_order_relaxed);
   if (mix_.live_relay_count() < options_.circuit_hops) {
     // Not enough live relays for a circuit: the message is lost but
     // the protocol keeps running and recovers once relays revive.
-    ++circuit_failures_;
+    circuit_failures_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
 
@@ -38,17 +42,21 @@ bool MixTransport::send(graph::NodeId from, graph::NodeId to,
     payload[static_cast<std::size_t>(4 + i)] =
         static_cast<std::uint8_t>(to >> (8 * i));
   }
-  bytes_sent_ += payload.size() +
-                 options_.circuit_hops * kOnionLayerOverhead;
+  bytes_sent_.fetch_add(
+      payload.size() + options_.circuit_hops * kOnionLayerOverhead,
+      std::memory_order_relaxed);
 
-  const auto route = mix_.random_route(options_.circuit_hops, rng_);
+  Rng& rng = sender_rngs_.empty() ? rng_ : sender_rngs_[from];
+  const auto route = mix_.random_route(options_.circuit_hops, rng);
+  // Delivery belongs to the destination actor so the exit hop can
+  // cross shards; on the serial backend the actor id is inert.
   mix_.send(route, std::move(payload),
             [this, to, fn = std::move(on_deliver)](crypto::Bytes) {
               if (!is_online_(to)) return;  // destination went dark
-              ++delivered_;
+              delivered_.fetch_add(1, std::memory_order_relaxed);
               fn();
             },
-            rng_);
+            rng, static_cast<sim::ActorId>(to));
   return true;
 }
 

@@ -6,7 +6,9 @@
 // mix-mode demos, not for 1000-node sweeps.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "privacylink/link_transport.hpp"
@@ -24,35 +26,50 @@ class MixTransport final : public LinkTransport {
   /// The transport shares `mix` (relay pool) across all senders;
   /// `is_online` plays the same gating role as in the ideal
   /// transport — the exit relay cannot hand the message to an
-  /// offline destination.
+  /// offline destination. With `per_sender_streams` > 0 (the node
+  /// count), each sender draws routes and onion nonces from its own
+  /// split stream, making every circuit a function of the sender's
+  /// send sequence alone — required for K-invariance on the sharded
+  /// backend, a no-op semantically elsewhere.
   MixTransport(sim::SimulatorBackend& sim, MixNetwork& mix,
                MixTransportOptions options, Rng rng,
-               std::function<bool(graph::NodeId)> is_online);
+               std::function<bool(graph::NodeId)> is_online,
+               std::size_t per_sender_streams = 0);
 
   bool send(graph::NodeId from, graph::NodeId to,
             sim::EventFn on_deliver) override;
 
-  std::uint64_t messages_sent() const override { return sent_; }
-  std::uint64_t messages_delivered() const override { return delivered_; }
+  std::uint64_t messages_sent() const override {
+    return sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t messages_delivered() const override {
+    return delivered_.load(std::memory_order_relaxed);
+  }
 
   /// Total onion bytes put on the wire (all hops' ingress sizes).
-  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
 
   /// Sends lost because fewer live relays than circuit hops remained
   /// (graceful degradation: the message is counted sent and dropped
   /// instead of aborting the run).
-  std::uint64_t circuit_failures() const { return circuit_failures_; }
+  std::uint64_t circuit_failures() const {
+    return circuit_failures_.load(std::memory_order_relaxed);
+  }
 
  private:
   sim::SimulatorBackend& sim_;
   MixNetwork& mix_;
   MixTransportOptions options_;
   Rng rng_;
+  /// One split per sender when per_sender_streams was given.
+  std::vector<Rng> sender_rngs_;
   std::function<bool(graph::NodeId)> is_online_;
-  std::uint64_t sent_ = 0;
-  std::uint64_t delivered_ = 0;
-  std::uint64_t bytes_sent_ = 0;
-  std::uint64_t circuit_failures_ = 0;
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> circuit_failures_{0};
 };
 
 }  // namespace ppo::privacylink

@@ -53,6 +53,18 @@ void PseudonymService::register_minted(NodeId owner,
                            Registration{owner, record.expiry});
 }
 
+bool PseudonymService::try_register_minted(NodeId owner,
+                                           const PseudonymRecord& record,
+                                           sim::Time now) {
+  const auto it = owners_.find(record.value);
+  if (it != owners_.end() && it->second.expiry > now &&
+      it->second.owner != owner)
+    return false;
+  owners_.insert_or_assign(record.value,
+                           Registration{owner, record.expiry});
+  return true;
+}
+
 bool PseudonymService::alive(PseudonymValue value, sim::Time now) const {
   const auto it = owners_.find(value);
   return it != owners_.end() && it->second.expiry > now;

@@ -47,6 +47,14 @@ class PseudonymService {
   void register_minted(NodeId owner, const PseudonymRecord& record,
                        sim::Time now);
 
+  /// Like register_minted(), but returns false instead of aborting
+  /// when the value collides with a live registration of a different
+  /// owner. Byzantine eclipse attackers register *aimed* values (close
+  /// to a victim's sampler references), so cross-owner collisions are
+  /// a legitimate runtime outcome there, not a configuration error.
+  bool try_register_minted(NodeId owner, const PseudonymRecord& record,
+                           sim::Time now);
+
   /// True if `value` is registered and alive at `now`.
   bool alive(PseudonymValue value, sim::Time now) const;
 

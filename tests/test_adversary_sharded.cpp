@@ -1,0 +1,135 @@
+// Byzantine adversary on the sharded backend: attacked trajectories
+// must be bit-identical for every shard count K (engine state is
+// node-keyed and only touched from that node's events), the
+// zero-adversary guarantee must hold shard-side too, and the defenses
+// must not break K-invariance.
+#include <gtest/gtest.h>
+
+#include "adversary/plan.hpp"
+#include "experiments/scenario.hpp"
+#include "graph/generators.hpp"
+
+namespace ppo::experiments {
+namespace {
+
+using adversary::AdversaryPlan;
+
+graph::Graph small_trust(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return graph::holme_kim(n, 3, 0.3, rng);
+}
+
+OverlayScenario sharded_scenario(std::uint64_t seed) {
+  OverlayScenario s;
+  s.params.cache_size = 60;
+  s.params.shuffle_length = 8;
+  s.params.target_links = 10;
+  s.params.pseudonym_lifetime = 30.0;
+  s.params.shuffle_timeout = 0.25;
+  s.params.shuffle_max_retries = 1;
+  s.churn.alpha = 0.9;
+  s.window.warmup = 30.0;
+  s.window.measure = 15.0;
+  s.window.sample_every = 5.0;
+  s.window.apl_sources = 8;
+  s.seed = seed;
+  return s;
+}
+
+void expect_same_run(const OverlayRunResult& a, const OverlayRunResult& b,
+                     std::size_t shards) {
+  EXPECT_EQ(a.stats.frac_disconnected.mean(), b.stats.frac_disconnected.mean())
+      << "K=" << shards;
+  EXPECT_EQ(a.stats.norm_apl.mean(), b.stats.norm_apl.mean()) << "K=" << shards;
+  EXPECT_EQ(a.replacements, b.replacements) << "K=" << shards;
+  EXPECT_EQ(a.messages_total, b.messages_total) << "K=" << shards;
+  EXPECT_EQ(a.final_total_edges, b.final_total_edges) << "K=" << shards;
+  EXPECT_EQ(a.health.requests_sent, b.health.requests_sent) << "K=" << shards;
+  EXPECT_EQ(a.health.exchanges_completed, b.health.exchanges_completed)
+      << "K=" << shards;
+  EXPECT_EQ(a.health.messages_delivered, b.health.messages_delivered)
+      << "K=" << shards;
+  EXPECT_EQ(a.health.forged_injected, b.health.forged_injected)
+      << "K=" << shards;
+  EXPECT_EQ(a.health.replays_injected, b.health.replays_injected)
+      << "K=" << shards;
+  EXPECT_EQ(a.health.eclipse_records_injected,
+            b.health.eclipse_records_injected)
+      << "K=" << shards;
+  EXPECT_EQ(a.health.responses_suppressed, b.health.responses_suppressed)
+      << "K=" << shards;
+  EXPECT_EQ(a.health.slots_eclipsed, b.health.slots_eclipsed)
+      << "K=" << shards;
+  EXPECT_EQ(a.health.forged_rejected, b.health.forged_rejected)
+      << "K=" << shards;
+  EXPECT_EQ(a.health.requests_rate_limited, b.health.requests_rate_limited)
+      << "K=" << shards;
+  EXPECT_EQ(a.health.displacements_damped, b.health.displacements_damped)
+      << "K=" << shards;
+  EXPECT_EQ(a.health.honest_requests_sent, b.health.honest_requests_sent)
+      << "K=" << shards;
+  EXPECT_EQ(a.health.honest_exchanges_completed,
+            b.health.honest_exchanges_completed)
+      << "K=" << shards;
+}
+
+TEST(AdversarySharded, MixedAttackIsShardCountInvariant) {
+  const graph::Graph trust = small_trust(96, 7);
+  OverlayScenario scenario = sharded_scenario(43);
+  AdversaryPlan plan;
+  plan.polluter_fraction = 0.1;
+  plan.eclipser_fraction = 0.05;
+  plan.dropper_fraction = 0.05;
+  plan.replayer_fraction = 0.05;
+  plan.seed = 0xADE;
+  scenario.adversary = plan;
+
+  scenario.shards = 1;
+  const auto base = run_overlay(trust, scenario);
+  EXPECT_GT(base.health.forged_injected, 0u);
+  EXPECT_GT(base.health.responses_suppressed, 0u);
+  for (const std::size_t shards : {2, 3}) {
+    scenario.shards = shards;
+    const auto out = run_overlay(trust, scenario);
+    expect_same_run(base, out, shards);
+  }
+}
+
+TEST(AdversarySharded, DefendedAttackIsShardCountInvariant) {
+  const graph::Graph trust = small_trust(96, 7);
+  OverlayScenario scenario = sharded_scenario(47);
+  scenario.adversary = [] {
+    AdversaryPlan plan;
+    plan.polluter_fraction = 0.2;
+    plan.eclipser_fraction = 0.05;
+    plan.seed = 0xDEF;
+    return plan;
+  }();
+  scenario.params.validate_received = true;
+  scenario.params.peer_rate_limit = 4;
+  scenario.params.peer_rate_window = 10.0;
+  scenario.params.sampler_min_dwell = 5.0;
+
+  scenario.shards = 1;
+  const auto base = run_overlay(trust, scenario);
+  EXPECT_GT(base.health.forged_rejected, 0u);
+  scenario.shards = 4;
+  const auto sharded = run_overlay(trust, scenario);
+  expect_same_run(base, sharded, 4);
+}
+
+TEST(AdversarySharded, ZeroAdversaryPlanIsBitIdenticalOnShards) {
+  const graph::Graph trust = small_trust(64, 11);
+  OverlayScenario plain = sharded_scenario(53);
+  plain.shards = 2;
+  const auto bare = run_overlay(trust, plain);
+
+  OverlayScenario wrapped = plain;
+  wrapped.adversary = AdversaryPlan{};  // enabled() == false
+  const auto with_plan = run_overlay(trust, wrapped);
+  expect_same_run(bare, with_plan, 2);
+  EXPECT_EQ(with_plan.health.forged_injected, 0u);
+}
+
+}  // namespace
+}  // namespace ppo::experiments

@@ -166,26 +166,27 @@ TEST(ShardedService, NodeCrashTrajectoriesAreShardCountInvariant) {
   }
 }
 
-TEST(ShardedService, MixModeRequiresSingleShard) {
+TEST(ShardedService, MixModeRunsOnMultipleShards) {
   const graph::Graph trust = test_graph(40, 5);
   OverlayServiceOptions options = small_options();
   options.use_mix_network = true;
   const churn::ExponentialChurn model =
       churn::ExponentialChurn::from_availability(0.6, 10.0);
 
+  // The exit hop crosses shards, so it must clear the lookahead.
   sim::ShardedSimulator::Options so;
   so.shards = 2;
   so.num_actors = trust.num_nodes();
-  so.lookahead = options.mix.min_hop_latency;
-  sim::ShardedSimulator two(so);
-  EXPECT_THROW(ShardedOverlayService(two, trust, model, options, 1),
+  so.lookahead = options.mix.min_hop_latency * 2.0;
+  sim::ShardedSimulator starved(so);
+  EXPECT_THROW(ShardedOverlayService(starved, trust, model, options, 1),
                CheckError);
 
-  so.shards = 1;
-  sim::ShardedSimulator one(so);
-  ShardedOverlayService service(one, trust, model, options, 1);
+  so.lookahead = options.mix.min_hop_latency;
+  sim::ShardedSimulator two(so);
+  ShardedOverlayService service(two, trust, model, options, 1);
   service.start();
-  one.run_until(10.0);
+  two.run_until(10.0);
   EXPECT_GT(service.protocol_health().messages_delivered, 0u);
 }
 
@@ -221,13 +222,23 @@ TEST(ShardedService, ScenarioRunnerIsShardCountInvariantAtFigureScale) {
   EXPECT_GT(k1.messages_total, 0u);
 }
 
-TEST(ShardedService, ScenarioRejectsServiceFaultsOnShardedBackend) {
+TEST(ShardedService, ScenarioRunsPseudonymBlackoutsOnShardedBackend) {
   const graph::Graph trust = test_graph(60, 41);
   experiments::OverlayScenario scenario;
-  scenario.window.warmup = 5.0;
+  scenario.window.warmup = 8.0;
   scenario.window.measure = 5.0;
-  scenario.shards = 2;
-  scenario.service_faults.pseudonym_blackouts.push_back({1.0, 2.0});
+  scenario.service_faults.pseudonym_blackouts.push_back({1.0, 6.0});
+
+  scenario.shards = 1;
+  const auto k1 = experiments::run_overlay(trust, scenario);
+  scenario.shards = 3;
+  const auto k3 = experiments::run_overlay(trust, scenario);
+  EXPECT_EQ(k1.messages_total, k3.messages_total);
+  EXPECT_EQ(k1.health.exchanges_completed, k3.health.exchanges_completed);
+  EXPECT_GT(k1.messages_total, 0u);
+
+  // Relay crashes have no sharded counterpart (no mix mode here).
+  scenario.service_faults.relay_crashes.push_back({0, 1.0, -1.0});
   EXPECT_THROW(experiments::run_overlay(trust, scenario), CheckError);
 }
 
