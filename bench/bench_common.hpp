@@ -96,7 +96,14 @@ inline void apply_logging(const Cli& cli) {
 /// tracer, installs it on construction when any category is enabled,
 /// and exports Chrome-trace + JSONL artefacts on finish(). Categories:
 /// all, none, or a comma list of sim/shard/shuffle/pseudonym/
-/// transport/churn/log/user/adversary.
+/// transport/churn/log/user/adversary/inference/dht/routing.
+///
+/// `--trace-stream <path>` switches to streaming mode: records are
+/// flushed to <path> as JSONL whenever a buffer fills (nothing is ever
+/// dropped; lines arrive in flush order, not canonical order), and
+/// finish() drains the remainder instead of writing the usual
+/// artefacts. `--trace-buffer N` overrides the per-thread buffer
+/// capacity (records).
 class TraceSession {
  public:
   explicit TraceSession(const Cli& cli) {
@@ -107,11 +114,17 @@ class TraceSession {
     } catch (const std::exception& e) {
       std::cerr << e.what()
                 << " (expected all/none or a comma list of sim,shard,"
-                   "shuffle,pseudonym,transport,churn,log,user,adversary)\n";
+                   "shuffle,pseudonym,transport,churn,log,user,adversary,"
+                   "inference,dht,routing)\n";
       std::exit(2);
     }
     if (mask == obs::kTraceNone) return;
-    tracer_ = std::make_unique<obs::Tracer>();
+    const auto capacity = static_cast<std::size_t>(
+        cli.get_int("trace-buffer", std::int64_t{1} << 22));
+    const std::string stream_path = cli.get_string("trace-stream", "");
+    if (!stream_path.empty())
+      sink_ = std::make_unique<obs::JsonlStreamSink>(stream_path);
+    tracer_ = std::make_unique<obs::Tracer>(capacity, sink_.get());
     obs::install_tracer(tracer_.get(), mask);
   }
 
@@ -136,10 +149,22 @@ class TraceSession {
 
   /// Uninstalls the tracer and writes `<stem>.trace.json` (Chrome
   /// trace_event, for chrome://tracing / Perfetto) and
-  /// `<stem>.trace.jsonl`. No-op when tracing is off.
+  /// `<stem>.trace.jsonl` — or, in streaming mode, drains the
+  /// remaining records into the stream file. No-op when tracing is
+  /// off.
   void finish(const std::string& stem) {
     if (tracer_ == nullptr) return;
     obs::uninstall_tracer();
+    if (sink_ != nullptr) {
+      tracer_->flush_to_sink();
+      const std::uint64_t lines = sink_->lines_written();
+      sink_->close();
+      std::cout << "streamed trace: " << lines << " records ("
+                << tracer_->records_recorded() << " recorded, 0 dropped)\n";
+      tracer_.reset();
+      sink_.reset();
+      return;
+    }
     const auto records = tracer_->merged();
     const std::string chrome_path = stem + ".trace.json";
     const std::string jsonl_path = stem + ".trace.jsonl";
@@ -155,6 +180,7 @@ class TraceSession {
   }
 
  private:
+  std::unique_ptr<obs::JsonlStreamSink> sink_;  // streaming mode only
   std::unique_ptr<obs::Tracer> tracer_;
 };
 

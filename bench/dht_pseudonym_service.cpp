@@ -69,6 +69,8 @@ int main(int argc, char** argv) {
     double alive_fraction = 0.0;
   };
   const std::size_t survival_cells = replications.size() * failures.size();
+  bench::TraceSession trace(cli);
+  trace.warn_if_parallel(scale.jobs == 0 ? runner::default_jobs() : scale.jobs);
   const bench::WallTimer timer;
   auto grid = runner::run_grid(
       ring_sizes.size() + survival_cells, opt,
@@ -114,6 +116,7 @@ int main(int argc, char** argv) {
         return out;
       });
   const double wall = timer.seconds();
+  trace.finish("dht_pseudonym_service");
 
   TextTable hops_table({"ring size", "mean hops", "max hops", "log2(n)"});
   Series mean_hops{"mean-hops", {}}, max_hops{"max-hops", {}};

@@ -62,6 +62,8 @@ int main(int argc, char** argv) {
   const std::size_t replicas =
       std::max<std::size_t>(1, static_cast<std::size_t>(
                                    cli.get_int("replicas", 1)));
+  bench::TraceSession trace(cli);
+  trace.warn_if_parallel(scale.jobs == 0 ? runner::default_jobs() : scale.jobs);
   const bench::WallTimer timer;
   auto grid = runner::run_grid(
       replicas, opt, [&](const runner::CellInfo& cell) {
@@ -114,6 +116,7 @@ int main(int argc, char** argv) {
         return combos;
       });
   const double wall = timer.seconds();
+  trace.finish("routing_walk");
 
   // Replica-averaged table + series, combos in (links, ttl) order.
   std::vector<Series> success, hops_series, msgs_series;

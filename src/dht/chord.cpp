@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace ppo::dht {
 
@@ -84,6 +85,23 @@ std::optional<std::size_t> ChordRing::alive_successor(Key key) const {
 }
 
 ChordRing::LookupResult ChordRing::lookup(
+    Key key, std::optional<std::size_t> start) const {
+  // Span id: per-thread sequence — lookups never nest, and a
+  // thread-local keeps the const API race-free under parallel sweeps.
+  static thread_local std::uint64_t lookup_seq = 0;
+  const std::uint64_t span_id = ++lookup_seq;
+  const std::uint32_t origin =
+      static_cast<std::uint32_t>(start.value_or(nodes_.size()));
+  PPO_TRACE_SPAN_BEGIN(obs::TraceCategory::kDht, "dht_lookup", origin,
+                       span_id);
+  LookupResult result = lookup_impl(key, start);
+  PPO_TRACE_SPAN_END(obs::TraceCategory::kDht, "dht_lookup", origin, span_id,
+                     (obs::TraceArg{"hops", double(result.hops)}),
+                     (obs::TraceArg{"ok", result.ok ? 1.0 : 0.0}));
+  return result;
+}
+
+ChordRing::LookupResult ChordRing::lookup_impl(
     Key key, std::optional<std::size_t> start) const {
   LookupResult result;
   std::size_t current;

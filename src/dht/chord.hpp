@@ -73,6 +73,9 @@ class ChordRing {
     std::map<Key, crypto::Bytes> store;
   };
 
+  /// lookup() minus the trace span around it.
+  LookupResult lookup_impl(Key key, std::optional<std::size_t> start) const;
+
   /// Index (into nodes_, which is sorted by id) of the first ALIVE
   /// node at or clockwise-after ring position `key`. nullopt when
   /// everything is dead.

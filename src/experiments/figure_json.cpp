@@ -1,5 +1,7 @@
 #include "experiments/figure_json.hpp"
 
+#include <cstdio>
+
 namespace ppo::experiments {
 
 using runner::Json;
@@ -304,6 +306,71 @@ obs::MetricsRegistry collect_metrics(const FaultFigure& fig) {
 
 obs::MetricsRegistry collect_metrics(const AdversaryFigure& fig) {
   return health_registry(fig.health, fig.connectivity);
+}
+
+Json to_json(const LinkPrivacyFigure& fig) {
+  Json j = Json::object();
+  j["lifetimes"] = Json::array_of(fig.lifetimes);
+  j["coverages"] = Json::array_of(fig.coverages);
+  Json attacks = Json::array();
+  for (const std::string& name : fig.attacks) attacks.push_back(name);
+  j["attacks"] = std::move(attacks);
+  j["replicas"] = static_cast<std::uint64_t>(fig.replicas);
+  j["true_edges"] = fig.true_edges;
+  j["zero_observer_identical"] = fig.zero_observer_identical;
+  j["kinvariant"] = fig.kinvariant;
+  Json fingerprints = Json::array();
+  for (const ShardFingerprint& fp : fig.shard_fingerprints) {
+    Json entry = Json::object();
+    entry["shards"] = static_cast<std::uint64_t>(fp.shards);
+    entry["log_fingerprint"] = fp.log;
+    Json attack_fps = Json::array();
+    for (const std::uint64_t value : fp.attacks) attack_fps.push_back(value);
+    entry["attack_fingerprints"] = std::move(attack_fps);
+    fingerprints.push_back(std::move(entry));
+  }
+  j["shard_fingerprints"] = std::move(fingerprints);
+  Json cells = Json::array();
+  for (const LinkPrivacyCell& cell : fig.cells) {
+    Json entry = Json::object();
+    entry["lifetime"] = cell.lifetime;
+    entry["coverage"] = cell.coverage;
+    entry["attack"] = cell.attack;
+    entry["defended"] = cell.defended;
+    entry["precision"] = cell.precision;
+    entry["recall"] = cell.recall;
+    entry["auc"] = cell.auc;
+    entry["precision_ci"] = cell.precision_ci;
+    entry["recall_ci"] = cell.recall_ci;
+    entry["auc_ci"] = cell.auc_ci;
+    entry["observations"] = cell.observations;
+    entry["entities"] = cell.entities;
+    cells.push_back(std::move(entry));
+  }
+  j["cells"] = std::move(cells);
+  j["telemetry"] = to_json(fig.telemetry);
+  return j;
+}
+
+obs::MetricsRegistry collect_metrics(const LinkPrivacyFigure& fig) {
+  obs::MetricsRegistry registry;
+  const auto compact = [](double x) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", x);
+    return std::string(buf);
+  };
+  for (const LinkPrivacyCell& cell : fig.cells) {
+    const obs::MetricDims dims = {
+        {"attack", cell.attack},
+        {"cell", "L" + compact(cell.lifetime) + "-c" +
+                     compact(cell.coverage) +
+                     (cell.defended ? "-defended" : "-open")}};
+    registry.set_gauge("inference_precision", cell.precision, dims);
+    registry.set_gauge("inference_recall", cell.recall, dims);
+    registry.set_gauge("inference_auc", cell.auc, dims);
+    registry.set_gauge("inference_observations", cell.observations, dims);
+  }
+  return registry;
 }
 
 }  // namespace ppo::experiments

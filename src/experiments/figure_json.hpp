@@ -11,6 +11,7 @@
 
 #include "experiments/adversary_study.hpp"
 #include "experiments/figures.hpp"
+#include "experiments/link_privacy.hpp"
 #include "obs/metrics_registry.hpp"
 #include "runner/json.hpp"
 
@@ -39,6 +40,7 @@ runner::Json to_json(const ConvergenceFigure& fig);
 runner::Json to_json(const ReplacementFigure& fig);
 runner::Json to_json(const FaultFigure& fig);
 runner::Json to_json(const AdversaryFigure& fig);
+runner::Json to_json(const LinkPrivacyFigure& fig);
 
 /// Folds a ProtocolHealth rollup into `registry` as
 /// `protocol_*`/`transport_*` counters plus rate gauges, all under
@@ -52,5 +54,6 @@ void add_health_metrics(obs::MetricsRegistry& registry,
 obs::MetricsRegistry collect_metrics(const SweepFigure& fig);
 obs::MetricsRegistry collect_metrics(const FaultFigure& fig);
 obs::MetricsRegistry collect_metrics(const AdversaryFigure& fig);
+obs::MetricsRegistry collect_metrics(const LinkPrivacyFigure& fig);
 
 }  // namespace ppo::experiments

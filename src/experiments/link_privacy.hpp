@@ -1,0 +1,89 @@
+// Link-privacy study (§III): how much of the hidden trust graph a
+// passive observer reconstructs from shuffle traffic, swept over
+// pseudonym lifetime × observer coverage, with the PR 5 protocol
+// defenses off and on. The privacy axis to set against the adversary
+// study's robustness axis: precision/recall/AUC of the inference
+// attacks in src/inference against the ground-truth trust graph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "experiments/figures.hpp"
+#include "inference/attacks.hpp"
+#include "inference/eval.hpp"
+
+namespace ppo::experiments {
+
+struct LinkPrivacySpec {
+  /// Pseudonym lifetimes to sweep (shuffle periods == seconds). The
+  /// paper's privacy argument predicts shorter lifetimes fragment the
+  /// attacker's view and lower reconstruction precision.
+  std::vector<double> lifetimes = {10.0, 30.0, 90.0};
+  /// Observer coverages to sweep; 1.0 is the global passive observer.
+  std::vector<double> coverages = {0.25, 1.0};
+  /// Availability during the sweep (high, so the log reflects the
+  /// protocol rather than churn gaps).
+  double alpha = 0.9;
+
+  /// Defended-arm knobs (the PR 5 defenses; see adversary_study.hpp
+  /// for the rate-cap rationale).
+  std::size_t peer_rate_limit = 8;
+  double peer_rate_window = 10.0;
+  bool defended_arm = true;
+
+  inference::AttackOptions attack_options;
+
+  /// Shard counts for the inference K-invariance cross-check (run at
+  /// one representative cell; 1 is the reference).
+  std::vector<std::size_t> kinvariance_shards = {1, 2, 4};
+};
+
+/// One aggregated sweep cell: an attack's quality at a
+/// (lifetime, coverage, arm) point, averaged over replicas.
+struct LinkPrivacyCell {
+  double lifetime = 0.0;
+  double coverage = 0.0;
+  std::string attack;
+  bool defended = false;
+  double precision = 0.0;
+  double recall = 0.0;
+  double auc = 0.0;
+  double precision_ci = 0.0;  // 95% half-widths; 0 when replicas == 1
+  double recall_ci = 0.0;
+  double auc_ci = 0.0;
+  double observations = 0.0;  // mean log size per run
+  double entities = 0.0;      // mean inferred entity count per run
+};
+
+/// Per-shard-count fingerprints of the representative cell's
+/// observation log and of each attack's ranked candidate list.
+struct ShardFingerprint {
+  std::size_t shards = 0;
+  std::uint64_t log = 0;
+  std::vector<std::uint64_t> attacks;  // all_attacks() order
+};
+
+struct LinkPrivacyFigure {
+  std::vector<double> lifetimes;
+  std::vector<double> coverages;
+  std::vector<std::string> attacks;  // names, all_attacks() order
+  std::vector<LinkPrivacyCell> cells;
+  std::size_t replicas = 1;
+  /// Cross-check: a zero-coverage observer plan yielded a run
+  /// bit-identical to a plan-free run (and recorded nothing).
+  bool zero_observer_identical = false;
+  /// Cross-check: observation log and every attack output carry the
+  /// same fingerprint for every shard count in the spec.
+  bool kinvariant = false;
+  std::vector<ShardFingerprint> shard_fingerprints;
+  std::uint64_t true_edges = 0;  // |E| of the ground-truth trust graph
+  runner::SweepTelemetry telemetry;
+};
+
+LinkPrivacyFigure link_privacy_sweep(Workbench& bench,
+                                     const FigureScale& scale,
+                                     const LinkPrivacySpec& spec = {});
+
+}  // namespace ppo::experiments

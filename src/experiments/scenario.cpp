@@ -163,6 +163,8 @@ OverlayRunResult measure_overlay(Service& service, RunUntilFn run_until,
   result.replacements = service.total_replacements().replacements();
   result.messages_total = service.total_counters().messages_sent();
   result.health = service.protocol_health();
+  if (service.observer() != nullptr)
+    result.observations = service.observer()->merged();
   return result;
 }
 
@@ -212,6 +214,7 @@ OverlayRunResult run_overlay(const graph::Graph& trust,
   options.params = scenario.params;
   options.link_faults = scenario.faults;
   options.adversary = scenario.adversary;
+  options.observer = scenario.observer;
   const std::size_t n = trust.num_nodes();
 
   if (scenario.shards > 0) {

@@ -15,6 +15,7 @@
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
 #include "graph/graph.hpp"
+#include "inference/observer.hpp"
 #include "metrics/overlay_metrics.hpp"
 #include "metrics/protocol_health.hpp"
 #include "metrics/timeseries.hpp"
@@ -59,6 +60,12 @@ struct OverlayScenario {
   /// zero-fraction = bit-identical to an adversary-free run.
   std::optional<adversary::AdversaryPlan> adversary;
 
+  /// Link-privacy extension (§III): a passive observer recording
+  /// shuffle traffic at the send seams. Read-only — never perturbs
+  /// the trajectory; absent or zero-coverage = bit-identical to no
+  /// observer.
+  std::optional<inference::ObserverPlan> observer;
+
   /// Simulation backend. 0 = the legacy serial Simulator (bit-exact
   /// with every earlier release). K >= 1 = the sharded core with K
   /// shard workers; trajectories are identical for every K but differ
@@ -99,6 +106,9 @@ struct OverlayRunResult {
 
   /// Protocol + transport degradation rollup (see ProtocolHealth).
   metrics::ProtocolHealth health;
+
+  /// Merged observation log (empty unless scenario.observer enabled).
+  std::vector<inference::ObservationRecord> observations;
 };
 
 /// Runs the overlay-maintenance protocol on `trust` under churn and

@@ -1,0 +1,107 @@
+// Trust-edge inference attacks run over a merged ObservationLog.
+//
+// The attacker's problem (PAPER.md §III): shuffle traffic exposes
+// pseudonym-to-pseudonym exchanges, but pseudonyms rotate every
+// `pseudonym_lifetime` seconds, so raw exchange pairs underestimate
+// the persistent trust relationships behind them. The pipeline here
+// mirrors the de-anonymisation literature (Mittal et al.,
+// arXiv:1208.6189; Nguyen et al., arXiv:1609.01616):
+//
+//   1. Entity formation ("pseudonym-lifetime linking"): successive
+//      pseudonyms of one node are chained by exploiting that a node
+//      renews its own pseudonym at expiry — a successor first appears
+//      right when its predecessor expires — plus link-set continuity
+//      (the node keeps talking to roughly the same peers). Chains are
+//      collapsed into entities via union-find.
+//   2. Edge attacks score entity pairs as candidate trust edges:
+//        - lifetime_linking_attack: direct exchange volume between
+//          entities (trust neighbours exchange repeatedly).
+//        - common_neighbor_attack: cosine overlap of entity
+//          neighbourhoods — recovers edges even between pairs whose
+//          own traffic was never observed.
+//        - timing_correlation_attack: number of distinct coarse time
+//          buckets in which the pair exchanged — persistent trust
+//          links recur across the whole trace, while cache gossip
+//          pairs are bursty.
+//
+// Everything is a pure deterministic function of the log and options:
+// no RNG, no reads of the truth_* fields (those are for eval.hpp
+// only), so attack outputs inherit the log's K-invariance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "inference/observer.hpp"
+
+namespace ppo::inference {
+
+struct AttackOptions {
+  /// Max gap between a pseudonym's expiry and its successor's first
+  /// sighting for lifetime linking (seconds). Also scales the timing
+  /// bonus.
+  double link_window = 5.0;
+  /// Minimum peer-set Jaccard+timing score to accept a successor link.
+  double link_min_score = 0.05;
+  /// Bucket width for the timing-correlation attack (seconds).
+  double timing_bucket = 10.0;
+};
+
+/// Candidate trust edge between two entities, canonical u < v.
+struct ScoredEdge {
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+  double score = 0.0;
+
+  friend bool operator==(const ScoredEdge&, const ScoredEdge&) = default;
+};
+
+/// Activity profile of one observed pseudonym (aggregated over the
+/// log), plus the entity it was assigned to by lifetime linking.
+struct PseudonymProfile {
+  PseudonymValue value = 0;
+  double first_seen = 0.0;
+  double last_seen = 0.0;
+  double expiry = 0.0;  // max expiry advertised for this value
+  std::uint64_t exchanges = 0;
+  std::vector<PseudonymValue> peers;  // sorted, unique
+  std::uint32_t entity = 0;
+};
+
+/// Output of entity formation: per-pseudonym profiles and the number
+/// of entities (entity ids are dense in [0, num_entities)).
+struct EntityMap {
+  std::vector<PseudonymProfile> profiles;  // sorted by value
+  std::uint32_t num_entities = 0;
+
+  /// Entity id for a pseudonym value; num_entities when unseen.
+  std::uint32_t entity_of(PseudonymValue value) const;
+};
+
+/// Stage 1: chain successive pseudonyms into entities.
+EntityMap link_pseudonym_lifetimes(const std::vector<ObservationRecord>& log,
+                                   const AttackOptions& options);
+
+/// Stage 2 attacks. Each returns candidate edges sorted by
+/// (score desc, u, v) — ready for precision@K evaluation.
+std::vector<ScoredEdge> lifetime_linking_attack(
+    const EntityMap& entities, const std::vector<ObservationRecord>& log,
+    const AttackOptions& options);
+std::vector<ScoredEdge> common_neighbor_attack(
+    const EntityMap& entities, const std::vector<ObservationRecord>& log,
+    const AttackOptions& options);
+std::vector<ScoredEdge> timing_correlation_attack(
+    const EntityMap& entities, const std::vector<ObservationRecord>& log,
+    const AttackOptions& options);
+
+/// Attack registry for sweeps: name -> function, stable order.
+struct NamedAttack {
+  const char* name;
+  std::vector<ScoredEdge> (*run)(const EntityMap&,
+                                 const std::vector<ObservationRecord>&,
+                                 const AttackOptions&);
+};
+const std::vector<NamedAttack>& all_attacks();
+
+}  // namespace ppo::inference

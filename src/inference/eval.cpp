@@ -1,0 +1,167 @@
+#include "inference/eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace ppo::inference {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+}
+
+std::uint64_t double_bits(double x) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof x);
+  std::memcpy(&bits, &x, sizeof bits);
+  return bits;
+}
+
+}  // namespace
+
+std::vector<graph::NodeId> entity_truth_map(
+    const EntityMap& entities, const std::vector<ObservationRecord>& log,
+    std::size_t num_nodes) {
+  // votes[entity][node] = number of records where a pseudonym of this
+  // entity demonstrably belonged to that node.
+  std::vector<std::map<graph::NodeId, std::uint64_t>> votes(
+      entities.num_entities);
+  const auto vote = [&](PseudonymValue value, graph::NodeId node) {
+    if (value == 0) return;
+    const std::uint32_t entity = entities.entity_of(value);
+    if (entity >= entities.num_entities) return;
+    ++votes[entity][node];
+  };
+  for (const ObservationRecord& rec : log) {
+    vote(rec.src_pseudo, rec.truth_src);
+    vote(rec.dst_pseudo, rec.truth_dst);
+  }
+  std::vector<graph::NodeId> out(entities.num_entities,
+                                 static_cast<graph::NodeId>(num_nodes));
+  for (std::uint32_t e = 0; e < entities.num_entities; ++e) {
+    std::uint64_t best = 0;
+    for (const auto& [node, count] : votes[e]) {
+      if (count > best) {  // map order breaks ties to the smaller id
+        best = count;
+        out[e] = node;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<NodeEdge> map_to_node_edges(
+    const std::vector<ScoredEdge>& candidates,
+    const std::vector<graph::NodeId>& truth_map, std::size_t num_nodes) {
+  const auto unmapped = static_cast<graph::NodeId>(num_nodes);
+  std::map<std::pair<graph::NodeId, graph::NodeId>, double> best;
+  for (const ScoredEdge& edge : candidates) {
+    if (edge.u >= truth_map.size() || edge.v >= truth_map.size()) continue;
+    graph::NodeId a = truth_map[edge.u];
+    graph::NodeId b = truth_map[edge.v];
+    if (a == unmapped || b == unmapped || a == b) continue;
+    if (b < a) std::swap(a, b);
+    auto [it, inserted] = best.try_emplace({a, b}, edge.score);
+    if (!inserted) it->second = std::max(it->second, edge.score);
+  }
+  std::vector<NodeEdge> out;
+  out.reserve(best.size());
+  for (const auto& [pair, score] : best)
+    out.push_back({pair.first, pair.second, score});
+  std::sort(out.begin(), out.end(), [](const NodeEdge& a, const NodeEdge& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+  return out;
+}
+
+AttackMetrics score_edges(const std::vector<NodeEdge>& ranked,
+                          const graph::Graph& trust) {
+  AttackMetrics m;
+  m.candidates = ranked.size();
+  m.true_edges = trust.num_edges();
+  if (m.true_edges == 0 || ranked.empty()) {
+    m.auc = 0.5;
+    return m;
+  }
+
+  const std::size_t k =
+      std::min<std::size_t>(ranked.size(), static_cast<std::size_t>(m.true_edges));
+  std::size_t hits_at_k = 0;
+  for (std::size_t i = 0; i < k; ++i)
+    if (trust.has_edge(ranked[i].u, ranked[i].v)) ++hits_at_k;
+  m.hits = hits_at_k;
+  m.precision = double(hits_at_k) / double(k);
+  m.recall = double(hits_at_k) / double(m.true_edges);
+
+  // Rank AUC over the candidate list: probability a random true
+  // candidate outranks a random false one, with average ranks for
+  // score ties (ranked is score-descending, so rank from the back).
+  std::size_t positives = 0;
+  double positive_rank_sum = 0.0;
+  std::size_t i = 0;
+  while (i < ranked.size()) {
+    std::size_t j = i;
+    while (j < ranked.size() && ranked[j].score == ranked[i].score) ++j;
+    // Positions i..j-1 share ascending-rank values (n-j+1)..(n-i),
+    // so each gets the average rank of the tie group.
+    const double avg_rank =
+        (double(ranked.size() - j + 1) + double(ranked.size() - i)) / 2.0;
+    for (std::size_t t = i; t < j; ++t) {
+      if (trust.has_edge(ranked[t].u, ranked[t].v)) {
+        ++positives;
+        positive_rank_sum += avg_rank;
+      }
+    }
+    i = j;
+  }
+  const std::size_t negatives = ranked.size() - positives;
+  if (positives == 0 || negatives == 0) {
+    m.auc = 0.5;
+  } else {
+    m.auc = (positive_rank_sum - double(positives) * (positives + 1) / 2.0) /
+            (double(positives) * double(negatives));
+  }
+  return m;
+}
+
+std::uint64_t edges_fingerprint(const std::vector<NodeEdge>& ranked) {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, ranked.size());
+  for (const NodeEdge& edge : ranked) {
+    fnv_mix(h, edge.u);
+    fnv_mix(h, edge.v);
+    fnv_mix(h, double_bits(edge.score));
+  }
+  return h;
+}
+
+std::uint64_t log_fingerprint(const std::vector<ObservationRecord>& log) {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, log.size());
+  for (const ObservationRecord& rec : log) {
+    fnv_mix(h, double_bits(rec.time));
+    fnv_mix(h, rec.src_pseudo);
+    fnv_mix(h, double_bits(rec.src_expiry));
+    fnv_mix(h, rec.dst_pseudo);
+    fnv_mix(h, double_bits(rec.dst_expiry));
+    fnv_mix(h, rec.digest);
+    fnv_mix(h, rec.is_response ? 1 : 0);
+    fnv_mix(h, rec.truth_src);
+    fnv_mix(h, rec.truth_dst);
+  }
+  return h;
+}
+
+}  // namespace ppo::inference

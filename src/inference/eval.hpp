@@ -1,0 +1,61 @@
+// Scores inference attacks against the ground-truth trust graph.
+// This is the only place in the subsystem allowed to read the
+// ObservationRecord truth_* fields: entities are mapped back to nodes
+// by majority vote over the records, candidate entity pairs become
+// node pairs, and the ranked list is scored with precision@K,
+// recall@K (K = min(#candidates, |E_trust|)) and rank-based ROC AUC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "inference/attacks.hpp"
+
+namespace ppo::inference {
+
+struct AttackMetrics {
+  double precision = 0.0;  // at K = min(candidates, true edges)
+  double recall = 0.0;     // of all true trust edges, at the same K
+  double auc = 0.0;        // rank AUC over candidates; 0.5 if degenerate
+  std::uint64_t candidates = 0;  // node-pair candidates after mapping
+  std::uint64_t true_edges = 0;  // |E_trust|
+  std::uint64_t hits = 0;        // true edges within the top-K
+};
+
+/// Majority-vote entity -> truth-node mapping (ties to the smaller
+/// node id). Index = entity id; value = node id, or
+/// graph::kInvalidNode-like sentinel num_nodes when an entity never
+/// appeared in any record.
+std::vector<graph::NodeId> entity_truth_map(
+    const EntityMap& entities, const std::vector<ObservationRecord>& log,
+    std::size_t num_nodes);
+
+/// Candidate node-pair edge after entity -> node mapping.
+struct NodeEdge {
+  graph::NodeId u = 0;
+  graph::NodeId v = 0;
+  double score = 0.0;
+
+  friend bool operator==(const NodeEdge&, const NodeEdge&) = default;
+};
+
+/// Maps entity-pair candidates to node pairs (dropping self-pairs and
+/// unmapped entities, deduplicating to the max score) and returns them
+/// in (score desc, u, v) order.
+std::vector<NodeEdge> map_to_node_edges(
+    const std::vector<ScoredEdge>& candidates,
+    const std::vector<graph::NodeId>& truth_map, std::size_t num_nodes);
+
+/// Scores a ranked candidate list against the trust graph.
+AttackMetrics score_edges(const std::vector<NodeEdge>& ranked,
+                          const graph::Graph& trust);
+
+/// FNV-1a fingerprint of a ranked candidate list — the bit-identity
+/// handle used by the K-invariance cross-checks.
+std::uint64_t edges_fingerprint(const std::vector<NodeEdge>& ranked);
+
+/// FNV-1a fingerprint of a merged observation log.
+std::uint64_t log_fingerprint(const std::vector<ObservationRecord>& log);
+
+}  // namespace ppo::inference

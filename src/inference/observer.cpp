@@ -1,0 +1,132 @@
+#include "inference/observer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "obs/trace.hpp"
+
+namespace ppo::inference {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+}
+
+std::uint64_t double_bits(double x) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof x);
+  std::memcpy(&bits, &x, sizeof bits);
+  return bits;
+}
+
+}  // namespace
+
+void ObserverPlan::validate() const {
+  PPO_CHECK_MSG(coverage >= 0.0 && coverage <= 1.0,
+                "observer coverage must be in [0, 1]");
+}
+
+std::vector<bool> materialize_observers(const ObserverPlan& plan,
+                                        std::size_t num_nodes) {
+  plan.validate();
+  std::vector<bool> mask(num_nodes, false);
+  if (!plan.enabled() || num_nodes == 0) return mask;
+  const auto count = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(num_nodes),
+                       std::llround(plan.coverage * double(num_nodes))));
+  std::vector<NodeId> order(num_nodes);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  Rng rng(derive_seed(plan.seed, 0x0B5Eu));
+  rng.shuffle(order);
+  for (std::size_t i = 0; i < count; ++i) mask[order[i]] = true;
+  return mask;
+}
+
+std::uint64_t observation_digest(const std::vector<PseudonymRecord>& set) {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, set.size());
+  for (const PseudonymRecord& rec : set) {
+    fnv_mix(h, rec.value);
+    fnv_mix(h, double_bits(rec.expiry));
+  }
+  return h;
+}
+
+ObserverAdversary::ObserverAdversary(const ObserverPlan& plan,
+                                     std::size_t num_nodes)
+    : plan_(plan),
+      global_(plan.coverage >= 1.0),
+      observers_(materialize_observers(plan, num_nodes)),
+      buffers_(num_nodes) {
+  observer_count_ = static_cast<std::size_t>(
+      std::count(observers_.begin(), observers_.end(), true));
+}
+
+std::optional<PendingObservation> ObserverAdversary::capture(
+    NodeId from, NodeId to, sim::Time now, bool is_response,
+    const std::optional<PseudonymRecord>& src_own,
+    const std::vector<PseudonymRecord>& set) const {
+  if (!observes(from, to)) return std::nullopt;
+  if (!src_own.has_value()) return std::nullopt;
+  PendingObservation pending;
+  pending.time = now;
+  pending.src = from;
+  pending.src_pseudo = src_own->value;
+  pending.src_expiry = src_own->expiry;
+  pending.digest = observation_digest(set);
+  pending.is_response = is_response;
+  return pending;
+}
+
+void ObserverAdversary::deliver(const PendingObservation& pending, NodeId to,
+                                const std::optional<PseudonymRecord>& dst_own) {
+  Buffer& buffer = buffers_[to];
+  ObservationRecord rec;
+  rec.time = pending.time;
+  rec.src_pseudo = pending.src_pseudo;
+  rec.src_expiry = pending.src_expiry;
+  if (dst_own.has_value()) {
+    rec.dst_pseudo = dst_own->value;
+    rec.dst_expiry = dst_own->expiry;
+  }
+  rec.digest = pending.digest;
+  rec.is_response = pending.is_response;
+  rec.truth_src = pending.src;
+  rec.truth_dst = to;
+  rec.seq = buffer.seq++;
+  buffer.records.push_back(rec);
+  PPO_TRACE_EVENT(obs::TraceCategory::kInference, "observe", to,
+                  (obs::TraceArg{"response", pending.is_response ? 1.0 : 0.0}));
+}
+
+std::uint64_t ObserverAdversary::records_recorded() const {
+  std::uint64_t total = 0;
+  for (const Buffer& buffer : buffers_) total += buffer.records.size();
+  return total;
+}
+
+std::vector<ObservationRecord> ObserverAdversary::merged() const {
+  std::vector<ObservationRecord> out;
+  out.reserve(records_recorded());
+  for (const Buffer& buffer : buffers_)
+    out.insert(out.end(), buffer.records.begin(), buffer.records.end());
+  std::sort(out.begin(), out.end(),
+            [](const ObservationRecord& a, const ObservationRecord& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.truth_dst != b.truth_dst) return a.truth_dst < b.truth_dst;
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+}  // namespace ppo::inference

@@ -34,11 +34,14 @@ constexpr CategoryName kCategoryNames[] = {
     {static_cast<std::uint32_t>(TraceCategory::kLog), "log"},
     {static_cast<std::uint32_t>(TraceCategory::kUser), "user"},
     {static_cast<std::uint32_t>(TraceCategory::kAdversary), "adversary"},
+    {static_cast<std::uint32_t>(TraceCategory::kInference), "inference"},
+    {static_cast<std::uint32_t>(TraceCategory::kDht), "dht"},
+    {static_cast<std::uint32_t>(TraceCategory::kRouting), "routing"},
 };
 }  // namespace
 
-Tracer::Tracer(std::size_t capacity_per_buffer)
-    : capacity_per_buffer_(capacity_per_buffer) {}
+Tracer::Tracer(std::size_t capacity_per_buffer, TraceSink* sink)
+    : capacity_per_buffer_(capacity_per_buffer), sink_(sink) {}
 
 Tracer::Buffer* Tracer::attach_buffer() {
   std::lock_guard<std::mutex> lock(attach_mutex_);
@@ -54,11 +57,28 @@ void Tracer::emit(TraceRecord&& record) {
     tls_buffer = buffer;
   }
   if (buffer->records.size() >= capacity_per_buffer_) {
-    ++buffer->dropped;
-    return;
+    if (sink_ == nullptr) {
+      ++buffer->dropped;
+      return;
+    }
+    flush_buffer(*buffer);
   }
   record.seq = buffer->seq++;
   buffer->records.push_back(std::move(record));
+}
+
+void Tracer::flush_buffer(Buffer& buffer) {
+  if (buffer.records.empty()) return;
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  flushed_ += buffer.records.size();
+  sink_->write(std::move(buffer.records));
+  buffer.records.clear();
+}
+
+void Tracer::flush_to_sink() {
+  if (sink_ == nullptr) return;
+  std::lock_guard<std::mutex> attach(attach_mutex_);
+  for (const auto& b : buffers_) flush_buffer(*b);
 }
 
 std::vector<TraceRecord> Tracer::merged() const {
@@ -84,9 +104,14 @@ std::vector<TraceRecord> Tracer::merged() const {
 
 std::uint64_t Tracer::records_recorded() const {
   std::lock_guard<std::mutex> lock(attach_mutex_);
-  std::uint64_t n = 0;
+  std::uint64_t n = records_flushed();
   for (const auto& b : buffers_) n += b->records.size();
   return n;
+}
+
+std::uint64_t Tracer::records_flushed() const {
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  return flushed_;
 }
 
 std::uint64_t Tracer::records_dropped() const {

@@ -42,10 +42,13 @@ enum class TraceCategory : std::uint32_t {
   kLog = 1u << 6,        // kTrace-level log messages routed here
   kUser = 1u << 7,       // ad-hoc instrumentation
   kAdversary = 1u << 8,  // Byzantine attack/defense events
+  kInference = 1u << 9,  // passive-observer observation events
+  kDht = 1u << 10,       // DHT lookup spans
+  kRouting = 1u << 11,   // pseudonym-routing walk spans
 };
 
 inline constexpr std::uint32_t kTraceNone = 0;
-inline constexpr std::uint32_t kTraceAll = 0x1FFu;
+inline constexpr std::uint32_t kTraceAll = 0xFFFu;
 
 /// Record shape, loosely after Chrome's trace_event phases.
 enum class TracePhase : std::uint8_t {
@@ -79,24 +82,47 @@ struct TraceRecord {
   std::uint64_t seq = 0;  // per-buffer emission order
 };
 
+/// Receives batches of records evicted from a full per-thread buffer
+/// (and the final drain from Tracer::flush_to_sink). Calls are
+/// serialized by the Tracer; a batch preserves one buffer's emission
+/// order but batches from different buffers interleave in flush order,
+/// not canonical order — streaming trades global ordering for bounded
+/// memory. Implementations must not emit trace records.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void write(std::vector<TraceRecord>&& batch) = 0;
+};
+
 /// Collects records into per-thread buffers; merge happens off the hot
 /// path in merged(). A Tracer must outlive its installation.
 class Tracer {
  public:
   /// `capacity_per_buffer`: records beyond this are counted as dropped
-  /// instead of stored, bounding memory for runaway traces.
-  explicit Tracer(std::size_t capacity_per_buffer = 1u << 22);
+  /// instead of stored, bounding memory for runaway traces. With a
+  /// `sink`, a full buffer is flushed to the sink and reused instead —
+  /// long runs lose nothing; call flush_to_sink() at the end to drain
+  /// what is still resident.
+  explicit Tracer(std::size_t capacity_per_buffer = 1u << 22,
+                  TraceSink* sink = nullptr);
 
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
-  /// All records in canonical (time, origin, attach_order, seq) order.
-  /// Call only while no thread is emitting (after uninstall or at a
-  /// barrier).
+  /// All still-resident records in canonical (time, origin,
+  /// attach_order, seq) order. Call only while no thread is emitting
+  /// (after uninstall or at a barrier). Records already flushed to the
+  /// sink are not included.
   std::vector<TraceRecord> merged() const;
 
+  /// Drains every buffer to the sink (no-op without one). Call only at
+  /// quiescent points.
+  void flush_to_sink();
+
+  /// Total records accepted, including those flushed to the sink.
   std::uint64_t records_recorded() const;
   std::uint64_t records_dropped() const;
+  std::uint64_t records_flushed() const;
 
   // -- internal, called via the emit path --
   void emit(TraceRecord&& record);
@@ -109,10 +135,14 @@ class Tracer {
   };
 
   Buffer* attach_buffer();
+  void flush_buffer(Buffer& buffer);
 
   std::size_t capacity_per_buffer_;
+  TraceSink* sink_;
   mutable std::mutex attach_mutex_;
   std::vector<std::unique_ptr<Buffer>> buffers_;
+  mutable std::mutex sink_mutex_;
+  std::uint64_t flushed_ = 0;  // guarded by sink_mutex_
 };
 
 namespace detail {
@@ -163,8 +193,8 @@ inline void set_trace_shard(std::uint32_t shard) {
 
 /// Parses "all", "none"/"" or a comma list of category names
 /// (sim, shard, shuffle, pseudonym, transport, churn, log, user,
-/// adversary) into a mask. Throws std::invalid_argument on unknown
-/// names.
+/// adversary, inference, dht, routing) into a mask. Throws
+/// std::invalid_argument on unknown names.
 std::uint32_t parse_trace_categories(const std::string& spec);
 
 /// Category bit → lower-case name ("shuffle"); "?" for unknown bits.

@@ -103,4 +103,30 @@ void write_file(const std::string& path, const std::string& content) {
   if (!out) throw std::runtime_error("write failed: " + path);
 }
 
+JsonlStreamSink::JsonlStreamSink(const std::string& path)
+    : path_(path), out_(path, std::ios::binary) {
+  if (!out_) throw std::runtime_error("cannot open for write: " + path);
+}
+
+JsonlStreamSink::~JsonlStreamSink() {
+  try {
+    close();
+  } catch (...) {
+  }
+}
+
+void JsonlStreamSink::write(std::vector<TraceRecord>&& batch) {
+  if (!out_.is_open()) return;
+  out_ << trace_jsonl(batch);
+  lines_written_ += batch.size();
+}
+
+void JsonlStreamSink::close() {
+  if (!out_.is_open()) return;
+  out_.flush();
+  const bool ok = static_cast<bool>(out_);
+  out_.close();
+  if (!ok) throw std::runtime_error("write failed: " + path_);
+}
+
 }  // namespace ppo::obs

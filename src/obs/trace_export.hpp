@@ -3,6 +3,7 @@
 // for ad-hoc tooling (jq, tools/trace_summarize).
 #pragma once
 
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -23,5 +24,31 @@ std::string trace_jsonl(const std::vector<TraceRecord>& records);
 
 /// Writes `content` to `path`; throws std::runtime_error on failure.
 void write_file(const std::string& path, const std::string& content);
+
+/// TraceSink streaming each evicted batch as JSONL straight to a file,
+/// so a traced run bounded only by disk loses no records when the
+/// in-memory buffers fill. Lines arrive in flush order (per-buffer
+/// emission order within a batch); pipe through `sort` on the `t`
+/// field or tools/trace_summarize when canonical order matters.
+/// Construct, pass to Tracer, call tracer.flush_to_sink() at the end,
+/// then close() (also done by the destructor, which swallows errors).
+class JsonlStreamSink : public TraceSink {
+ public:
+  explicit JsonlStreamSink(const std::string& path);
+  ~JsonlStreamSink() override;
+
+  void write(std::vector<TraceRecord>&& batch) override;
+
+  /// Flushes and closes the file; throws std::runtime_error if any
+  /// write failed.
+  void close();
+
+  std::uint64_t lines_written() const { return lines_written_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t lines_written_ = 0;
+};
 
 }  // namespace ppo::obs

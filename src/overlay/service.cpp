@@ -54,6 +54,9 @@ OverlayService::OverlayService(
         std::vector<NodeId>(nbrs.begin(), nbrs.end()), *this, rng_.split()));
   }
   init_adversary();
+  if (options_.observer && options_.observer->enabled())
+    observer_ = std::make_unique<inference::ObserverAdversary>(
+        *options_.observer, nodes_.size());
 }
 
 void OverlayService::init_adversary() {
@@ -150,8 +153,18 @@ void OverlayService::send_shuffle_request(NodeId from, NodeId to,
     if (verdict.suppress) return;
     to = engine_->redirect_request_target(from, to);
   }
-  link_->send(from, to, [this, from, to, set = std::move(set)] {
+  // Observer capture is read-only and happens after the adversary
+  // transform, so it logs exactly what is on the wire.
+  std::optional<inference::PendingObservation> observed;
+  if (observer_)
+    observed = observer_->capture(from, to, sim_.now(),
+                                  /*is_response=*/false,
+                                  nodes_[from]->own_pseudonym(), set);
+  link_->send(from, to, [this, from, to, set = std::move(set),
+                         observed = std::move(observed)] {
     if (engine_) engine_->observe_received(to, set);
+    if (observed)
+      observer_->deliver(*observed, to, nodes_[to]->own_pseudonym());
     nodes_[to]->handle_shuffle_request(from, set);
   });
 }
@@ -166,8 +179,16 @@ void OverlayService::send_shuffle_response(NodeId from, NodeId to,
       pseudonyms_.try_register_minted(from, record, sim_.now());
     if (verdict.suppress) return;  // defector swallows the response
   }
-  link_->send(from, to, [this, to, set = std::move(set)] {
+  std::optional<inference::PendingObservation> observed;
+  if (observer_)
+    observed = observer_->capture(from, to, sim_.now(),
+                                  /*is_response=*/true,
+                                  nodes_[from]->own_pseudonym(), set);
+  link_->send(from, to, [this, to, set = std::move(set),
+                         observed = std::move(observed)] {
     if (engine_) engine_->observe_received(to, set);
+    if (observed)
+      observer_->deliver(*observed, to, nodes_[to]->own_pseudonym());
     nodes_[to]->handle_shuffle_response(set);
   });
 }

@@ -15,6 +15,7 @@
 #include "fault/fault_plan.hpp"
 #include "fault/faulty_transport.hpp"
 #include "graph/graph.hpp"
+#include "inference/observer.hpp"
 #include "metrics/protocol_health.hpp"
 #include "overlay/node.hpp"
 #include "overlay/params.hpp"
@@ -50,6 +51,14 @@ struct OverlayServiceOptions {
   /// the unwrapped baseline (the engine draws only from plan-derived
   /// streams, never from the service RNG).
   std::optional<adversary::AdversaryPlan> adversary;
+
+  /// Link-privacy measurement extension (§III): when set and
+  /// enabled(), a passive ObserverAdversary records the shuffle
+  /// traffic its observation model can see. Purely read-only at the
+  /// same send seams — it never perturbs the trajectory — and a
+  /// zero-coverage plan skips construction entirely, keeping the run
+  /// bit-identical to one with no plan at all.
+  std::optional<inference::ObserverPlan> observer;
 };
 
 class OverlayService final : public NodeEnvironment {
@@ -129,6 +138,10 @@ class OverlayService final : public NodeEnvironment {
   const adversary::AdversaryEngine* adversary_engine() const {
     return engine_.get();
   }
+  /// The passive observer, if an enabled plan was set.
+  const inference::ObserverAdversary* observer() const {
+    return observer_.get();
+  }
 
   /// The current overlay graph over ALL nodes (online and offline):
   /// trust edges plus an edge {u, v} whenever u holds a live
@@ -172,6 +185,7 @@ class OverlayService final : public NodeEnvironment {
   privacylink::LinkTransport* link_ = nullptr;  // what sends go through
   bool pseudonym_service_available_ = true;
   std::unique_ptr<adversary::AdversaryEngine> engine_;  // optional
+  std::unique_ptr<inference::ObserverAdversary> observer_;  // optional
   std::vector<std::unique_ptr<OverlayNode>> nodes_;
   std::vector<sim::PeriodicTask> ticks_;
   bool started_ = false;

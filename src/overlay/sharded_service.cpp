@@ -95,6 +95,9 @@ ShardedOverlayService::ShardedOverlayService(
   pending_adversary_mints_.resize(sim_.num_shards());
   sim_.set_barrier_hook([this] { publish_pending_mints(); });
   init_adversary();
+  if (options_.observer && options_.observer->enabled())
+    observer_ = std::make_unique<inference::ObserverAdversary>(
+        *options_.observer, nodes_.size());
 }
 
 void ShardedOverlayService::init_adversary() {
@@ -241,8 +244,20 @@ void ShardedOverlayService::send_shuffle_request(
     if (verdict.suppress) return;
     to = engine_->redirect_request_target(from, to);
   }
-  link_->send(from, to, [this, from, to, set = std::move(set)] {
+  // Sender-context capture (reads only the sender's own state), then
+  // receiver-context completion inside the delivery event: each
+  // observation lands in the destination node's buffer, touched only
+  // from that node's shard — the K-invariance contract.
+  std::optional<inference::PendingObservation> observed;
+  if (observer_)
+    observed = observer_->capture(from, to, sim_.now(),
+                                  /*is_response=*/false,
+                                  nodes_[from]->own_pseudonym(), set);
+  link_->send(from, to, [this, from, to, set = std::move(set),
+                         observed = std::move(observed)] {
     if (engine_) engine_->observe_received(to, set);
+    if (observed)
+      observer_->deliver(*observed, to, nodes_[to]->own_pseudonym());
     nodes_[to]->handle_shuffle_request(from, set);
   });
 }
@@ -263,8 +278,16 @@ void ShardedOverlayService::send_shuffle_response(
     }
     if (verdict.suppress) return;  // defector swallows the response
   }
-  link_->send(from, to, [this, to, set = std::move(set)] {
+  std::optional<inference::PendingObservation> observed;
+  if (observer_)
+    observed = observer_->capture(from, to, sim_.now(),
+                                  /*is_response=*/true,
+                                  nodes_[from]->own_pseudonym(), set);
+  link_->send(from, to, [this, to, set = std::move(set),
+                         observed = std::move(observed)] {
     if (engine_) engine_->observe_received(to, set);
+    if (observed)
+      observer_->deliver(*observed, to, nodes_[to]->own_pseudonym());
     nodes_[to]->handle_shuffle_response(set);
   });
 }

@@ -117,6 +117,10 @@ class ShardedOverlayService final : public NodeEnvironment {
   const adversary::AdversaryEngine* adversary_engine() const {
     return engine_.get();
   }
+  /// The passive observer, if an enabled plan was set.
+  const inference::ObserverAdversary* observer() const {
+    return observer_.get();
+  }
 
   graph::Graph overlay_snapshot() const;
   std::vector<NodeId> current_peers(NodeId v) const;
@@ -170,6 +174,7 @@ class ShardedOverlayService final : public NodeEnvironment {
   /// Installed blackout schedule (read-only while windows run).
   std::vector<fault::Window> pseudonym_blackouts_;
   std::unique_ptr<adversary::AdversaryEngine> engine_;  // optional
+  std::unique_ptr<inference::ObserverAdversary> observer_;  // optional
   /// Node whose callback is running while in external context (start
   /// / churn-callback bootstrap), so schedule() can attribute timers.
   NodeId external_node_ = privacylink::NodeId(-1);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace ppo::routing {
 
@@ -27,6 +28,13 @@ WalkResult route_to_pseudonym(overlay::OverlayService& service,
   PPO_CHECK_MSG(service.is_online(source), "source must be online");
   PPO_CHECK_MSG(options.ttl >= 1 && options.walkers >= 1,
                 "ttl and walkers must be positive");
+
+  // Span id: per-thread sequence — routes never nest, and a
+  // thread-local keeps concurrent sweep shards race-free.
+  static thread_local std::uint64_t route_seq = 0;
+  const std::uint64_t span_id = ++route_seq;
+  PPO_TRACE_SPAN_BEGIN(obs::TraceCategory::kRouting, "route_walk",
+                       static_cast<std::uint32_t>(source), span_id);
 
   WalkResult result;
   const auto owner = [&]() -> std::optional<NodeId> {
@@ -77,6 +85,11 @@ WalkResult route_to_pseudonym(overlay::OverlayService& service,
           rng.uniform_double(options.min_latency, options.max_latency);
     }
   }
+  PPO_TRACE_SPAN_END(
+      obs::TraceCategory::kRouting, "route_walk",
+      static_cast<std::uint32_t>(source), span_id,
+      (obs::TraceArg{"delivered", result.delivered ? 1.0 : 0.0}),
+      (obs::TraceArg{"messages", double(result.messages)}));
   return result;
 }
 

@@ -1,0 +1,359 @@
+// Passive-observer inference subsystem: colluder-mask determinism,
+// capture/deliver seam semantics, canonical log order, the attack
+// pipeline on a hand-checkable fixture, and the zero-coverage
+// bit-identity guarantee end to end.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "experiments/scenario.hpp"
+#include "graph/generators.hpp"
+#include "inference/attacks.hpp"
+#include "inference/eval.hpp"
+#include "inference/observer.hpp"
+
+namespace ppo::inference {
+namespace {
+
+TEST(ObserverPlan, MaterializeIsDeterministicAndCounted) {
+  ObserverPlan plan;
+  plan.coverage = 0.25;
+  plan.seed = 77;
+  const auto mask = materialize_observers(plan, 100);
+  ASSERT_EQ(mask.size(), 100u);
+  std::size_t count = 0;
+  for (const bool bit : mask) count += bit;
+  EXPECT_EQ(count, 25u);
+  EXPECT_EQ(materialize_observers(plan, 100), mask);
+
+  ObserverPlan other = plan;
+  other.seed = 78;
+  EXPECT_NE(materialize_observers(other, 100), mask);
+
+  plan.coverage = 1.0;
+  for (const bool bit : materialize_observers(plan, 16)) EXPECT_TRUE(bit);
+
+  ObserverPlan off;
+  EXPECT_FALSE(off.enabled());
+  for (const bool bit : materialize_observers(off, 16)) EXPECT_FALSE(bit);
+}
+
+TEST(ObserverAdversary, GlobalObserverCapturesWireMetadataOnly) {
+  ObserverPlan plan;
+  plan.coverage = 1.0;
+  ObserverAdversary observer(plan, 4);
+  EXPECT_EQ(observer.observer_count(), 4u);
+  EXPECT_TRUE(observer.observes(0, 1));
+
+  const PseudonymRecord src_own{5, 20.0};
+  const std::vector<PseudonymRecord> set{{7, 30.0}, {9, 40.0}};
+  const auto pending =
+      observer.capture(0, 1, 2.0, /*is_response=*/false, src_own, set);
+  ASSERT_TRUE(pending.has_value());
+  EXPECT_EQ(pending->src, 0u);
+  EXPECT_EQ(pending->src_pseudo, 5u);
+  EXPECT_EQ(pending->src_expiry, 20.0);
+  EXPECT_EQ(pending->digest, observation_digest(set));
+  EXPECT_FALSE(pending->is_response);
+
+  // A sender without a live pseudonym has nothing on the wire to see.
+  EXPECT_FALSE(observer.capture(0, 1, 2.0, false, std::nullopt, set));
+
+  observer.deliver(*pending, 1, PseudonymRecord{7, 30.0});
+  EXPECT_EQ(observer.records_recorded(), 1u);
+  const auto log = observer.merged();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].time, 2.0);
+  EXPECT_EQ(log[0].src_pseudo, 5u);
+  EXPECT_EQ(log[0].dst_pseudo, 7u);
+  EXPECT_EQ(log[0].dst_expiry, 30.0);
+  EXPECT_EQ(log[0].truth_src, 0u);
+  EXPECT_EQ(log[0].truth_dst, 1u);
+}
+
+TEST(ObserverAdversary, PartialCoverageSeesOnlyColluderTraffic) {
+  ObserverPlan plan;
+  plan.coverage = 0.25;
+  plan.seed = 13;
+  const std::size_t n = 20;
+  ObserverAdversary observer(plan, n);
+  EXPECT_EQ(observer.observer_count(), 5u);
+
+  NodeId colluder = 0, honest_a = 0, honest_b = 0;
+  bool have_colluder = false;
+  std::size_t honest_found = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (observer.is_observer(v) && !have_colluder) {
+      colluder = v;
+      have_colluder = true;
+    } else if (!observer.is_observer(v) && honest_found < 2) {
+      (honest_found == 0 ? honest_a : honest_b) = v;
+      ++honest_found;
+    }
+  }
+  ASSERT_TRUE(have_colluder);
+  ASSERT_EQ(honest_found, 2u);
+  EXPECT_TRUE(observer.observes(colluder, honest_a));
+  EXPECT_TRUE(observer.observes(honest_a, colluder));
+  EXPECT_FALSE(observer.observes(honest_a, honest_b));
+
+  const PseudonymRecord own{1, 5.0};
+  EXPECT_FALSE(observer.capture(honest_a, honest_b, 1.0, false, own, {}));
+  EXPECT_TRUE(observer.capture(honest_a, colluder, 1.0, false, own, {}));
+}
+
+TEST(ObserverAdversary, MergedLogIsCanonicallyOrdered) {
+  ObserverPlan plan;
+  plan.coverage = 1.0;
+  ObserverAdversary observer(plan, 3);
+  const PseudonymRecord own{1, 99.0};
+  const auto send = [&](NodeId from, NodeId to, double t) {
+    const auto pending = observer.capture(from, to, t, false, own, {});
+    ASSERT_TRUE(pending.has_value());
+    observer.deliver(*pending, to, PseudonymRecord{2, 99.0});
+  };
+  send(0, 2, 5.0);
+  send(0, 1, 5.0);
+  send(1, 0, 1.0);
+  send(2, 1, 5.0);
+
+  const auto log = observer.merged();
+  ASSERT_EQ(log.size(), 4u);
+  // (time, truth_dst, seq): t=1 first, then the t=5 records by
+  // destination, destination 1's two records in emission order.
+  EXPECT_EQ(log[0].time, 1.0);
+  EXPECT_EQ(log[1].truth_dst, 1u);
+  EXPECT_EQ(log[1].truth_src, 0u);
+  EXPECT_EQ(log[2].truth_dst, 1u);
+  EXPECT_EQ(log[2].truth_src, 2u);
+  EXPECT_EQ(log[3].truth_dst, 2u);
+}
+
+TEST(ObservationDigest, DistinguishesSets) {
+  const std::vector<PseudonymRecord> a{{1, 2.0}, {3, 4.0}};
+  const std::vector<PseudonymRecord> b{{1, 2.0}, {3, 5.0}};
+  EXPECT_EQ(observation_digest(a), observation_digest(a));
+  EXPECT_NE(observation_digest(a), observation_digest(b));
+  EXPECT_NE(observation_digest(a), observation_digest({}));
+}
+
+/// Hand-checkable fixture: node 0 rotates pseudonym 100 -> 101 at
+/// t=10 while talking to nodes 1 (pseudonym 200) and 2 (pseudonym
+/// 300); true trust edges are 0-1 and 0-2.
+std::vector<ObservationRecord> fixture_log() {
+  const auto rec = [](double t, PseudonymValue sp, double se,
+                      PseudonymValue dp, double de, NodeId ts, NodeId td) {
+    ObservationRecord r;
+    r.time = t;
+    r.src_pseudo = sp;
+    r.src_expiry = se;
+    r.dst_pseudo = dp;
+    r.dst_expiry = de;
+    r.truth_src = ts;
+    r.truth_dst = td;
+    return r;
+  };
+  return {
+      rec(1.0, 100, 10.0, 200, 50.0, 0, 1),
+      rec(2.0, 200, 50.0, 100, 10.0, 1, 0),
+      rec(3.0, 100, 10.0, 300, 50.0, 0, 2),
+      rec(11.0, 101, 30.0, 200, 50.0, 0, 1),
+      rec(12.0, 101, 30.0, 300, 50.0, 0, 2),
+  };
+}
+
+graph::Graph fixture_trust() {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.finalize();
+  return g;
+}
+
+TEST(InferenceFixture, LifetimeLinkingChainsRotatedPseudonyms) {
+  const auto log = fixture_log();
+  const auto entities = link_pseudonym_lifetimes(log, {});
+  // 100 and 101 collapse into one entity (101 first appears right as
+  // 100 expires, with identical peer sets); 200 and 300 stay alone.
+  EXPECT_EQ(entities.num_entities, 3u);
+  EXPECT_EQ(entities.entity_of(100), entities.entity_of(101));
+  EXPECT_NE(entities.entity_of(100), entities.entity_of(200));
+  EXPECT_NE(entities.entity_of(200), entities.entity_of(300));
+  EXPECT_EQ(entities.entity_of(999), entities.num_entities);  // unseen
+
+  const auto it = std::find_if(
+      entities.profiles.begin(), entities.profiles.end(),
+      [](const PseudonymProfile& p) { return p.value == 100; });
+  ASSERT_NE(it, entities.profiles.end());
+  EXPECT_EQ(it->first_seen, 1.0);
+  EXPECT_EQ(it->last_seen, 3.0);
+  EXPECT_EQ(it->expiry, 10.0);
+  EXPECT_EQ(it->exchanges, 3u);
+  EXPECT_EQ(it->peers, (std::vector<PseudonymValue>{200, 300}));
+}
+
+TEST(InferenceFixture, AttackScoresAreHandCheckable) {
+  const auto log = fixture_log();
+  const auto entities = link_pseudonym_lifetimes(log, {});
+  const std::uint32_t e0 = entities.entity_of(100);
+  const std::uint32_t e1 = entities.entity_of(200);
+  const std::uint32_t e2 = entities.entity_of(300);
+
+  // Direct exchange volume: (0,1) exchanged 3 times, (0,2) twice.
+  const auto lifetime = lifetime_linking_attack(entities, log, {});
+  ASSERT_EQ(lifetime.size(), 2u);
+  EXPECT_EQ(lifetime[0], (ScoredEdge{std::min(e0, e1), std::max(e0, e1), 3.0}));
+  EXPECT_EQ(lifetime[1], (ScoredEdge{std::min(e0, e2), std::max(e0, e2), 2.0}));
+
+  // Entities 1 and 2 share exactly one neighbour (entity 0), each
+  // with degree 1: cosine 1/sqrt(1*1) = 1. No other pair overlaps.
+  const auto common = common_neighbor_attack(entities, log, {});
+  ASSERT_EQ(common.size(), 1u);
+  EXPECT_EQ(common[0], (ScoredEdge{std::min(e1, e2), std::max(e1, e2), 1.0}));
+
+  // Both true pairs recur in 2 distinct 10-second buckets.
+  const auto timing = timing_correlation_attack(entities, log, {});
+  ASSERT_EQ(timing.size(), 2u);
+  EXPECT_EQ(timing[0].score, 2.0);
+  EXPECT_EQ(timing[1].score, 2.0);
+}
+
+TEST(InferenceFixture, EvaluationAgainstGroundTruthIsHandCheckable) {
+  const auto log = fixture_log();
+  const auto trust = fixture_trust();
+  const auto entities = link_pseudonym_lifetimes(log, {});
+  const auto truth_map = entity_truth_map(entities, log, trust.num_nodes());
+  ASSERT_EQ(truth_map.size(), 3u);
+  EXPECT_EQ(truth_map[entities.entity_of(100)], 0u);
+  EXPECT_EQ(truth_map[entities.entity_of(200)], 1u);
+  EXPECT_EQ(truth_map[entities.entity_of(300)], 2u);
+
+  // Lifetime linking recovers both trust edges exactly.
+  const auto lifetime = map_to_node_edges(
+      lifetime_linking_attack(entities, log, {}), truth_map,
+      trust.num_nodes());
+  ASSERT_EQ(lifetime.size(), 2u);
+  EXPECT_EQ(lifetime[0], (NodeEdge{0, 1, 3.0}));
+  EXPECT_EQ(lifetime[1], (NodeEdge{0, 2, 2.0}));
+  const auto lm = score_edges(lifetime, trust);
+  EXPECT_EQ(lm.candidates, 2u);
+  EXPECT_EQ(lm.true_edges, 2u);
+  EXPECT_EQ(lm.hits, 2u);
+  EXPECT_EQ(lm.precision, 1.0);
+  EXPECT_EQ(lm.recall, 1.0);
+  EXPECT_EQ(lm.auc, 0.5);  // all candidates positive: degenerate
+
+  // Common-neighbour proposes only the non-edge 1-2: precision 0.
+  const auto common = map_to_node_edges(
+      common_neighbor_attack(entities, log, {}), truth_map,
+      trust.num_nodes());
+  ASSERT_EQ(common.size(), 1u);
+  EXPECT_EQ(common[0], (NodeEdge{1, 2, 1.0}));
+  const auto cm = score_edges(common, trust);
+  EXPECT_EQ(cm.hits, 0u);
+  EXPECT_EQ(cm.precision, 0.0);
+  EXPECT_EQ(cm.recall, 0.0);
+}
+
+TEST(InferenceFixture, FingerprintsAreOrderAndValueSensitive) {
+  const auto log = fixture_log();
+  EXPECT_EQ(log_fingerprint(log), log_fingerprint(log));
+  auto mutated = log;
+  mutated[0].src_pseudo = 999;
+  EXPECT_NE(log_fingerprint(log), log_fingerprint(mutated));
+  auto reordered = log;
+  std::swap(reordered[0], reordered[1]);
+  EXPECT_NE(log_fingerprint(log), log_fingerprint(reordered));
+
+  const std::vector<NodeEdge> edges{{0, 1, 2.0}, {0, 2, 1.0}};
+  const std::vector<NodeEdge> flipped{{0, 2, 1.0}, {0, 1, 2.0}};
+  EXPECT_EQ(edges_fingerprint(edges), edges_fingerprint(edges));
+  EXPECT_NE(edges_fingerprint(edges), edges_fingerprint(flipped));
+}
+
+// -- end-to-end guarantees on the real overlay --
+
+graph::Graph small_trust(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return graph::holme_kim(n, 3, 0.3, rng);
+}
+
+experiments::OverlayScenario small_scenario(std::uint64_t seed) {
+  experiments::OverlayScenario s;
+  s.params.cache_size = 60;
+  s.params.shuffle_length = 8;
+  s.params.target_links = 10;
+  s.params.pseudonym_lifetime = 30.0;
+  s.params.shuffle_timeout = 0.25;
+  s.params.shuffle_max_retries = 1;
+  s.churn.alpha = 0.9;
+  s.window.warmup = 30.0;
+  s.window.measure = 15.0;
+  s.window.sample_every = 5.0;
+  s.window.apl_sources = 8;
+  s.seed = seed;
+  return s;
+}
+
+TEST(ObserverEndToEnd, ZeroCoveragePlanIsBitIdenticalToNoObserver) {
+  const graph::Graph trust = small_trust(64, 11);
+  const experiments::OverlayScenario plain = small_scenario(53);
+  const auto bare = experiments::run_overlay(trust, plain);
+
+  experiments::OverlayScenario wrapped = plain;
+  wrapped.observer = ObserverPlan{};  // coverage 0: enabled() == false
+  const auto with_plan = experiments::run_overlay(trust, wrapped);
+  EXPECT_TRUE(with_plan.observations.empty());
+  EXPECT_EQ(bare.stats.frac_disconnected.mean(),
+            with_plan.stats.frac_disconnected.mean());
+  EXPECT_EQ(bare.stats.norm_apl.mean(), with_plan.stats.norm_apl.mean());
+  EXPECT_EQ(bare.replacements, with_plan.replacements);
+  EXPECT_EQ(bare.messages_total, with_plan.messages_total);
+  EXPECT_EQ(bare.final_total_edges, with_plan.final_total_edges);
+  EXPECT_EQ(bare.health.requests_sent, with_plan.health.requests_sent);
+  EXPECT_EQ(bare.health.exchanges_completed,
+            with_plan.health.exchanges_completed);
+}
+
+TEST(ObserverEndToEnd, EnabledObserverRecordsWithoutPerturbing) {
+  const graph::Graph trust = small_trust(64, 11);
+  const experiments::OverlayScenario plain = small_scenario(59);
+  const auto bare = experiments::run_overlay(trust, plain);
+
+  experiments::OverlayScenario observed = plain;
+  ObserverPlan plan;
+  plan.coverage = 1.0;
+  observed.observer = plan;
+  const auto tapped = experiments::run_overlay(trust, observed);
+
+  // The observer draws no RNG and touches only its own buffers: the
+  // trajectory must be untouched while the log fills up.
+  EXPECT_FALSE(tapped.observations.empty());
+  EXPECT_EQ(bare.replacements, tapped.replacements);
+  EXPECT_EQ(bare.messages_total, tapped.messages_total);
+  EXPECT_EQ(bare.final_total_edges, tapped.final_total_edges);
+  EXPECT_EQ(bare.health.requests_sent, tapped.health.requests_sent);
+  EXPECT_EQ(bare.health.exchanges_completed,
+            tapped.health.exchanges_completed);
+
+  // Wire records never leak raw node ids as pseudonyms and carry
+  // consistent ground truth.
+  for (const ObservationRecord& rec : tapped.observations) {
+    EXPECT_NE(rec.src_pseudo, 0u);
+    EXPECT_LT(rec.truth_src, trust.num_nodes());
+    EXPECT_LT(rec.truth_dst, trust.num_nodes());
+    EXPECT_NE(rec.truth_src, rec.truth_dst);
+  }
+
+  // Partial coverage sees a strict subset of the global view.
+  experiments::OverlayScenario partial = plain;
+  ObserverPlan quarter;
+  quarter.coverage = 0.25;
+  partial.observer = quarter;
+  const auto subset = experiments::run_overlay(trust, partial);
+  EXPECT_LT(subset.observations.size(), tapped.observations.size());
+  EXPECT_EQ(bare.messages_total, subset.messages_total);
+}
+
+}  // namespace
+}  // namespace ppo::inference

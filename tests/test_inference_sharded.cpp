@@ -1,0 +1,130 @@
+// Observer on the sharded backend: the merged observation log and
+// every attack's ranked output must be bit-identical for every shard
+// count K (buffers are destination-keyed and only touched from that
+// node's events), for global and partial coverage alike.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "experiments/scenario.hpp"
+#include "graph/generators.hpp"
+#include "inference/attacks.hpp"
+#include "inference/eval.hpp"
+#include "inference/observer.hpp"
+
+namespace ppo::inference {
+namespace {
+
+graph::Graph small_trust(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return graph::holme_kim(n, 3, 0.3, rng);
+}
+
+experiments::OverlayScenario sharded_scenario(std::uint64_t seed) {
+  experiments::OverlayScenario s;
+  s.params.cache_size = 60;
+  s.params.shuffle_length = 8;
+  s.params.target_links = 10;
+  s.params.pseudonym_lifetime = 30.0;
+  s.params.shuffle_timeout = 0.25;
+  s.params.shuffle_max_retries = 1;
+  s.churn.alpha = 0.9;
+  s.window.warmup = 30.0;
+  s.window.measure = 15.0;
+  s.window.sample_every = 5.0;
+  s.window.apl_sources = 8;
+  s.seed = seed;
+  return s;
+}
+
+/// Log fingerprint plus one ranked-output fingerprint per registered
+/// attack — the full bit-identity surface of a run.
+std::vector<std::uint64_t> run_fingerprints(
+    const experiments::OverlayRunResult& result, std::size_t num_nodes) {
+  std::vector<std::uint64_t> out;
+  out.push_back(log_fingerprint(result.observations));
+  const AttackOptions options;
+  const auto entities = link_pseudonym_lifetimes(result.observations, options);
+  const auto truth_map =
+      entity_truth_map(entities, result.observations, num_nodes);
+  for (const NamedAttack& attack : all_attacks()) {
+    const auto edges = attack.run(entities, result.observations, options);
+    out.push_back(
+        edges_fingerprint(map_to_node_edges(edges, truth_map, num_nodes)));
+  }
+  return out;
+}
+
+TEST(ObserverSharded, GlobalObserverLogIsShardCountInvariant) {
+  const graph::Graph trust = small_trust(96, 7);
+  experiments::OverlayScenario scenario = sharded_scenario(43);
+  ObserverPlan plan;
+  plan.coverage = 1.0;
+  plan.seed = 0x0B5E;
+  scenario.observer = plan;
+
+  scenario.shards = 1;
+  const auto base = experiments::run_overlay(trust, scenario);
+  ASSERT_FALSE(base.observations.empty());
+  const auto base_prints = run_fingerprints(base, trust.num_nodes());
+
+  for (const std::size_t shards : {2, 4}) {
+    scenario.shards = shards;
+    const auto out = experiments::run_overlay(trust, scenario);
+    EXPECT_EQ(out.observations.size(), base.observations.size())
+        << "K=" << shards;
+    EXPECT_EQ(run_fingerprints(out, trust.num_nodes()), base_prints)
+        << "K=" << shards;
+    EXPECT_EQ(out.messages_total, base.messages_total) << "K=" << shards;
+  }
+}
+
+TEST(ObserverSharded, PartialCoverageLogIsShardCountInvariant) {
+  const graph::Graph trust = small_trust(96, 7);
+  experiments::OverlayScenario scenario = sharded_scenario(47);
+  ObserverPlan plan;
+  plan.coverage = 0.3;
+  plan.seed = 0xC0;
+  scenario.observer = plan;
+
+  scenario.shards = 1;
+  const auto base = experiments::run_overlay(trust, scenario);
+  ASSERT_FALSE(base.observations.empty());
+  const auto base_prints = run_fingerprints(base, trust.num_nodes());
+
+  scenario.shards = 3;
+  const auto sharded = experiments::run_overlay(trust, scenario);
+  EXPECT_EQ(run_fingerprints(sharded, trust.num_nodes()), base_prints);
+}
+
+TEST(ObserverSharded, ObserverCoexistsWithDefensesUnchanged) {
+  // PR5 defenses (validation + rate limiting) alter the trajectory;
+  // the observer must still be K-invariant on top of them and must
+  // not alter the defended trajectory itself.
+  const graph::Graph trust = small_trust(96, 7);
+  experiments::OverlayScenario scenario = sharded_scenario(61);
+  scenario.params.validate_received = true;
+  scenario.params.peer_rate_limit = 4;
+  scenario.params.peer_rate_window = 10.0;
+
+  scenario.shards = 2;
+  const auto bare = experiments::run_overlay(trust, scenario);
+
+  ObserverPlan plan;
+  plan.coverage = 1.0;
+  scenario.observer = plan;
+  const auto tapped = experiments::run_overlay(trust, scenario);
+  EXPECT_FALSE(tapped.observations.empty());
+  EXPECT_EQ(bare.messages_total, tapped.messages_total);
+  EXPECT_EQ(bare.replacements, tapped.replacements);
+  EXPECT_EQ(bare.health.requests_rate_limited,
+            tapped.health.requests_rate_limited);
+
+  scenario.shards = 4;
+  const auto tapped4 = experiments::run_overlay(trust, scenario);
+  EXPECT_EQ(run_fingerprints(tapped4, trust.num_nodes()),
+            run_fingerprints(tapped, trust.num_nodes()));
+}
+
+}  // namespace
+}  // namespace ppo::inference

@@ -4,6 +4,19 @@
 //   bench_diff <baseline.json> <candidate.json> [--threshold 0.20]
 //              [--strict-counters]
 //
+// Rolling-history mode takes ONE report plus `--history <file>`: the
+// file is a JSONL ledger of compact per-commit snapshots ({commit,
+// artefact, schema_version, wall_seconds, cell_seconds}). The
+// candidate is compared against the fastest of the last N entries
+// (`--last N`, default 10) for the same artefact — the fastest, so a
+// slow baseline commit cannot mask a real regression. `--append`
+// records the candidate at the end of the ledger afterwards (tag it
+// with `--commit <sha>`), keeping a per-commit trend CI can grow one
+// run at a time:
+//
+//   bench_diff BENCH_fig3.json --history fig3.history.jsonl \
+//              --last 10 --append --commit "$GITHUB_SHA"
+//
 // Compares the envelope's total `wall_seconds` and, when both reports
 // carry sweep telemetry, the per-cell seconds. Also diffs every
 // ProtocolHealth rollup found anywhere in the two documents
@@ -180,31 +193,167 @@ std::size_t diff_metric_section(const Json& base, const Json& cand,
   return changed;
 }
 
+/// Compact per-commit snapshot of a report for the history ledger.
+Json snapshot_of(const Json& doc, const std::string& commit) {
+  Json snap = Json::object();
+  snap["commit"] = commit;
+  snap["artefact"] = field_or(doc, "artefact", "?");
+  if (doc.contains("schema_version"))
+    snap["schema_version"] = doc.at("schema_version").as_int();
+  snap["wall_seconds"] = doc.contains("wall_seconds")
+                             ? doc.at("wall_seconds").as_double()
+                             : 0.0;
+  snap["cell_seconds"] = Json::array_of(cell_seconds(doc));
+  return snap;
+}
+
+std::vector<Json> load_history(const std::string& path) {
+  std::vector<Json> entries;
+  std::ifstream in(path);
+  if (!in) return entries;  // no ledger yet: empty history is fine
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    try {
+      entries.push_back(Json::parse(line));
+    } catch (const std::exception& e) {
+      std::cerr << "bench_diff: " << path << ":" << lineno << ": " << e.what()
+                << "\n";
+      std::exit(2);
+    }
+  }
+  return entries;
+}
+
+/// Rolling-history mode: candidate vs the fastest of the last N
+/// same-artefact ledger entries, optional append. Returns the exit
+/// code.
+int run_history_mode(const Json& candidate, const std::string& history_path,
+                     std::size_t last_n, bool append,
+                     const std::string& commit, double threshold) {
+  const std::string artefact = field_or(candidate, "artefact", "?");
+  const double cand_wall = candidate.contains("wall_seconds")
+                               ? candidate.at("wall_seconds").as_double()
+                               : 0.0;
+
+  std::vector<Json> entries = load_history(history_path);
+  std::vector<const Json*> window;
+  for (const Json& entry : entries) {
+    if (field_or(entry, "artefact", "?") != artefact) continue;
+    window.push_back(&entry);
+  }
+  if (window.size() > last_n)
+    window.erase(window.begin(),
+                 window.begin() + static_cast<std::ptrdiff_t>(
+                                      window.size() - last_n));
+
+  bool regression = false;
+  std::cout << artefact << ": candidate wall_seconds " << cand_wall << ", "
+            << window.size() << " history entr"
+            << (window.size() == 1 ? "y" : "ies") << " (last " << last_n
+            << ")\n";
+  const Json* best = nullptr;
+  for (const Json* entry : window) {
+    const double wall = entry->contains("wall_seconds")
+                            ? entry->at("wall_seconds").as_double()
+                            : 0.0;
+    std::cout << "  " << field_or(*entry, "commit", "(untagged)") << ": "
+              << wall << " s (" << percent(ratio_change(wall, cand_wall))
+              << " vs candidate)\n";
+    if (wall <= 0.0) continue;
+    if (best == nullptr || wall < best->at("wall_seconds").as_double())
+      best = entry;
+  }
+  if (best != nullptr) {
+    const double best_wall = best->at("wall_seconds").as_double();
+    const double change = ratio_change(best_wall, cand_wall);
+    std::cout << "  fastest of window: "
+              << field_or(*best, "commit", "(untagged)") << " at " << best_wall
+              << " s; candidate " << percent(change) << "\n";
+    if (change > threshold) {
+      std::cout << "  REGRESSION: wall time up more than "
+                << percent(threshold) << " vs fastest recent run\n";
+      regression = true;
+    }
+  } else {
+    std::cout << "  (no comparable history — nothing to diff against)\n";
+  }
+
+  if (append) {
+    std::ofstream out(history_path, std::ios::app);
+    if (!out) {
+      std::cerr << "bench_diff: cannot append to " << history_path << "\n";
+      return 2;
+    }
+    out << snapshot_of(candidate, commit).dump() << "\n";
+    if (!out) {
+      std::cerr << "bench_diff: write to " << history_path << " failed\n";
+      return 2;
+    }
+    std::cout << "  appended snapshot"
+              << (commit.empty() ? "" : " for commit " + commit) << " to "
+              << history_path << "\n";
+  }
+
+  std::cout << (regression ? "RESULT: regression beyond threshold\n"
+                           : "RESULT: within threshold\n");
+  return regression ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
   double threshold = 0.20;
   bool strict_counters = false;
+  std::string history_path;
+  std::size_t last_n = 10;
+  bool append = false;
+  std::string commit;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--threshold") {
+    const auto value_of = [&](const char* flag) -> std::string {
       if (i + 1 >= argc) {
-        std::cerr << "bench_diff: --threshold needs a value\n";
-        return 2;
+        std::cerr << "bench_diff: " << flag << " needs a value\n";
+        std::exit(2);
       }
-      threshold = std::stod(argv[++i]);
+      return argv[++i];
+    };
+    if (arg == "--threshold") {
+      threshold = std::stod(value_of("--threshold"));
     } else if (arg.rfind("--threshold=", 0) == 0) {
       threshold = std::stod(arg.substr(12));
     } else if (arg == "--strict-counters") {
       strict_counters = true;
+    } else if (arg == "--history") {
+      history_path = value_of("--history");
+    } else if (arg == "--last") {
+      last_n = static_cast<std::size_t>(std::stoul(value_of("--last")));
+    } else if (arg == "--append") {
+      append = true;
+    } else if (arg == "--commit") {
+      commit = value_of("--commit");
     } else {
       paths.push_back(arg);
     }
   }
+  if (!history_path.empty()) {
+    if (paths.size() != 1 || last_n == 0) {
+      std::cerr << "usage: bench_diff <candidate.json> --history <file>"
+                   " [--last N] [--append] [--commit SHA]"
+                   " [--threshold 0.20]\n";
+      return 2;
+    }
+    return run_history_mode(load(paths[0]), history_path, last_n, append,
+                            commit, threshold);
+  }
   if (paths.size() != 2) {
     std::cerr << "usage: bench_diff <baseline.json> <candidate.json>"
-                 " [--threshold 0.20] [--strict-counters]\n";
+                 " [--threshold 0.20] [--strict-counters]\n"
+                 "       bench_diff <candidate.json> --history <file>"
+                 " [--last N] [--append] [--commit SHA]\n";
     return 2;
   }
 
