@@ -18,6 +18,10 @@
 #include <sstream>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "common/cli.hpp"
 #include "common/logging.hpp"
 #include "experiments/figure_json.hpp"
@@ -198,6 +202,25 @@ inline void print_header(const std::string& artefact,
             << "==============================================================\n\n";
 }
 
+/// Process-wide peak resident set size in bytes (0 when the platform
+/// has no getrusage). Monotone over the process lifetime: a reading
+/// after run N covers everything up to and including run N, so
+/// per-configuration deltas need one process per configuration.
+/// Linux reports ru_maxrss in KiB, macOS in bytes.
+inline std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
+
 /// Wall-clock timer for the figure computation a bench reports.
 class WallTimer {
  public:
@@ -238,6 +261,7 @@ inline bool write_json_report(const Cli& cli, const std::string& artefact,
   doc["jobs"] = static_cast<std::uint64_t>(
       scale.jobs == 0 ? runner::default_jobs() : scale.jobs);
   doc["wall_seconds"] = wall_seconds;
+  doc["peak_rss_bytes"] = static_cast<std::uint64_t>(peak_rss_bytes());
   if (metrics != nullptr && !metrics->empty())
     doc["metrics"] = obs::to_json(*metrics);
   doc["figure"] = std::move(figure);

@@ -1,10 +1,13 @@
 // Sharded-core scaling bench: ONE large overlay simulation (default
 // 100k nodes) run once per shard count, reporting wall time, event
-// throughput and a trajectory fingerprint. The fingerprint must agree
-// across every K >= 1 in --shard-list — that is the sharded core's
-// determinism contract — so this bench doubles as a large-scale
-// bit-identity check. K = 0 selects the legacy serial backend (its
-// fingerprint legitimately differs; see DESIGN.md).
+// throughput, a trajectory fingerprint, peak RSS with bytes-per-node
+// / bytes-per-edge breakdowns, and the run's Figure 3 connectivity
+// point (fraction of online nodes outside the overlay's largest
+// component at the horizon). The fingerprint must agree across every
+// K >= 1 in --shard-list — that is the sharded core's determinism
+// contract — so this bench doubles as a large-scale bit-identity
+// check. K = 0 selects the legacy serial backend (its fingerprint
+// legitimately differs; see DESIGN.md).
 //
 // Speedup is hardware-dependent: on a single-core runner every K
 // costs about the same wall time and the numbers say so honestly.
@@ -21,12 +24,15 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "churn/churn_model.hpp"
 #include "graph/generators.hpp"
+#include "metrics/streaming_connectivity.hpp"
 #include "overlay/service.hpp"
 #include "overlay/sharded_service.hpp"
 #include "sim/sharded_simulator.hpp"
@@ -36,11 +42,16 @@ namespace {
 
 using namespace ppo;
 
-/// FNV-1a over the overlay snapshot's canonical edge list plus the
-/// protocol-health counters: equal fingerprints mean equal overlay
-/// trajectories for all practical purposes.
-std::uint64_t fingerprint(const graph::Graph& snapshot,
-                          const metrics::ProtocolHealth& health) {
+/// FNV-1a over the overlay's canonical edge list (normalized u < v,
+/// sorted, deduplicated — exactly what overlay_edges() yields) plus
+/// the protocol-health counters: equal fingerprints mean equal
+/// overlay trajectories for all practical purposes. Taking the edge
+/// span instead of a snapshot Graph keeps the fingerprint allocation-
+/// free at crawl scale (the old path materialized one adjacency
+/// vector per node).
+std::uint64_t fingerprint(
+    std::span<const std::pair<graph::NodeId, graph::NodeId>> edges,
+    const metrics::ProtocolHealth& health) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   const auto mix = [&h](std::uint64_t x) {
     for (int i = 0; i < 8; ++i) {
@@ -48,7 +59,7 @@ std::uint64_t fingerprint(const graph::Graph& snapshot,
       h *= 0x100000001b3ULL;
     }
   };
-  for (const auto& [u, v] : snapshot.edges()) {
+  for (const auto& [u, v] : edges) {
     mix(u);
     mix(v);
   }
@@ -66,6 +77,18 @@ struct RunReport {
   std::uint64_t events = 0;
   std::uint64_t fingerprint = 0;
   std::size_t online = 0;
+  /// Figure 3 data point for this run: fraction of online nodes
+  /// outside the overlay's largest connected component at the
+  /// horizon (streaming union-find over the same edge list the
+  /// fingerprint hashes).
+  double fraction_disconnected = 0.0;
+  std::size_t overlay_edges = 0;
+  /// Memory telemetry. peak_rss_bytes is process-wide and monotone
+  /// across runs in one invocation — only the FIRST run's reading is
+  /// a clean per-configuration ceiling; later runs report the max so
+  /// far. node_state_bytes is exact per service (arena reservation).
+  std::size_t peak_rss_bytes = 0;
+  std::size_t node_state_bytes = 0;
   metrics::ProtocolHealth health;
   std::vector<sim::ShardedSimulator::ShardStats> shard_stats;
 };
@@ -151,16 +174,27 @@ int main(int argc, char** argv) {
     // fingerprints are bit-identical with --trace on or off.
     bench::TraceSession trace(cli);
     const bench::WallTimer timer;
+    // Shared post-run measurement: canonical edge list (no snapshot
+    // Graph), fingerprint, Figure 3 connectivity point, memory.
+    metrics::StreamingConnectivity connectivity;
+    const auto finish_run = [&](auto& service) {
+      report.health = service.protocol_health();
+      report.online = service.online_count();
+      const auto edges = service.overlay_edges();
+      report.overlay_edges = edges.size();
+      report.fingerprint = fingerprint(edges, report.health);
+      report.fraction_disconnected = connectivity.fraction_disconnected(
+          nodes, edges, service.online_mask());
+      report.node_state_bytes = service.node_state_bytes();
+      report.peak_rss_bytes = bench::peak_rss_bytes();
+    };
     if (shards == 0) {
       sim::Simulator sim;
       overlay::OverlayService service(sim, trust, model, options, Rng(seed));
       service.start();
       sim.run_until(horizon);
       report.events = sim.events_executed();
-      report.health = service.protocol_health();
-      report.online = service.online_count();
-      report.fingerprint =
-          fingerprint(service.overlay_snapshot(), report.health);
+      finish_run(service);
     } else {
       sim::ShardedSimulator::Options so;
       so.shards = shards;
@@ -172,10 +206,7 @@ int main(int argc, char** argv) {
       service.start();
       sim.run_until(horizon);
       report.events = sim.events_executed();
-      report.health = service.protocol_health();
-      report.online = service.online_count();
-      report.fingerprint =
-          fingerprint(service.overlay_snapshot(), report.health);
+      finish_run(service);
       report.shard_stats = sim.shard_stats();
     }
     report.wall_seconds = timer.seconds();
@@ -186,7 +217,24 @@ int main(int argc, char** argv) {
               << (report.shards == 0 ? " (serial)" : "") << ": "
               << report.wall_seconds << " s, " << report.events
               << " events, fingerprint " << std::hex << report.fingerprint
-              << std::dec << "\n";
+              << std::dec << "\n"
+              << "  overlay: " << report.overlay_edges << " edges, "
+              << report.online << " online, fraction_disconnected "
+              << report.fraction_disconnected << "\n"
+              << "  memory: peak RSS "
+              << report.peak_rss_bytes / (1024.0 * 1024.0) << " MiB ("
+              << static_cast<double>(report.peak_rss_bytes) /
+                     static_cast<double>(nodes)
+              << " bytes/node, "
+              << (report.overlay_edges == 0
+                      ? 0.0
+                      : static_cast<double>(report.peak_rss_bytes) /
+                            static_cast<double>(report.overlay_edges))
+              << " bytes/edge), node-state arena "
+              << report.node_state_bytes / (1024.0 * 1024.0) << " MiB ("
+              << static_cast<double>(report.node_state_bytes) /
+                     static_cast<double>(nodes)
+              << " bytes/node)\n";
     if (profile && !report.shard_stats.empty()) {
       std::cout << "  shard  events      mailbox_out  max_queue  busy_s   "
                    "stall_s\n";
@@ -234,6 +282,37 @@ int main(int argc, char** argv) {
     doc["horizon"] = horizon;
     doc["seed"] = seed;
     doc["identical_across_shards"] = identical;
+    doc["peak_rss_bytes"] =
+        static_cast<std::uint64_t>(bench::peak_rss_bytes());
+    doc["trust_graph_bytes"] = static_cast<std::uint64_t>(
+        trust.csr() != nullptr ? trust.csr()->memory_bytes() : 0);
+    doc["trust_edges"] = static_cast<std::uint64_t>(trust.num_edges());
+    // Figure 3 data point from the first run (peak RSS is monotone
+    // across runs, so the first run's ceiling is the honest one).
+    if (!reports.empty()) {
+      const RunReport& first = reports.front();
+      runner::Json point = runner::Json::object();
+      point["nodes"] = static_cast<std::uint64_t>(nodes);
+      point["alpha"] = alpha;
+      point["fraction_disconnected"] = first.fraction_disconnected;
+      point["overlay_edges"] = static_cast<std::uint64_t>(first.overlay_edges);
+      point["online"] = static_cast<std::uint64_t>(first.online);
+      point["peak_rss_bytes"] =
+          static_cast<std::uint64_t>(first.peak_rss_bytes);
+      point["bytes_per_node"] = static_cast<double>(first.peak_rss_bytes) /
+                                static_cast<double>(nodes);
+      point["bytes_per_edge"] =
+          first.overlay_edges == 0
+              ? 0.0
+              : static_cast<double>(first.peak_rss_bytes) /
+                    static_cast<double>(first.overlay_edges);
+      point["node_state_bytes"] =
+          static_cast<std::uint64_t>(first.node_state_bytes);
+      point["node_state_bytes_per_node"] =
+          static_cast<double>(first.node_state_bytes) /
+          static_cast<double>(nodes);
+      doc["fig3_point"] = std::move(point);
+    }
     runner::Json runs = runner::Json::array();
     for (const RunReport& r : reports) {
       runner::Json entry = runner::Json::object();
@@ -242,6 +321,11 @@ int main(int argc, char** argv) {
       entry["events"] = r.events;
       entry["fingerprint"] = r.fingerprint;
       entry["online"] = static_cast<std::uint64_t>(r.online);
+      entry["fraction_disconnected"] = r.fraction_disconnected;
+      entry["overlay_edges"] = static_cast<std::uint64_t>(r.overlay_edges);
+      entry["peak_rss_bytes"] = static_cast<std::uint64_t>(r.peak_rss_bytes);
+      entry["node_state_bytes"] =
+          static_cast<std::uint64_t>(r.node_state_bytes);
       entry["health"] = experiments::to_json(r.health);
       const obs::MetricsRegistry metrics = run_metrics(r, profile);
       entry["metrics"] = obs::to_json(metrics);

@@ -6,8 +6,10 @@
 #include "common/check.hpp"
 #include "fault/fault_stream.hpp"
 #include "graph/components.hpp"
+#include "graph/csr.hpp"
 #include "graph/degree.hpp"
 #include "graph/generators.hpp"
+#include "metrics/streaming_connectivity.hpp"
 #include "overlay/service.hpp"
 #include "overlay/sharded_service.hpp"
 #include "sim/sharded_simulator.hpp"
@@ -119,6 +121,14 @@ sim::ShardedSimulator::Options sharded_options(
 /// serial and sharded backends. `run_until(t)` advances the backend's
 /// clock to t; the local `now` bookkeeping reproduces the serial
 /// loop's time sequence bit-exactly.
+///
+/// Snapshot-free: each sample pulls the service's memoized overlay
+/// edge list and rebuilds one reused CSR scratch graph in place — no
+/// per-sample Graph materialization (the old path allocated one
+/// adjacency vector per node per sample). Neighbor slices stay in
+/// counting-sort order; measure_graph never probes edge membership,
+/// and every metric it computes is a function of the edge SET alone,
+/// so the values are bit-identical to the snapshot path.
 template <typename Service, typename RunUntilFn>
 OverlayRunResult measure_overlay(Service& service, RunUntilFn run_until,
                                  const OverlayScenario& scenario,
@@ -129,23 +139,23 @@ OverlayRunResult measure_overlay(Service& service, RunUntilFn run_until,
   run_until(scenario.window.warmup);
   double now = scenario.window.warmup;
   const double end = scenario.window.warmup + scenario.window.measure;
-  graph::Graph last_snapshot;
+  graph::CsrGraph scratch;
   while (true) {
-    graph::Graph snapshot = service.overlay_snapshot();
+    scratch.assign_from_edges(n, service.overlay_edges(),
+                              /*sort_neighbors=*/false);
     const auto m =
-        metrics::measure_graph(snapshot, service.online_mask(), n, metric_rng,
+        metrics::measure_graph(scratch, service.online_mask(), n, metric_rng,
                                scenario.window.apl_sources);
-    accumulate(result.stats, m, n, snapshot.num_edges());
-    last_snapshot = std::move(snapshot);
+    accumulate(result.stats, m, n, scratch.num_edges());
     if (now + scenario.window.sample_every > end + 1e-9) break;
     now += scenario.window.sample_every;
     run_until(now);
   }
 
-  // Final-sample artifacts.
+  // Final-sample artifacts (scratch still holds the last sample).
   result.final_degree =
-      graph::degree_histogram(last_snapshot, service.online_mask());
-  result.final_total_edges = last_snapshot.num_edges();
+      graph::degree_histogram(scratch, service.online_mask());
+  result.final_total_edges = scratch.num_edges();
 
   result.per_node.reserve(n);
   for (graph::NodeId v = 0; v < n; ++v) {
@@ -169,13 +179,19 @@ OverlayRunResult measure_overlay(Service& service, RunUntilFn run_until,
 }
 
 /// Time-series loop shared between the backends (Figures 8 and 9).
+/// Connectivity tracking streams the memoized overlay edge list
+/// through a union-find instead of snapshotting a Graph and running
+/// the full metric suite: the trace records only
+/// fraction_disconnected, which is a pure function of the edge set,
+/// so the recorded series is bit-identical to the old path. (The old
+/// loop also burned a metric RNG on a path-length estimate it threw
+/// away; dropping it changes no recorded value.)
 template <typename Service, typename RunUntilFn>
 OverlayTrace measure_overlay_trace(Service& service, RunUntilFn run_until,
-                                   const OverlayScenario& scenario,
                                    const OverlayTraceSpec& spec,
                                    std::size_t n) {
-  Rng metric_rng(scenario.seed ^ 0x7EA5E);
   OverlayTrace trace;
+  metrics::StreamingConnectivity connectivity;
 
   std::uint64_t last_replacements = 0;
   double last_time = 0.0;
@@ -183,10 +199,9 @@ OverlayTrace measure_overlay_trace(Service& service, RunUntilFn run_until,
        t += spec.sample_every) {
     run_until(t);
     if (spec.track_connectivity) {
-      graph::Graph snapshot = service.overlay_snapshot();
-      const auto m = metrics::measure_graph(
-          snapshot, service.online_mask(), n, metric_rng, spec.apl_sources);
-      trace.connectivity.record(t, m.fraction_disconnected);
+      trace.connectivity.record(
+          t, connectivity.fraction_disconnected(n, service.overlay_edges(),
+                                                service.online_mask()));
     }
     if (spec.track_replacements) {
       const std::uint64_t now_total =
@@ -279,7 +294,7 @@ OverlayTrace run_overlay_trace(const graph::Graph& trust,
     const auto injector = arm_sharded_faults(sim, service, scenario);
     service.start();
     return measure_overlay_trace(
-        service, [&sim](double t) { sim.run_until(t); }, scenario, spec, n);
+        service, [&sim](double t) { sim.run_until(t); }, spec, n);
   }
 
   sim::Simulator sim;
@@ -288,7 +303,7 @@ OverlayTrace run_overlay_trace(const graph::Graph& trust,
   const auto injector = arm_service_faults(sim, service, scenario);
   service.start();
   return measure_overlay_trace(
-      service, [&sim](double t) { sim.run_until(t); }, scenario, spec, n);
+      service, [&sim](double t) { sim.run_until(t); }, spec, n);
 }
 
 metrics::TimeSeries run_static_trace(const graph::Graph& g,

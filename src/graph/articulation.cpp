@@ -7,7 +7,7 @@
 
 namespace ppo::graph {
 
-std::vector<NodeId> articulation_points(const Graph& g) {
+std::vector<NodeId> articulation_points(GraphView g) {
   const std::size_t n = g.num_nodes();
   std::vector<std::uint32_t> disc(n, 0), low(n, 0);
   std::vector<NodeId> parent(n, n == 0 ? 0 : static_cast<NodeId>(n));
@@ -63,13 +63,13 @@ std::vector<NodeId> articulation_points(const Graph& g) {
   return result;
 }
 
-bool is_cut_vertex(const Graph& g, NodeId v) {
+bool is_cut_vertex(GraphView g, NodeId v) {
   PPO_CHECK_MSG(v < g.num_nodes(), "vertex out of range");
   const auto cuts = articulation_points(g);
   return std::binary_search(cuts.begin(), cuts.end(), v);
 }
 
-double cut_vertex_fraction(const Graph& g) {
+double cut_vertex_fraction(GraphView g) {
   if (g.num_nodes() == 0) return 0.0;
   return static_cast<double>(articulation_points(g).size()) /
          static_cast<double>(g.num_nodes());

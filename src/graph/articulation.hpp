@@ -8,20 +8,20 @@
 
 #include <vector>
 
-#include "graph/graph.hpp"
+#include "graph/csr.hpp"
 
 namespace ppo::graph {
 
 /// All articulation points (vertices whose removal increases the
 /// number of connected components), via Tarjan's low-link DFS.
-std::vector<NodeId> articulation_points(const Graph& g);
+std::vector<NodeId> articulation_points(GraphView g);
 
 /// True iff removing `v` disconnects some currently-connected pair.
-bool is_cut_vertex(const Graph& g, NodeId v);
+bool is_cut_vertex(GraphView g, NodeId v);
 
 /// Fraction of vertices that are articulation points — a privacy
 /// exposure indicator for a trust graph (§III-E): every cut vertex is
 /// a spot where one compromised user partitions the pseudonym flow.
-double cut_vertex_fraction(const Graph& g);
+double cut_vertex_fraction(GraphView g);
 
 }  // namespace ppo::graph

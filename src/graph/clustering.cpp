@@ -4,8 +4,9 @@
 
 namespace ppo::graph {
 
-double local_clustering(const Graph& g, NodeId v) {
-  PPO_CHECK_MSG(g.finalized(), "clustering requires a finalized graph");
+double local_clustering(GraphView g, NodeId v) {
+  PPO_CHECK_MSG(g.has_fast_edge_probe(),
+                "clustering requires a finalized graph");
   const auto nbrs = g.neighbors(v);
   const std::size_t d = nbrs.size();
   if (d < 2) return 0.0;
@@ -17,15 +18,16 @@ double local_clustering(const Graph& g, NodeId v) {
          (static_cast<double>(d) * static_cast<double>(d - 1));
 }
 
-double average_clustering(const Graph& g) {
+double average_clustering(GraphView g) {
   if (g.num_nodes() == 0) return 0.0;
   double total = 0.0;
   for (NodeId v = 0; v < g.num_nodes(); ++v) total += local_clustering(g, v);
   return total / static_cast<double>(g.num_nodes());
 }
 
-double transitivity(const Graph& g) {
-  PPO_CHECK_MSG(g.finalized(), "transitivity requires a finalized graph");
+double transitivity(GraphView g) {
+  PPO_CHECK_MSG(g.has_fast_edge_probe(),
+                "transitivity requires a finalized graph");
   std::size_t triangles_x3 = 0;  // each triangle counted once per vertex
   std::size_t triples = 0;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {

@@ -2,20 +2,20 @@
 // graph has Facebook-like triadic closure (BA alone does not).
 #pragma once
 
-#include "graph/graph.hpp"
+#include "graph/csr.hpp"
 
 namespace ppo::graph {
 
 /// Local clustering coefficient of `v`: closed neighbor pairs /
 /// possible neighbor pairs. 0 for degree < 2. Requires a finalized
 /// graph (binary-search edge probes).
-double local_clustering(const Graph& g, NodeId v);
+double local_clustering(GraphView g, NodeId v);
 
 /// Mean local clustering coefficient over all nodes (Watts–Strogatz
 /// definition).
-double average_clustering(const Graph& g);
+double average_clustering(GraphView g);
 
 /// Global transitivity: 3 * triangles / connected triples.
-double transitivity(const Graph& g);
+double transitivity(GraphView g);
 
 }  // namespace ppo::graph

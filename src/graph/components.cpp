@@ -17,7 +17,7 @@ std::size_t Components::largest_size() const {
   return *std::max_element(sizes.begin(), sizes.end());
 }
 
-Components connected_components(const Graph& g, const NodeMask& mask) {
+Components connected_components(GraphView g, const NodeMask& mask) {
   const std::size_t n = g.num_nodes();
   PPO_CHECK_MSG(mask.empty() || mask.size() == n, "mask size mismatch");
   Components result;
@@ -46,7 +46,7 @@ Components connected_components(const Graph& g, const NodeMask& mask) {
   return result;
 }
 
-double fraction_disconnected(const Graph& g, const NodeMask& mask) {
+double fraction_disconnected(GraphView g, const NodeMask& mask) {
   const Components comps = connected_components(g, mask);
   std::size_t included = 0;
   for (std::uint32_t c : comps.component_of)
@@ -57,7 +57,7 @@ double fraction_disconnected(const Graph& g, const NodeMask& mask) {
          static_cast<double>(included);
 }
 
-bool is_connected(const Graph& g, const NodeMask& mask) {
+bool is_connected(GraphView g, const NodeMask& mask) {
   return connected_components(g, mask).count() <= 1;
 }
 

@@ -6,7 +6,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "graph/graph.hpp"
+#include "graph/csr.hpp"
 
 namespace ppo::graph {
 
@@ -27,15 +27,15 @@ struct Components {
 };
 
 /// Decomposes the subgraph induced by `mask` into connected components.
-Components connected_components(const Graph& g, const NodeMask& mask = {});
+Components connected_components(GraphView g, const NodeMask& mask = {});
 
 /// Fraction of included nodes NOT in the largest connected component —
 /// the paper's connectivity metric (0 when the induced graph is
 /// connected or empty).
-double fraction_disconnected(const Graph& g, const NodeMask& mask = {});
+double fraction_disconnected(GraphView g, const NodeMask& mask = {});
 
 /// True iff the subgraph induced by `mask` is connected (vacuously
 /// true for <= 1 included node).
-bool is_connected(const Graph& g, const NodeMask& mask = {});
+bool is_connected(GraphView g, const NodeMask& mask = {});
 
 }  // namespace ppo::graph

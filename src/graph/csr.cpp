@@ -1,0 +1,241 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ppo::graph {
+
+namespace {
+
+/// Packs an undirected edge into the hash-set key: smaller endpoint in
+/// the high half so {u, v} and {v, u} collide.
+std::uint64_t edge_key(NodeId u, NodeId v) {
+  const NodeId lo = u < v ? u : v;
+  const NodeId hi = u < v ? v : u;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- CsrGraph
+
+CsrGraph CsrGraph::from_edges(
+    std::size_t n, std::span<const std::pair<NodeId, NodeId>> edges) {
+  CsrGraph g;
+  g.assign_from_edges(n, edges);
+  return g;
+}
+
+void CsrGraph::assign_from_edges(
+    std::size_t n, std::span<const std::pair<NodeId, NodeId>> edges,
+    bool sort_neighbors) {
+  offsets_.assign(n + 1, 0);
+  neighbors_.resize(edges.size() * 2);
+
+  // Counting sort: degree counts, prefix sum, scatter.
+  for (const auto& [u, v] : edges) {
+    PPO_CHECK_MSG(u < n && v < n, "edge endpoint out of range");
+    ++offsets_[u + 1];
+    ++offsets_[v + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) offsets_[v + 1] += offsets_[v];
+  for (const auto& [u, v] : edges) {
+    neighbors_[offsets_[u]++] = v;
+    neighbors_[offsets_[v]++] = u;
+  }
+  // The scatter advanced each offset to its successor; shift back.
+  for (std::size_t v = n; v > 0; --v) offsets_[v] = offsets_[v - 1];
+  offsets_[0] = 0;
+
+  if (sort_neighbors) {
+    for (std::size_t v = 0; v < n; ++v)
+      std::sort(neighbors_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]),
+                neighbors_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]));
+  }
+  sorted_ = sort_neighbors;
+}
+
+bool CsrGraph::has_edge(NodeId u, NodeId v) const {
+  PPO_CHECK_MSG(u < num_nodes() && v < num_nodes(),
+                "edge endpoint out of range");
+  PPO_CHECK_MSG(sorted_, "has_edge requires sorted neighbor slices");
+  const bool probe_u = degree(u) <= degree(v);
+  const auto slice = neighbors(probe_u ? u : v);
+  const NodeId target = probe_u ? v : u;
+  return std::binary_search(slice.begin(), slice.end(), target);
+}
+
+std::vector<std::pair<NodeId, NodeId>> CsrGraph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes(); ++u)
+    for (NodeId v : neighbors(u))
+      if (u < v) out.emplace_back(u, v);
+  return out;
+}
+
+// -------------------------------------------------------------- CsrBuilder
+
+CsrBuilder::CsrBuilder(std::size_t n, bool track_membership)
+    : nodes_(n), track_membership_(track_membership) {}
+
+NodeId CsrBuilder::add_nodes(std::size_t count) {
+  const auto first = static_cast<NodeId>(nodes_.size());
+  nodes_.resize(nodes_.size() + count);
+  return first;
+}
+
+void CsrBuilder::append_neighbor(NodeId u, NodeId v) {
+  NodeSlice& s = nodes_[u];
+  if (s.len == s.cap) {
+    // Relocate to a doubled slice at the end of the pool; the old
+    // slice is abandoned (bounded waste: < 2x live entries total).
+    const std::uint32_t new_cap = s.cap == 0 ? 4 : s.cap * 2;
+    const std::uint64_t new_off = pool_.size();
+    pool_.resize(pool_.size() + new_cap);
+    std::copy_n(pool_.begin() + static_cast<std::ptrdiff_t>(s.offset), s.len,
+                pool_.begin() + static_cast<std::ptrdiff_t>(new_off));
+    s.offset = new_off;
+    s.cap = new_cap;
+  }
+  pool_[s.offset + s.len++] = v;
+}
+
+bool CsrBuilder::add_edge(NodeId u, NodeId v) {
+  PPO_CHECK_MSG(u < nodes_.size() && v < nodes_.size(),
+                "edge endpoint out of range");
+  if (u == v) return false;
+  if (track_membership_) {
+    const std::uint64_t key = edge_key(u, v);
+    if (edge_set_.find(key) != nullptr) return false;
+    edge_set_.insert(key, 1);
+  }
+  append_neighbor(u, v);
+  append_neighbor(v, u);
+  ++num_edges_;
+  return true;
+}
+
+bool CsrBuilder::has_edge(NodeId u, NodeId v) const {
+  PPO_CHECK_MSG(track_membership_, "builder does not track membership");
+  PPO_CHECK_MSG(u < nodes_.size() && v < nodes_.size(),
+                "edge endpoint out of range");
+  if (u == v) return false;
+  return edge_set_.find(edge_key(u, v)) != nullptr;
+}
+
+bool CsrBuilder::remove_edge(NodeId u, NodeId v) {
+  PPO_CHECK_MSG(track_membership_, "builder does not track membership");
+  if (u == v || !has_edge(u, v)) return false;
+  edge_set_.erase(edge_key(u, v));
+  const auto erase_from = [this](NodeId a, NodeId b) {
+    NodeSlice& s = nodes_[a];
+    NodeId* begin = pool_.data() + s.offset;
+    NodeId* end = begin + s.len;
+    NodeId* it = std::find(begin, end, b);
+    PPO_CHECK(it != end);
+    std::copy(it + 1, end, it);  // order-preserving erase
+    --s.len;
+  };
+  erase_from(u, v);
+  erase_from(v, u);
+  --num_edges_;
+  return true;
+}
+
+CsrGraph CsrBuilder::build() const {
+  CsrGraph g;
+  const std::size_t n = nodes_.size();
+  g.offsets_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v)
+    g.offsets_[v + 1] = g.offsets_[v] + nodes_[v].len;
+  g.neighbors_.resize(g.offsets_[n]);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto slice = neighbors(static_cast<NodeId>(v));
+    const auto out =
+        g.neighbors_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
+    std::copy(slice.begin(), slice.end(), out);
+    std::sort(out, out + static_cast<std::ptrdiff_t>(slice.size()));
+  }
+  g.sorted_ = true;
+  return g;
+}
+
+// --------------------------------------------------------------- GraphView
+
+GraphView::GraphView(const Graph& g) {
+  if (const CsrGraph* csr = g.csr()) {
+    csr_ = csr;  // unwrap: one branch per call instead of two
+  } else {
+    graph_ = &g;
+  }
+}
+
+std::size_t GraphView::num_nodes() const {
+  if (csr_) return csr_->num_nodes();
+  if (builder_) return builder_->num_nodes();
+  return graph_->num_nodes();
+}
+
+std::size_t GraphView::num_edges() const {
+  if (csr_) return csr_->num_edges();
+  if (builder_) return builder_->num_edges();
+  return graph_->num_edges();
+}
+
+std::size_t GraphView::degree(NodeId v) const {
+  if (csr_) return csr_->degree(v);
+  if (builder_) return builder_->degree(v);
+  return graph_->degree(v);
+}
+
+std::span<const NodeId> GraphView::neighbors(NodeId v) const {
+  if (csr_) return csr_->neighbors(v);
+  if (builder_) return builder_->neighbors(v);
+  return graph_->neighbors(v);
+}
+
+bool GraphView::has_edge(NodeId u, NodeId v) const {
+  if (csr_) return csr_->has_edge(u, v);
+  if (builder_) return builder_->has_edge(u, v);
+  return graph_->has_edge(u, v);
+}
+
+double GraphView::average_degree() const {
+  if (csr_) return csr_->average_degree();
+  if (builder_) {
+    const std::size_t n = builder_->num_nodes();
+    return n == 0 ? 0.0
+                  : 2.0 * static_cast<double>(builder_->num_edges()) /
+                        static_cast<double>(n);
+  }
+  return graph_->average_degree();
+}
+
+bool GraphView::has_fast_edge_probe() const {
+  if (csr_) return csr_->sorted_neighbors();
+  if (builder_) return true;  // hash probe
+  return graph_->finalized();
+}
+
+CsrGraph induced_subgraph_csr(GraphView g, const std::vector<NodeId>& nodes) {
+  constexpr NodeId kAbsent = static_cast<NodeId>(-1);
+  std::vector<NodeId> remap(g.num_nodes(), kAbsent);
+  for (NodeId i = 0; i < nodes.size(); ++i) {
+    PPO_CHECK_MSG(nodes[i] < g.num_nodes(), "subgraph node out of range");
+    PPO_CHECK_MSG(remap[nodes[i]] == kAbsent,
+                  "duplicate node in subgraph selection");
+    remap[nodes[i]] = i;
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId i = 0; i < nodes.size(); ++i) {
+    for (NodeId nb : g.neighbors(nodes[i])) {
+      const NodeId j = remap[nb];
+      if (j != kAbsent && i < j) edges.emplace_back(i, j);
+    }
+  }
+  return CsrGraph::from_edges(nodes.size(), edges);
+}
+
+}  // namespace ppo::graph

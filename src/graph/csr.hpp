@@ -1,0 +1,192 @@
+// Compressed-sparse-row graph storage for crawl-scale work.
+//
+// The adjacency-list `Graph` costs one heap allocation per node plus
+// vector bookkeeping — fine at bench scale, prohibitive at the ~3M
+// nodes / ~28M edges of the Facebook crawl the paper samples. This
+// header adds three pieces:
+//
+//  * `CsrGraph`   — immutable offsets + flat neighbor array. Two
+//                   allocations total, O(log deg) `has_edge`, spans
+//                   for iteration.
+//  * `CsrBuilder` — incremental construction without the intermediate
+//                   vector-of-vectors: per-node adjacency slices live
+//                   in one pooled array (relocating geometric growth),
+//                   edge membership in a flat hash set. Neighbor
+//                   slices keep INSERTION order, so generators that
+//                   draw random neighbors by index (Holme–Kim triads,
+//                   socialgen triad closure) produce bit-identical
+//                   graphs to the old adjacency-list path.
+//  * `GraphView`  — non-owning span-based view consumed by every
+//                   algorithm in this directory; implicitly
+//                   constructible from `Graph`, `CsrGraph` or
+//                   `CsrBuilder` so call sites keep compiling.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/flat_map.hpp"
+#include "graph/graph.hpp"
+
+namespace ppo::graph {
+
+/// Immutable CSR graph: `offsets_[v] .. offsets_[v+1]` indexes the
+/// neighbor slice of v in `neighbors_`. Slices are sorted unless the
+/// graph was assigned with `sort_neighbors = false` (scratch reuse on
+/// the measurement hot path, where only iteration is needed).
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds from an undirected simple edge list (each edge once, in
+  /// either orientation, no self loops or duplicates).
+  static CsrGraph from_edges(std::size_t n,
+                             std::span<const std::pair<NodeId, NodeId>> edges);
+
+  /// Rebuilds in place from an edge list, reusing internal buffer
+  /// capacity — the snapshot-free measurement path calls this once
+  /// per sample with zero steady-state allocation. When
+  /// `sort_neighbors` is false the per-node slices are left in
+  /// counting-sort order and `has_edge` is unavailable.
+  void assign_from_edges(std::size_t n,
+                         std::span<const std::pair<NodeId, NodeId>> edges,
+                         bool sort_neighbors = true);
+
+  std::size_t num_nodes() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  std::size_t num_edges() const { return neighbors_.size() / 2; }
+
+  std::size_t degree(NodeId v) const {
+    return static_cast<std::size_t>(offsets_[v + 1] - offsets_[v]);
+  }
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {neighbors_.data() + offsets_[v],
+            static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  /// O(log deg) membership probe on the smaller endpoint's slice.
+  /// Requires sorted neighbor slices.
+  bool has_edge(NodeId u, NodeId v) const;
+
+  bool sorted_neighbors() const { return sorted_; }
+
+  double average_degree() const {
+    const std::size_t n = num_nodes();
+    return n == 0 ? 0.0
+                  : static_cast<double>(neighbors_.size()) /
+                        static_cast<double>(n);
+  }
+
+  /// All edges as (u, v) with u < v (compatibility helper; allocates).
+  std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+  /// Heap bytes held by the two arrays (capacity, not size) — feeds
+  /// the bytes-per-node / bytes-per-edge telemetry.
+  std::size_t memory_bytes() const {
+    return offsets_.capacity() * sizeof(std::uint64_t) +
+           neighbors_.capacity() * sizeof(NodeId);
+  }
+
+ private:
+  friend class CsrBuilder;
+
+  std::vector<std::uint64_t> offsets_;
+  std::vector<NodeId> neighbors_;
+  bool sorted_ = true;
+};
+
+/// Incremental graph builder with `Graph::add_edge` semantics (self
+/// loops and duplicates rejected, membership answered at any time) but
+/// no per-node heap vectors: adjacency slices live in one pool with
+/// geometric relocation, membership in a flat hash set of packed edge
+/// keys. Neighbor slices preserve insertion order until `build()`,
+/// which emits a sorted `CsrGraph`.
+class CsrBuilder {
+ public:
+  /// `track_membership = false` skips the hash set for generators that
+  /// never produce duplicates (G(n,p) skipping, structured graphs);
+  /// `add_edge` then trusts the caller and `has_edge`/`remove_edge`
+  /// must not be used.
+  explicit CsrBuilder(std::size_t n = 0, bool track_membership = true);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  NodeId add_nodes(std::size_t count);
+
+  /// Adds undirected edge {u, v}. Returns false (and does nothing) on
+  /// self loops and — when membership is tracked — duplicates.
+  bool add_edge(NodeId u, NodeId v);
+
+  /// Removes {u, v} preserving the relative insertion order of the
+  /// remaining neighbors (the adjacency-list `Graph` erase contract).
+  bool remove_edge(NodeId u, NodeId v);
+
+  /// O(1) hash probe. Requires membership tracking.
+  bool has_edge(NodeId u, NodeId v) const;
+
+  std::size_t degree(NodeId v) const { return nodes_[v].len; }
+
+  /// Neighbors of v in insertion order. Invalidated by the next
+  /// `add_edge` (the slice may relocate inside the pool).
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {pool_.data() + nodes_[v].offset, nodes_[v].len};
+  }
+
+  /// Sorted immutable CSR of the current edge set.
+  CsrGraph build() const;
+
+ private:
+  struct NodeSlice {
+    std::uint64_t offset = 0;
+    std::uint32_t len = 0;
+    std::uint32_t cap = 0;
+  };
+
+  void append_neighbor(NodeId u, NodeId v);
+
+  std::vector<NodeSlice> nodes_;
+  std::vector<NodeId> pool_;
+  FlatMap64 edge_set_;
+  std::size_t num_edges_ = 0;
+  bool track_membership_ = true;
+};
+
+/// Non-owning view over any graph backing store. Cheap to copy (three
+/// pointers); algorithms take it by value. A `Graph` that is itself
+/// CSR-backed unwraps to its CSR, so the view costs one predictable
+/// branch per call, not two.
+class GraphView {
+ public:
+  GraphView(const Graph& g);           // NOLINT(google-explicit-constructor)
+  GraphView(const CsrGraph& g)         // NOLINT(google-explicit-constructor)
+      : csr_(&g) {}
+  GraphView(const CsrBuilder& b)       // NOLINT(google-explicit-constructor)
+      : builder_(&b) {}
+
+  std::size_t num_nodes() const;
+  std::size_t num_edges() const;
+  std::size_t degree(NodeId v) const;
+  std::span<const NodeId> neighbors(NodeId v) const;
+  bool has_edge(NodeId u, NodeId v) const;
+  double average_degree() const;
+
+  /// True when `has_edge` is backed by binary search / hash probe —
+  /// the precondition the clustering routines check.
+  bool has_fast_edge_probe() const;
+
+ private:
+  const Graph* graph_ = nullptr;
+  const CsrGraph* csr_ = nullptr;
+  const CsrBuilder* builder_ = nullptr;
+};
+
+/// Induced subgraph over `nodes` (the i-th entry becomes node i) as an
+/// immutable CSR — the crawl-scale replacement for
+/// `Graph::induced_subgraph`'s vector-of-vectors result.
+CsrGraph induced_subgraph_csr(GraphView g, const std::vector<NodeId>& nodes);
+
+}  // namespace ppo::graph

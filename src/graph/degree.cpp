@@ -2,14 +2,14 @@
 
 namespace ppo::graph {
 
-std::size_t masked_degree(const Graph& g, NodeId v, const NodeMask& mask) {
+std::size_t masked_degree(GraphView g, NodeId v, const NodeMask& mask) {
   if (mask.empty()) return g.degree(v);
   std::size_t d = 0;
   for (NodeId nb : g.neighbors(v)) d += mask.contains(nb);
   return d;
 }
 
-Histogram degree_histogram(const Graph& g, const NodeMask& mask) {
+Histogram degree_histogram(GraphView g, const NodeMask& mask) {
   Histogram h;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     if (!mask.contains(v)) continue;

@@ -3,15 +3,15 @@
 #pragma once
 
 #include "common/histogram.hpp"
-#include "graph/graph.hpp"
+#include "graph/csr.hpp"
 
 namespace ppo::graph {
 
 /// Degree of `v` counting only neighbors included by `mask`.
-std::size_t masked_degree(const Graph& g, NodeId v, const NodeMask& mask);
+std::size_t masked_degree(GraphView g, NodeId v, const NodeMask& mask);
 
 /// Histogram of masked degrees over included nodes — the paper's
 /// Figure 5 data ("number of nodes" per degree value).
-Histogram degree_histogram(const Graph& g, const NodeMask& mask = {});
+Histogram degree_histogram(GraphView g, const NodeMask& mask = {});
 
 }  // namespace ppo::graph

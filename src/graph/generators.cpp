@@ -6,36 +6,41 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "graph/csr.hpp"
 
 namespace ppo::graph {
+
+// All generators build through CsrBuilder — one pooled neighbor array
+// plus a flat membership set — and emit an immutable CSR-backed Graph,
+// never the intermediate vector-of-vectors. The builder keeps neighbor
+// slices in insertion order and answers membership exactly like
+// Graph::add_edge did, so every RNG draw sequence (and therefore every
+// generated graph) is bit-identical to the adjacency-list path.
 
 Graph erdos_renyi_gnm(std::size_t n, std::size_t edges, Rng& rng) {
   PPO_CHECK_MSG(n >= 2 || edges == 0, "G(n,M) needs n >= 2 for edges");
   const std::size_t max_edges = n * (n - 1) / 2;
   PPO_CHECK_MSG(edges <= max_edges, "too many edges requested");
-  Graph g(n);
+  CsrBuilder b(n);
   std::size_t added = 0;
   while (added < edges) {
     const auto u = static_cast<NodeId>(rng.uniform_u64(n));
     const auto v = static_cast<NodeId>(rng.uniform_u64(n));
-    if (g.add_edge(u, v)) ++added;
+    if (b.add_edge(u, v)) ++added;
   }
-  g.finalize();
-  return g;
+  return Graph::from_csr(b.build());
 }
 
 Graph erdos_renyi_gnp(std::size_t n, double p, Rng& rng) {
   PPO_CHECK_MSG(p >= 0.0 && p <= 1.0, "p must be a probability");
-  Graph g(n);
-  if (p <= 0.0 || n < 2) {
-    g.finalize();
-    return g;
-  }
+  if (p <= 0.0 || n < 2) return Graph::from_csr(CsrGraph::from_edges(n, {}));
+  // The skipping enumeration below never revisits a pair, so the
+  // builder can skip membership tracking entirely.
+  CsrBuilder b(n, /*track_membership=*/false);
   if (p >= 1.0) {
     for (NodeId a = 0; a < n; ++a)
-      for (NodeId b = a + 1; b < n; ++b) g.add_edge(a, b);
-    g.finalize();
-    return g;
+      for (NodeId bb = a + 1; bb < n; ++bb) b.add_edge(a, bb);
+    return Graph::from_csr(b.build());
   }
   // Batagelj–Brandes geometric skipping over the edge enumeration:
   // O(#edges) expected time.
@@ -49,10 +54,9 @@ Graph erdos_renyi_gnp(std::size_t n, double p, Rng& rng) {
       ++v;
     }
     if (v < static_cast<std::int64_t>(n))
-      g.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(w));
+      b.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(w));
   }
-  g.finalize();
-  return g;
+  return Graph::from_csr(b.build());
 }
 
 namespace {
@@ -74,9 +78,9 @@ Graph holme_kim(std::size_t n, std::size_t m, double triad_prob, Rng& rng) {
   PPO_CHECK_MSG(n > m, "need more nodes than attachment edges");
   PPO_CHECK_MSG(triad_prob >= 0.0 && triad_prob <= 1.0,
                 "triad_prob must be a probability");
-  Graph g(n);
+  CsrBuilder b(n);
   // Seed: a connected clique-ish core of m+1 nodes.
-  for (NodeId u = 0; u + 1 <= m; ++u) g.add_edge(u, u + 1);
+  for (NodeId u = 0; u + 1 <= m; ++u) b.add_edge(u, u + 1);
 
   // Endpoint multiset: node id appears once per incident edge.
   std::vector<NodeId> endpoints;
@@ -95,15 +99,16 @@ Graph holme_kim(std::size_t n, std::size_t m, double triad_prob, Rng& rng) {
       ++attempts;
       NodeId target;
       if (have_last && rng.bernoulli(triad_prob) &&
-          g.degree(last_target) > 0) {
+          b.degree(last_target) > 0) {
         // Triad step: connect to a random neighbor of the previous
-        // target, closing a triangle.
-        const auto nbrs = g.neighbors(last_target);
+        // target, closing a triangle. Builder slices keep insertion
+        // order, so the indexed draw matches the adjacency-list path.
+        const auto nbrs = b.neighbors(last_target);
         target = nbrs[rng.uniform_u64(nbrs.size())];
       } else {
         target = preferential_target(endpoints, rng);
       }
-      if (!g.add_edge(v, target)) continue;
+      if (!b.add_edge(v, target)) continue;
       endpoints.push_back(v);
       endpoints.push_back(target);
       last_target = target;
@@ -111,66 +116,60 @@ Graph holme_kim(std::size_t n, std::size_t m, double triad_prob, Rng& rng) {
       ++added;
     }
   }
-  g.finalize();
-  return g;
+  return Graph::from_csr(b.build());
 }
 
 Graph watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng) {
   PPO_CHECK_MSG(k >= 1 && 2 * k < n, "need 1 <= k and 2k < n");
   PPO_CHECK_MSG(beta >= 0.0 && beta <= 1.0, "beta must be a probability");
-  Graph g(n);
+  CsrBuilder b(n);
   for (NodeId u = 0; u < n; ++u)
     for (std::size_t j = 1; j <= k; ++j)
-      g.add_edge(u, static_cast<NodeId>((u + j) % n));
+      b.add_edge(u, static_cast<NodeId>((u + j) % n));
 
   // Rewire each lattice edge's far endpoint with probability beta.
   for (NodeId u = 0; u < n; ++u) {
     for (std::size_t j = 1; j <= k; ++j) {
       if (!rng.bernoulli(beta)) continue;
       const auto old_v = static_cast<NodeId>((u + j) % n);
-      if (!g.has_edge(u, old_v)) continue;  // already rewired away
+      if (!b.has_edge(u, old_v)) continue;  // already rewired away
       for (int attempt = 0; attempt < 16; ++attempt) {
         const auto w = static_cast<NodeId>(rng.uniform_u64(n));
-        if (w == u || g.has_edge(u, w)) continue;
-        g.remove_edge(u, old_v);
-        g.add_edge(u, w);
+        if (w == u || b.has_edge(u, w)) continue;
+        b.remove_edge(u, old_v);
+        b.add_edge(u, w);
         break;
       }
     }
   }
-  g.finalize();
-  return g;
+  return Graph::from_csr(b.build());
 }
 
 Graph ring(std::size_t n) {
-  Graph g(n);
+  CsrBuilder b(n);  // membership: n == 2 wraps onto the same edge
   if (n >= 2)
     for (NodeId u = 0; u < n; ++u)
-      g.add_edge(u, static_cast<NodeId>((u + 1) % n));
-  g.finalize();
-  return g;
+      b.add_edge(u, static_cast<NodeId>((u + 1) % n));
+  return Graph::from_csr(b.build());
 }
 
 Graph path_graph(std::size_t n) {
-  Graph g(n);
-  for (NodeId u = 0; u + 1 < n; ++u) g.add_edge(u, u + 1);
-  g.finalize();
-  return g;
+  CsrBuilder b(n, /*track_membership=*/false);
+  for (NodeId u = 0; u + 1 < n; ++u) b.add_edge(u, u + 1);
+  return Graph::from_csr(b.build());
 }
 
 Graph complete(std::size_t n) {
-  Graph g(n);
+  CsrBuilder b(n, /*track_membership=*/false);
   for (NodeId u = 0; u < n; ++u)
-    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
-  g.finalize();
-  return g;
+    for (NodeId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  return Graph::from_csr(b.build());
 }
 
 Graph star(std::size_t leaves) {
-  Graph g(leaves + 1);
-  for (NodeId v = 1; v <= leaves; ++v) g.add_edge(0, v);
-  g.finalize();
-  return g;
+  CsrBuilder b(leaves + 1, /*track_membership=*/false);
+  for (NodeId v = 1; v <= leaves; ++v) b.add_edge(0, v);
+  return Graph::from_csr(b.build());
 }
 
 }  // namespace ppo::graph

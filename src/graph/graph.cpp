@@ -1,9 +1,9 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/check.hpp"
+#include "graph/csr.hpp"
 
 namespace ppo::graph {
 
@@ -15,29 +15,90 @@ std::size_t NodeMask::count(std::size_t n) const {
   return c;
 }
 
+Graph::Graph() = default;
+Graph::Graph(std::size_t n) : adj_(n) {}
+Graph::Graph(const Graph&) = default;
+Graph::Graph(Graph&&) noexcept = default;
+Graph& Graph::operator=(const Graph&) = default;
+Graph& Graph::operator=(Graph&&) noexcept = default;
+Graph::~Graph() = default;
+
+Graph Graph::from_csr(CsrGraph csr) {
+  return from_csr(std::make_shared<const CsrGraph>(std::move(csr)));
+}
+
+Graph Graph::from_csr(std::shared_ptr<const CsrGraph> csr) {
+  PPO_CHECK_MSG(csr != nullptr, "null CSR backing");
+  PPO_CHECK_MSG(csr->sorted_neighbors(),
+                "Graph requires sorted CSR neighbor slices");
+  Graph g;
+  g.num_edges_ = csr->num_edges();
+  g.csr_ = std::move(csr);
+  return g;
+}
+
+std::size_t Graph::num_nodes() const {
+  return csr_ ? csr_->num_nodes() : adj_.size();
+}
+
+std::size_t Graph::degree(NodeId v) const {
+  return csr_ ? csr_->degree(v) : adj_[v].size();
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId v) const {
+  if (csr_) return csr_->neighbors(v);
+  return {adj_[v].data(), adj_[v].size()};
+}
+
+void Graph::thaw() {
+  if (!csr_) return;
+  const CsrGraph& csr = *csr_;
+  adj_.assign(csr.num_nodes(), {});
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    const auto slice = csr.neighbors(v);
+    adj_[v].assign(slice.begin(), slice.end());
+  }
+  num_edges_ = csr.num_edges();
+  finalized_ = true;  // CSR slices are sorted
+  csr_.reset();
+}
+
 NodeId Graph::add_nodes(std::size_t count) {
+  thaw();
   const auto first = static_cast<NodeId>(adj_.size());
   adj_.resize(adj_.size() + count);
   return first;
 }
 
 bool Graph::add_edge(NodeId u, NodeId v) {
+  thaw();
   PPO_CHECK_MSG(u < adj_.size() && v < adj_.size(), "edge endpoint out of range");
   if (u == v) return false;
+  if (finalized_) {
+    // Sorted-insert path: membership and insertion both O(log deg) +
+    // shift; the graph stays finalized.
+    const auto pos_u = std::lower_bound(adj_[u].begin(), adj_[u].end(), v);
+    if (pos_u != adj_[u].end() && *pos_u == v) return false;
+    adj_[u].insert(pos_u, v);
+    const auto pos_v = std::lower_bound(adj_[v].begin(), adj_[v].end(), u);
+    adj_[v].insert(pos_v, u);
+    ++num_edges_;
+    return true;
+  }
   if (has_edge(u, v)) return false;
   adj_[u].push_back(v);
   adj_[v].push_back(u);
   ++num_edges_;
-  finalized_ = false;
   return true;
 }
 
 bool Graph::remove_edge(NodeId u, NodeId v) {
+  thaw();
   PPO_CHECK_MSG(u < adj_.size() && v < adj_.size(), "edge endpoint out of range");
   if (!has_edge(u, v)) return false;
   const auto erase_from = [](std::vector<NodeId>& list, NodeId target) {
     const auto it = std::find(list.begin(), list.end(), target);
-    list.erase(it);
+    list.erase(it);  // order-preserving: a finalized list stays sorted
   };
   erase_from(adj_[u], v);
   erase_from(adj_[v], u);
@@ -46,6 +107,7 @@ bool Graph::remove_edge(NodeId u, NodeId v) {
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const {
+  if (csr_) return csr_->has_edge(u, v);
   PPO_CHECK_MSG(u < adj_.size() && v < adj_.size(), "edge endpoint out of range");
   // Probe the smaller adjacency list.
   const auto& list = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
@@ -56,17 +118,19 @@ bool Graph::has_edge(NodeId u, NodeId v) const {
 }
 
 double Graph::average_degree() const {
-  if (adj_.empty()) return 0.0;
-  return 2.0 * static_cast<double>(num_edges_) /
-         static_cast<double>(adj_.size());
+  const std::size_t n = num_nodes();
+  if (n == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges_) / static_cast<double>(n);
 }
 
 void Graph::finalize() {
+  if (csr_) return;  // already sorted & immutable
   for (auto& list : adj_) std::sort(list.begin(), list.end());
   finalized_ = true;
 }
 
 std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
+  if (csr_) return csr_->edges();
   std::vector<std::pair<NodeId, NodeId>> out;
   out.reserve(num_edges_);
   for (NodeId u = 0; u < adj_.size(); ++u)
@@ -76,22 +140,7 @@ std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
 }
 
 Graph Graph::induced_subgraph(const std::vector<NodeId>& nodes) const {
-  std::unordered_map<NodeId, NodeId> remap;
-  remap.reserve(nodes.size());
-  for (NodeId i = 0; i < nodes.size(); ++i) {
-    PPO_CHECK_MSG(nodes[i] < adj_.size(), "subgraph node out of range");
-    const bool inserted = remap.emplace(nodes[i], i).second;
-    PPO_CHECK_MSG(inserted, "duplicate node in subgraph selection");
-  }
-  Graph sub(nodes.size());
-  for (NodeId i = 0; i < nodes.size(); ++i) {
-    for (NodeId nb : adj_[nodes[i]]) {
-      const auto it = remap.find(nb);
-      if (it != remap.end() && i < it->second) sub.add_edge(i, it->second);
-    }
-  }
-  sub.finalize();
-  return sub;
+  return from_csr(induced_subgraph_csr(*this, nodes));
 }
 
 }  // namespace ppo::graph

@@ -9,13 +9,15 @@
 
 namespace ppo::graph {
 
-void write_edge_list(std::ostream& os, const Graph& g) {
+void write_edge_list(std::ostream& os, GraphView g) {
   os << "# nodes " << g.num_nodes() << '\n';
-  for (const auto& [u, v] : g.edges()) os << u << ' ' << v << '\n';
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (NodeId v : g.neighbors(u))
+      if (u < v) os << u << ' ' << v << '\n';
 }
 
 Graph read_edge_list(std::istream& is) {
-  Graph g;
+  CsrBuilder b;
   std::string line;
   bool have_header = false;
   while (std::getline(is, line)) {
@@ -27,7 +29,8 @@ Graph read_edge_list(std::istream& is) {
       if (word == "nodes") {
         std::size_t n = 0;
         PPO_CHECK_MSG(static_cast<bool>(header >> n), "malformed node header");
-        g = Graph(n);
+        PPO_CHECK_MSG(b.num_edges() == 0, "node header after edges");
+        b = CsrBuilder(n);
         have_header = true;
       }
       continue;
@@ -36,17 +39,16 @@ Graph read_edge_list(std::istream& is) {
     std::uint64_t u = 0, v = 0;
     PPO_CHECK_MSG(static_cast<bool>(row >> u >> v), "malformed edge line: " + line);
     const std::uint64_t needed = std::max(u, v) + 1;
-    if (needed > g.num_nodes()) {
+    if (needed > b.num_nodes()) {
       PPO_CHECK_MSG(!have_header, "edge endpoint exceeds declared node count");
-      g.add_nodes(needed - g.num_nodes());
+      b.add_nodes(needed - b.num_nodes());
     }
-    g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    b.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
   }
-  g.finalize();
-  return g;
+  return Graph::from_csr(b.build());
 }
 
-void write_dot(std::ostream& os, const Graph& g, const NodeMask& mask,
+void write_dot(std::ostream& os, GraphView g, const NodeMask& mask,
                const std::string& name) {
   os << "graph " << name << " {\n";
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -54,8 +56,9 @@ void write_dot(std::ostream& os, const Graph& g, const NodeMask& mask,
     if (!mask.contains(v)) os << " [style=dashed, color=grey]";
     os << ";\n";
   }
-  for (const auto& [u, v] : g.edges())
-    os << "  n" << u << " -- n" << v << ";\n";
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (NodeId v : g.neighbors(u))
+      if (u < v) os << "  n" << u << " -- n" << v << ";\n";
   os << "}\n";
 }
 

@@ -5,13 +5,13 @@
 #include <iosfwd>
 #include <string>
 
-#include "graph/graph.hpp"
+#include "graph/csr.hpp"
 
 namespace ppo::graph {
 
 /// Writes "u v" per line, preceded by a "# nodes <n>" header so
 /// isolated nodes survive a round trip.
-void write_edge_list(std::ostream& os, const Graph& g);
+void write_edge_list(std::ostream& os, GraphView g);
 
 /// Reads the format produced by write_edge_list. Lines starting with
 /// '#' other than the header are comments. Throws on malformed input.
@@ -19,7 +19,7 @@ Graph read_edge_list(std::istream& is);
 
 /// Writes an undirected Graphviz DOT graph. Nodes excluded by `mask`
 /// are rendered dashed grey (offline).
-void write_dot(std::ostream& os, const Graph& g, const NodeMask& mask = {},
+void write_dot(std::ostream& os, GraphView g, const NodeMask& mask = {},
                const std::string& name = "overlay");
 
 }  // namespace ppo::graph

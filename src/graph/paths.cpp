@@ -8,7 +8,7 @@
 
 namespace ppo::graph {
 
-std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source,
+std::vector<std::uint32_t> bfs_distances(GraphView g, NodeId source,
                                          const NodeMask& mask) {
   const std::size_t n = g.num_nodes();
   PPO_CHECK_MSG(source < n, "BFS source out of range");
@@ -32,7 +32,7 @@ std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source,
 namespace {
 
 /// Nodes of the largest component of the mask-induced subgraph.
-std::vector<NodeId> largest_component_nodes(const Graph& g,
+std::vector<NodeId> largest_component_nodes(GraphView g,
                                             const NodeMask& mask) {
   const Components comps = connected_components(g, mask);
   const std::uint32_t target = comps.largest();
@@ -46,7 +46,7 @@ std::vector<NodeId> largest_component_nodes(const Graph& g,
 
 /// Mean BFS distance from `sources` to all other nodes of the same
 /// component. `component` must contain every source.
-double mean_distance_from_sources(const Graph& g, const NodeMask& mask,
+double mean_distance_from_sources(GraphView g, const NodeMask& mask,
                                   const std::vector<NodeId>& sources,
                                   std::size_t component_size) {
   double total = 0.0;
@@ -65,7 +65,7 @@ double mean_distance_from_sources(const Graph& g, const NodeMask& mask,
 
 }  // namespace
 
-double average_path_length(const Graph& g, Rng& rng, const NodeMask& mask,
+double average_path_length(GraphView g, Rng& rng, const NodeMask& mask,
                            std::size_t sample_sources,
                            std::size_t exact_threshold) {
   std::vector<NodeId> nodes = largest_component_nodes(g, mask);
@@ -85,7 +85,7 @@ double average_path_length(const Graph& g, Rng& rng, const NodeMask& mask,
   return mean_distance_from_sources(g, comp_mask, sources, nodes.size());
 }
 
-double normalized_average_path_length(const Graph& g, Rng& rng,
+double normalized_average_path_length(GraphView g, Rng& rng,
                                       std::size_t total_nodes,
                                       const NodeMask& mask,
                                       std::size_t sample_sources) {
@@ -101,7 +101,7 @@ double normalized_average_path_length(const Graph& g, Rng& rng,
          static_cast<double>(total_nodes);
 }
 
-std::uint32_t diameter_estimate(const Graph& g, Rng& rng,
+std::uint32_t diameter_estimate(GraphView g, Rng& rng,
                                 const NodeMask& mask, std::size_t sweeps) {
   const std::vector<NodeId> nodes = largest_component_nodes(g, mask);
   if (nodes.size() <= 1) return 0;

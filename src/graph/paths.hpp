@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "graph/graph.hpp"
+#include "graph/csr.hpp"
 
 namespace ppo::graph {
 
@@ -16,7 +16,7 @@ inline constexpr std::uint32_t kUnreachable =
 
 /// BFS hop distances from `source` within the mask-induced subgraph.
 /// Unreachable or excluded nodes get kUnreachable.
-std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source,
+std::vector<std::uint32_t> bfs_distances(GraphView g, NodeId source,
                                          const NodeMask& mask = {});
 
 /// Average shortest-path length over connected pairs in the largest
@@ -24,7 +24,7 @@ std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source,
 /// has <= `exact_threshold` nodes; otherwise estimated by BFS from
 /// `sample_sources` random sources. Returns 0 for components of
 /// size <= 1.
-double average_path_length(const Graph& g, Rng& rng,
+double average_path_length(GraphView g, Rng& rng,
                            const NodeMask& mask = {},
                            std::size_t sample_sources = 64,
                            std::size_t exact_threshold = 2048);
@@ -33,14 +33,14 @@ double average_path_length(const Graph& g, Rng& rng,
 /// largest connected component, divided by the component size and
 /// multiplied by `total_nodes` (all nodes, including offline ones).
 /// Penalizes short paths measured in tiny fragments.
-double normalized_average_path_length(const Graph& g, Rng& rng,
+double normalized_average_path_length(GraphView g, Rng& rng,
                                       std::size_t total_nodes,
                                       const NodeMask& mask = {},
                                       std::size_t sample_sources = 64);
 
 /// Lower-bound diameter estimate of the mask-induced subgraph via a
 /// few rounds of double-sweep BFS.
-std::uint32_t diameter_estimate(const Graph& g, Rng& rng,
+std::uint32_t diameter_estimate(GraphView g, Rng& rng,
                                 const NodeMask& mask = {},
                                 std::size_t sweeps = 4);
 

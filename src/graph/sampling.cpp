@@ -9,7 +9,7 @@
 
 namespace ppo::graph {
 
-Graph invitation_sample(const Graph& base, const InvitationSampleOptions& opts,
+Graph invitation_sample(GraphView base, const InvitationSampleOptions& opts,
                         Rng& rng) {
   const std::size_t n = base.num_nodes();
   PPO_CHECK_MSG(opts.target_size >= 1, "sample size must be >= 1");
@@ -64,7 +64,7 @@ Graph invitation_sample(const Graph& base, const InvitationSampleOptions& opts,
     for (NodeId v : rng.sample(unvisited, take)) select(v);
   }
 
-  return base.induced_subgraph(sample);
+  return Graph::from_csr(induced_subgraph_csr(base, sample));
 }
 
 }  // namespace ppo::graph

@@ -11,7 +11,7 @@
 #include <cstddef>
 
 #include "common/rng.hpp"
-#include "graph/graph.hpp"
+#include "graph/csr.hpp"
 
 namespace ppo::graph {
 
@@ -24,7 +24,7 @@ struct InvitationSampleOptions {
 /// are dense [0, target_size); the traversal order defines the
 /// mapping. Throws if the base graph has fewer reachable nodes than
 /// `target_size` from the chosen start.
-Graph invitation_sample(const Graph& base, const InvitationSampleOptions& opts,
+Graph invitation_sample(GraphView base, const InvitationSampleOptions& opts,
                         Rng& rng);
 
 }  // namespace ppo::graph

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "graph/components.hpp"
+#include "graph/csr.hpp"
 #include "graph/generators.hpp"
 
 namespace ppo::graph {
@@ -24,39 +25,39 @@ std::size_t draw_degree(const SocialGraphOptions& opts, Rng& rng) {
 /// Pairs up the stubs in `stubs` (shuffled) and adds the edges.
 /// Conflicting pairs (self loops, duplicates) are dropped — standard
 /// configuration-model erasure.
-void match_stubs(Graph& g, std::vector<NodeId>& stubs, Rng& rng) {
+void match_stubs(CsrBuilder& b, std::vector<NodeId>& stubs, Rng& rng) {
   rng.shuffle(stubs);
   for (std::size_t i = 0; i + 1 < stubs.size(); i += 2)
-    g.add_edge(stubs[i], stubs[i + 1]);
+    b.add_edge(stubs[i], stubs[i + 1]);
   stubs.clear();
 }
 
-void close_triads(Graph& g, std::size_t count, Rng& rng) {
-  const std::size_t n = g.num_nodes();
+void close_triads(CsrBuilder& b, std::size_t count, Rng& rng) {
+  const std::size_t n = b.num_nodes();
   std::size_t added = 0, attempts = 0;
   while (added < count && attempts < 20 * count + 100) {
     ++attempts;
     const auto v = static_cast<NodeId>(rng.uniform_u64(n));
-    const auto nbrs = g.neighbors(v);
+    const auto nbrs = b.neighbors(v);
     if (nbrs.size() < 2) continue;
     const NodeId a = nbrs[rng.uniform_u64(nbrs.size())];
-    const NodeId b = nbrs[rng.uniform_u64(nbrs.size())];
-    if (a == b) continue;
-    added += g.add_edge(a, b);
+    const NodeId c = nbrs[rng.uniform_u64(nbrs.size())];
+    if (a == c) continue;
+    added += b.add_edge(a, c);
   }
 }
 
 /// Links all connected components into one (rare stragglers from the
 /// stub erasure) by chaining a random node of each smaller component
 /// to the largest.
-void connect_components(Graph& g, Rng& rng) {
-  const Components comps = connected_components(g);
+void connect_components(CsrBuilder& b, Rng& rng) {
+  const Components comps = connected_components(b);
   if (comps.count() <= 1) return;
   const std::uint32_t big = comps.largest();
   std::vector<NodeId> anchor_of(comps.count(), 0);
   std::vector<char> seen(comps.count(), 0);
   std::vector<NodeId> big_nodes;
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+  for (NodeId v = 0; v < b.num_nodes(); ++v) {
     const auto c = comps.component_of[v];
     if (c == big) {
       big_nodes.push_back(v);
@@ -67,7 +68,7 @@ void connect_components(Graph& g, Rng& rng) {
   }
   for (std::uint32_t c = 0; c < comps.count(); ++c) {
     if (c == big || !seen[c]) continue;
-    g.add_edge(anchor_of[c],
+    b.add_edge(anchor_of[c],
                big_nodes[rng.uniform_u64(big_nodes.size())]);
   }
 }
@@ -84,7 +85,7 @@ Graph synthetic_social_graph(const SocialGraphOptions& opts, Rng& rng) {
                 "level weights exceed 1");
 
   const std::size_t n = opts.num_nodes;
-  Graph g(n);
+  CsrBuilder b(n);
 
   const std::size_t num_subs = (n + opts.sub_community_size - 1) /
                                opts.sub_community_size;
@@ -110,17 +111,16 @@ Graph synthetic_social_graph(const SocialGraphOptions& opts, Rng& rng) {
     }
   }
 
-  for (auto& stubs : sub_stubs) match_stubs(g, stubs, rng);
-  for (auto& stubs : mid_stubs) match_stubs(g, stubs, rng);
-  match_stubs(g, global_stubs, rng);
+  for (auto& stubs : sub_stubs) match_stubs(b, stubs, rng);
+  for (auto& stubs : mid_stubs) match_stubs(b, stubs, rng);
+  match_stubs(b, global_stubs, rng);
 
   close_triads(
-      g, static_cast<std::size_t>(opts.triad_fraction *
-                                  static_cast<double>(g.num_edges())),
+      b, static_cast<std::size_t>(opts.triad_fraction *
+                                  static_cast<double>(b.num_edges())),
       rng);
-  connect_components(g, rng);
-  g.finalize();
-  return g;
+  connect_components(b, rng);
+  return Graph::from_csr(b.build());
 }
 
 Graph holme_kim_social_graph(std::size_t num_nodes, std::size_t attachment,

@@ -23,7 +23,7 @@ void scale(std::vector<double>& a, double f) {
 }
 
 /// y = D^{-1/2} A D^{-1/2} x for the masked-degree-free full graph.
-void apply_normalized_adjacency(const Graph& g,
+void apply_normalized_adjacency(GraphView g,
                                 const std::vector<double>& inv_sqrt_deg,
                                 const std::vector<double>& x,
                                 std::vector<double>& y) {
@@ -38,7 +38,7 @@ void apply_normalized_adjacency(const Graph& g,
 
 }  // namespace
 
-double second_eigenvalue_estimate(const Graph& g, Rng& rng,
+double second_eigenvalue_estimate(GraphView g, Rng& rng,
                                   std::size_t iterations) {
   const std::size_t n = g.num_nodes();
   if (n < 2 || g.num_edges() == 0) return 0.0;
@@ -79,7 +79,7 @@ double second_eigenvalue_estimate(const Graph& g, Rng& rng,
   return std::min(lambda, 1.0);
 }
 
-double spectral_gap(const Graph& g, Rng& rng, std::size_t iterations) {
+double spectral_gap(GraphView g, Rng& rng, std::size_t iterations) {
   return std::clamp(1.0 - second_eigenvalue_estimate(g, rng, iterations), 0.0,
                     1.0);
 }

@@ -5,7 +5,7 @@
 #pragma once
 
 #include "common/rng.hpp"
-#include "graph/graph.hpp"
+#include "graph/csr.hpp"
 
 namespace ppo::graph {
 
@@ -13,10 +13,10 @@ namespace ppo::graph {
 /// D^{-1/2} A D^{-1/2} by power iteration with deflation of the known
 /// principal eigenvector (sqrt of degrees). The graph should be
 /// connected; isolated nodes are ignored.
-double second_eigenvalue_estimate(const Graph& g, Rng& rng,
+double second_eigenvalue_estimate(GraphView g, Rng& rng,
                                   std::size_t iterations = 200);
 
 /// Spectral gap 1 - |lambda_2| (clamped to [0, 1]).
-double spectral_gap(const Graph& g, Rng& rng, std::size_t iterations = 200);
+double spectral_gap(GraphView g, Rng& rng, std::size_t iterations = 200);
 
 }  // namespace ppo::graph

@@ -6,8 +6,7 @@
 
 namespace ppo::metrics {
 
-GraphMetrics measure_graph(const graph::Graph& g,
-                           const graph::NodeMask& online,
+GraphMetrics measure_graph(graph::GraphView g, const graph::NodeMask& online,
                            std::size_t total_nodes, Rng& rng,
                            std::size_t apl_sources) {
   GraphMetrics out;
@@ -34,8 +33,14 @@ GraphMetrics measure_graph(const graph::Graph& g,
 
   out.degree = graph::degree_histogram(g, online);
 
-  for (const auto& [u, v] : g.edges())
-    out.online_edges += (online.contains(u) && online.contains(v));
+  // Count edges with both endpoints online by neighbor iteration
+  // (u < v counts each once) — GraphView has no materialized edge
+  // list, and this avoids the old path's edge-vector allocation.
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (!online.contains(u)) continue;
+    for (const graph::NodeId v : g.neighbors(u))
+      out.online_edges += (u < v && online.contains(v));
+  }
 
   return out;
 }

@@ -4,6 +4,7 @@
 
 #include "common/histogram.hpp"
 #include "common/rng.hpp"
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
 
 namespace ppo::metrics {
@@ -31,9 +32,11 @@ struct GraphMetrics {
 
 /// Measures `g` restricted to `online`; `total_nodes` is the full
 /// population (offline included) used by the normalization.
-/// `apl_sources` bounds the BFS sampling for path lengths.
-GraphMetrics measure_graph(const graph::Graph& g,
-                           const graph::NodeMask& online,
+/// `apl_sources` bounds the BFS sampling for path lengths. Accepts
+/// any graph backing store (adjacency-list Graph, CsrGraph, or a
+/// builder) via GraphView; sorted neighbor slices are NOT required —
+/// nothing here probes edge membership.
+GraphMetrics measure_graph(graph::GraphView g, const graph::NodeMask& online,
                            std::size_t total_nodes, Rng& rng,
                            std::size_t apl_sources = 48);
 

@@ -1,0 +1,54 @@
+#include "metrics/streaming_connectivity.hpp"
+
+#include <algorithm>
+
+namespace ppo::metrics {
+
+graph::NodeId StreamingConnectivity::find(graph::NodeId v) {
+  if (gen_of_[v] != gen_) {
+    gen_of_[v] = gen_;
+    parent_[v] = v;
+    size_[v] = 1;
+  }
+  while (parent_[v] != v) {
+    parent_[v] = parent_[parent_[v]];  // path halving
+    v = parent_[v];
+  }
+  return v;
+}
+
+double StreamingConnectivity::fraction_disconnected(
+    std::size_t n,
+    std::span<const std::pair<graph::NodeId, graph::NodeId>> edges,
+    const graph::NodeMask& online) {
+  ++gen_;
+  if (parent_.size() < n) {
+    parent_.resize(n);
+    size_.resize(n);
+    gen_of_.resize(n, 0);
+  }
+
+  std::uint32_t largest = 0;
+  for (const auto& [u, v] : edges) {
+    if (!online.contains(u) || !online.contains(v)) continue;
+    graph::NodeId ru = find(u);
+    graph::NodeId rv = find(v);
+    if (ru == rv) continue;
+    if (size_[ru] < size_[rv]) std::swap(ru, rv);
+    parent_[rv] = ru;
+    size_[ru] += size_[rv];
+    largest = std::max(largest, size_[ru]);
+  }
+
+  const std::size_t included = online.count(n);
+  if (included == 0) {
+    largest_ = 0;
+    return 0.0;
+  }
+  // An online node with no online edges is a component of size 1.
+  largest_ = std::max<std::size_t>(largest, 1);
+  return static_cast<double>(included - largest_) /
+         static_cast<double>(included);
+}
+
+}  // namespace ppo::metrics

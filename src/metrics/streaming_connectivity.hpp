@@ -1,0 +1,47 @@
+// Streaming connectivity for the trace loops (Figure 8): the
+// time-series only needs the fraction of online nodes outside the
+// largest component, so a single union-find pass over the overlay
+// edge list replaces the full measure_graph() snapshot (components +
+// BFS path sampling + degree histogram) per sample point.
+//
+// The disjoint-set arrays are generation-stamped: measure() bumps a
+// generation counter instead of clearing, and find() lazily
+// initializes a node the first time the current generation touches
+// it. Repeated samples over a large population reset in O(1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ppo::metrics {
+
+class StreamingConnectivity {
+ public:
+  /// Fraction of online nodes outside the largest connected component
+  /// of the subgraph induced by `online` on `edges` — identical to
+  /// GraphMetrics::fraction_disconnected on the same edge set.
+  /// Duplicate edges are harmless (redundant unions). `n` is the
+  /// node-id upper bound.
+  double fraction_disconnected(
+      std::size_t n,
+      std::span<const std::pair<graph::NodeId, graph::NodeId>> edges,
+      const graph::NodeMask& online);
+
+  /// Size of the largest online component found by the last call.
+  std::size_t largest_component() const { return largest_; }
+
+ private:
+  graph::NodeId find(graph::NodeId v);
+
+  std::vector<graph::NodeId> parent_;
+  std::vector<std::uint32_t> size_;
+  std::vector<std::uint64_t> gen_of_;
+  std::uint64_t gen_ = 0;
+  std::size_t largest_ = 0;
+};
+
+}  // namespace ppo::metrics

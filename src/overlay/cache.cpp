@@ -7,9 +7,13 @@
 namespace ppo::overlay {
 
 PseudonymCache::PseudonymCache(std::size_t capacity)
-    : capacity_(capacity), index_(capacity) {
+    : entries_(capacity), index_(capacity) {
   PPO_CHECK_MSG(capacity >= 1, "cache capacity must be positive");
-  entries_.reserve(capacity);
+}
+
+PseudonymCache::PseudonymCache(Arena& arena, std::size_t capacity)
+    : entries_(arena, capacity), index_(capacity) {
+  PPO_CHECK_MSG(capacity >= 1, "cache capacity must be positive");
 }
 
 bool PseudonymCache::contains(PseudonymValue value) const {
@@ -46,7 +50,7 @@ std::vector<PseudonymRecord> PseudonymCache::select_random(std::size_t k,
   std::vector<PseudonymRecord> out;
   if (entries_.empty() || k == 0) return out;
   if (k >= entries_.size()) {
-    out = entries_;
+    out.assign(entries_.items().begin(), entries_.items().end());
     rng.shuffle(out);
     return out;
   }
@@ -66,7 +70,7 @@ std::vector<PseudonymRecord> PseudonymCache::select_random(std::size_t k,
 
 void PseudonymCache::merge(const std::vector<PseudonymRecord>& received,
                            PseudonymValue own,
-                           const std::vector<PseudonymRecord>& sent,
+                           std::span<const PseudonymRecord> sent,
                            sim::Time now, Rng& rng) {
   maybe_purge(now);
 
@@ -84,7 +88,7 @@ void PseudonymCache::merge(const std::vector<PseudonymRecord>& received,
       existing.expiry = std::max(existing.expiry, record.expiry);
       continue;
     }
-    if (entries_.size() < capacity_) {
+    if (entries_.size() < entries_.capacity()) {
       insert_entry(record);
       continue;
     }
@@ -113,7 +117,7 @@ void PseudonymCache::purge_expired(sim::Time now) {
 
 std::vector<PseudonymRecord> PseudonymCache::snapshot(sim::Time now) const {
   std::vector<PseudonymRecord> out;
-  for (const auto& record : entries_)
+  for (const auto& record : entries_.items())
     if (record.valid_at(now)) out.push_back(record);
   return out;
 }

@@ -2,11 +2,17 @@
 // (§III-D-1): a shuffle partner's entries first fill free space, then
 // overwrite the entries we just sent to that partner, then random
 // victims. Expired pseudonyms are purged on access.
+//
+// Entry storage is a fixed-capacity block carved from a caller-owned
+// Arena in service mode (one pool for all nodes, no per-node heap
+// churn), or self-owned when constructed standalone (tests).
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "privacylink/pseudonym.hpp"
@@ -19,9 +25,15 @@ using privacylink::PseudonymValue;
 class PseudonymCache {
  public:
   explicit PseudonymCache(std::size_t capacity);
+  PseudonymCache(Arena& arena, std::size_t capacity);
+
+  PseudonymCache(PseudonymCache&&) noexcept = default;
+  PseudonymCache& operator=(PseudonymCache&&) noexcept = default;
+  PseudonymCache(const PseudonymCache&) = delete;
+  PseudonymCache& operator=(const PseudonymCache&) = delete;
 
   std::size_t size() const { return entries_.size(); }
-  std::size_t capacity() const { return capacity_; }
+  std::size_t capacity() const { return entries_.capacity(); }
   bool contains(PseudonymValue value) const;
 
   /// Selects up to `k` random distinct live entries (a shuffle
@@ -33,7 +45,7 @@ class PseudonymCache {
   /// pseudonym (never cached). `sent` is the set this node sent in
   /// the same exchange — the preferred victims when full.
   void merge(const std::vector<PseudonymRecord>& received,
-             PseudonymValue own, const std::vector<PseudonymRecord>& sent,
+             PseudonymValue own, std::span<const PseudonymRecord> sent,
              sim::Time now, Rng& rng);
 
   /// Drops all expired entries.
@@ -49,9 +61,8 @@ class PseudonymCache {
   void insert_entry(const PseudonymRecord& record);
   void erase_at(std::size_t index);
 
-  std::size_t capacity_;
   sim::Time last_purge_ = -1.0;
-  std::vector<PseudonymRecord> entries_;
+  FixedBlock<PseudonymRecord> entries_;
   /// value -> position in entries_; flat table, no node allocation.
   FlatMap64 index_;
   /// Reused by select_random to avoid per-call allocation.

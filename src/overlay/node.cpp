@@ -30,14 +30,36 @@ std::size_t slots_for(const OverlayParams& params, std::size_t trust_degree) {
 OverlayNode::OverlayNode(NodeId id, const OverlayParams& params,
                          std::vector<NodeId> trusted_neighbors,
                          NodeEnvironment& env, Rng rng)
+    : OverlayNode(nullptr, id, params, std::move(trusted_neighbors), env,
+                  rng) {}
+
+OverlayNode::OverlayNode(Arena& arena, NodeId id, const OverlayParams& params,
+                         std::vector<NodeId> trusted_neighbors,
+                         NodeEnvironment& env, Rng rng)
+    : OverlayNode(&arena, id, params, std::move(trusted_neighbors), env,
+                  rng) {}
+
+OverlayNode::OverlayNode(Arena* arena, NodeId id, const OverlayParams& params,
+                         std::vector<NodeId> trusted_neighbors,
+                         NodeEnvironment& env, Rng rng)
     : id_(id),
       params_(params),
       trusted_(std::move(trusted_neighbors)),
       env_(env),
       rng_(rng),
-      cache_(params.cache_size),
-      sampler_(slots_for(params, trusted_.size()), params.pseudonym_bits,
-               rng_, params.sampler_min_dwell),
+      cache_(arena ? PseudonymCache(*arena, params.cache_size)
+                   : PseudonymCache(params.cache_size)),
+      sampler_(arena
+                   ? SlotSampler(*arena, slots_for(params, trusted_.size()),
+                                 params.pseudonym_bits, rng_,
+                                 params.sampler_min_dwell)
+                   : SlotSampler(slots_for(params, trusted_.size()),
+                                 params.pseudonym_bits, rng_,
+                                 params.sampler_min_dwell)),
+      pending_sent_(arena
+                        ? FixedBlock<PseudonymRecord>(*arena,
+                                                      params.shuffle_length)
+                        : FixedBlock<PseudonymRecord>(params.shuffle_length)),
       offline_ewma_(params.pseudonym_lifetime /
                     std::max(params.adaptive_lifetime_factor, 1e-9)) {
   PPO_CHECK_MSG(params.shuffle_length >= 1, "shuffle_length must be >= 1");
@@ -149,14 +171,15 @@ void OverlayNode::begin_exchange(NodeId target,
   // A still-pending exchange is superseded: its response never
   // arrived (or is still in flight and will be counted stale).
   if (pending_) abort_pending_exchange();
-  pending_ = PendingExchange{++next_exchange_id_, target, std::move(set), 0,
+  pending_sent_.assign(set);
+  pending_ = PendingExchange{++next_exchange_id_, target, 0,
                              params_.shuffle_timeout};
   PPO_TRACE_SPAN_BEGIN(ppo::obs::TraceCategory::kShuffle, "exchange", id_,
                        exchange_span_id(id_, pending_->id),
                        (ppo::obs::TraceArg{"target",
                                            static_cast<double>(target)}));
   ++counters_.requests_sent;
-  env_.send_shuffle_request(id_, target, pending_->sent);
+  env_.send_shuffle_request(id_, target, std::move(set));
   arm_exchange_timer();
 }
 
@@ -185,7 +208,10 @@ void OverlayNode::handle_exchange_timeout(std::uint64_t exchange_id) {
                   (ppo::obs::TraceArg{
                       "attempt", static_cast<double>(pending_->retries_used)}));
   ++counters_.requests_sent;
-  env_.send_shuffle_request(id_, pending_->target, pending_->sent);
+  env_.send_shuffle_request(
+      id_, pending_->target,
+      std::vector<PseudonymRecord>(pending_sent_.items().begin(),
+                                   pending_sent_.items().end()));
   arm_exchange_timer();
 }
 
@@ -252,16 +278,16 @@ void OverlayNode::handle_shuffle_response(
   ++counters_.shuffles_completed;
   PPO_TRACE_SPAN_END(ppo::obs::TraceCategory::kShuffle, "exchange", id_,
                      exchange_span_id(id_, pending_->id));
-  // Move the sent set out before merging: merge_received may call
-  // back into shuffle state via the sampler/cache only, but the
-  // pending slot must be free for the next tick regardless.
-  const std::vector<PseudonymRecord> sent = std::move(pending_->sent);
+  // Clear the pending slot before merging (it must be free for the
+  // next tick regardless); the sent set stays intact in its per-node
+  // block — merge_received only touches cache/sampler state, never
+  // the block.
   pending_.reset();
-  merge_received(received, sent);
+  merge_received(received, pending_sent_.items());
 }
 
 void OverlayNode::merge_received(const std::vector<PseudonymRecord>& received,
-                                 const std::vector<PseudonymRecord>& sent) {
+                                 std::span<const PseudonymRecord> sent) {
   const sim::Time now = env_.now();
 
   // Expiry/format validation defense (§III-E): an honest record's

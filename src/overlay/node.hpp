@@ -6,9 +6,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/flat_map.hpp"
 #include "overlay/cache.hpp"
 #include "overlay/params.hpp"
@@ -76,6 +78,19 @@ class OverlayNode {
   OverlayNode(NodeId id, const OverlayParams& params,
               std::vector<NodeId> trusted_neighbors, NodeEnvironment& env,
               Rng rng);
+
+  /// Service mode: the node's hot state (cache entries, sampler slot
+  /// arrays, pending-exchange block) is carved from `arena`, which
+  /// must outlive the node. Nodes are movable (vector storage in the
+  /// services); arena chunks never relocate, so moves keep all spans
+  /// valid.
+  OverlayNode(Arena& arena, NodeId id, const OverlayParams& params,
+              std::vector<NodeId> trusted_neighbors, NodeEnvironment& env,
+              Rng rng);
+
+  OverlayNode(OverlayNode&&) = default;
+  OverlayNode(const OverlayNode&) = delete;
+  OverlayNode& operator=(const OverlayNode&) = delete;
 
   NodeId id() const { return id_; }
   std::size_t trust_degree() const { return trusted_.size(); }
@@ -145,10 +160,14 @@ class OverlayNode {
   void schedule_renewal_alarm();
   double current_lifetime() const;
 
+  OverlayNode(Arena* arena, NodeId id, const OverlayParams& params,
+              std::vector<NodeId> trusted_neighbors, NodeEnvironment& env,
+              Rng rng);
+
   /// Merges a received set into cache + sampler. `sent` is this
   /// node's half of the exchange (CYCLON victim preference).
   void merge_received(const std::vector<PseudonymRecord>& received,
-                      const std::vector<PseudonymRecord>& sent);
+                      std::span<const PseudonymRecord> sent);
 
   /// Builds this node's half of a shuffle exchange.
   std::vector<PseudonymRecord> compose_shuffle_set();
@@ -183,13 +202,12 @@ class OverlayNode {
   /// The one in-flight initiated exchange. Timeout-scoped: a response
   /// only merges while its exchange is pending, so a lost response
   /// cannot leak the sent set into a later exchange and a duplicated
-  /// response cannot merge twice.
+  /// response cannot merge twice. The sent set itself lives in
+  /// `pending_sent_` (one fixed block per node — there is at most one
+  /// pending exchange at a time, so no per-exchange allocation).
   struct PendingExchange {
     std::uint64_t id = 0;  // monotone exchange id, guards stale timers
     NodeId target = 0;
-    /// This node's half of the exchange (CYCLON victim preference),
-    /// re-used verbatim by retransmissions.
-    std::vector<PseudonymRecord> sent;
     std::size_t retries_used = 0;
     double timeout = 0.0;  // current backoff interval
   };
@@ -200,6 +218,12 @@ class OverlayNode {
   void abort_pending_exchange();
 
   std::optional<PendingExchange> pending_;
+  /// The pending exchange's sent set (CYCLON victim preference),
+  /// re-used verbatim by retransmissions. Capacity shuffle_length —
+  /// the most compose_shuffle_set() can produce. Contents stay intact
+  /// through merge_received after pending_ is cleared (nothing there
+  /// composes a new set), so the merge reads the block directly.
+  FixedBlock<PseudonymRecord> pending_sent_;
   std::uint64_t next_exchange_id_ = 0;
 
   /// Adaptive-lifetime extension state.

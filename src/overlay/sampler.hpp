@@ -6,12 +6,22 @@
 // independent uniform value, the winning pseudonym of each slot is a
 // uniform sample over ALL pseudonyms ever offered — independent of how
 // often each one was received (the Brahms property).
+//
+// Storage is struct-of-arrays: the offer() hot loop touches the
+// reference, value, expiry and distance of every slot for every
+// received record, so the slot fields live in parallel arrays instead
+// of an array of structs with an optional<> per slot. The arrays are
+// carved from a caller-provided Arena when the sampler belongs to an
+// overlay service (one allocation pool for all nodes), or from a
+// small private arena when constructed standalone (tests).
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/rng.hpp"
 #include "privacylink/pseudonym.hpp"
 
@@ -48,7 +58,17 @@ class SlotSampler {
   SlotSampler(std::size_t slots, unsigned bits, Rng& rng,
               double min_dwell = 0.0);
 
-  std::size_t slot_count() const { return slots_.size(); }
+  /// Same, with slot storage carved from `arena` (service mode: the
+  /// arena outlives the sampler and is shared by all nodes).
+  SlotSampler(Arena& arena, std::size_t slots, unsigned bits, Rng& rng,
+              double min_dwell = 0.0);
+
+  SlotSampler(SlotSampler&&) noexcept = default;
+  SlotSampler& operator=(SlotSampler&&) noexcept = default;
+  SlotSampler(const SlotSampler&) = delete;
+  SlotSampler& operator=(const SlotSampler&) = delete;
+
+  std::size_t slot_count() const { return references_.size(); }
 
   /// Offers one received pseudonym to every slot (the §III-D
   /// traversal). Expired slot contents are treated as empty.
@@ -62,12 +82,31 @@ class SlotSampler {
   /// pseudonym links (n.links minus trusted links).
   std::vector<PseudonymValue> live_values(sim::Time now) const;
 
+  /// Appends the distinct live values to `out` (sorted, deduplicated
+  /// within this call's contribution). Allocation-free when `out` has
+  /// capacity — the streaming-metrics hot path.
+  void live_values_into(sim::Time now, std::vector<PseudonymValue>& out) const;
+
   /// Number of live slots (may count duplicates of the same value).
   std::size_t live_slots(sim::Time now) const;
 
   /// Drops expired slot contents eagerly (bookkeeping for the
   /// refill-after-expiry counter happens at offer time either way).
   void purge_expired(sim::Time now);
+
+  /// Monotone counter bumped on every slot-content write (fill,
+  /// displacement, expiry-vacation, expiry refresh). Together with the
+  /// earliest live expiry it lets callers cache derived link state:
+  /// a cached live_values() result is still exact while the epoch is
+  /// unchanged and `now` has not crossed the earliest expiry observed
+  /// at caching time.
+  std::uint64_t mutation_epoch() const { return epoch_; }
+
+  /// The earliest expiry among slots live at `now` (+infinity when no
+  /// slot is live). Until this time, and as long as mutation_epoch()
+  /// is unchanged, the live-value set cannot change — expiry is the
+  /// only passive (write-free) way a slot leaves the live set.
+  sim::Time earliest_live_expiry(sim::Time now) const;
 
   const ReplacementCounters& counters() const { return counters_; }
 
@@ -81,26 +120,38 @@ class SlotSampler {
   std::vector<PseudonymValue> references() const;
 
  private:
-  struct Slot {
-    PseudonymValue reference;
-    std::optional<PseudonymRecord> record;
-    /// |record->value - reference|, cached because the §III-D rule
-    /// re-evaluates it for every offered pseudonym (hot path).
-    std::uint64_t record_distance = 0;
-    /// When the current record was placed (damping clock).
-    sim::Time placed_at = 0.0;
-    /// Set when the slot once held a pseudonym that expired and has
-    /// not been refilled yet — the next fill is a replacement.
-    bool vacated_by_expiry = false;
-  };
+  SlotSampler(Arena* arena, std::size_t slots, unsigned bits, Rng& rng,
+              double min_dwell);
 
-  /// Applies the §III-D replacement rule for one slot; updates the
+  /// Applies the §III-D replacement rule for slot `i`; updates the
   /// counters when the content changes.
-  void place(Slot& slot, const PseudonymRecord& record, sim::Time now,
+  void place(std::size_t i, const PseudonymRecord& record, sim::Time now,
              bool check_closeness);
 
-  std::vector<Slot> slots_;
+  bool slot_live_at(std::size_t i, sim::Time now) const {
+    return live_[i] != 0 && now < expiries_[i];
+  }
+
+  /// Backing arena in standalone mode; empty when the storage belongs
+  /// to an external (service-owned) arena. Declared before the spans
+  /// purely for clarity — arena chunks never relocate, so the spans
+  /// stay valid across moves either way.
+  std::optional<Arena> owned_;
+  std::span<PseudonymValue> references_;  // permanent R_i
+  std::span<PseudonymValue> values_;      // sampled P_i (when live)
+  std::span<sim::Time> expiries_;
+  /// |values_[i] - references_[i]|, cached because the §III-D rule
+  /// re-evaluates it for every offered pseudonym (hot path).
+  std::span<std::uint64_t> distances_;
+  /// When the current record was placed (damping clock).
+  std::span<sim::Time> placed_at_;
+  std::span<std::uint8_t> live_;
+  /// Set when the slot once held a pseudonym that expired and has
+  /// not been refilled yet — the next fill is a replacement.
+  std::span<std::uint8_t> vacated_;
+
   double min_dwell_ = 0.0;
+  std::uint64_t epoch_ = 0;
   ReplacementCounters counters_;
 };
 

@@ -46,12 +46,11 @@ OverlayService::OverlayService(
         sim, *transport_, *options_.link_faults);
     link_ = faulty_.get();
   }
-  nodes_.reserve(trust_graph.num_nodes());
   for (NodeId v = 0; v < trust_graph.num_nodes(); ++v) {
     const auto nbrs = trust_graph.neighbors(v);
-    nodes_.push_back(std::make_unique<OverlayNode>(
-        v, options_.params,
-        std::vector<NodeId>(nbrs.begin(), nbrs.end()), *this, rng_.split()));
+    nodes_.emplace_back(arena_, v, options_.params,
+                        std::vector<NodeId>(nbrs.begin(), nbrs.end()), *this,
+                        rng_.split());
   }
   init_adversary();
   if (options_.observer && options_.observer->enabled())
@@ -67,7 +66,7 @@ void OverlayService::init_adversary() {
                               options_.params.pseudonym_lifetime,
                               options_.params.pseudonym_bits});
   engine_->set_reference_probe(
-      [this](NodeId v) { return nodes_[v]->sampler_references(); });
+      [this](NodeId v) { return nodes_[v].sampler_references(); });
   // Polluters concentrate their flood on a fixed trusted neighbour
   // (eclipsers aim at their victim, set by the engine itself).
   for (NodeId v = 0; v < nodes_.size(); ++v) {
@@ -82,8 +81,8 @@ void OverlayService::start() {
   started_ = true;
 
   churn_.start(churn::ChurnCallbacks{
-      .on_online = [this](NodeId v) { nodes_[v]->handle_online(); },
-      .on_offline = [this](NodeId v) { nodes_[v]->handle_offline(); },
+      .on_online = [this](NodeId v) { nodes_[v].handle_online(); },
+      .on_offline = [this](NodeId v) { nodes_[v].handle_offline(); },
   });
 
   ticks_.reserve(nodes_.size());
@@ -99,7 +98,7 @@ void OverlayService::start_ticks(NodeId v) {
       (engine_ ? engine_->tick_rate_multiplier(v) : 1.0);
   const double phase = rng_.uniform_double(0.0, period);
   ticks_.push_back(sim::PeriodicTask::start(
-      sim_, phase, period, [this, v] { nodes_[v]->shuffle_tick(); }));
+      sim_, phase, period, [this, v] { nodes_[v].shuffle_tick(); }));
 }
 
 NodeId OverlayService::add_member(
@@ -117,12 +116,12 @@ NodeId OverlayService::add_member(
   const NodeId v = trust_graph_.add_nodes(1);
   for (const NodeId nb : inviters) {
     trust_graph_.add_edge(v, nb);
-    nodes_[nb]->add_trusted_neighbor(v);
+    nodes_[nb].add_trusted_neighbor(v);
   }
   trust_graph_.finalize();
 
-  nodes_.push_back(std::make_unique<OverlayNode>(
-      v, options_.params, std::move(inviters), *this, rng_.split()));
+  nodes_.emplace_back(arena_, v, options_.params, std::move(inviters), *this,
+                      rng_.split());
   start_ticks(v);
   // The churn driver fires on_online immediately (the join moment).
   const NodeId driver_id = churn_.add_node();
@@ -159,13 +158,13 @@ void OverlayService::send_shuffle_request(NodeId from, NodeId to,
   if (observer_)
     observed = observer_->capture(from, to, sim_.now(),
                                   /*is_response=*/false,
-                                  nodes_[from]->own_pseudonym(), set);
+                                  nodes_[from].own_pseudonym(), set);
   link_->send(from, to, [this, from, to, set = std::move(set),
                          observed = std::move(observed)] {
     if (engine_) engine_->observe_received(to, set);
     if (observed)
-      observer_->deliver(*observed, to, nodes_[to]->own_pseudonym());
-    nodes_[to]->handle_shuffle_request(from, set);
+      observer_->deliver(*observed, to, nodes_[to].own_pseudonym());
+    nodes_[to].handle_shuffle_request(from, set);
   });
 }
 
@@ -183,13 +182,13 @@ void OverlayService::send_shuffle_response(NodeId from, NodeId to,
   if (observer_)
     observed = observer_->capture(from, to, sim_.now(),
                                   /*is_response=*/true,
-                                  nodes_[from]->own_pseudonym(), set);
+                                  nodes_[from].own_pseudonym(), set);
   link_->send(from, to, [this, to, set = std::move(set),
                          observed = std::move(observed)] {
     if (engine_) engine_->observe_received(to, set);
     if (observed)
-      observer_->deliver(*observed, to, nodes_[to]->own_pseudonym());
-    nodes_[to]->handle_shuffle_response(set);
+      observer_->deliver(*observed, to, nodes_[to].own_pseudonym());
+    nodes_[to].handle_shuffle_response(set);
   });
 }
 
@@ -201,7 +200,7 @@ graph::Graph OverlayService::overlay_snapshot() {
   graph::Graph overlay(nodes_.size());
   for (const auto& [u, v] : trust_graph_.edges()) overlay.add_edge(u, v);
   for (NodeId u = 0; u < nodes_.size(); ++u) {
-    for (const PseudonymValue value : nodes_[u]->pseudonym_links()) {
+    for (const PseudonymValue value : nodes_[u].pseudonym_links()) {
       const auto owner = pseudonyms_.resolve(value, sim_.now());
       if (owner && *owner != u) overlay.add_edge(u, *owner);
     }
@@ -210,10 +209,23 @@ graph::Graph OverlayService::overlay_snapshot() {
   return overlay;
 }
 
+std::span<const std::pair<graph::NodeId, graph::NodeId>>
+OverlayService::overlay_edges() {
+  const sim::Time now = sim_.now();
+  // Omniscient metric view (matches overlay_snapshot): resolve at the
+  // registry directly, bypassing the availability gate.
+  return edge_view_.collect(
+      trust_graph_, now,
+      [this](NodeId u) -> const SlotSampler& { return nodes_[u].sampler(); },
+      [this, now](PseudonymValue value) {
+        return pseudonyms_.lookup_with_expiry(value, now);
+      });
+}
+
 std::vector<NodeId> OverlayService::current_peers(NodeId v) {
   PPO_CHECK_MSG(v < nodes_.size(), "node out of range");
-  std::vector<NodeId> peers(nodes_[v]->trusted_links());
-  for (const PseudonymValue value : nodes_[v]->pseudonym_links()) {
+  std::vector<NodeId> peers(nodes_[v].trusted_links());
+  for (const PseudonymValue value : nodes_[v].pseudonym_links()) {
     const auto owner = pseudonyms_.resolve(value, sim_.now());
     if (owner && *owner != v) peers.push_back(*owner);
   }
@@ -224,8 +236,8 @@ std::vector<NodeId> OverlayService::current_peers(NodeId v) {
 
 SlotSampler::ReplacementCounters OverlayService::total_replacements() const {
   SlotSampler::ReplacementCounters total;
-  for (const auto& node : nodes_) {
-    const auto& c = node->replacement_counters();
+  for (const OverlayNode& node : nodes_) {
+    const auto& c = node.replacement_counters();
     total.refills_after_expiry += c.refills_after_expiry;
     total.better_displacements += c.better_displacements;
     total.initial_fills += c.initial_fills;
@@ -236,8 +248,8 @@ SlotSampler::ReplacementCounters OverlayService::total_replacements() const {
 
 OverlayNode::Counters OverlayService::total_counters() const {
   OverlayNode::Counters total;
-  for (const auto& node : nodes_) {
-    const auto& c = node->counters();
+  for (const OverlayNode& node : nodes_) {
+    const auto& c = node.counters();
     total.requests_sent += c.requests_sent;
     total.responses_sent += c.responses_sent;
     total.shuffles_completed += c.shuffles_completed;
@@ -259,7 +271,7 @@ std::uint64_t OverlayService::count_eclipsed_slots() const {
   std::uint64_t eclipsed = 0;
   for (NodeId v = 0; v < nodes_.size(); ++v) {
     if (engine_->role_of(v) != adversary::Role::kHonest) continue;
-    const SlotSampler& sampler = nodes_[v]->sampler();
+    const SlotSampler& sampler = nodes_[v].sampler();
     for (std::size_t i = 0; i < sampler.slot_count(); ++i) {
       const auto [ref, record] = sampler.slot(i);
       (void)ref;
@@ -303,7 +315,7 @@ metrics::ProtocolHealth OverlayService::protocol_health() const {
     health.honest_exchanges_completed = 0;
     for (NodeId v = 0; v < nodes_.size(); ++v) {
       if (engine_->role_of(v) != adversary::Role::kHonest) continue;
-      const auto& nc = nodes_[v]->counters();
+      const auto& nc = nodes_[v].counters();
       health.honest_requests_sent += nc.requests_sent;
       health.honest_request_retries += nc.request_retries;
       health.honest_exchanges_completed += nc.shuffles_completed;

@@ -4,6 +4,7 @@
 // and snapshotting for the paper's metrics.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -11,12 +12,14 @@
 #include "adversary/engine.hpp"
 #include "adversary/plan.hpp"
 #include "churn/churn_driver.hpp"
+#include "common/arena.hpp"
 #include "churn/churn_model.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/faulty_transport.hpp"
 #include "graph/graph.hpp"
 #include "inference/observer.hpp"
 #include "metrics/protocol_health.hpp"
+#include "overlay/edge_view.hpp"
 #include "overlay/node.hpp"
 #include "overlay/params.hpp"
 #include "privacylink/mix_transport.hpp"
@@ -117,8 +120,8 @@ class OverlayService final : public NodeEnvironment {
   const graph::Graph& trust_graph() const { return trust_graph_; }
   const graph::NodeMask& online_mask() const { return churn_.online_mask(); }
   std::size_t online_count() const { return churn_.online_count(); }
-  OverlayNode& node(NodeId id) { return *nodes_[id]; }
-  const OverlayNode& node(NodeId id) const { return *nodes_[id]; }
+  OverlayNode& node(NodeId id) { return nodes_[id]; }
+  const OverlayNode& node(NodeId id) const { return nodes_[id]; }
   churn::ChurnDriver& churn_driver() { return churn_; }
   /// The transport protocol messages go through (the fault wrapper
   /// when link_faults is enabled, the bare transport otherwise).
@@ -148,6 +151,16 @@ class OverlayService final : public NodeEnvironment {
   /// pseudonym of v. Metrics mask it with online_mask().
   graph::Graph overlay_snapshot();
 
+  /// The same edge set as overlay_snapshot(), normalized (u < v,
+  /// sorted, deduplicated) without materializing a Graph: per-node
+  /// resolved-target slices are memoized across calls and re-derived
+  /// only when the node's sampler mutated or an expiry passed (see
+  /// edge_view.hpp). The span is valid until the next call. This is
+  /// the measurement loop's path; feed it to
+  /// CsrGraph::assign_from_edges or StreamingConnectivity.
+  std::span<const std::pair<graph::NodeId, graph::NodeId>> overlay_edges();
+  const OverlayEdgeView& edge_view() const { return edge_view_; }
+
   /// The nodes `v` can currently reach over its own links (n.links):
   /// trusted neighbors plus the owners of its live sampled
   /// pseudonyms. What an application layer on top of the overlay
@@ -161,6 +174,11 @@ class OverlayService final : public NodeEnvironment {
 
   /// Protocol + transport degradation rollup for figure reports.
   metrics::ProtocolHealth protocol_health() const;
+
+  /// Arena bytes reserved for all per-node hot state (cache entries,
+  /// sampler slot arrays, pending-exchange blocks) — the numerator of
+  /// the bytes-per-node telemetry in the crawl-scale reports.
+  std::size_t node_state_bytes() const { return arena_.bytes_reserved(); }
 
  private:
   /// Starts one node's periodic shuffle schedule.
@@ -186,8 +204,21 @@ class OverlayService final : public NodeEnvironment {
   bool pseudonym_service_available_ = true;
   std::unique_ptr<adversary::AdversaryEngine> engine_;  // optional
   std::unique_ptr<inference::ObserverAdversary> observer_;  // optional
-  std::vector<std::unique_ptr<OverlayNode>> nodes_;
+  /// Backs every node's hot state (cache entries, sampler slot
+  /// arrays, pending-exchange blocks). Declared before nodes_ so it
+  /// outlives them; allocation happens only at node construction, so
+  /// sharded workers never touch it concurrently.
+  Arena arena_;
+  /// Nodes by value: the per-node containers the hot path walks live
+  /// in arena_, and the node objects themselves are chunk-allocated
+  /// instead of one heap object per node. A deque (not a vector)
+  /// because add_member grows it while node-scheduled timer lambdas
+  /// hold pointers to live nodes — deque push_back never relocates
+  /// existing elements.
+  std::deque<OverlayNode> nodes_;
   std::vector<sim::PeriodicTask> ticks_;
+  /// Memoized overlay-edge enumeration (overlay_edges()).
+  OverlayEdgeView edge_view_;
   bool started_ = false;
 };
 

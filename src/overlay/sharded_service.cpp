@@ -86,9 +86,9 @@ ShardedOverlayService::ShardedOverlayService(
   mint_rngs_.reserve(n);
   for (NodeId v = 0; v < n; ++v) {
     const auto nbrs = trust_graph.neighbors(v);
-    nodes_.push_back(std::make_unique<OverlayNode>(
-        v, options_.params, std::vector<NodeId>(nbrs.begin(), nbrs.end()),
-        *this, Rng(derive_seed(seed, kNodeProtocolStream, v))));
+    nodes_.emplace_back(arena_, v, options_.params,
+                        std::vector<NodeId>(nbrs.begin(), nbrs.end()), *this,
+                        Rng(derive_seed(seed, kNodeProtocolStream, v)));
     mint_rngs_.push_back(Rng(derive_seed(seed, kMintStream, v)));
   }
   pending_mints_.resize(sim_.num_shards());
@@ -111,7 +111,7 @@ void ShardedOverlayService::init_adversary() {
   // probe is safe to run from any shard worker (the engine caches the
   // result on first use).
   engine_->set_reference_probe(
-      [this](NodeId v) { return nodes_[v]->sampler_references(); });
+      [this](NodeId v) { return nodes_[v].sampler_references(); });
   for (NodeId v = 0; v < nodes_.size(); ++v) {
     if (engine_->role_of(v) != adversary::Role::kCachePolluter) continue;
     const auto nbrs = trust_graph_.neighbors(v);
@@ -138,11 +138,11 @@ void ShardedOverlayService::start() {
   churn_.start(churn::ChurnCallbacks{
       .on_online =
           [this, run_as](NodeId v) {
-            run_as(v, [this, v] { nodes_[v]->handle_online(); });
+            run_as(v, [this, v] { nodes_[v].handle_online(); });
           },
       .on_offline =
           [this, run_as](NodeId v) {
-            run_as(v, [this, v] { nodes_[v]->handle_offline(); });
+            run_as(v, [this, v] { nodes_[v].handle_offline(); });
           },
   });
 
@@ -157,7 +157,7 @@ void ShardedOverlayService::start() {
     Rng phase_rng(derive_seed(seed_, kTickPhaseStream, v));
     const double phase = phase_rng.uniform_double(0.0, period);
     ticks_.push_back(sim::PeriodicTask::start(
-        sim_, phase, period, [this, v] { nodes_[v]->shuffle_tick(); }, v));
+        sim_, phase, period, [this, v] { nodes_[v].shuffle_tick(); }, v));
   }
 }
 
@@ -252,13 +252,13 @@ void ShardedOverlayService::send_shuffle_request(
   if (observer_)
     observed = observer_->capture(from, to, sim_.now(),
                                   /*is_response=*/false,
-                                  nodes_[from]->own_pseudonym(), set);
+                                  nodes_[from].own_pseudonym(), set);
   link_->send(from, to, [this, from, to, set = std::move(set),
                          observed = std::move(observed)] {
     if (engine_) engine_->observe_received(to, set);
     if (observed)
-      observer_->deliver(*observed, to, nodes_[to]->own_pseudonym());
-    nodes_[to]->handle_shuffle_request(from, set);
+      observer_->deliver(*observed, to, nodes_[to].own_pseudonym());
+    nodes_[to].handle_shuffle_request(from, set);
   });
 }
 
@@ -282,13 +282,13 @@ void ShardedOverlayService::send_shuffle_response(
   if (observer_)
     observed = observer_->capture(from, to, sim_.now(),
                                   /*is_response=*/true,
-                                  nodes_[from]->own_pseudonym(), set);
+                                  nodes_[from].own_pseudonym(), set);
   link_->send(from, to, [this, to, set = std::move(set),
                          observed = std::move(observed)] {
     if (engine_) engine_->observe_received(to, set);
     if (observed)
-      observer_->deliver(*observed, to, nodes_[to]->own_pseudonym());
-    nodes_[to]->handle_shuffle_response(set);
+      observer_->deliver(*observed, to, nodes_[to].own_pseudonym());
+    nodes_[to].handle_shuffle_response(set);
   });
 }
 
@@ -306,7 +306,7 @@ graph::Graph ShardedOverlayService::overlay_snapshot() const {
   graph::Graph overlay(nodes_.size());
   for (const auto& [u, v] : trust_graph_.edges()) overlay.add_edge(u, v);
   for (NodeId u = 0; u < nodes_.size(); ++u) {
-    for (const PseudonymValue value : nodes_[u]->pseudonym_links()) {
+    for (const PseudonymValue value : nodes_[u].pseudonym_links()) {
       const auto owner = pseudonyms_.lookup(value, sim_.now());
       if (owner && *owner != u) overlay.add_edge(u, *owner);
     }
@@ -315,10 +315,21 @@ graph::Graph ShardedOverlayService::overlay_snapshot() const {
   return overlay;
 }
 
+std::span<const std::pair<graph::NodeId, graph::NodeId>>
+ShardedOverlayService::overlay_edges() {
+  const sim::Time now = sim_.now();
+  return edge_view_.collect(
+      trust_graph_, now,
+      [this](NodeId u) -> const SlotSampler& { return nodes_[u].sampler(); },
+      [this, now](PseudonymValue value) {
+        return pseudonyms_.lookup_with_expiry(value, now);
+      });
+}
+
 std::vector<NodeId> ShardedOverlayService::current_peers(NodeId v) const {
   PPO_CHECK_MSG(v < nodes_.size(), "node out of range");
-  std::vector<NodeId> peers(nodes_[v]->trusted_links());
-  for (const PseudonymValue value : nodes_[v]->pseudonym_links()) {
+  std::vector<NodeId> peers(nodes_[v].trusted_links());
+  for (const PseudonymValue value : nodes_[v].pseudonym_links()) {
     const auto owner = pseudonyms_.lookup(value, sim_.now());
     if (owner && *owner != v) peers.push_back(*owner);
   }
@@ -330,8 +341,8 @@ std::vector<NodeId> ShardedOverlayService::current_peers(NodeId v) const {
 SlotSampler::ReplacementCounters ShardedOverlayService::total_replacements()
     const {
   SlotSampler::ReplacementCounters total;
-  for (const auto& node : nodes_) {
-    const auto& c = node->replacement_counters();
+  for (const OverlayNode& node : nodes_) {
+    const auto& c = node.replacement_counters();
     total.refills_after_expiry += c.refills_after_expiry;
     total.better_displacements += c.better_displacements;
     total.initial_fills += c.initial_fills;
@@ -342,8 +353,8 @@ SlotSampler::ReplacementCounters ShardedOverlayService::total_replacements()
 
 OverlayNode::Counters ShardedOverlayService::total_counters() const {
   OverlayNode::Counters total;
-  for (const auto& node : nodes_) {
-    const auto& c = node->counters();
+  for (const OverlayNode& node : nodes_) {
+    const auto& c = node.counters();
     total.requests_sent += c.requests_sent;
     total.responses_sent += c.responses_sent;
     total.shuffles_completed += c.shuffles_completed;
@@ -365,7 +376,7 @@ std::uint64_t ShardedOverlayService::count_eclipsed_slots() const {
   std::uint64_t eclipsed = 0;
   for (NodeId v = 0; v < nodes_.size(); ++v) {
     if (engine_->role_of(v) != adversary::Role::kHonest) continue;
-    const SlotSampler& sampler = nodes_[v]->sampler();
+    const SlotSampler& sampler = nodes_[v].sampler();
     for (std::size_t i = 0; i < sampler.slot_count(); ++i) {
       const auto [ref, record] = sampler.slot(i);
       (void)ref;
@@ -409,7 +420,7 @@ metrics::ProtocolHealth ShardedOverlayService::protocol_health() const {
     health.honest_exchanges_completed = 0;
     for (NodeId v = 0; v < nodes_.size(); ++v) {
       if (engine_->role_of(v) != adversary::Role::kHonest) continue;
-      const auto& nc = nodes_[v]->counters();
+      const auto& nc = nodes_[v].counters();
       health.honest_requests_sent += nc.requests_sent;
       health.honest_request_retries += nc.request_retries;
       health.honest_exchanges_completed += nc.shuffles_completed;

@@ -33,9 +33,11 @@
 
 #include "churn/churn_driver.hpp"
 #include "churn/churn_model.hpp"
+#include "common/arena.hpp"
 #include "fault/faulty_transport.hpp"
 #include "graph/graph.hpp"
 #include "metrics/protocol_health.hpp"
+#include "overlay/edge_view.hpp"
 #include "overlay/node.hpp"
 #include "overlay/service.hpp"
 #include "privacylink/mix_transport.hpp"
@@ -100,8 +102,8 @@ class ShardedOverlayService final : public NodeEnvironment {
   const graph::Graph& trust_graph() const { return trust_graph_; }
   const graph::NodeMask& online_mask() const { return churn_.online_mask(); }
   std::size_t online_count() const { return churn_.online_count(); }
-  OverlayNode& node(NodeId id) { return *nodes_[id]; }
-  const OverlayNode& node(NodeId id) const { return *nodes_[id]; }
+  OverlayNode& node(NodeId id) { return nodes_[id]; }
+  const OverlayNode& node(NodeId id) const { return nodes_[id]; }
   churn::ChurnDriver& churn_driver() { return churn_; }
   const privacylink::LinkTransport& transport() const { return *link_; }
   const privacylink::PseudonymService& pseudonym_service() const {
@@ -123,10 +125,18 @@ class ShardedOverlayService final : public NodeEnvironment {
   }
 
   graph::Graph overlay_snapshot() const;
+  /// Snapshot-free edge enumeration (see OverlayService::overlay_edges
+  /// and edge_view.hpp). Call between windows, like overlay_snapshot.
+  std::span<const std::pair<graph::NodeId, graph::NodeId>> overlay_edges();
+  const OverlayEdgeView& edge_view() const { return edge_view_; }
   std::vector<NodeId> current_peers(NodeId v) const;
   SlotSampler::ReplacementCounters total_replacements() const;
   OverlayNode::Counters total_counters() const;
   metrics::ProtocolHealth protocol_health() const;
+
+  /// Arena bytes reserved for all per-node hot state (see
+  /// OverlayService::node_state_bytes).
+  std::size_t node_state_bytes() const { return arena_.bytes_reserved(); }
 
  private:
   struct PendingMint {
@@ -161,7 +171,11 @@ class ShardedOverlayService final : public NodeEnvironment {
   std::unique_ptr<fault::FaultyTransport> faulty_;  // optional wrapper
   privacylink::LinkTransport* link_ = nullptr;  // what sends go through
   bool pseudonym_service_available_ = true;
-  std::vector<std::unique_ptr<OverlayNode>> nodes_;
+  /// Backs every node's hot state (see OverlayService::arena_).
+  /// Touched only at node construction, before any shard worker
+  /// exists, so windows run against frozen allocations.
+  Arena arena_;
+  std::vector<OverlayNode> nodes_;
   /// Per-node pseudonym-value streams (derive_seed tag 4): a node's
   /// mint sequence is a function of its own mints alone.
   std::vector<Rng> mint_rngs_;
@@ -178,6 +192,9 @@ class ShardedOverlayService final : public NodeEnvironment {
   /// Node whose callback is running while in external context (start
   /// / churn-callback bootstrap), so schedule() can attribute timers.
   NodeId external_node_ = privacylink::NodeId(-1);
+  /// Memoized overlay-edge enumeration (overlay_edges()); touched
+  /// only between windows, never by shard workers.
+  OverlayEdgeView edge_view_;
   sim::Time last_gc_ = 0.0;
   bool started_ = false;
 };

@@ -42,6 +42,13 @@ std::optional<NodeId> PseudonymService::lookup(PseudonymValue value,
   return it->second.owner;
 }
 
+std::optional<std::pair<NodeId, sim::Time>> PseudonymService::lookup_with_expiry(
+    PseudonymValue value, sim::Time now) const {
+  const auto it = owners_.find(value);
+  if (it == owners_.end() || it->second.expiry <= now) return std::nullopt;
+  return std::pair<NodeId, sim::Time>{it->second.owner, it->second.expiry};
+}
+
 void PseudonymService::register_minted(NodeId owner,
                                        const PseudonymRecord& record,
                                        sim::Time now) {

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 
 #include "graph/graph.hpp"
 #include "privacylink/pseudonym.hpp"
@@ -39,6 +40,16 @@ class PseudonymService {
   /// (expired entries are simply reported unknown; reclaim them with
   /// collect_garbage() at a quiescent point).
   std::optional<NodeId> lookup(PseudonymValue value, sim::Time now) const;
+
+  /// Read-only resolution that also reports the registration's expiry,
+  /// for callers that memoize resolution results (the overlay edge
+  /// view): the returned (owner, expiry) pair is guaranteed stable
+  /// until the expiry — a live value cannot be re-registered to a
+  /// different owner, and every registration path stamps `now +
+  /// lifetime`, so a same-owner re-registration can only extend the
+  /// expiry, never shorten it.
+  std::optional<std::pair<NodeId, sim::Time>> lookup_with_expiry(
+      PseudonymValue value, sim::Time now) const;
 
   /// Registers a pseudonym minted elsewhere (the sharded overlay
   /// service draws values from per-node streams and publishes them at

@@ -50,7 +50,8 @@ TEST(Cache, SentEntriesArepreferredVictims) {
   Rng rng(1);
   cache.merge({rec(1), rec(2), rec(3)}, 0, {}, 0.0, rng);
   // Full; new entries should displace what we just sent (1 and 2).
-  cache.merge({rec(10), rec(11)}, 0, /*sent=*/{rec(1), rec(2)}, 0.0, rng);
+  const std::vector<PseudonymRecord> sent{rec(1), rec(2)};
+  cache.merge({rec(10), rec(11)}, 0, sent, 0.0, rng);
   EXPECT_EQ(cache.size(), 3u);
   EXPECT_TRUE(cache.contains(10));
   EXPECT_TRUE(cache.contains(11));

@@ -6,10 +6,12 @@
 //
 // Rolling-history mode takes ONE report plus `--history <file>`: the
 // file is a JSONL ledger of compact per-commit snapshots ({commit,
-// artefact, schema_version, wall_seconds, cell_seconds}). The
-// candidate is compared against the fastest of the last N entries
-// (`--last N`, default 10) for the same artefact — the fastest, so a
-// slow baseline commit cannot mask a real regression. `--append`
+// artefact, schema_version, wall_seconds, peak_rss_bytes,
+// cell_seconds}). The candidate is compared against the fastest of
+// the last N entries (`--last N`, default 10) for the same artefact —
+// the fastest, so a slow baseline commit cannot mask a real
+// regression — and its peak RSS against the leanest of the same
+// window. `--append`
 // records the candidate at the end of the ledger afterwards (tag it
 // with `--commit <sha>`), keeping a per-commit trend CI can grow one
 // run at a time:
@@ -17,8 +19,9 @@
 //   bench_diff BENCH_fig3.json --history fig3.history.jsonl \
 //              --last 10 --append --commit "$GITHUB_SHA"
 //
-// Compares the envelope's total `wall_seconds` and, when both reports
-// carry sweep telemetry, the per-cell seconds. Also diffs every
+// Compares the envelope's total `wall_seconds`, the `peak_rss_bytes`
+// memory footprint (when both reports carry one) and, when both
+// reports carry sweep telemetry, the per-cell seconds. Also diffs every
 // ProtocolHealth rollup found anywhere in the two documents
 // (recognized by its requests_sent/messages_sent counters, keyed by
 // JSON path) and the envelope's `metrics` registry block — advisory by
@@ -193,6 +196,13 @@ std::size_t diff_metric_section(const Json& base, const Json& cand,
   return changed;
 }
 
+/// Numeric field access tolerant of absence (returns 0.0).
+double number_or_zero(const Json& doc, const char* key) {
+  if (doc.contains(key) && doc.at(key).is_number())
+    return doc.at(key).as_double();
+  return 0.0;
+}
+
 /// Compact per-commit snapshot of a report for the history ledger.
 Json snapshot_of(const Json& doc, const std::string& commit) {
   Json snap = Json::object();
@@ -203,6 +213,8 @@ Json snapshot_of(const Json& doc, const std::string& commit) {
   snap["wall_seconds"] = doc.contains("wall_seconds")
                              ? doc.at("wall_seconds").as_double()
                              : 0.0;
+  if (doc.contains("peak_rss_bytes"))
+    snap["peak_rss_bytes"] = doc.at("peak_rss_bytes").as_double();
   snap["cell_seconds"] = Json::array_of(cell_seconds(doc));
   return snap;
 }
@@ -279,6 +291,32 @@ int run_history_mode(const Json& candidate, const std::string& history_path,
     }
   } else {
     std::cout << "  (no comparable history — nothing to diff against)\n";
+  }
+
+  // Memory trend: candidate peak RSS vs the leanest recent run.
+  const double cand_rss = number_or_zero(candidate, "peak_rss_bytes");
+  if (cand_rss > 0.0) {
+    const Json* leanest = nullptr;
+    for (const Json* entry : window) {
+      const double rss = number_or_zero(*entry, "peak_rss_bytes");
+      if (rss <= 0.0) continue;
+      if (leanest == nullptr ||
+          rss < number_or_zero(*leanest, "peak_rss_bytes"))
+        leanest = entry;
+    }
+    if (leanest != nullptr) {
+      const double best_rss = number_or_zero(*leanest, "peak_rss_bytes");
+      const double change = ratio_change(best_rss, cand_rss);
+      std::cout << "  leanest of window: "
+                << field_or(*leanest, "commit", "(untagged)") << " at "
+                << best_rss << " peak RSS bytes; candidate " << cand_rss
+                << " (" << percent(change) << ")\n";
+      if (change > threshold) {
+        std::cout << "  REGRESSION: peak RSS up more than "
+                  << percent(threshold) << " vs leanest recent run\n";
+        regression = true;
+      }
+    }
   }
 
   if (append) {
@@ -388,6 +426,19 @@ int main(int argc, char** argv) {
     std::cout << "  REGRESSION: total wall time up more than "
               << percent(threshold) << "\n";
     regression = true;
+  }
+
+  const double base_rss = number_or_zero(baseline, "peak_rss_bytes");
+  const double cand_rss = number_or_zero(candidate, "peak_rss_bytes");
+  if (base_rss > 0.0 && cand_rss > 0.0) {
+    const double rss_change = ratio_change(base_rss, cand_rss);
+    std::cout << "  peak_rss_bytes " << base_rss << " -> " << cand_rss << " ("
+              << percent(rss_change) << ")\n";
+    if (rss_change > threshold) {
+      std::cout << "  REGRESSION: peak RSS up more than " << percent(threshold)
+                << "\n";
+      regression = true;
+    }
   }
 
   const std::vector<double> base_cells = cell_seconds(baseline);

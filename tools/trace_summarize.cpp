@@ -3,12 +3,18 @@
 //
 //   trace_summarize <run.trace.jsonl> [--top 10]
 //
-// Prints three views:
+// Prints four views:
 //   - record counts per category and per event name (top N),
 //   - a per-shard load table (records, executed events from the
 //     "window_events" counters, drained mailbox messages),
 //   - shuffle-exchange latency percentiles, overall and for the
-//     busiest nodes, matched from the begin/end span records.
+//     busiest nodes, matched from the begin/end span records,
+//   - a flamegraph-style self-time rollup over ALL span kinds
+//     (exchange, route_walk, dht_lookup, ...): per span name, total
+//     sim-time and SELF sim-time — total minus the portions covered
+//     by spans nested inside it on the same origin track — so the
+//     span kind that actually dominates a run's sim-time reads off
+//     one table instead of a browser timeline.
 //
 // Exit code: 0 on success, 2 on usage/parse errors.
 #include <algorithm>
@@ -37,6 +43,65 @@ struct ShardLoad {
 struct NodeLatency {
   std::vector<double> latencies;
 };
+
+/// A completed begin/end span pair on one origin track.
+struct Span {
+  std::string name;  // "cat/name"
+  std::uint64_t origin = 0;
+  double t0 = 0.0;
+  double t1 = 0.0;
+};
+
+struct SelfTimeRow {
+  std::uint64_t count = 0;
+  double total = 0.0;
+  double self = 0.0;
+};
+
+/// Flamegraph-style rollup: per span name, total duration and SELF
+/// duration (total minus the time covered by spans nested inside it
+/// on the same origin track). Spans are async and may overlap
+/// partially; only the overlapping portion is attributed to the
+/// enclosing span's children.
+std::map<std::string, SelfTimeRow> self_time_rollup(std::vector<Span> spans) {
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const Span& a, const Span& b) {
+                     if (a.origin != b.origin) return a.origin < b.origin;
+                     if (a.t0 != b.t0) return a.t0 < b.t0;
+                     return a.t1 > b.t1;  // longer (outer) span first
+                   });
+  std::map<std::string, SelfTimeRow> rows;
+  // Per-track stack of (end time, pointer to the row's self slot).
+  std::vector<std::pair<double, std::string>> stack;
+  std::uint64_t track = ~std::uint64_t{0};
+  std::vector<double> covered;  // child time of stack[i]
+  const auto pop_one = [&] {
+    rows[stack.back().second].self -= covered.back();
+    stack.pop_back();
+    covered.pop_back();
+  };
+  for (const Span& s : spans) {
+    if (s.origin != track) {
+      while (!stack.empty()) pop_one();
+      track = s.origin;
+    }
+    while (!stack.empty() && stack.back().first <= s.t0) pop_one();
+    const double d = s.t1 - s.t0;
+    SelfTimeRow& row = rows[s.name];
+    ++row.count;
+    row.total += d;
+    row.self += d;
+    if (!stack.empty()) {
+      // Attribute the nested (overlapping) portion to the parent's
+      // children; clip for partial overlaps.
+      covered.back() += std::min(s.t1, stack.back().first) - s.t0;
+    }
+    stack.emplace_back(s.t1, s.name);
+    covered.push_back(0.0);
+  }
+  while (!stack.empty()) pop_one();
+  return rows;
+}
 
 std::string fmt(double v, int decimals = 3) {
   char buf[48];
@@ -86,6 +151,11 @@ int main(int argc, char** argv) {
   std::map<std::uint64_t, double> open_spans;
   std::map<std::uint64_t, NodeLatency> nodes;
   std::vector<double> all_latencies;
+  // Every span kind, for the self-time rollup: open spans keyed by
+  // (cat/name, id) — ids are unique per kind, not globally.
+  std::map<std::pair<std::string, std::uint64_t>, std::pair<double, std::uint64_t>>
+      open_generic;  // -> (begin t, origin)
+  std::vector<Span> completed_spans;
 
   std::string line;
   std::size_t line_no = 0;
@@ -124,21 +194,36 @@ int main(int argc, char** argv) {
         load.mailbox_drained += rec.at("value").as_double();
     }
 
-    // Exchange spans: "b" opens, the matching-id "e" closes. Aborted
+    // Spans: "b" opens, the matching-id "e" closes. Aborted
     // exchanges also emit an "e", so every open span terminates.
-    if (name == "exchange" && rec.contains("ph") && rec.contains("id")) {
+    if (rec.contains("ph") && rec.contains("id")) {
       const std::string ph = rec.at("ph").as_string();
       const std::uint64_t id = rec.at("id").as_uint();
+      if (name == "exchange") {
+        if (ph == "b") {
+          open_spans[id] = t;
+        } else if (ph == "e") {
+          const auto it = open_spans.find(id);
+          if (it != open_spans.end()) {
+            const double latency = t - it->second;
+            open_spans.erase(it);
+            all_latencies.push_back(latency);
+            // Span id encodes the initiating node in the high 32 bits.
+            nodes[id >> 32].latencies.push_back(latency);
+          }
+        }
+      }
+      const std::uint64_t origin =
+          rec.contains("origin") ? rec.at("origin").as_uint() : ~std::uint64_t{0};
+      const auto key = std::make_pair(cat + "/" + name, id);
       if (ph == "b") {
-        open_spans[id] = t;
+        open_generic[key] = {t, origin};
       } else if (ph == "e") {
-        const auto it = open_spans.find(id);
-        if (it != open_spans.end()) {
-          const double latency = t - it->second;
-          open_spans.erase(it);
-          all_latencies.push_back(latency);
-          // Span id encodes the initiating node in the high 32 bits.
-          nodes[id >> 32].latencies.push_back(latency);
+        const auto it = open_generic.find(key);
+        if (it != open_generic.end()) {
+          completed_spans.push_back(Span{it->first.first, it->second.second,
+                                         it->second.first, t});
+          open_generic.erase(it);
         }
       }
     }
@@ -223,6 +308,31 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n# busiest nodes by completed exchanges\n";
     per_node.print(std::cout);
+  }
+
+  // --- flamegraph-style self-time rollup ---------------------------
+  if (!completed_spans.empty()) {
+    const auto rollup = self_time_rollup(std::move(completed_spans));
+    double grand_self = 0.0;
+    for (const auto& [_, row] : rollup) grand_self += row.self;
+    std::vector<std::pair<std::string, SelfTimeRow>> sorted(rollup.begin(),
+                                                            rollup.end());
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second.self > b.second.self;
+                     });
+    ppo::TextTable flame(
+        {"span", "count", "total_simtime", "self_simtime", "self_share"});
+    for (std::size_t i = 0; i < sorted.size() && i < top; ++i) {
+      const SelfTimeRow& row = sorted[i].second;
+      flame.add_row({sorted[i].first, std::to_string(row.count),
+                     fmt(row.total), fmt(row.self),
+                     fmt(grand_self > 0.0 ? 100.0 * row.self / grand_self : 0.0,
+                         1) + "%"});
+    }
+    std::cout << "\n# self-time rollup (sim-time; self = total minus "
+                 "nested spans on the same origin track)\n";
+    flame.print(std::cout);
   }
   return 0;
 }
