@@ -37,39 +37,16 @@
 #include "overlay/sharded_service.hpp"
 #include "sim/sharded_simulator.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/service_mode.hpp"
 
 namespace {
 
 using namespace ppo;
 
-/// FNV-1a over the overlay's canonical edge list (normalized u < v,
-/// sorted, deduplicated — exactly what overlay_edges() yields) plus
-/// the protocol-health counters: equal fingerprints mean equal
-/// overlay trajectories for all practical purposes. Taking the edge
-/// span instead of a snapshot Graph keeps the fingerprint allocation-
-/// free at crawl scale (the old path materialized one adjacency
-/// vector per node).
-std::uint64_t fingerprint(
-    std::span<const std::pair<graph::NodeId, graph::NodeId>> edges,
-    const metrics::ProtocolHealth& health) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  const auto mix = [&h](std::uint64_t x) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (x >> (8 * i)) & 0xFF;
-      h *= 0x100000001b3ULL;
-    }
-  };
-  for (const auto& [u, v] : edges) {
-    mix(u);
-    mix(v);
-  }
-  mix(health.requests_sent);
-  mix(health.responses_sent);
-  mix(health.exchanges_completed);
-  mix(health.messages_sent);
-  mix(health.messages_delivered);
-  return h;
-}
+// The trajectory fingerprint (FNV-1a over the canonical edge list +
+// health counters) moved to telemetry::trajectory_fingerprint so this
+// bench, the service mode and the determinism tests all hash the same
+// way.
 
 struct RunReport {
   std::size_t shards = 0;  // 0 = serial backend
@@ -91,7 +68,29 @@ struct RunReport {
   std::size_t node_state_bytes = 0;
   metrics::ProtocolHealth health;
   std::vector<sim::ShardedSimulator::ShardStats> shard_stats;
+
+  /// Worker threads the run actually used (the serial backend is one
+  /// core); denominator of the per-core throughput below.
+  std::size_t cores() const { return shards == 0 ? 1 : shards; }
+  double events_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds
+                              : 0.0;
+  }
+  double events_per_second_per_core() const {
+    return events_per_second() / static_cast<double>(cores());
+  }
 };
+
+/// Busy fraction of a shard's window wall time; 0 when unprofiled.
+double busy_ratio(const sim::ShardedSimulator::ShardStats& st) {
+  const double denom = st.busy_seconds + st.stall_seconds;
+  return denom > 0.0 ? st.busy_seconds / denom : 0.0;
+}
+
+double stall_ratio(const sim::ShardedSimulator::ShardStats& st) {
+  const double denom = st.busy_seconds + st.stall_seconds;
+  return denom > 0.0 ? st.stall_seconds / denom : 0.0;
+}
 
 /// Per-run registry: health rollup plus the per-shard load profile
 /// (dimension shard=K), the `metrics` block of each JSON run entry.
@@ -109,8 +108,13 @@ obs::MetricsRegistry run_metrics(const RunReport& report, bool profiled) {
     if (profiled) {
       registry.set_gauge("shard_busy_seconds", st.busy_seconds, dims);
       registry.set_gauge("shard_stall_seconds", st.stall_seconds, dims);
+      registry.set_gauge("shard_busy_ratio", busy_ratio(st), dims);
+      registry.set_gauge("shard_stall_ratio", stall_ratio(st), dims);
     }
   }
+  registry.set_gauge("events_per_second", report.events_per_second());
+  registry.set_gauge("events_per_second_per_core",
+                     report.events_per_second_per_core());
   return registry;
 }
 
@@ -182,7 +186,7 @@ int main(int argc, char** argv) {
       report.online = service.online_count();
       const auto edges = service.overlay_edges();
       report.overlay_edges = edges.size();
-      report.fingerprint = fingerprint(edges, report.health);
+      report.fingerprint = telemetry::trajectory_fingerprint(edges, report.health);
       report.fraction_disconnected = connectivity.fraction_disconnected(
           nodes, edges, service.online_mask());
       report.node_state_bytes = service.node_state_bytes();
@@ -216,8 +220,10 @@ int main(int argc, char** argv) {
     std::cout << "K=" << report.shards
               << (report.shards == 0 ? " (serial)" : "") << ": "
               << report.wall_seconds << " s, " << report.events
-              << " events, fingerprint " << std::hex << report.fingerprint
-              << std::dec << "\n"
+              << " events (" << report.events_per_second() << " events/s, "
+              << report.events_per_second_per_core()
+              << " events/s/core), fingerprint " << std::hex
+              << report.fingerprint << std::dec << "\n"
               << "  overlay: " << report.overlay_edges << " edges, "
               << report.online << " online, fraction_disconnected "
               << report.fraction_disconnected << "\n"
@@ -237,13 +243,15 @@ int main(int argc, char** argv) {
               << " bytes/node)\n";
     if (profile && !report.shard_stats.empty()) {
       std::cout << "  shard  events      mailbox_out  max_queue  busy_s   "
-                   "stall_s\n";
+                   "stall_s  busy%   stall%\n";
       for (std::size_t s = 0; s < report.shard_stats.size(); ++s) {
         const auto& st = report.shard_stats[s];
-        std::printf("  %-6zu %-11llu %-12llu %-10zu %-8.3f %-8.3f\n", s,
-                    static_cast<unsigned long long>(st.events),
-                    static_cast<unsigned long long>(st.mailbox_out),
-                    st.max_queue, st.busy_seconds, st.stall_seconds);
+        std::printf(
+            "  %-6zu %-11llu %-12llu %-10zu %-8.3f %-8.3f %-7.3f %-7.3f\n",
+            s, static_cast<unsigned long long>(st.events),
+            static_cast<unsigned long long>(st.mailbox_out), st.max_queue,
+            st.busy_seconds, st.stall_seconds, busy_ratio(st),
+            stall_ratio(st));
       }
     }
   }
@@ -319,6 +327,8 @@ int main(int argc, char** argv) {
       entry["shards"] = static_cast<std::uint64_t>(r.shards);
       entry["wall_seconds"] = r.wall_seconds;
       entry["events"] = r.events;
+      entry["events_per_second"] = r.events_per_second();
+      entry["events_per_second_per_core"] = r.events_per_second_per_core();
       entry["fingerprint"] = r.fingerprint;
       entry["online"] = static_cast<std::uint64_t>(r.online);
       entry["fraction_disconnected"] = r.fraction_disconnected;
@@ -342,6 +352,8 @@ int main(int argc, char** argv) {
           if (profile) {
             row["busy_seconds"] = st.busy_seconds;
             row["stall_seconds"] = st.stall_seconds;
+            row["busy_ratio"] = busy_ratio(st);
+            row["stall_ratio"] = stall_ratio(st);
           }
           shard_profile.push_back(std::move(row));
         }

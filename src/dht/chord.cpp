@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
 
 namespace ppo::dht {
@@ -98,6 +99,10 @@ ChordRing::LookupResult ChordRing::lookup(
   PPO_TRACE_SPAN_END(obs::TraceCategory::kDht, "dht_lookup", origin, span_id,
                      (obs::TraceArg{"hops", double(result.hops)}),
                      (obs::TraceArg{"ok", result.ok ? 1.0 : 0.0}));
+  // Live telemetry seam: hop count is this codebase's lookup-latency
+  // proxy (lookups resolve synchronously). Read-only on ring state.
+  if (auto* live = obs::live_metrics())
+    live->observe("dht_lookup_hops", static_cast<double>(result.hops));
   return result;
 }
 

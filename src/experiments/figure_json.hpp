@@ -23,7 +23,13 @@ namespace ppo::experiments {
 /// confidence half-widths (`connectivity_ci`/`napl_ci`/
 /// `completion_ci`) and their replica count; the bench envelope can
 /// carry a `metrics` registry block (counters/gauges/histograms).
-inline constexpr int kFigureJsonSchemaVersion = 3;
+/// v4: the `metrics` block gains a `streaming` section (log-bucketed
+/// quantile summaries: count/mean/p50/p95/p99/p999/max) and the
+/// `histograms` section reports the same summary shape; scale run
+/// entries carry `events_per_second`/`events_per_second_per_core`
+/// and profiled shard rows carry `busy_ratio`/`stall_ratio`; new
+/// `service_mode` artefact (live-telemetry service runs).
+inline constexpr int kFigureJsonSchemaVersion = 4;
 
 runner::Json to_json(const runner::SweepTelemetry& telemetry);
 runner::Json to_json(const metrics::ProtocolHealth& health);

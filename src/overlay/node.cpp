@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
 
 namespace ppo::overlay {
@@ -173,7 +174,7 @@ void OverlayNode::begin_exchange(NodeId target,
   if (pending_) abort_pending_exchange();
   pending_sent_.assign(set);
   pending_ = PendingExchange{++next_exchange_id_, target, 0,
-                             params_.shuffle_timeout};
+                             params_.shuffle_timeout, env_.now()};
   PPO_TRACE_SPAN_BEGIN(ppo::obs::TraceCategory::kShuffle, "exchange", id_,
                        exchange_span_id(id_, pending_->id),
                        (ppo::obs::TraceArg{"target",
@@ -278,6 +279,12 @@ void OverlayNode::handle_shuffle_response(
   ++counters_.shuffles_completed;
   PPO_TRACE_SPAN_END(ppo::obs::TraceCategory::kShuffle, "exchange", id_,
                      exchange_span_id(id_, pending_->id));
+  // Live telemetry seam: request→response round-trip in sim time.
+  // Read-only on node state and gated on the installed registry, so
+  // runs with telemetry off pay one relaxed load and nothing else.
+  if (auto* live = obs::live_metrics())
+    live->observe("overlay_exchange_latency_seconds",
+                  env_.now() - pending_->started);
   // Clear the pending slot before merging (it must be free for the
   // next tick regardless); the sent set stays intact in its per-node
   // block — merge_received only touches cache/sampler state, never

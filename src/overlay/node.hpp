@@ -210,6 +210,11 @@ class OverlayNode {
     NodeId target = 0;
     std::size_t retries_used = 0;
     double timeout = 0.0;  // current backoff interval
+    /// Sim time the exchange was initiated — feeds the live
+    /// shuffle-latency histogram at completion. Part of the
+    /// trajectory state regardless of telemetry, so observing it
+    /// cannot perturb a run.
+    double started = 0.0;
   };
 
   void begin_exchange(NodeId target, std::vector<PseudonymRecord> set);

@@ -7,6 +7,7 @@
 
 #include "common/rng.hpp"
 #include "common/simtime.hpp"
+#include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
 #include "runner/thread_pool.hpp"
 
@@ -186,9 +187,20 @@ std::size_t ShardedSimulator::run_until(Time end) {
         // for the slowest shard — the skew trace_summarize tabulates.
         const double window_wall =
             std::chrono::duration<double>(Clock::now() - wall_start).count();
-        for (std::size_t s = 0; s < stats_.size(); ++s)
-          stats_[s].stall_seconds +=
-              std::max(0.0, window_wall - window_busy_[s]);
+        auto* live = obs::live_metrics();
+        for (std::size_t s = 0; s < stats_.size(); ++s) {
+          const double stall = std::max(0.0, window_wall - window_busy_[s]);
+          stats_[s].stall_seconds += stall;
+          if (live != nullptr) {
+            // Per-window wall-clock load profile, streamed into the
+            // live registry at the barrier (coordinator thread only,
+            // after the workers joined — no concurrent writers).
+            // Wall-clock-side: values never feed back into the sim.
+            const obs::MetricDims dims{{"shard", std::to_string(s)}};
+            live->observe("shard_window_busy_seconds", window_busy_[s], dims);
+            live->observe("shard_window_stall_seconds", stall, dims);
+          }
+        }
       }
     }
     in_window_ = false;

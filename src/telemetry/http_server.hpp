@@ -1,0 +1,64 @@
+// Dependency-free blocking HTTP/1.1 server for the telemetry plane:
+// one accept thread, sequential request handling, GET-only. Built for
+// Prometheus scrapes of /metrics — a scrape is one short-lived
+// connection every few seconds, so a single-threaded loop with a
+// per-connection receive timeout is the simplest thing that cannot
+// wedge. Runs entirely wall-clock-side: handlers read registry
+// snapshots and never touch simulation state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace ppo::telemetry {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Maps a request path ("/metrics") to a response. Called on the
+/// server thread; must be thread-safe against whatever else mutates
+/// the data it reads (registry snapshots are).
+using HttpHandler = std::function<HttpResponse(const std::string& path)>;
+
+class HttpServer {
+ public:
+  /// Binds 0.0.0.0:`port` (0 picks an ephemeral port — read the
+  /// result from port()) and starts the accept thread. Throws
+  /// std::runtime_error when the socket cannot be bound.
+  HttpServer(std::uint16_t port, HttpHandler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port (resolves ephemeral requests).
+  std::uint16_t port() const { return port_; }
+
+  /// Requests answered so far (any status).
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Shuts the listener down and joins the accept thread. Idempotent;
+  /// the destructor calls it.
+  void stop();
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace ppo::telemetry

@@ -1,0 +1,334 @@
+#include "telemetry/service_mode.hpp"
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "churn/churn_model.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "experiments/adversary_study.hpp"
+#include "fault/fault_plan.hpp"
+#include "graph/generators.hpp"
+#include "metrics/streaming_connectivity.hpp"
+#include "overlay/service.hpp"
+#include "overlay/sharded_service.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/http_server.hpp"
+#include "telemetry/prometheus.hpp"
+#include "telemetry/sampler.hpp"
+
+namespace ppo::telemetry {
+
+namespace {
+
+std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
+
+double wall_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Uninstalls the live registry even on the exception paths.
+struct LiveMetricsGuard {
+  explicit LiveMetricsGuard(obs::MetricsRegistry* registry) {
+    if (registry != nullptr) obs::install_live_metrics(registry);
+  }
+  ~LiveMetricsGuard() { obs::uninstall_live_metrics(); }
+};
+
+/// What the previous slice boundary saw, so counter updates can be
+/// expressed as monotone deltas.
+struct SliceBaseline {
+  std::uint64_t events = 0;
+  metrics::ProtocolHealth health;
+  std::vector<sim::ShardedSimulator::ShardStats> stats;
+  double wall_seconds = 0.0;
+};
+
+/// Slice-boundary registry refresh: monotone counters advance by
+/// their delta since the last boundary, and the operator-facing
+/// gauges (rates, ratios, overlay state) are recomputed. Runs on the
+/// driver thread between run_until slices — every input is a plain
+/// read of simulation state, so refreshing cannot perturb the
+/// trajectory.
+void refresh_registry(obs::MetricsRegistry& registry, SliceBaseline& prev,
+                      std::uint64_t events,
+                      const metrics::ProtocolHealth& health,
+                      const std::vector<sim::ShardedSimulator::ShardStats>&
+                          stats,
+                      double wall_seconds, double sim_time, std::size_t cores,
+                      std::size_t online, std::size_t overlay_edges) {
+  registry.add_counter("sim_events", events - prev.events);
+  const auto bump = [&](const char* name, std::uint64_t now,
+                        std::uint64_t before) {
+    registry.add_counter(name, now - before);
+  };
+  bump("protocol_requests_sent", health.requests_sent,
+       prev.health.requests_sent);
+  bump("protocol_responses_sent", health.responses_sent,
+       prev.health.responses_sent);
+  bump("protocol_exchanges_completed", health.exchanges_completed,
+       prev.health.exchanges_completed);
+  bump("protocol_request_timeouts", health.request_timeouts,
+       prev.health.request_timeouts);
+  bump("protocol_request_retries", health.request_retries,
+       prev.health.request_retries);
+  bump("transport_messages_sent", health.messages_sent,
+       prev.health.messages_sent);
+  bump("transport_messages_delivered", health.messages_delivered,
+       prev.health.messages_delivered);
+  bump("transport_messages_dropped", health.messages_dropped,
+       prev.health.messages_dropped);
+  bump("defense_forged_rejected", health.forged_rejected,
+       prev.health.forged_rejected);
+  bump("defense_requests_rate_limited", health.requests_rate_limited,
+       prev.health.requests_rate_limited);
+
+  registry.set_gauge("service_sim_time_periods", sim_time);
+  registry.set_gauge("service_wall_seconds", wall_seconds);
+  registry.set_gauge("service_online_nodes", static_cast<double>(online));
+  registry.set_gauge("service_overlay_edges",
+                     static_cast<double>(overlay_edges));
+  registry.set_gauge("protocol_honest_completion_rate",
+                     health.honest_completion_rate());
+
+  const double slice_wall = wall_seconds - prev.wall_seconds;
+  const double slice_events = static_cast<double>(events - prev.events);
+  if (slice_wall > 0.0) {
+    registry.set_gauge("service_events_per_second", slice_events / slice_wall);
+    registry.set_gauge(
+        "service_events_per_second_per_core",
+        slice_events / slice_wall / static_cast<double>(cores));
+  }
+  for (std::size_t s = 0; s < stats.size(); ++s) {
+    const obs::MetricDims dims{{"shard", std::to_string(s)}};
+    const auto& now_s = stats[s];
+    const bool have_prev = s < prev.stats.size();
+    const double d_busy =
+        now_s.busy_seconds - (have_prev ? prev.stats[s].busy_seconds : 0.0);
+    const double d_stall =
+        now_s.stall_seconds - (have_prev ? prev.stats[s].stall_seconds : 0.0);
+    const double d_events = static_cast<double>(
+        now_s.events - (have_prev ? prev.stats[s].events : 0));
+    if (d_busy + d_stall > 0.0) {
+      registry.set_gauge("shard_busy_ratio", d_busy / (d_busy + d_stall),
+                         dims);
+      registry.set_gauge("shard_stall_ratio", d_stall / (d_busy + d_stall),
+                         dims);
+    }
+    if (slice_wall > 0.0)
+      registry.set_gauge("shard_events_per_second", d_events / slice_wall,
+                         dims);
+  }
+
+  prev.events = events;
+  prev.health = health;
+  prev.stats = stats;
+  prev.wall_seconds = wall_seconds;
+}
+
+}  // namespace
+
+std::uint64_t trajectory_fingerprint(
+    std::span<const std::pair<graph::NodeId, graph::NodeId>> edges,
+    const metrics::ProtocolHealth& health) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const auto& [u, v] : edges) {
+    mix(u);
+    mix(v);
+  }
+  mix(health.requests_sent);
+  mix(health.responses_sent);
+  mix(health.exchanges_completed);
+  mix(health.messages_sent);
+  mix(health.messages_delivered);
+  return h;
+}
+
+ServiceModeReport run_service_mode(const ServiceModeOptions& opt) {
+  PPO_CHECK_MSG(opt.horizon > 0.0 || opt.wall_limit_seconds > 0.0,
+                "service mode needs a horizon or a wall limit");
+  PPO_CHECK_MSG(opt.slice > 0.0, "service mode needs a positive slice");
+
+  // Same workload construction as scale_single_run: a scale-free,
+  // clustered trust graph standing in for the sampled social graph,
+  // exponential on/off churn calibrated to the target availability.
+  Rng graph_rng(opt.seed ^ 0x6EA4);
+  const graph::Graph trust =
+      graph::holme_kim(opt.nodes, 5, 0.3, graph_rng);
+  const churn::ExponentialChurn model =
+      churn::ExponentialChurn::from_availability(opt.alpha, 30.0);
+
+  overlay::OverlayServiceOptions options;
+  options.params.cache_size = opt.cache_size;
+  options.params.shuffle_length = opt.shuffle_length;
+  options.params.target_links = opt.target_links;
+  options.params.pseudonym_lifetime = opt.pseudonym_lifetime;
+  if (opt.defended) {
+    // The §III-E defense arm, same knobs as the adversary study.
+    const experiments::AdversarySpec defaults;
+    options.params.validate_received = true;
+    options.params.peer_rate_limit = defaults.peer_rate_limit;
+    options.params.peer_rate_window = defaults.peer_rate_window;
+    options.params.sampler_min_dwell = defaults.sampler_min_dwell;
+  }
+  if (opt.loss > 0.0) {
+    fault::FaultPlan plan;
+    plan.drop_probability = opt.loss;
+    // Required by the sharded backend (per-link fate streams make the
+    // fault draws K-invariant); the serial transport keys a single
+    // stream and rejects the flag.
+    plan.per_link_streams = opt.shards > 0;
+    options.link_faults = plan;
+  }
+  if (opt.adversary_fraction > 0.0)
+    options.adversary = experiments::make_attack_plan(
+        opt.adversary_attack, opt.adversary_fraction, opt.seed);
+  if (opt.observer_coverage > 0.0) {
+    inference::ObserverPlan plan;
+    plan.coverage = opt.observer_coverage;
+    plan.seed = opt.seed ^ 0x0B5E;
+    options.observer = plan;
+  }
+
+  ServiceModeReport report;
+  obs::MetricsRegistry registry;
+  const bool telemetry_on = opt.port >= 0 || !opt.telemetry_out.empty();
+  // Install the live registry so the instrumentation seams (shuffle
+  // latency, DHT hops, shard windows) stream into it. The seams only
+  // read simulation state, so installing cannot change a trajectory —
+  // the determinism tests pin that down.
+  LiveMetricsGuard live(telemetry_on ? &registry : nullptr);
+
+  // Declared before the server so its storage outlives the handler
+  // closure (the server is stopped first on every exit path).
+  std::unique_ptr<TelemetryTicker> ticker;
+  std::unique_ptr<HttpServer> server;
+  if (opt.port >= 0) {
+    server = std::make_unique<HttpServer>(
+        static_cast<std::uint16_t>(opt.port),
+        [&registry, &ticker](const std::string& path) -> HttpResponse {
+          if (path == "/metrics")
+            return {200, prometheus_content_type(),
+                    render_prometheus(registry)};
+          if (path == "/samples" && ticker != nullptr)
+            return {200, "application/x-ndjson; charset=utf-8",
+                    ticker->ring().recent_jsonl()};
+          if (path == "/healthz")
+            return {200, "text/plain; charset=utf-8", "ok\n"};
+          return {404, "text/plain; charset=utf-8", "not found\n"};
+        });
+    report.port = server->port();
+  }
+  if (telemetry_on) {
+    TelemetryTicker::Options topt;
+    topt.interval_seconds = opt.sample_interval_seconds;
+    topt.ring_capacity = opt.ring_capacity;
+    topt.jsonl_path = opt.telemetry_out;
+    ticker = std::make_unique<TelemetryTicker>(registry, topt);
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  SliceBaseline baseline;
+  metrics::StreamingConnectivity connectivity;
+  const std::size_t cores = opt.shards == 0 ? 1 : opt.shards;
+
+  // Generic over the two backends: slice the run, refresh the
+  // registry between slices, stop at the horizon or the wall limit.
+  const auto drive = [&](auto& sim, auto& service,
+                         const std::vector<sim::ShardedSimulator::ShardStats>*
+                             stats) {
+    service.start();
+    double target = 0.0;
+    for (;;) {
+      bool final_slice = false;
+      target += opt.slice;
+      if (opt.horizon > 0.0 && target >= opt.horizon) {
+        target = opt.horizon;
+        final_slice = true;
+      }
+      sim.run_until(target);
+      static const std::vector<sim::ShardedSimulator::ShardStats> kNone;
+      refresh_registry(registry, baseline, sim.events_executed(),
+                       service.protocol_health(),
+                       stats != nullptr ? *stats : kNone,
+                       wall_since(wall_start), target, cores,
+                       service.online_count(), service.overlay_edges().size());
+      if (final_slice) {
+        report.horizon_reached = true;
+        break;
+      }
+      if (opt.wall_limit_seconds > 0.0 &&
+          wall_since(wall_start) >= opt.wall_limit_seconds)
+        break;
+    }
+    report.sim_time = target;
+    report.events = sim.events_executed();
+    report.health = service.protocol_health();
+    report.online = service.online_count();
+    const auto edges = service.overlay_edges();
+    report.overlay_edges = edges.size();
+    report.fingerprint = trajectory_fingerprint(edges, report.health);
+    report.fraction_disconnected = connectivity.fraction_disconnected(
+        opt.nodes, edges, service.online_mask());
+    report.node_state_bytes = service.node_state_bytes();
+  };
+
+  if (opt.shards == 0) {
+    sim::Simulator sim;
+    overlay::OverlayService service(sim, trust, model, options,
+                                    Rng(opt.seed));
+    drive(sim, service, nullptr);
+  } else {
+    sim::ShardedSimulator::Options so;
+    so.shards = opt.shards;
+    so.num_actors = opt.nodes;
+    so.lookahead = options.transport.min_latency;
+    so.profile = opt.profile;
+    sim::ShardedSimulator sim(so);
+    overlay::ShardedOverlayService service(sim, trust, model, options,
+                                           opt.seed);
+    drive(sim, service, &sim.shard_stats());
+    report.shard_stats = sim.shard_stats();
+  }
+
+  report.wall_seconds = wall_since(wall_start);
+  report.peak_rss_bytes = peak_rss_bytes();
+  if (ticker != nullptr) {
+    ticker->stop();  // takes the final sample before we snapshot
+    report.samples_taken = ticker->samples_taken();
+  }
+  if (server != nullptr) {
+    server->stop();
+    report.scrapes_served = server->requests_served();
+  }
+  report.metrics = registry.snapshot();
+  return report;
+}
+
+}  // namespace ppo::telemetry

@@ -196,6 +196,79 @@ std::size_t diff_metric_section(const Json& base, const Json& cand,
   return changed;
 }
 
+/// Diffs one nested-object section of two `metrics` blocks —
+/// "histograms" / "streaming", whose cells are {count, mean, p50,
+/// p95, ...} objects. Quantile and mean drift is advisory (they move
+/// with machine load and bucket resolution); the `count` field is a
+/// counter and contributes to the returned change total, which
+/// --strict-counters turns into a failure.
+std::size_t diff_quantile_section(const Json& base, const Json& cand,
+                                  const char* section) {
+  std::size_t count_changes = 0;
+  const bool has_base = base.contains(section) && base.at(section).is_object();
+  const bool has_cand = cand.contains(section) && cand.at(section).is_object();
+  if (!has_base && !has_cand) return 0;
+  if (has_base) {
+    for (const auto& [key, bcell] : base.at(section).members()) {
+      if (!has_cand || !cand.at(section).contains(key)) {
+        std::cout << "  metrics." << section << " " << key
+                  << ": missing from candidate\n";
+        ++count_changes;
+        continue;
+      }
+      const Json& ccell = cand.at(section).at(key);
+      if (!bcell.is_object() || !ccell.is_object()) continue;
+      for (const auto& [field, bval] : bcell.members()) {
+        if (!bval.is_number() || !ccell.contains(field)) continue;
+        const Json& cval = ccell.at(field);
+        if (!cval.is_number()) continue;
+        const double b = bval.as_double();
+        const double c = cval.as_double();
+        if (b == c) continue;
+        const bool is_count = field == "count";
+        std::cout << "  metrics." << section << " " << key << "." << field
+                  << ": " << b << " -> " << c;
+        if (b > 0.0) std::cout << " (" << percent(ratio_change(b, c)) << ")";
+        std::cout << (is_count ? "" : " [quantile: advisory]") << "\n";
+        if (is_count) ++count_changes;
+      }
+    }
+  }
+  if (has_cand) {
+    for (const auto& [key, ccell] : cand.at(section).members()) {
+      (void)ccell;
+      if (!has_base || !base.at(section).contains(key)) {
+        std::cout << "  metrics." << section << " " << key
+                  << ": new in candidate\n";
+        ++count_changes;
+      }
+    }
+  }
+  return count_changes;
+}
+
+/// The candidate's streaming/histogram quantile summaries in ledger
+/// form: family -> {count, p50, p95, p99, p999}. Rows carry them so a
+/// history window can show latency drift next to wall time.
+Json quantiles_of(const Json& doc) {
+  Json out = Json::object();
+  if (!doc.contains("metrics") || !doc.at("metrics").is_object()) return out;
+  const Json& metrics = doc.at("metrics");
+  for (const char* section : {"streaming", "histograms"}) {
+    if (!metrics.contains(section) || !metrics.at(section).is_object())
+      continue;
+    for (const auto& [key, cell] : metrics.at(section).members()) {
+      if (!cell.is_object()) continue;
+      Json row = Json::object();
+      for (const char* field : {"count", "p50", "p95", "p99", "p999"})
+        if (cell.contains(field) && cell.at(field).is_number())
+          row[field] = cell.at(field).as_double();
+      out[key] = std::move(row);
+    }
+  }
+  return out;
+}
+
 /// Numeric field access tolerant of absence (returns 0.0).
 double number_or_zero(const Json& doc, const char* key) {
   if (doc.contains(key) && doc.at(key).is_number())
@@ -216,6 +289,8 @@ Json snapshot_of(const Json& doc, const std::string& commit) {
   if (doc.contains("peak_rss_bytes"))
     snap["peak_rss_bytes"] = doc.at("peak_rss_bytes").as_double();
   snap["cell_seconds"] = Json::array_of(cell_seconds(doc));
+  Json quantiles = quantiles_of(doc);
+  if (!quantiles.members().empty()) snap["quantiles"] = std::move(quantiles);
   return snap;
 }
 
@@ -291,6 +366,27 @@ int run_history_mode(const Json& candidate, const std::string& history_path,
     }
   } else {
     std::cout << "  (no comparable history — nothing to diff against)\n";
+  }
+
+  // Latency-quantile drift vs the fastest window entry, advisory:
+  // wall-clock quantiles move with machine load, so they inform, not
+  // gate.
+  if (best != nullptr && best->contains("quantiles") &&
+      best->at("quantiles").is_object()) {
+    const Json cand_q = quantiles_of(candidate);
+    for (const auto& [family, brow] : best->at("quantiles").members()) {
+      if (!cand_q.contains(family) || !brow.is_object()) continue;
+      const Json& crow = cand_q.at(family);
+      for (const char* field : {"p50", "p95", "p99", "p999"}) {
+        if (!brow.contains(field) || !crow.contains(field)) continue;
+        const double b = brow.at(field).as_double();
+        const double c = crow.at(field).as_double();
+        if (b == c) continue;
+        std::cout << "  quantile " << family << "." << field << ": " << b
+                  << " -> " << c << " (" << percent(ratio_change(b, c))
+                  << ", advisory)\n";
+      }
+    }
   }
 
   // Memory trend: candidate peak RSS vs the leanest recent run.
@@ -491,6 +587,10 @@ int main(int argc, char** argv) {
     const Json& cm = cand_has_metrics ? candidate.at("metrics") : kEmpty;
     counter_changes += diff_metric_section(bm, cm, "counters");
     diff_metric_section(bm, cm, "gauges");  // derived values: advisory only
+    // Histogram/streaming quantiles: the `count` fields are counters
+    // (strict-gated); the quantiles themselves are advisory.
+    counter_changes += diff_quantile_section(bm, cm, "histograms");
+    counter_changes += diff_quantile_section(bm, cm, "streaming");
   }
 
   if (counter_changes > 0) {
