@@ -85,6 +85,7 @@ inline experiments::FigureScale figure_scale(const Cli& cli) {
   scale.progress = cli.get_bool("progress", false);
   scale.shards = static_cast<std::size_t>(cli.get_int("shards", 0));
   scale.replicas = static_cast<std::size_t>(cli.get_int("replicas", 1));
+  scale.warm_start_dir = cli.get_string("warm-start-dir", "");
   if (cli.has("alphas")) {
     const auto alphas = parse_double_list(cli.get_string("alphas", ""));
     if (!alphas.empty()) scale.alphas = alphas;
@@ -262,6 +263,18 @@ inline bool write_json_report(const Cli& cli, const std::string& artefact,
       scale.jobs == 0 ? runner::default_jobs() : scale.jobs);
   doc["wall_seconds"] = wall_seconds;
   doc["peak_rss_bytes"] = static_cast<std::uint64_t>(peak_rss_bytes());
+  // Warm-start accounting (DESIGN.md §13): present whenever any
+  // overlay run this process was armed with --warm-start-dir, so the
+  // bench_diff history ledger can tell forked sweeps from cold ones.
+  const experiments::WarmStartStats warm = experiments::warm_start_stats();
+  if (warm.warm_runs + warm.cold_runs > 0) {
+    runner::Json w = runner::Json::object();
+    w["warm_runs"] = warm.warm_runs;
+    w["cold_runs"] = warm.cold_runs;
+    w["warm_seconds"] = warm.warm_seconds;
+    w["cold_seconds"] = warm.cold_seconds;
+    doc["warm_start"] = std::move(w);
+  }
   if (metrics != nullptr && !metrics->empty())
     doc["metrics"] = obs::to_json(*metrics);
   doc["figure"] = std::move(figure);

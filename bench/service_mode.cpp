@@ -60,10 +60,25 @@ int main(int argc, char** argv) {
   opt.sample_interval_seconds = cli.get_double("sample-interval", 1.0);
   opt.ring_capacity =
       static_cast<std::size_t>(cli.get_int("ring-capacity", 600));
+  opt.checkpoint_every = cli.get_double("checkpoint-every", 0.0);
+  opt.checkpoint_dir = cli.get_string("checkpoint-dir", "");
+  opt.resume = cli.get_bool("resume", false);
+  // The service binary always drains gracefully on SIGINT/SIGTERM:
+  // finish the slice, snapshot (when --checkpoint-dir is set), flush
+  // the telemetry ring tail, exit 0.
+  opt.handle_signals = true;
 
   if (opt.horizon <= 0.0 && opt.wall_limit_seconds <= 0.0) {
     std::cerr << "service_mode needs --horizon <periods> and/or "
                  "--wall-limit <seconds>\n";
+    return 2;
+  }
+  if (opt.checkpoint_every > 0.0 && opt.checkpoint_dir.empty()) {
+    std::cerr << "--checkpoint-every needs --checkpoint-dir <dir>\n";
+    return 2;
+  }
+  if (opt.resume && opt.checkpoint_dir.empty()) {
+    std::cerr << "--resume needs --checkpoint-dir <dir>\n";
     return 2;
   }
 
@@ -86,6 +101,21 @@ int main(int argc, char** argv) {
   const telemetry::ServiceModeReport report =
       telemetry::run_service_mode(opt);
 
+  for (const std::string& rejected : report.rejected_checkpoints)
+    std::cerr << "checkpoint rejected: " << rejected << "\n";
+  if (opt.resume) {
+    if (report.resumed)
+      std::cout << "resumed from checkpoint at sim time "
+                << report.resumed_at << "\n";
+    else
+      std::cout << "no usable checkpoint; cold start\n";
+  }
+  if (report.checkpoints_written > 0)
+    std::cout << "wrote " << report.checkpoints_written
+              << " checkpoint(s) -> " << opt.checkpoint_dir << "\n";
+  if (report.interrupted)
+    std::cout << "drained on signal at sim time " << report.sim_time << "\n";
+
   if (report.port != 0)
     std::cout << "telemetry: served " << report.scrapes_served
               << " scrapes on port " << report.port << "\n";
@@ -102,7 +132,10 @@ int main(int argc, char** argv) {
                                report.wall_seconds
                          : 0.0;
   std::cout << "\nstopped at sim time " << report.sim_time << " ("
-            << (report.horizon_reached ? "horizon" : "wall limit") << "), "
+            << (report.horizon_reached
+                    ? "horizon"
+                    : (report.interrupted ? "signal" : "wall limit"))
+            << "), "
             << report.wall_seconds << " s wall\n"
             << report.events << " events, " << eps << " events/s, "
             << eps / static_cast<double>(cores) << " events/s/core\n"
@@ -160,6 +193,10 @@ int main(int argc, char** argv) {
     doc["telemetry_port"] = static_cast<std::int64_t>(report.port);
     doc["scrapes_served"] = report.scrapes_served;
     doc["samples_taken"] = report.samples_taken;
+    doc["resumed"] = report.resumed;
+    doc["resumed_at"] = report.resumed_at;
+    doc["checkpoints_written"] = report.checkpoints_written;
+    doc["interrupted"] = report.interrupted;
     doc["metrics"] = obs::to_json(report.metrics);
     std::ofstream out(path);
     if (!out) {

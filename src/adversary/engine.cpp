@@ -191,6 +191,60 @@ void AdversaryEngine::observe_received(
   }
 }
 
+void AdversaryEngine::save_state(ckpt::Writer& w) const {
+  w.tag(0x41445653u);  // 'ADVS'
+  w.size(states_.size());
+  for (const NodeState& st : states_) {
+    w.rng(st.rng);
+    w.size(st.memory.size());
+    for (const auto& record : st.memory) {
+      w.u64(record.value);
+      w.f64(record.expiry);
+    }
+    w.u64(st.memory_next);
+    w.u64(st.replay_cursor);
+    w.u64_vec(st.victim_refs);
+    w.b(st.refs_probed);
+    w.u64(st.eclipse_cursor);
+    w.u64(st.counters.forged_injected);
+    w.u64(st.counters.replays_injected);
+    w.u64(st.counters.eclipse_records_injected);
+    w.u64(st.counters.responses_suppressed);
+  }
+  w.size(redirect_.size());
+  for (const NodeId v : redirect_) w.u32(v);
+}
+
+void AdversaryEngine::load_state(ckpt::Reader& r) {
+  r.tag(0x41445653u);
+  if (r.size() != states_.size())
+    throw ckpt::ParseError("adversary node count mismatch");
+  for (NodeState& st : states_) {
+    st.rng = r.rng();
+    const std::size_t n = r.size();
+    st.memory.clear();
+    st.memory.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      PseudonymRecord record;
+      record.value = r.u64();
+      record.expiry = r.f64();
+      st.memory.push_back(record);
+    }
+    st.memory_next = r.u64();
+    st.replay_cursor = r.u64();
+    st.victim_refs = r.u64_vec();
+    st.refs_probed = r.b();
+    st.eclipse_cursor = r.u64();
+    st.counters.forged_injected = r.u64();
+    st.counters.replays_injected = r.u64();
+    st.counters.eclipse_records_injected = r.u64();
+    st.counters.responses_suppressed = r.u64();
+  }
+  if (r.size() != redirect_.size())
+    throw ckpt::ParseError("adversary redirect table mismatch");
+  for (NodeId& v : redirect_) v = r.u32();
+}
+
 AdversaryEngine::Counters AdversaryEngine::total_counters() const {
   Counters total;
   for (const NodeState& st : states_) {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "adversary/plan.hpp"
+#include "ckpt/io.hpp"
 #include "common/rng.hpp"
 #include "privacylink/pseudonym.hpp"
 #include "sim/backend.hpp"
@@ -98,6 +99,11 @@ class AdversaryEngine {
   };
   /// Summed over all nodes. Call between windows or at run end only.
   Counters total_counters() const;
+
+  /// Checkpoint/restore: every per-node mutable state (RNG streams,
+  /// replay memory, probe caches, counters) plus the redirect table.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
  private:
   struct NodeState {

@@ -1,6 +1,7 @@
 #include "churn/churn_driver.hpp"
 
 #include "obs/trace.hpp"
+#include "sim/restore.hpp"
 
 namespace ppo::churn {
 
@@ -19,7 +20,8 @@ ChurnDriver::ChurnDriver(sim::SimulatorBackend& sim,
       rng_(rng),
       online_(num_nodes_, false),
       failed_(num_nodes_, 0),
-      epoch_(num_nodes_, 0) {
+      epoch_(num_nodes_, 0),
+      pending_(num_nodes_) {
   for (const ChurnModel* model : models_)
     PPO_CHECK_MSG(model != nullptr, "null churn model");
   if (per_node_streams) {
@@ -61,6 +63,8 @@ void ChurnDriver::schedule_transition(NodeId v) {
       go_online(v);
     schedule_transition(v);
   });
+  pending_[v] = PendingTransition{sim_.now() + dwell, sim_.last_ticket(),
+                                  my_epoch, currently_online};
 }
 
 void ChurnDriver::go_online(NodeId v) {
@@ -84,6 +88,7 @@ NodeId ChurnDriver::add_node(const ChurnModel* model) {
   online_.resize(num_nodes_, false);
   failed_.push_back(0);
   epoch_.push_back(0);
+  pending_.emplace_back();
   go_online(v);
   schedule_transition(v);
   return v;
@@ -94,6 +99,71 @@ void ChurnDriver::fail_permanently(NodeId v) {
   ++epoch_[v];  // invalidate any pending transition
   failed_[v] = 1;
   if (online_.contains(v)) go_offline(v);
+}
+
+void ChurnDriver::save_state(ckpt::Writer& w) const {
+  w.tag(0x4348524Eu);  // 'CHRN'
+  w.size(num_nodes_);
+  w.rng(rng_);
+  w.size(node_rngs_.size());
+  for (const Rng& r : node_rngs_) w.rng(r);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    w.b(online_.contains(v));
+    w.b(failed_[v] != 0);
+    w.u64(epoch_[v]);
+    const PendingTransition& p = pending_[v];
+    w.f64(p.fire_time);
+    w.u32(p.ticket.origin);
+    w.u64(p.ticket.seq);
+    w.u64(p.epoch);
+    w.b(p.was_online);
+  }
+}
+
+void ChurnDriver::load_state(ckpt::Reader& r) {
+  r.tag(0x4348524Eu);
+  const std::size_t n = r.size();
+  if (n != num_nodes_)
+    throw ckpt::ParseError("churn node count mismatch");
+  rng_ = r.rng();
+  const std::size_t streams = r.size();
+  if (streams != node_rngs_.size())
+    throw ckpt::ParseError("churn stream mode mismatch");
+  for (Rng& s : node_rngs_) s = r.rng();
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    online_.set(v, r.b());
+    failed_[v] = r.b() ? 1 : 0;
+    epoch_[v] = r.u64();
+    PendingTransition& p = pending_[v];
+    p.fire_time = r.f64();
+    p.ticket.origin = r.u32();
+    p.ticket.seq = r.u64();
+    p.epoch = r.u64();
+    p.was_online = r.b();
+  }
+}
+
+void ChurnDriver::restore_start(ChurnCallbacks callbacks) {
+  PPO_CHECK_MSG(!started_, "churn driver already started");
+  started_ = true;
+  callbacks_ = std::move(callbacks);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    // A node whose journaled epoch is stale (failed since) has no live
+    // transition; everyone else gets theirs back verbatim.
+    if (failed_[v] || pending_[v].epoch != epoch_[v]) continue;
+    const std::uint64_t my_epoch = pending_[v].epoch;
+    const bool currently_online = pending_[v].was_online;
+    sim::restore_event_any(
+        sim_, pending_[v].fire_time, pending_[v].ticket, v,
+        [this, v, my_epoch, currently_online] {
+          if (epoch_[v] != my_epoch || failed_[v]) return;
+          if (currently_online)
+            go_offline(v);
+          else
+            go_online(v);
+          schedule_transition(v);
+        });
+  }
 }
 
 void ChurnDriver::revive(NodeId v) {

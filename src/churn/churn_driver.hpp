@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "churn/churn_model.hpp"
+#include "ckpt/io.hpp"
 #include "common/rng.hpp"
 #include "graph/graph.hpp"
 #include "sim/backend.hpp"
@@ -67,6 +68,18 @@ class ChurnDriver {
   /// started. Returns the new node id.
   NodeId add_node(const ChurnModel* model = nullptr);
 
+  /// --- checkpoint/restore -------------------------------------------
+  /// Serializes RNG streams, the online/failed/epoch state and the
+  /// journal of each node's pending transition event.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
+
+  /// Restore-time replacement for start(): installs the callbacks and
+  /// re-inserts every journaled pending transition at its original
+  /// (time, ticket) position — no initial-state sampling, no dwell
+  /// draws, no callback firing.
+  void restore_start(ChurnCallbacks callbacks);
+
  private:
   void go_online(NodeId v);
   void go_offline(NodeId v);
@@ -85,6 +98,16 @@ class ChurnDriver {
   /// Epoch counter per node: cancels stale transitions after
   /// fail_permanently.
   std::vector<std::uint64_t> epoch_;
+  /// Journal of the one live pending transition per node: everything
+  /// needed to rebuild its closure at restore. Entries whose epoch no
+  /// longer matches (node failed since) are dead and skipped.
+  struct PendingTransition {
+    double fire_time = 0.0;
+    sim::EventTicket ticket;
+    std::uint64_t epoch = 0;
+    bool was_online = false;
+  };
+  std::vector<PendingTransition> pending_;
   ChurnCallbacks callbacks_;
   bool started_ = false;
 };

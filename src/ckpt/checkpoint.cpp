@@ -1,0 +1,254 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace ppo::ckpt {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void write_header(Writer& w, const Header& h) {
+  w.u8(static_cast<std::uint8_t>(h.backend));
+  w.u32(h.shards_hint);
+  w.u64(h.graph_fingerprint);
+  w.u64(h.config_hash);
+  w.u64(h.seed);
+  w.f64(h.sim_time);
+}
+
+Header read_header(Reader& r) {
+  Header h;
+  h.backend = static_cast<BackendKind>(r.u8());
+  h.shards_hint = r.u32();
+  h.graph_fingerprint = r.u64();
+  h.config_hash = r.u64();
+  h.seed = r.u64();
+  h.sim_time = r.f64();
+  return h;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t crc) {
+  // Table-driven CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320),
+  // table built once on first use — no external dependency.
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i)
+    c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kIoError: return "io_error";
+    case Status::kTruncated: return "truncated";
+    case Status::kBadMagic: return "bad_magic";
+    case Status::kBadVersion: return "bad_version";
+    case Status::kBadCrc: return "bad_crc";
+    case Status::kGraphMismatch: return "graph_mismatch";
+    case Status::kConfigMismatch: return "config_mismatch";
+    case Status::kUnsupported: return "unsupported";
+  }
+  return "unknown";
+}
+
+std::uint64_t fnv1a(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t h = kFnvOffset ^ seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fingerprint_graph(const graph::GraphView& g) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv_mix(h, g.num_nodes());
+  h = fnv_mix(h, g.num_edges());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    h = fnv_mix(h, v);
+    for (const graph::NodeId u : g.neighbors(v)) h = fnv_mix(h, u);
+  }
+  return h;
+}
+
+bool save_file(const std::string& path, const Header& header,
+               std::string_view payload, std::string* error) {
+  Writer body;
+  write_header(body, header);
+  const std::string& head = body.buffer();
+
+  Writer file;
+  file.u32(kMagic);
+  file.u32(kVersion);
+  std::uint32_t crc = crc32(head.data(), head.size());
+  crc = crc32(payload.data(), payload.size(), crc);
+  file.u32(crc);
+  file.u64(head.size() + payload.size());
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      if (error) *error = "cannot open " + tmp + " for writing";
+      return false;
+    }
+    out.write(file.buffer().data(),
+              static_cast<std::streamsize>(file.buffer().size()));
+    out.write(head.data(), static_cast<std::streamsize>(head.size()));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!out) {
+      if (error) *error = "short write to " + tmp;
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  // fsync before rename: the rename must never expose a file whose
+  // bytes are still in flight.
+  const int fd = ::open(tmp.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error)
+      *error = "rename " + tmp + " -> " + path + ": " + std::strerror(errno);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+LoadResult load_file(const std::string& path) {
+  LoadResult res;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    res.status = Status::kIoError;
+    res.message = "cannot open " + path;
+    return res;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    res.status = Status::kIoError;
+    res.message = "read error on " + path;
+    return res;
+  }
+  try {
+    Reader r(bytes);
+    if (r.remaining() < 20) {
+      res.status = Status::kTruncated;
+      res.message = path + ": shorter than the fixed preamble";
+      return res;
+    }
+    if (r.u32() != kMagic) {
+      res.status = Status::kBadMagic;
+      res.message = path + ": not a checkpoint file";
+      return res;
+    }
+    const std::uint32_t version = r.u32();
+    if (version != kVersion) {
+      res.status = Status::kBadVersion;
+      res.message = path + ": format version " + std::to_string(version) +
+                    ", this build speaks " + std::to_string(kVersion);
+      return res;
+    }
+    const std::uint32_t want_crc = r.u32();
+    const std::uint64_t declared = r.u64();
+    if (declared > r.remaining()) {
+      res.status = Status::kTruncated;
+      res.message = path + ": declares " + std::to_string(declared) +
+                    " bytes, " + std::to_string(r.remaining()) + " present";
+      return res;
+    }
+    const char* body = bytes.data() + (bytes.size() - r.remaining());
+    const std::uint32_t got_crc =
+        crc32(body, static_cast<std::size_t>(declared));
+    if (got_crc != want_crc) {
+      res.status = Status::kBadCrc;
+      res.message = path + ": checksum mismatch (file corrupt)";
+      return res;
+    }
+    const std::size_t before_header = r.remaining();
+    res.header = read_header(r);
+    if (declared < before_header - r.remaining()) {
+      res.status = Status::kTruncated;
+      res.message = path + ": declared size smaller than the header";
+      return res;
+    }
+    // Only the CRC-sealed span belongs to the payload — bytes past the
+    // declared size (e.g. junk appended after the fact) are excluded,
+    // and the payload parser's final done() check stays meaningful.
+    const std::size_t header_bytes = before_header - r.remaining();
+    res.payload.assign(bytes, bytes.size() - r.remaining(),
+                       static_cast<std::size_t>(declared) - header_bytes);
+    res.status = Status::kOk;
+  } catch (const ParseError& e) {
+    res.status = Status::kTruncated;
+    res.message = path + ": " + e.what();
+  }
+  return res;
+}
+
+Status check_compat(const Header& header, BackendKind backend,
+                    std::uint64_t graph_fingerprint,
+                    std::uint64_t config_hash) {
+  if (header.graph_fingerprint != graph_fingerprint)
+    return Status::kGraphMismatch;
+  if (header.config_hash != config_hash) return Status::kConfigMismatch;
+  if (header.backend != backend) return Status::kUnsupported;
+  return Status::kOk;
+}
+
+std::vector<std::string> list_checkpoints(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 10 && name.rfind("ckpt-", 0) == 0 &&
+        name.substr(name.size() - 5) == ".ppoc")
+      out.push_back(entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string checkpoint_path(const std::string& dir, std::uint64_t index) {
+  char name[32];
+  std::snprintf(name, sizeof name, "ckpt-%08llu.ppoc",
+                static_cast<unsigned long long>(index));
+  return dir + "/" + name;
+}
+
+}  // namespace ppo::ckpt

@@ -7,6 +7,7 @@
 // so subsystems cannot perturb each other's draws.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -94,6 +95,19 @@ class Rng {
   /// Derives an independent child generator. Children with different
   /// call orders on the parent have uncorrelated streams.
   Rng split();
+
+  /// Raw xoshiro256** state, for checkpoint/restore. A generator whose
+  /// state is exported and later re-imported continues the exact same
+  /// stream; no draws are lost or repeated.
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    s_[0] = s[0];
+    s_[1] = s[1];
+    s_[2] = s[2];
+    s_[3] = s[3];
+  }
 
  private:
   std::uint64_t s_[4];

@@ -84,6 +84,7 @@ Json to_json(const FigureScale& scale) {
   j["jobs"] = static_cast<std::uint64_t>(scale.jobs);
   j["shards"] = static_cast<std::uint64_t>(scale.shards);
   j["replicas"] = static_cast<std::uint64_t>(scale.replicas);
+  j["warm_start"] = !scale.warm_start_dir.empty();
   return j;
 }
 

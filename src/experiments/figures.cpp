@@ -23,6 +23,7 @@ OverlayScenario base_scenario(const FigureScale& scale, double alpha,
   // Table I: lifetime = 3 x Toff.
   scenario.params.pseudonym_lifetime = 3.0 * scenario.churn.mean_offline;
   scenario.shards = scale.shards;
+  scenario.warm_start_dir = scale.warm_start_dir;
   return scenario;
 }
 

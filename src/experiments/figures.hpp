@@ -38,6 +38,11 @@ struct FigureScale {
   /// single-run values bit-identically. Applies to the alpha sweeps
   /// (Figures 3/4/7 and the fault-tolerance sweep).
   std::size_t replicas = 1;
+  /// Warm-start cache directory for every overlay cell (DESIGN.md
+  /// §13): the first sweep populates per-cell warmup snapshots, later
+  /// sweeps fork from them — bit-identical figures, warmup wall time
+  /// paid once. Empty = off.
+  std::string warm_start_dir;
 };
 
 /// Availability sweeps (Figures 3, 4, 7): one named series per curve,

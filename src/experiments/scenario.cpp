@@ -1,8 +1,14 @@
 #include "experiments/scenario.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <filesystem>
+#include <string>
 
 #include "churn/churn_driver.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "common/check.hpp"
 #include "fault/fault_stream.hpp"
 #include "graph/components.hpp"
@@ -220,7 +226,241 @@ OverlayTrace measure_overlay_trace(Service& service, RunUntilFn run_until,
   return trace;
 }
 
+// --- warm-start forking (DESIGN.md §13) ------------------------------
+
+/// Whether the scenario's warmup state fits the checkpoint scope:
+/// no scheduled service faults or node-crash bursts (FaultInjector
+/// events are not journaled), and single-stage deliveries only.
+bool warm_start_usable(const OverlayScenario& scenario) {
+  if (scenario.warm_start_dir.empty()) return false;
+  if (!scenario.service_faults.empty()) return false;
+  if (scenario.faults) {
+    if (scenario.faults->has_node_crashes()) return false;
+    if (scenario.faults->jitter_max > 0.0 ||
+        scenario.faults->reorder_probability > 0.0)
+      return false;
+  }
+  return true;
+}
+
+/// The cell's full identity: every input that shapes the warmup
+/// trajectory. Two scenarios share a cached warmup snapshot iff this
+/// hash (plus the backend kind checked separately) matches.
+std::uint64_t warm_cell_hash(const graph::Graph& trust,
+                             const OverlayScenario& scenario) {
+  ckpt::Writer w;
+  w.u64(ckpt::fingerprint_graph(trust));
+  w.u64(scenario.seed);
+  w.f64(scenario.window.warmup);
+  w.f64(scenario.churn.alpha);
+  w.f64(scenario.churn.mean_offline);
+  w.b(scenario.churn.pareto);
+  w.f64(scenario.churn.pareto_shape);
+  const overlay::OverlayParams& p = scenario.params;
+  w.u64(p.cache_size);
+  w.u64(p.shuffle_length);
+  w.u64(p.target_links);
+  w.u64(p.min_slots);
+  w.f64(p.pseudonym_lifetime);
+  w.f64(p.shuffle_period);
+  w.u32(p.pseudonym_bits);
+  w.b(p.shuffle_on_rejoin);
+  w.f64(p.shuffle_timeout);
+  w.u64(p.shuffle_max_retries);
+  w.f64(p.shuffle_retry_backoff);
+  w.b(p.adaptive_lifetime);
+  w.f64(p.adaptive_lifetime_factor);
+  w.f64(p.adaptive_min_lifetime);
+  w.f64(p.adaptive_max_lifetime);
+  w.b(p.population_estimation);
+  w.b(p.naive_sampling);
+  w.b(p.validate_received);
+  w.f64(p.max_accepted_lifetime);
+  w.u64(p.peer_rate_limit);
+  w.f64(p.peer_rate_window);
+  w.f64(p.sampler_min_dwell);
+  w.b(scenario.faults.has_value());
+  if (scenario.faults) {
+    const fault::FaultPlan& f = *scenario.faults;
+    w.f64(f.drop_probability);
+    w.f64(f.duplicate_probability);
+    w.f64(f.jitter_min);
+    w.f64(f.jitter_max);
+    w.f64(f.reorder_probability);
+    w.f64(f.reorder_min_delay);
+    w.f64(f.reorder_max_delay);
+    w.size(f.link_outages.size());
+    for (const fault::Window& win : f.link_outages) {
+      w.f64(win.start);
+      w.f64(win.end);
+    }
+    w.size(f.partitions.size());
+    for (const fault::Partition& part : f.partitions) {
+      w.f64(part.window.start);
+      w.f64(part.window.end);
+      w.size(part.group.size());
+      for (const graph::NodeId v : part.group) w.u32(v);
+    }
+    w.size(f.link_drop_overrides.size());
+    for (const fault::LinkDropOverride& o : f.link_drop_overrides) {
+      w.u32(o.from);
+      w.u32(o.to);
+      w.f64(o.drop_prob);
+    }
+    w.f64(f.gilbert_elliott.p_good_to_bad);
+    w.f64(f.gilbert_elliott.p_bad_to_good);
+    w.f64(f.gilbert_elliott.good_drop);
+    w.f64(f.gilbert_elliott.bad_drop);
+    w.f64(f.gilbert_elliott.step);
+    w.f64(f.gilbert_elliott.horizon);
+    w.f64(f.diurnal.amplitude);
+    w.f64(f.diurnal.period);
+    w.f64(f.diurnal.phase);
+    w.u64(f.seed);
+    w.b(f.per_link_streams);
+  }
+  w.b(scenario.adversary.has_value());
+  if (scenario.adversary) {
+    const adversary::AdversaryPlan& a = *scenario.adversary;
+    w.f64(a.polluter_fraction);
+    w.f64(a.eclipser_fraction);
+    w.f64(a.dropper_fraction);
+    w.f64(a.replayer_fraction);
+    w.f64(a.polluter_tick_multiplier);
+    w.f64(a.forged_lifetime_factor);
+    w.u64(a.eclipse_records);
+    w.u64(a.eclipse_offset);
+    w.u64(a.replay_memory);
+    w.u64(a.seed);
+  }
+  w.b(scenario.observer.has_value());
+  if (scenario.observer) {
+    w.f64(scenario.observer->coverage);
+    w.u64(scenario.observer->seed);
+  }
+  return ckpt::fnv1a(w.buffer());
+}
+
+std::string warm_cell_path(const std::string& dir, std::uint64_t hash,
+                           bool sharded) {
+  char name[40];
+  std::snprintf(name, sizeof name, "warm-%c-%016llx.ppoc",
+                sharded ? 's' : '0',
+                static_cast<unsigned long long>(hash));
+  return dir + "/" + name;
+}
+
+enum WarmOutcome { kCold = 0, kRestored = 1, kRejected = 2 };
+
+// Process-wide warm-start tallies (see warm_start_stats()). Wall time
+// is stored in integer microseconds so the accumulation stays a plain
+// fetch_add on every toolchain.
+std::atomic<std::uint64_t> g_warm_runs{0};
+std::atomic<std::uint64_t> g_cold_runs{0};
+std::atomic<std::uint64_t> g_warm_micros{0};
+std::atomic<std::uint64_t> g_cold_micros{0};
+
+void tally_warm_phase(bool restored, double seconds) {
+  const auto micros = static_cast<std::uint64_t>(
+      std::llround(std::max(0.0, seconds) * 1e6));
+  if (restored) {
+    g_warm_runs.fetch_add(1, std::memory_order_relaxed);
+    g_warm_micros.fetch_add(micros, std::memory_order_relaxed);
+  } else {
+    g_cold_runs.fetch_add(1, std::memory_order_relaxed);
+    g_cold_micros.fetch_add(micros, std::memory_order_relaxed);
+  }
+}
+
+/// Drives `service` through the warmup phase using the cell cache:
+/// restore the cached snapshot when present and valid, otherwise
+/// start cold, simulate to the warmup point and populate the cache.
+/// kRejected means a snapshot passed the file-level checks but failed
+/// payload restore — the service is now indeterminate and the caller
+/// must reconstruct it and call again with `allow_restore = false`.
+/// Fills the result's warm-start accounting on kCold/kRestored.
+template <typename Service, typename RunUntilFn>
+WarmOutcome warm_start_phase(Service& service, RunUntilFn run_until,
+                             const graph::Graph& trust,
+                             const OverlayScenario& scenario,
+                             bool allow_restore, OverlayRunResult& result) {
+  const bool sharded = scenario.shards > 0;
+  const std::uint64_t cell = warm_cell_hash(trust, scenario);
+  const std::string path =
+      warm_cell_path(scenario.warm_start_dir, cell, sharded);
+  const auto backend = sharded ? ckpt::BackendKind::kSharded
+                               : ckpt::BackendKind::kSerial;
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto elapsed = [&wall_start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         wall_start)
+        .count();
+  };
+
+  service.enable_checkpointing();
+  if (allow_restore) {
+    const ckpt::LoadResult lr = ckpt::load_file(path);
+    if (lr.ok() &&
+        ckpt::check_compat(lr.header, backend,
+                           ckpt::fingerprint_graph(trust),
+                           cell) == ckpt::Status::kOk) {
+      try {
+        ckpt::Reader r(lr.payload);
+        service.restore_from_checkpoint(r);
+        result.warm_started = true;
+        result.warmup_wall_seconds = elapsed();
+        tally_warm_phase(true, result.warmup_wall_seconds);
+        return kRestored;
+      } catch (const ckpt::ParseError&) {
+        // A sealed, compat-checked file whose payload still fails is a
+        // schema skew (e.g. stale cache across builds): drop it and
+        // signal the caller to reconstruct and go cold.
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+        return kRejected;
+      }
+    }
+  }
+
+  service.start();
+  run_until(scenario.window.warmup);
+  std::error_code ec;
+  std::filesystem::create_directories(scenario.warm_start_dir, ec);
+  ckpt::Writer w;
+  service.save_checkpoint(w);
+  ckpt::Header h;
+  h.backend = backend;
+  h.shards_hint = static_cast<std::uint32_t>(scenario.shards);
+  h.graph_fingerprint = ckpt::fingerprint_graph(trust);
+  h.config_hash = cell;
+  h.seed = scenario.seed;
+  h.sim_time = scenario.window.warmup;
+  ckpt::save_file(path, h, w.buffer(), nullptr);
+  result.warm_started = false;
+  result.warmup_wall_seconds = elapsed();
+  tally_warm_phase(false, result.warmup_wall_seconds);
+  return kCold;
+}
+
 }  // namespace
+
+WarmStartStats warm_start_stats() {
+  WarmStartStats s;
+  s.warm_runs = g_warm_runs.load(std::memory_order_relaxed);
+  s.cold_runs = g_cold_runs.load(std::memory_order_relaxed);
+  s.warm_seconds =
+      static_cast<double>(g_warm_micros.load(std::memory_order_relaxed)) / 1e6;
+  s.cold_seconds =
+      static_cast<double>(g_cold_micros.load(std::memory_order_relaxed)) / 1e6;
+  return s;
+}
+
+void reset_warm_start_stats() {
+  g_warm_runs.store(0, std::memory_order_relaxed);
+  g_cold_runs.store(0, std::memory_order_relaxed);
+  g_warm_micros.store(0, std::memory_order_relaxed);
+  g_cold_micros.store(0, std::memory_order_relaxed);
+}
 
 OverlayRunResult run_overlay(const graph::Graph& trust,
                              const OverlayScenario& scenario) {
@@ -232,23 +472,53 @@ OverlayRunResult run_overlay(const graph::Graph& trust,
   options.observer = scenario.observer;
   const std::size_t n = trust.num_nodes();
 
+  const bool warm = warm_start_usable(scenario);
+  OverlayRunResult warm_info;
+
   if (scenario.shards > 0) {
-    sim::ShardedSimulator sim(sharded_options(scenario, options, n));
-    overlay::ShardedOverlayService service(sim, trust, *model, options,
-                                           scenario.seed);
-    const auto injector = arm_sharded_faults(sim, service, scenario);
-    service.start();
-    return measure_overlay(
-        service, [&sim](double t) { sim.run_until(t); }, scenario, n);
+    // One reconstruction retry: a snapshot rejected mid-restore leaves
+    // the service indeterminate, so the cold fallback gets a fresh one.
+    for (bool allow_restore : {true, false}) {
+      sim::ShardedSimulator sim(sharded_options(scenario, options, n));
+      overlay::ShardedOverlayService service(sim, trust, *model, options,
+                                             scenario.seed);
+      const auto injector = arm_sharded_faults(sim, service, scenario);
+      const auto run_until = [&sim](double t) { sim.run_until(t); };
+      if (warm) {
+        if (warm_start_phase(service, run_until, trust, scenario,
+                             allow_restore, warm_info) == kRejected)
+          continue;
+      } else {
+        service.start();
+      }
+      auto result = measure_overlay(service, run_until, scenario, n);
+      result.warm_started = warm_info.warm_started;
+      result.warmup_wall_seconds = warm_info.warmup_wall_seconds;
+      return result;
+    }
+    PPO_CHECK_MSG(false, "warm-start retry loop cannot fall through");
   }
 
-  sim::Simulator sim;
-  overlay::OverlayService service(sim, trust, *model, options,
-                                  Rng(scenario.seed));
-  const auto injector = arm_service_faults(sim, service, scenario);
-  service.start();
-  return measure_overlay(
-      service, [&sim](double t) { sim.run_until(t); }, scenario, n);
+  for (bool allow_restore : {true, false}) {
+    sim::Simulator sim;
+    overlay::OverlayService service(sim, trust, *model, options,
+                                    Rng(scenario.seed));
+    const auto injector = arm_service_faults(sim, service, scenario);
+    const auto run_until = [&sim](double t) { sim.run_until(t); };
+    if (warm) {
+      if (warm_start_phase(service, run_until, trust, scenario,
+                           allow_restore, warm_info) == kRejected)
+        continue;
+    } else {
+      service.start();
+    }
+    auto result = measure_overlay(service, run_until, scenario, n);
+    result.warm_started = warm_info.warm_started;
+    result.warmup_wall_seconds = warm_info.warmup_wall_seconds;
+    return result;
+  }
+  PPO_CHECK_MSG(false, "warm-start retry loop cannot fall through");
+  return {};
 }
 
 StaticRunResult run_static(const graph::Graph& g, const ChurnSpec& churn_spec,

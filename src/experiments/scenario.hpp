@@ -75,6 +75,18 @@ struct OverlayScenario {
   /// supported (blackouts become data windows), relay_crashes are not
   /// (the scenario layer has no mix mode).
   std::size_t shards = 0;
+
+  /// Warm-start forking (DESIGN.md §13): when set, run_overlay caches
+  /// the post-warmup simulator state in this directory as a checkpoint
+  /// keyed by the cell's full identity (graph fingerprint, seed,
+  /// backend, churn, params, fault/adversary/observer plans, warmup
+  /// length). A rerun of the same cell restores the snapshot instead
+  /// of re-simulating the warmup — bit-identical to the cold run, as
+  /// the checkpoint tests pin down. Ignored (silent cold run) for
+  /// configurations outside the checkpoint scope: scheduled service
+  /// faults, node-crash bursts, or a fault plan with multi-stage
+  /// deliveries (jitter/reorder).
+  std::string warm_start_dir;
 };
 
 /// Aggregates of snapshot metrics over the measurement window.
@@ -109,12 +121,33 @@ struct OverlayRunResult {
 
   /// Merged observation log (empty unless scenario.observer enabled).
   std::vector<inference::ObservationRecord> observations;
+
+  /// Warm-start accounting: whether the warmup phase was restored
+  /// from a cached snapshot, and the wall seconds the warmup phase
+  /// cost (simulation when cold, load + restore when warm).
+  bool warm_started = false;
+  double warmup_wall_seconds = 0.0;
 };
 
 /// Runs the overlay-maintenance protocol on `trust` under churn and
 /// measures the resulting overlay.
 OverlayRunResult run_overlay(const graph::Graph& trust,
                              const OverlayScenario& scenario);
+
+/// Process-wide warm-start accounting, summed over every
+/// warm-start-armed run_overlay call since the last reset (sweep
+/// cells included — updates are atomic, reads are consistent only at
+/// a sweep barrier). The figure benches put this in the --json report
+/// envelope so tools/bench_diff's history ledger can track warm-start
+/// speedup per commit.
+struct WarmStartStats {
+  std::uint64_t warm_runs = 0;  // runs forked from a cached snapshot
+  std::uint64_t cold_runs = 0;  // armed runs that simulated the warmup
+  double warm_seconds = 0.0;    // wall spent loading + restoring
+  double cold_seconds = 0.0;    // wall spent simulating warmups cold
+};
+WarmStartStats warm_start_stats();
+void reset_warm_start_stats();
 
 /// Measures a FIXED graph (trust-only baseline or ER reference) under
 /// the same churn process — no protocol, just availability masking.

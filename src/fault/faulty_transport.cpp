@@ -139,6 +139,9 @@ FaultyTransport::Fate FaultyTransport::decide_fate(graph::NodeId from,
 bool FaultyTransport::send_copy(graph::NodeId from, graph::NodeId to,
                                 const sim::EventFn& on_deliver,
                                 const Fate& fate) {
+  PPO_CHECK_MSG(journal_ == nullptr || fate.extra_delay <= 0.0,
+                "checkpointing does not cover two-stage (delayed) "
+                "deliveries; disable jitter/reorder or checkpointing");
   bool accepted;
   if (fate.drop) {
     // The message leaves the sender and dies in the network: the inner
@@ -165,8 +168,61 @@ bool FaultyTransport::send_copy(graph::NodeId from, graph::NodeId to,
       fn();
     });
   }
-  if (accepted) sent_.fetch_add(1, std::memory_order_relaxed);
+  if (accepted) {
+    sent_.fetch_add(1, std::memory_order_relaxed);
+    // Annotate the delivery the inner transport just committed: a
+    // dropped copy restores as a payload-free delivery, a delivered
+    // copy needs this wrapper's counter re-wrapped around it.
+    if (journal_ != nullptr) journal_->mark_last(fate.drop, !fate.drop);
+  }
   return accepted;
+}
+
+void FaultyTransport::save_state(ckpt::Writer& w) const {
+  w.tag(0x464C5459u);  // 'FLTY'
+  w.rng(rng_);
+  w.size(link_counts_.size());
+  for (const auto& per_sender : link_counts_) {
+    // unordered_map iteration order is not deterministic: serialize
+    // sorted by destination so identical states write identical bytes.
+    std::vector<std::pair<graph::NodeId, std::uint64_t>> sorted(
+        per_sender.begin(), per_sender.end());
+    std::sort(sorted.begin(), sorted.end());
+    w.size(sorted.size());
+    for (const auto& [to, count] : sorted) {
+      w.u32(to);
+      w.u64(count);
+    }
+  }
+  w.u64(sent_.load(std::memory_order_relaxed));
+  w.u64(delivered_.load(std::memory_order_relaxed));
+  w.u64(counters_.injected_drops.load(std::memory_order_relaxed));
+  w.u64(counters_.outage_drops.load(std::memory_order_relaxed));
+  w.u64(counters_.partition_drops.load(std::memory_order_relaxed));
+  w.u64(counters_.duplicates.load(std::memory_order_relaxed));
+  w.u64(counters_.delayed.load(std::memory_order_relaxed));
+}
+
+void FaultyTransport::load_state(ckpt::Reader& r) {
+  r.tag(0x464C5459u);
+  rng_ = r.rng();
+  if (r.size() != link_counts_.size())
+    throw ckpt::ParseError("fault stream mode mismatch");
+  for (auto& per_sender : link_counts_) {
+    per_sender.clear();
+    const std::size_t n = r.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const graph::NodeId to = r.u32();
+      per_sender[to] = r.u64();
+    }
+  }
+  sent_.store(r.u64(), std::memory_order_relaxed);
+  delivered_.store(r.u64(), std::memory_order_relaxed);
+  counters_.injected_drops.store(r.u64(), std::memory_order_relaxed);
+  counters_.outage_drops.store(r.u64(), std::memory_order_relaxed);
+  counters_.partition_drops.store(r.u64(), std::memory_order_relaxed);
+  counters_.duplicates.store(r.u64(), std::memory_order_relaxed);
+  counters_.delayed.store(r.u64(), std::memory_order_relaxed);
 }
 
 bool FaultyTransport::send(graph::NodeId from, graph::NodeId to,

@@ -22,8 +22,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/io.hpp"
 #include "common/rng.hpp"
 #include "fault/fault_plan.hpp"
+#include "privacylink/delivery_journal.hpp"
 #include "privacylink/link_transport.hpp"
 #include "sim/backend.hpp"
 
@@ -74,6 +76,31 @@ class FaultyTransport final : public privacylink::LinkTransport {
   /// (override if present, else the plan-wide probability).
   double drop_probability_on(graph::NodeId from, graph::NodeId to) const;
 
+  /// --- checkpoint/restore -------------------------------------------
+  /// While set, each copy's fate annotation lands in the journal next
+  /// to the inner transport's committed delivery. Checkpointing only
+  /// supports plans whose deliveries are single-stage (no jitter or
+  /// reorder extra delay): plan_checkpointable() gates that.
+  void set_journal(privacylink::DeliveryJournal* journal) {
+    journal_ = journal;
+  }
+  bool plan_checkpointable() const {
+    return plan_.jitter_max <= 0.0 && plan_.reorder_probability <= 0.0;
+  }
+
+  /// Wraps a restored payload with this transport's delivery counter
+  /// (the stage the wrapper adds on top of the inner delivery).
+  sim::EventFn wrap_restored(sim::EventFn payload) {
+    return [this, fn = std::move(payload)] {
+      delivered_.fetch_add(1, std::memory_order_relaxed);
+      if (fn) fn();
+    };
+  }
+
+  /// Fate RNG streams, per-link message indices and all counters.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
+
   /// Extra loss the time-varying profiles (Gilbert-Elliott burst
   /// state + diurnal sinusoid) contribute at time t. Read-only: the
   /// GE chain is pre-materialized at construction, so this is safe to
@@ -115,6 +142,7 @@ class FaultyTransport final : public privacylink::LinkTransport {
   std::vector<char> ge_bad_;
   /// Per-partition membership masks, indexed like plan_.partitions.
   std::vector<std::vector<char>> partition_masks_;
+  privacylink::DeliveryJournal* journal_ = nullptr;
   AtomicCount sent_{0};
   AtomicCount delivered_{0};
   struct {

@@ -115,6 +115,53 @@ std::uint64_t ObserverAdversary::records_recorded() const {
   return total;
 }
 
+void ObserverAdversary::save_state(ckpt::Writer& w) const {
+  w.tag(0x4F425356u);  // 'OBSV'
+  w.size(buffers_.size());
+  for (const Buffer& buffer : buffers_) {
+    w.u64(buffer.seq);
+    w.size(buffer.records.size());
+    for (const ObservationRecord& rec : buffer.records) {
+      w.f64(rec.time);
+      w.u64(rec.src_pseudo);
+      w.f64(rec.src_expiry);
+      w.u64(rec.dst_pseudo);
+      w.f64(rec.dst_expiry);
+      w.u64(rec.digest);
+      w.b(rec.is_response);
+      w.u32(rec.truth_src);
+      w.u32(rec.truth_dst);
+      w.u64(rec.seq);
+    }
+  }
+}
+
+void ObserverAdversary::load_state(ckpt::Reader& r) {
+  r.tag(0x4F425356u);
+  if (r.size() != buffers_.size())
+    throw ckpt::ParseError("observer buffer count mismatch");
+  for (Buffer& buffer : buffers_) {
+    buffer.seq = r.u64();
+    const std::size_t n = r.size();
+    buffer.records.clear();
+    buffer.records.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ObservationRecord rec;
+      rec.time = r.f64();
+      rec.src_pseudo = r.u64();
+      rec.src_expiry = r.f64();
+      rec.dst_pseudo = r.u64();
+      rec.dst_expiry = r.f64();
+      rec.digest = r.u64();
+      rec.is_response = r.b();
+      rec.truth_src = r.u32();
+      rec.truth_dst = r.u32();
+      rec.seq = r.u64();
+      buffer.records.push_back(rec);
+    }
+  }
+}
+
 std::vector<ObservationRecord> ObserverAdversary::merged() const {
   std::vector<ObservationRecord> out;
   out.reserve(records_recorded());

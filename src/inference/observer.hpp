@@ -28,6 +28,7 @@
 #include <optional>
 #include <vector>
 
+#include "ckpt/io.hpp"
 #include "graph/graph.hpp"
 #include "privacylink/pseudonym.hpp"
 #include "sim/simulator.hpp"
@@ -132,6 +133,10 @@ class ObserverAdversary {
   /// K-invariant merge discipline as obs::Tracer. Call only at
   /// quiescent points (no simulation windows in flight).
   std::vector<ObservationRecord> merged() const;
+
+  /// Checkpoint/restore: every per-destination buffer verbatim.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
  private:
   struct Buffer {

@@ -115,6 +115,33 @@ void PseudonymCache::purge_expired(sim::Time now) {
   }
 }
 
+void PseudonymCache::save_state(ckpt::Writer& w) const {
+  w.tag(0x43414348u);  // 'CACH'
+  w.f64(last_purge_);
+  w.size(entries_.size());
+  for (const auto& record : entries_.items()) {
+    w.u64(record.value);
+    w.f64(record.expiry);
+  }
+}
+
+void PseudonymCache::load_state(ckpt::Reader& r) {
+  r.tag(0x43414348u);
+  last_purge_ = r.f64();
+  const std::size_t n = r.size();
+  if (n > entries_.capacity())
+    throw ckpt::ParseError("cache entries exceed capacity");
+  entries_.clear();
+  index_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    PseudonymRecord record;
+    record.value = r.u64();
+    record.expiry = r.f64();
+    index_.insert(record.value, static_cast<std::uint32_t>(entries_.size()));
+    entries_.push_back(record);
+  }
+}
+
 std::vector<PseudonymRecord> PseudonymCache::snapshot(sim::Time now) const {
   std::vector<PseudonymRecord> out;
   for (const auto& record : entries_.items())

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "ckpt/io.hpp"
 #include "common/arena.hpp"
 #include "common/flat_map.hpp"
 #include "common/rng.hpp"
@@ -56,6 +57,12 @@ class PseudonymCache {
 
   /// Live entries (test/diagnostic use).
   std::vector<PseudonymRecord> snapshot(sim::Time now) const;
+
+  /// Checkpoint/restore: every entry — expired ones included, since
+  /// purge timing is part of the trajectory — plus the purge clock.
+  /// The value index is rebuilt on load.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
  private:
   void insert_entry(const PseudonymRecord& record);

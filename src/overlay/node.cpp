@@ -90,11 +90,16 @@ void OverlayNode::schedule_renewal_alarm() {
   const std::uint64_t epoch = ++renewal_epoch_;
   const double delay = std::max(0.0, own_->expiry - env_.now());
   // Tiny slack so the alarm fires strictly after the expiry instant.
-  env_.schedule(delay + 1e-9, [this, epoch] {
+  env_.schedule(delay + 1e-9, make_renewal_event(epoch));
+  journal_timer(renewal_journal_, env_.now() + delay + 1e-9, epoch);
+}
+
+sim::EventFn OverlayNode::make_renewal_event(std::uint64_t epoch) {
+  return [this, epoch] {
     if (epoch != renewal_epoch_) return;  // superseded by a newer mint
     if (online_) ensure_own_pseudonym();
     // Offline: handle_online re-mints on rejoin.
-  });
+  };
 }
 
 void OverlayNode::handle_online() {
@@ -187,8 +192,23 @@ void OverlayNode::begin_exchange(NodeId target,
 void OverlayNode::arm_exchange_timer() {
   if (params_.shuffle_timeout <= 0.0) return;
   const std::uint64_t id = pending_->id;
-  env_.schedule(pending_->timeout,
-                [this, id] { handle_exchange_timeout(id); });
+  env_.schedule(pending_->timeout, make_timeout_event(id));
+  journal_timer(exchange_journal_, env_.now() + pending_->timeout, id);
+}
+
+sim::EventFn OverlayNode::make_timeout_event(std::uint64_t exchange_id) {
+  return [this, exchange_id] { handle_exchange_timeout(exchange_id); };
+}
+
+void OverlayNode::journal_timer(std::vector<TimerRecord>& journal,
+                                double fire_time, std::uint64_t key) {
+  // Conservative prune (strictly-before now): entries at exactly `now`
+  // may still be pending on the sharded backend; save_state applies
+  // the backend's exact predicate.
+  const sim::Time now = env_.now();
+  std::erase_if(journal,
+                [now](const TimerRecord& t) { return t.fire_time < now; });
+  journal.push_back(TimerRecord{fire_time, env_.last_scheduled(), key});
 }
 
 void OverlayNode::handle_exchange_timeout(std::uint64_t exchange_id) {
@@ -393,6 +413,196 @@ void OverlayNode::inject_cache_record(const PseudonymRecord& record) {
 std::optional<PseudonymRecord> OverlayNode::own_pseudonym() const {
   if (own_ && own_->valid_at(env_.now())) return own_;
   return std::nullopt;
+}
+
+namespace {
+
+void write_timer_journal(ckpt::Writer& w,
+                         const std::vector<OverlayNode::TimerRecord>& journal,
+                         sim::Time now, bool inclusive_fired) {
+  std::vector<const OverlayNode::TimerRecord*> live;
+  for (const auto& t : journal) {
+    const bool fired = inclusive_fired ? t.fire_time <= now : t.fire_time < now;
+    if (!fired) live.push_back(&t);
+  }
+  w.size(live.size());
+  for (const auto* t : live) {
+    w.f64(t->fire_time);
+    w.u32(t->ticket.origin);
+    w.u64(t->ticket.seq);
+    w.u64(t->key);
+  }
+}
+
+void read_timer_journal(ckpt::Reader& r,
+                        std::vector<OverlayNode::TimerRecord>& journal) {
+  journal.clear();
+  const std::size_t n = r.size();
+  journal.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    OverlayNode::TimerRecord t;
+    t.fire_time = r.f64();
+    t.ticket.origin = r.u32();
+    t.ticket.seq = r.u64();
+    t.key = r.u64();
+    journal.push_back(t);
+  }
+}
+
+}  // namespace
+
+void OverlayNode::save_state(ckpt::Writer& w, sim::Time now,
+                             bool inclusive_fired) const {
+  w.tag(0x4E4F4445u);  // 'NODE'
+  w.u32(id_);
+  w.size(trusted_.size());
+  for (const NodeId v : trusted_) w.u32(v);
+  w.rng(rng_);
+  cache_.save_state(w);
+  sampler_.save_state(w);
+  w.b(own_.has_value());
+  if (own_) {
+    w.u64(own_->value);
+    w.f64(own_->expiry);
+  }
+  w.u64_vec(own_history_);
+  w.b(online_);
+  w.b(ever_started_);
+  w.u64(renewal_epoch_);
+  w.b(pending_.has_value());
+  if (pending_) {
+    w.u64(pending_->id);
+    w.u32(pending_->target);
+    w.u64(pending_->retries_used);
+    w.f64(pending_->timeout);
+    w.f64(pending_->started);
+  }
+  w.size(pending_sent_.size());
+  for (const auto& record : pending_sent_.items()) {
+    w.u64(record.value);
+    w.f64(record.expiry);
+  }
+  w.u64(next_exchange_id_);
+  w.f64(offline_since_);
+  w.f64(offline_ewma_);
+  w.size(seen_pseudonyms_.size());
+  for (const auto& record : seen_pseudonyms_) {
+    w.u64(record.value);
+    w.f64(record.expiry);
+  }
+  {
+    // unordered_map: serialize sorted so identical states write
+    // identical bytes.
+    std::vector<std::pair<NodeId, RateBucket>> sorted(request_rate_.begin(),
+                                                      request_rate_.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w.size(sorted.size());
+    for (const auto& [peer, bucket] : sorted) {
+      w.u32(peer);
+      w.f64(bucket.window_start);
+      w.u32(bucket.accepted);
+    }
+  }
+  w.u64(counters_.requests_sent);
+  w.u64(counters_.responses_sent);
+  w.u64(counters_.shuffles_completed);
+  w.u64(counters_.online_ticks);
+  w.u64(counters_.max_out_degree);
+  w.u64(counters_.request_timeouts);
+  w.u64(counters_.request_retries);
+  w.u64(counters_.exchanges_aborted);
+  w.u64(counters_.stale_responses);
+  w.u64(counters_.forged_rejected);
+  w.u64(counters_.requests_rate_limited);
+  write_timer_journal(w, renewal_journal_, now, inclusive_fired);
+  write_timer_journal(w, exchange_journal_, now, inclusive_fired);
+}
+
+void OverlayNode::load_state(ckpt::Reader& r) {
+  r.tag(0x4E4F4445u);
+  if (r.u32() != id_) throw ckpt::ParseError("node id mismatch");
+  if (r.size() != trusted_.size())
+    throw ckpt::ParseError("trusted-degree mismatch");
+  for (const NodeId v : trusted_)
+    if (r.u32() != v) throw ckpt::ParseError("trusted-neighbor mismatch");
+  rng_ = r.rng();
+  cache_.load_state(r);
+  sampler_.load_state(r);
+  own_.reset();
+  if (r.b()) {
+    PseudonymRecord record;
+    record.value = r.u64();
+    record.expiry = r.f64();
+    own_ = record;
+  }
+  own_history_ = r.u64_vec();
+  online_ = r.b();
+  ever_started_ = r.b();
+  renewal_epoch_ = r.u64();
+  pending_.reset();
+  if (r.b()) {
+    PendingExchange p;
+    p.id = r.u64();
+    p.target = r.u32();
+    p.retries_used = r.u64();
+    p.timeout = r.f64();
+    p.started = r.f64();
+    pending_ = p;
+  }
+  {
+    const std::size_t n = r.size();
+    if (n > pending_sent_.capacity())
+      throw ckpt::ParseError("pending-sent set exceeds capacity");
+    pending_sent_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      PseudonymRecord record;
+      record.value = r.u64();
+      record.expiry = r.f64();
+      pending_sent_.push_back(record);
+    }
+  }
+  next_exchange_id_ = r.u64();
+  offline_since_ = r.f64();
+  offline_ewma_ = r.f64();
+  {
+    const std::size_t n = r.size();
+    seen_pseudonyms_.clear();
+    seen_index_.clear();
+    seen_pseudonyms_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      PseudonymRecord record;
+      record.value = r.u64();
+      record.expiry = r.f64();
+      seen_index_.insert(record.value,
+                         static_cast<std::uint32_t>(seen_pseudonyms_.size()));
+      seen_pseudonyms_.push_back(record);
+    }
+  }
+  {
+    const std::size_t n = r.size();
+    request_rate_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId peer = r.u32();
+      RateBucket bucket;
+      bucket.window_start = r.f64();
+      bucket.accepted = r.u32();
+      request_rate_[peer] = bucket;
+    }
+  }
+  counters_.requests_sent = r.u64();
+  counters_.responses_sent = r.u64();
+  counters_.shuffles_completed = r.u64();
+  counters_.online_ticks = r.u64();
+  counters_.max_out_degree = r.u64();
+  counters_.request_timeouts = r.u64();
+  counters_.request_retries = r.u64();
+  counters_.exchanges_aborted = r.u64();
+  counters_.stale_responses = r.u64();
+  counters_.forged_rejected = r.u64();
+  counters_.requests_rate_limited = r.u64();
+  read_timer_journal(r, renewal_journal_);
+  read_timer_journal(r, exchange_journal_);
 }
 
 }  // namespace ppo::overlay

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/io.hpp"
 #include "common/arena.hpp"
 #include "common/flat_map.hpp"
 #include "overlay/cache.hpp"
@@ -45,6 +46,11 @@ class NodeEnvironment {
 
   /// One-shot timer (used for pseudonym-renewal alarms).
   virtual void schedule(double delay, sim::EventFn fn) = 0;
+
+  /// Ticket of the event the most recent schedule() call registered
+  /// (checkpoint journaling). Environments that do not checkpoint —
+  /// unit-test mocks — keep the default no-op.
+  virtual sim::EventTicket last_scheduled() const { return {}; }
 };
 
 class OverlayNode {
@@ -147,6 +153,39 @@ class OverlayNode {
   /// an (adversarial) neighbor.
   void inject_cache_record(const PseudonymRecord& record);
 
+  /// --- checkpoint/restore -------------------------------------------
+  /// One journaled one-shot timer: where it sits in the event queue
+  /// and the closure key (renewal epoch or exchange id) needed to
+  /// rebuild its payload.
+  struct TimerRecord {
+    double fire_time = 0.0;
+    sim::EventTicket ticket;
+    std::uint64_t key = 0;
+  };
+
+  /// Serializes the node's full mutable state, including the pending
+  /// one-shot timers. `now` + `inclusive_fired` define which journal
+  /// entries have already fired (serial backend: fire <= now; sharded:
+  /// fire < now) and are omitted.
+  void save_state(ckpt::Writer& w, sim::Time now, bool inclusive_fired) const;
+  void load_state(ckpt::Reader& r);
+
+  /// After load_state: the timers that were pending at save time. The
+  /// owning service re-registers them with restore_event_any using
+  /// make_renewal_event / make_timeout_event as payloads.
+  const std::vector<TimerRecord>& restored_renewal_timers() const {
+    return renewal_journal_;
+  }
+  const std::vector<TimerRecord>& restored_exchange_timers() const {
+    return exchange_journal_;
+  }
+
+  /// Rebuild the exact closures schedule_renewal_alarm /
+  /// arm_exchange_timer originally registered (stale keys included —
+  /// they must still fire as no-ops to keep the trajectory identical).
+  sim::EventFn make_renewal_event(std::uint64_t epoch);
+  sim::EventFn make_timeout_event(std::uint64_t exchange_id);
+
   /// §III-E-4 extension (requires params.population_estimation):
   /// estimated number of participating nodes = count of distinct live
   /// pseudonyms this node has seen in gossip (every participant owns
@@ -247,6 +286,14 @@ class OverlayNode {
     std::uint32_t accepted = 0;
   };
   std::unordered_map<NodeId, RateBucket> request_rate_;
+
+  /// Checkpoint journals of the one-shot timers currently in the
+  /// event queue (stale-keyed entries stay until they fire). Bounded:
+  /// each add prunes entries that have certainly fired.
+  void journal_timer(std::vector<TimerRecord>& journal, double fire_time,
+                     std::uint64_t key);
+  std::vector<TimerRecord> renewal_journal_;
+  std::vector<TimerRecord> exchange_journal_;
 
   Counters counters_;
 };

@@ -177,4 +177,51 @@ std::vector<PseudonymValue> SlotSampler::references() const {
   return {references_.begin(), references_.end()};
 }
 
+void SlotSampler::save_state(ckpt::Writer& w) const {
+  w.tag(0x534C4F54u);  // 'SLOT'
+  w.f64(min_dwell_);
+  w.u64(epoch_);
+  w.u64(counters_.refills_after_expiry);
+  w.u64(counters_.better_displacements);
+  w.u64(counters_.initial_fills);
+  w.u64(counters_.displacements_damped);
+  w.size(references_.size());
+  for (std::size_t i = 0; i < references_.size(); ++i) {
+    w.u64(references_[i]);
+    w.u64(values_[i]);
+    w.f64(expiries_[i]);
+    w.u64(distances_[i]);
+    w.f64(placed_at_[i]);
+    w.u8(live_[i]);
+    w.u8(vacated_[i]);
+  }
+}
+
+void SlotSampler::load_state(ckpt::Reader& r) {
+  r.tag(0x534C4F54u);
+  const double min_dwell = r.f64();
+  if (min_dwell != min_dwell_)
+    throw ckpt::ParseError("sampler min_dwell mismatch");
+  epoch_ = r.u64();
+  counters_.refills_after_expiry = r.u64();
+  counters_.better_displacements = r.u64();
+  counters_.initial_fills = r.u64();
+  counters_.displacements_damped = r.u64();
+  if (r.size() != references_.size())
+    throw ckpt::ParseError("sampler slot count mismatch");
+  for (std::size_t i = 0; i < references_.size(); ++i) {
+    const PseudonymValue reference = r.u64();
+    // The reconstructed node redraws the same references from the same
+    // stream; a mismatch means seed/params drift, not corruption.
+    if (reference != references_[i])
+      throw ckpt::ParseError("sampler reference value mismatch");
+    values_[i] = r.u64();
+    expiries_[i] = r.f64();
+    distances_[i] = r.u64();
+    placed_at_[i] = r.f64();
+    live_[i] = r.u8();
+    vacated_[i] = r.u8();
+  }
+}
+
 }  // namespace ppo::overlay

@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "ckpt/io.hpp"
 #include "common/arena.hpp"
 #include "common/rng.hpp"
 #include "privacylink/pseudonym.hpp"
@@ -118,6 +119,12 @@ class SlotSampler {
   /// after construction, so concurrent reads (the adversary engine's
   /// eclipse probe crosses shards) are safe.
   std::vector<PseudonymValue> references() const;
+
+  /// Checkpoint/restore: the full slot arrays (references included —
+  /// they double as a consistency check against the reconstructed
+  /// node's own draws), damping clocks, epoch and counters.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
  private:
   SlotSampler(Arena* arena, std::size_t slots, unsigned bits, Rng& rng,

@@ -1,8 +1,10 @@
 #include "overlay/service.hpp"
 
+#include <string>
 #include <utility>
 
 #include "common/check.hpp"
+#include "sim/restore.hpp"
 
 namespace ppo::overlay {
 
@@ -35,8 +37,10 @@ OverlayService::OverlayService(
     transport_ = std::make_unique<privacylink::MixTransport>(
         sim, *mix_, options_.mix_transport, rng_.split(), online);
   } else {
-    transport_ = std::make_unique<privacylink::Transport>(
+    auto bare = std::make_unique<privacylink::Transport>(
         sim, options_.transport, rng_.split(), online);
+    bare_ = bare.get();
+    transport_ = std::move(bare);
   }
   link_ = transport_.get();
   if (options_.link_faults && options_.link_faults->enabled()) {
@@ -159,6 +163,10 @@ void OverlayService::send_shuffle_request(NodeId from, NodeId to,
     observed = observer_->capture(from, to, sim_.now(),
                                   /*is_response=*/false,
                                   nodes_[from].own_pseudonym(), set);
+  if (journal_)
+    journal_->stage(encode_delivery(/*is_response=*/false, from, to, set,
+                                    observed),
+                    from, to);
   link_->send(from, to, [this, from, to, set = std::move(set),
                          observed = std::move(observed)] {
     if (engine_) engine_->observe_received(to, set);
@@ -166,6 +174,7 @@ void OverlayService::send_shuffle_request(NodeId from, NodeId to,
       observer_->deliver(*observed, to, nodes_[to].own_pseudonym());
     nodes_[to].handle_shuffle_request(from, set);
   });
+  if (journal_) journal_->finish_send();
 }
 
 void OverlayService::send_shuffle_response(NodeId from, NodeId to,
@@ -183,6 +192,10 @@ void OverlayService::send_shuffle_response(NodeId from, NodeId to,
     observed = observer_->capture(from, to, sim_.now(),
                                   /*is_response=*/true,
                                   nodes_[from].own_pseudonym(), set);
+  if (journal_)
+    journal_->stage(encode_delivery(/*is_response=*/true, from, to, set,
+                                    observed),
+                    from, to);
   link_->send(from, to, [this, to, set = std::move(set),
                          observed = std::move(observed)] {
     if (engine_) engine_->observe_received(to, set);
@@ -190,6 +203,7 @@ void OverlayService::send_shuffle_response(NodeId from, NodeId to,
       observer_->deliver(*observed, to, nodes_[to].own_pseudonym());
     nodes_[to].handle_shuffle_response(set);
   });
+  if (journal_) journal_->finish_send();
 }
 
 void OverlayService::schedule(double delay, sim::EventFn fn) {
@@ -282,6 +296,216 @@ std::uint64_t OverlayService::count_eclipsed_slots() const {
     }
   }
   return eclipsed;
+}
+
+void OverlayService::enable_checkpointing() {
+  if (journal_) return;
+  PPO_CHECK_MSG(checkpointable(),
+                "configuration not checkpointable: mix transport or a "
+                "two-stage (jitter/reorder) fault plan is enabled");
+  journal_ = std::make_unique<privacylink::DeliveryJournal>(
+      1, nullptr, /*inclusive_prune=*/true);
+  bare_->set_journal(journal_.get());
+  if (faulty_) faulty_->set_journal(journal_.get());
+}
+
+std::string OverlayService::encode_delivery(
+    bool is_response, NodeId from, NodeId to,
+    const std::vector<PseudonymRecord>& set,
+    const std::optional<inference::PendingObservation>& observed) const {
+  ckpt::Writer w;
+  w.u8(is_response ? 1 : 0);
+  w.u32(from);
+  w.u32(to);
+  w.size(set.size());
+  for (const auto& record : set) {
+    w.u64(record.value);
+    w.f64(record.expiry);
+  }
+  w.b(observed.has_value());
+  if (observed) {
+    w.f64(observed->time);
+    w.u32(observed->src);
+    w.u64(observed->src_pseudo);
+    w.f64(observed->src_expiry);
+    w.u64(observed->digest);
+    w.b(observed->is_response);
+  }
+  return w.take();
+}
+
+sim::EventFn OverlayService::decode_delivery(const std::string& blob) {
+  ckpt::Reader r(blob);
+  const bool is_response = r.u8() != 0;
+  const NodeId from = r.u32();
+  const NodeId to = r.u32();
+  if (to >= nodes_.size()) throw ckpt::ParseError("delivery target range");
+  std::vector<PseudonymRecord> set(r.size());
+  for (auto& record : set) {
+    record.value = r.u64();
+    record.expiry = r.f64();
+  }
+  std::optional<inference::PendingObservation> observed;
+  if (r.b()) {
+    if (!observer_) throw ckpt::ParseError("observation without observer");
+    inference::PendingObservation p;
+    p.time = r.f64();
+    p.src = r.u32();
+    p.src_pseudo = r.u64();
+    p.src_expiry = r.f64();
+    p.digest = r.u64();
+    p.is_response = r.b();
+    observed = p;
+  }
+  r.done();
+  // Rebuild the exact closures the send seams register.
+  if (is_response) {
+    return [this, to, set = std::move(set), observed = std::move(observed)] {
+      if (engine_) engine_->observe_received(to, set);
+      if (observed)
+        observer_->deliver(*observed, to, nodes_[to].own_pseudonym());
+      nodes_[to].handle_shuffle_response(set);
+    };
+  }
+  return [this, from, to, set = std::move(set),
+          observed = std::move(observed)] {
+    if (engine_) engine_->observe_received(to, set);
+    if (observed)
+      observer_->deliver(*observed, to, nodes_[to].own_pseudonym());
+    nodes_[to].handle_shuffle_request(from, set);
+  };
+}
+
+void OverlayService::save_checkpoint(ckpt::Writer& w) const {
+  PPO_CHECK_MSG(started_, "checkpoint requires a started service");
+  PPO_CHECK_MSG(journal_ != nullptr,
+                "enable_checkpointing() before save_checkpoint()");
+  const sim::Time now = sim_.now();
+  w.tag(0x53455256u);  // 'SERV'
+  // Simulator core: clock, sequence counter, executed-event count.
+  w.f64(now);
+  w.u64(sim_.next_seq());
+  w.u64(sim_.events_executed());
+  w.rng(rng_);
+  w.b(pseudonym_service_available_);
+  pseudonyms_.save_state(w);
+  churn_.save_state(w);
+  bare_->save_state(w);
+  w.b(faulty_ != nullptr);
+  if (faulty_) faulty_->save_state(w);
+  w.b(engine_ != nullptr);
+  if (engine_) engine_->save_state(w);
+  w.b(observer_ != nullptr);
+  if (observer_) observer_->save_state(w);
+  // Periodic shuffle ticks: absolute next fire + queue position.
+  w.size(ticks_.size());
+  for (const sim::PeriodicTask& tick : ticks_) {
+    w.f64(tick.next_fire());
+    w.u32(tick.ticket().origin);
+    w.u64(tick.ticket().seq);
+  }
+  // Per-node protocol state, one-shot timers included. The serial
+  // backend runs events at exactly t == now before returning, so
+  // journal entries at the checkpoint instant have already fired.
+  w.size(nodes_.size());
+  for (const OverlayNode& node : nodes_)
+    node.save_state(w, now, /*inclusive_fired=*/true);
+  // In-flight link messages, canonical order.
+  const auto entries = journal_->collect(now);
+  w.size(entries.size());
+  for (const auto& e : entries) {
+    w.u32(e.from);
+    w.u32(e.to);
+    w.f64(e.fire_time);
+    w.u32(e.ticket.origin);
+    w.u64(e.ticket.seq);
+    w.b(e.dropped);
+    w.b(e.faulty);
+    w.str(e.payload);
+  }
+}
+
+void OverlayService::restore_from_checkpoint(ckpt::Reader& r) {
+  PPO_CHECK_MSG(!started_,
+                "restore_from_checkpoint replaces start() on a fresh service");
+  PPO_CHECK_MSG(journal_ != nullptr,
+                "enable_checkpointing() before restore_from_checkpoint()");
+  r.tag(0x53455256u);
+  const double now = r.f64();
+  const std::uint64_t next_seq = r.u64();
+  const std::uint64_t executed = r.u64();
+  sim_.restore_state(now, next_seq, executed);
+  rng_ = r.rng();
+  pseudonym_service_available_ = r.b();
+  pseudonyms_.load_state(r);
+  churn_.load_state(r);
+  bare_->load_state(r);
+  if (r.b() != (faulty_ != nullptr))
+    throw ckpt::ParseError("fault-plan presence mismatch");
+  if (faulty_) faulty_->load_state(r);
+  if (r.b() != (engine_ != nullptr))
+    throw ckpt::ParseError("adversary presence mismatch");
+  if (engine_) engine_->load_state(r);
+  if (r.b() != (observer_ != nullptr))
+    throw ckpt::ParseError("observer presence mismatch");
+  if (observer_) observer_->load_state(r);
+  if (r.size() != nodes_.size())
+    throw ckpt::ParseError("tick count mismatch");
+  ticks_.clear();
+  ticks_.reserve(nodes_.size());
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    const double next_fire = r.f64();
+    sim::EventTicket ticket;
+    ticket.origin = r.u32();
+    ticket.seq = r.u64();
+    const double period =
+        options_.params.shuffle_period /
+        (engine_ ? engine_->tick_rate_multiplier(v) : 1.0);
+    ticks_.push_back(sim::PeriodicTask::restore(
+        sim_, next_fire, ticket, period,
+        [this, v] { nodes_[v].shuffle_tick(); }, v));
+  }
+  if (r.size() != nodes_.size())
+    throw ckpt::ParseError("node count mismatch");
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    nodes_[v].load_state(r);
+    for (const auto& t : nodes_[v].restored_renewal_timers())
+      sim::restore_event_any(sim_, t.fire_time, t.ticket, v,
+                             nodes_[v].make_renewal_event(t.key));
+    for (const auto& t : nodes_[v].restored_exchange_timers())
+      sim::restore_event_any(sim_, t.fire_time, t.ticket, v,
+                             nodes_[v].make_timeout_event(t.key));
+  }
+  const std::size_t in_flight = r.size();
+  for (std::size_t i = 0; i < in_flight; ++i) {
+    privacylink::DeliveryJournal::Entry e;
+    e.from = r.u32();
+    e.to = r.u32();
+    e.fire_time = r.f64();
+    e.ticket.origin = r.u32();
+    e.ticket.seq = r.u64();
+    e.dropped = r.b();
+    e.faulty = r.b();
+    e.payload = r.str();
+    sim::EventFn payload;
+    if (!e.dropped) {
+      payload = decode_delivery(e.payload);
+      if (e.faulty) {
+        if (!faulty_)
+          throw ckpt::ParseError("fault-wrapped delivery without fault plan");
+        payload = faulty_->wrap_restored(std::move(payload));
+      }
+    }
+    bare_->restore_delivery(e.to, e.fire_time, e.ticket, std::move(payload));
+    journal_->restore_entry(std::move(e));
+  }
+  // Re-arm the churn callbacks and its pending transitions last: the
+  // load_state above already placed per-node epochs/flags.
+  churn_.restore_start(churn::ChurnCallbacks{
+      .on_online = [this](NodeId v) { nodes_[v].handle_online(); },
+      .on_offline = [this](NodeId v) { nodes_[v].handle_offline(); },
+  });
+  started_ = true;
 }
 
 metrics::ProtocolHealth OverlayService::protocol_health() const {

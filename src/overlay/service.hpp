@@ -114,6 +114,12 @@ class OverlayService final : public NodeEnvironment {
   void send_shuffle_response(NodeId from, NodeId to,
                              std::vector<PseudonymRecord> set) override;
   void schedule(double delay, sim::EventFn fn) override;
+  /// Real ticket of the most recent schedule() (timer journaling —
+  /// restored one-shot timers must keep their original seq so ties at
+  /// equal fire time replay in the original order).
+  sim::EventTicket last_scheduled() const override {
+    return sim_.last_ticket();
+  }
 
   // --- inspection ---
   std::size_t num_nodes() const { return nodes_.size(); }
@@ -180,6 +186,39 @@ class OverlayService final : public NodeEnvironment {
   /// the bytes-per-node telemetry in the crawl-scale reports.
   std::size_t node_state_bytes() const { return arena_.bytes_reserved(); }
 
+  /// --- checkpoint/restore -------------------------------------------
+  /// True when this configuration's full state can be snapshotted:
+  /// ideal transport only (no mix network), and a fault plan whose
+  /// deliveries are single-stage (no jitter/reorder).
+  bool checkpointable() const {
+    return !options_.use_mix_network &&
+           (faulty_ == nullptr || faulty_->plan_checkpointable());
+  }
+
+  /// Arms the in-flight delivery journal on the transport stack. Must
+  /// be called before start() (or restore_from_checkpoint()); aborts
+  /// when !checkpointable().
+  void enable_checkpointing();
+
+  /// Serializes the complete mutable state (simulator clock/sequence,
+  /// every RNG stream, node hot state, pending timers and in-flight
+  /// messages). Call only at a quiescent point, after run_until
+  /// returned. Requires enable_checkpointing().
+  void save_checkpoint(ckpt::Writer& w) const;
+
+  /// Counterpart: call INSTEAD of start(), on a freshly constructed
+  /// service over the same graph/options/seed, after
+  /// enable_checkpointing(). Overwrites all mutable state and
+  /// re-registers every pending event at its original canonical queue
+  /// position. Throws ckpt::ParseError on any inconsistency.
+  void restore_from_checkpoint(ckpt::Reader& r);
+
+  /// Drops journal entries whose deliveries have already executed
+  /// (bounds memory on long runs; call between windows).
+  void prune_checkpoint_journal() {
+    if (journal_) journal_->prune(sim_.now());
+  }
+
  private:
   /// Starts one node's periodic shuffle schedule.
   void start_ticks(NodeId v);
@@ -191,6 +230,14 @@ class OverlayService final : public NodeEnvironment {
   /// (the eclipse-capture measure; 0 without an engine).
   std::uint64_t count_eclipsed_slots() const;
 
+  /// Serializes everything a delivery closure needs so it can be
+  /// rebuilt after a restore (checkpoint journal payload recipe).
+  std::string encode_delivery(
+      bool is_response, NodeId from, NodeId to,
+      const std::vector<PseudonymRecord>& set,
+      const std::optional<inference::PendingObservation>& observed) const;
+  sim::EventFn decode_delivery(const std::string& blob);
+
   sim::Simulator& sim_;
   graph::Graph trust_graph_;  // owned: add_member mutates it
   OverlayServiceOptions options_;
@@ -201,6 +248,10 @@ class OverlayService final : public NodeEnvironment {
   std::unique_ptr<privacylink::LinkTransport> transport_;  // bare inner
   std::unique_ptr<fault::FaultyTransport> faulty_;  // optional wrapper
   privacylink::LinkTransport* link_ = nullptr;  // what sends go through
+  /// Typed view of transport_ in ideal-transport mode (checkpointing;
+  /// null in mix mode).
+  privacylink::Transport* bare_ = nullptr;
+  std::unique_ptr<privacylink::DeliveryJournal> journal_;
   bool pseudonym_service_available_ = true;
   std::unique_ptr<adversary::AdversaryEngine> engine_;  // optional
   std::unique_ptr<inference::ObserverAdversary> observer_;  // optional

@@ -80,6 +80,12 @@ class ShardedOverlayService final : public NodeEnvironment {
   void send_shuffle_response(NodeId from, NodeId to,
                              std::vector<PseudonymRecord> set) override;
   void schedule(double delay, sim::EventFn fn) override;
+  /// Real ticket of the most recent schedule() (timer journaling —
+  /// restored one-shot timers must keep their original (origin, seq)
+  /// so ties at equal fire time replay in the original order).
+  sim::EventTicket last_scheduled() const override {
+    return sim_.last_ticket();
+  }
 
   void set_pseudonym_service_available(bool available) {
     pseudonym_service_available_ = available;
@@ -138,6 +144,24 @@ class ShardedOverlayService final : public NodeEnvironment {
   /// OverlayService::node_state_bytes).
   std::size_t node_state_bytes() const { return arena_.bytes_reserved(); }
 
+  /// --- checkpoint/restore (mirrors OverlayService) ------------------
+  bool checkpointable() const {
+    return !options_.use_mix_network &&
+           (faulty_ == nullptr || faulty_->plan_checkpointable());
+  }
+  void enable_checkpointing();
+  /// Call only at the quiescent point after run_until returned: all
+  /// mailboxes drained, no window in flight, pending mint buffers
+  /// published at the last barrier.
+  void save_checkpoint(ckpt::Writer& w) const;
+  /// Call INSTEAD of start() on a freshly constructed service. The
+  /// resumed run must slice run_until calls exactly like the original
+  /// (lockstep windows re-anchor per call). Throws ckpt::ParseError.
+  void restore_from_checkpoint(ckpt::Reader& r);
+  void prune_checkpoint_journal() {
+    if (journal_) journal_->prune(sim_.now());
+  }
+
  private:
   struct PendingMint {
     NodeId owner;
@@ -160,6 +184,16 @@ class ShardedOverlayService final : public NodeEnvironment {
   /// (the eclipse-capture measure; 0 without an engine).
   std::uint64_t count_eclipsed_slots() const;
 
+  /// Checkpoint delivery payload recipe (see OverlayService).
+  std::string encode_delivery(
+      bool is_response, NodeId from, NodeId to,
+      const std::vector<PseudonymRecord>& set,
+      const std::optional<inference::PendingObservation>& observed) const;
+  sim::EventFn decode_delivery(const std::string& blob);
+
+  /// Installs the churn callbacks (start() and the restore path).
+  churn::ChurnCallbacks make_churn_callbacks();
+
   sim::ShardedSimulator& sim_;
   graph::Graph trust_graph_;
   OverlayServiceOptions options_;
@@ -170,6 +204,10 @@ class ShardedOverlayService final : public NodeEnvironment {
   std::unique_ptr<privacylink::LinkTransport> transport_;  // bare inner
   std::unique_ptr<fault::FaultyTransport> faulty_;  // optional wrapper
   privacylink::LinkTransport* link_ = nullptr;  // what sends go through
+  /// Typed view of transport_ in ideal-transport mode (checkpointing;
+  /// null in mix mode).
+  privacylink::Transport* bare_ = nullptr;
+  std::unique_ptr<privacylink::DeliveryJournal> journal_;
   bool pseudonym_service_available_ = true;
   /// Backs every node's hot state (see OverlayService::arena_).
   /// Touched only at node construction, before any shard worker

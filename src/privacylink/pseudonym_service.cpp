@@ -1,5 +1,8 @@
 #include "privacylink/pseudonym_service.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/check.hpp"
 #include "obs/trace.hpp"
 
@@ -90,6 +93,36 @@ void PseudonymService::collect_garbage(sim::Time now) {
   if (expired > 0)
     PPO_TRACE_COUNTER(ppo::obs::TraceCategory::kPseudonym, "expired",
                       ppo::obs::kExternalOrigin, expired);
+}
+
+void PseudonymService::save_state(ckpt::Writer& w) const {
+  w.tag(0x50534E4Du);  // 'PSNM'
+  w.u32(bits_);
+  std::vector<std::pair<PseudonymValue, Registration>> sorted(owners_.begin(),
+                                                              owners_.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.size(sorted.size());
+  for (const auto& [value, reg] : sorted) {
+    w.u64(value);
+    w.u32(reg.owner);
+    w.f64(reg.expiry);
+  }
+}
+
+void PseudonymService::load_state(ckpt::Reader& r) {
+  r.tag(0x50534E4Du);
+  if (r.u32() != bits_) throw ckpt::ParseError("pseudonym width mismatch");
+  owners_.clear();
+  const std::size_t n = r.size();
+  owners_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const PseudonymValue value = r.u64();
+    Registration reg;
+    reg.owner = r.u32();
+    reg.expiry = r.f64();
+    owners_[value] = reg;
+  }
 }
 
 }  // namespace ppo::privacylink

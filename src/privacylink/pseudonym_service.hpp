@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "ckpt/io.hpp"
 #include "graph/graph.hpp"
 #include "privacylink/pseudonym.hpp"
 
@@ -74,6 +75,12 @@ class PseudonymService {
 
   /// Drops every expired registration (bulk GC for long runs).
   void collect_garbage(sim::Time now);
+
+  /// Checkpoint/restore: the full registry, expired entries included
+  /// (GC timing is part of the trajectory). Serialized sorted by
+  /// value for byte-stable output.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
  private:
   struct Registration {

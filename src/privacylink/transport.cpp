@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "sim/restore.hpp"
 
 namespace ppo::privacylink {
 
@@ -33,7 +34,40 @@ bool Transport::send(NodeId from, NodeId to, sim::EventFn on_deliver) {
     delivered_.fetch_add(1, std::memory_order_relaxed);
     fn();
   });
+  if (journal_ != nullptr)
+    journal_->commit(sim_.now() + latency, sim_.last_ticket());
   return true;
+}
+
+void Transport::restore_delivery(NodeId to, double fire_time,
+                                 sim::EventTicket ticket,
+                                 sim::EventFn payload) {
+  sim::restore_event_any(
+      sim_, fire_time, ticket, to,
+      [this, to, fn = std::move(payload)] {
+        if (!is_online_(to)) return;
+        delivered_.fetch_add(1, std::memory_order_relaxed);
+        if (fn) fn();
+      });
+}
+
+void Transport::save_state(ckpt::Writer& w) const {
+  w.tag(0x5452534Eu);  // 'TRSN'
+  w.rng(rng_);
+  w.size(sender_rngs_.size());
+  for (const Rng& r : sender_rngs_) w.rng(r);
+  w.u64(sent_.load(std::memory_order_relaxed));
+  w.u64(delivered_.load(std::memory_order_relaxed));
+}
+
+void Transport::load_state(ckpt::Reader& r) {
+  r.tag(0x5452534Eu);
+  rng_ = r.rng();
+  if (r.size() != sender_rngs_.size())
+    throw ckpt::ParseError("transport stream mode mismatch");
+  for (Rng& s : sender_rngs_) s = r.rng();
+  sent_.store(r.u64(), std::memory_order_relaxed);
+  delivered_.store(r.u64(), std::memory_order_relaxed);
 }
 
 }  // namespace ppo::privacylink

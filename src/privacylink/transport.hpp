@@ -10,8 +10,10 @@
 #include <functional>
 #include <vector>
 
+#include "ckpt/io.hpp"
 #include "common/rng.hpp"
 #include "graph/graph.hpp"
+#include "privacylink/delivery_journal.hpp"
 #include "privacylink/link_transport.hpp"
 #include "sim/backend.hpp"
 
@@ -53,12 +55,28 @@ class Transport final : public LinkTransport {
     return delivered_.load(std::memory_order_relaxed);
   }
 
+  /// --- checkpoint/restore -------------------------------------------
+  /// While set, every scheduled delivery is committed to the journal
+  /// (fire time + ticket) so it can be rebuilt after a restore.
+  void set_journal(DeliveryJournal* journal) { journal_ = journal; }
+
+  /// Re-inserts a pending delivery at its original canonical position:
+  /// rebuilds the online gate + delivery counter wrapper around the
+  /// payload (pass an empty fn for a fault-dropped message).
+  void restore_delivery(NodeId to, double fire_time,
+                        sim::EventTicket ticket, sim::EventFn payload);
+
+  /// RNG streams and counters (latency draws must continue exactly).
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
+
  private:
   sim::SimulatorBackend& sim_;
   TransportOptions options_;
   Rng rng_;
   std::vector<Rng> sender_rngs_;  // non-empty iff per-sender streams
   std::function<bool(NodeId)> is_online_;
+  DeliveryJournal* journal_ = nullptr;
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> delivered_{0};
 };

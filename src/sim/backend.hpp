@@ -34,6 +34,17 @@ using ActorId = std::uint32_t;
 /// between windows.
 inline constexpr ActorId kExternalActor = 0xFFFFFFFFu;
 
+/// Identity of a scheduled event inside a backend's deterministic
+/// order: the actor context that scheduled it (kExternalActor for the
+/// serial backend and external schedules) and the per-origin sequence
+/// number. Checkpointing components record the ticket of each pending
+/// event they own so restore can re-insert it at the exact same
+/// position in the order (sim ties at equal times break by ticket).
+struct EventTicket {
+  ActorId origin = kExternalActor;
+  std::uint64_t seq = 0;
+};
+
 class SimulatorBackend {
  public:
   virtual ~SimulatorBackend() = default;
@@ -55,6 +66,13 @@ class SimulatorBackend {
   /// Convenience: `delay` time units from now (delay >= 0).
   void schedule_after(Time delay, EventFn fn);
   void schedule_for(ActorId actor, Time delay, EventFn fn);
+
+  /// Ticket of the most recent schedule_* call made from the calling
+  /// context (per shard worker on sharded backends). Checkpoint-aware
+  /// components query it right after scheduling an event they intend
+  /// to journal. Backends that do not support checkpointing (test
+  /// doubles) keep the default, which returns an empty ticket.
+  virtual EventTicket last_ticket() const { return {}; }
 };
 
 }  // namespace ppo::sim

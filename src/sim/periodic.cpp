@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "sim/restore.hpp"
 
 namespace ppo::sim {
 
@@ -29,12 +30,16 @@ struct Tick {
 void schedule_tick(SimulatorBackend& sim, Time delay, Time period,
                    ActorId actor, std::shared_ptr<PeriodicTask::State> state,
                    EventFn fn) {
+  PeriodicTask::State* raw = state.get();
+  const Time fire = sim.now() + delay;
   Tick tick{&sim, period, actor, std::move(state), std::move(fn)};
   if (actor == kExternalActor) {
     sim.schedule_after(delay, std::move(tick));
   } else {
     sim.schedule_for(actor, delay, std::move(tick));
   }
+  raw->next_fire = fire;
+  raw->ticket = sim.last_ticket();
 }
 
 }  // namespace
@@ -45,6 +50,19 @@ PeriodicTask PeriodicTask::start(SimulatorBackend& sim, Time phase,
   PeriodicTask task;
   task.state_ = std::make_shared<State>();
   schedule_tick(sim, phase, period, actor, task.state_, std::move(fn));
+  return task;
+}
+
+PeriodicTask PeriodicTask::restore(SimulatorBackend& sim, Time next_fire,
+                                   EventTicket ticket, Time period,
+                                   EventFn fn, ActorId actor) {
+  PPO_CHECK_MSG(period > 0.0, "period must be positive");
+  PeriodicTask task;
+  task.state_ = std::make_shared<State>();
+  task.state_->next_fire = next_fire;
+  task.state_->ticket = ticket;
+  restore_event_any(sim, next_fire, ticket, actor,
+                    Tick{&sim, period, actor, task.state_, std::move(fn)});
   return task;
 }
 

@@ -24,10 +24,29 @@ class PeriodicTask {
   bool active() const { return state_ && state_->active; }
   void cancel();
 
-  /// Shared liveness flag; public so the scheduling machinery in the
-  /// implementation file can reference the type.
+  /// Rebuilds a task whose next tick was pending when a checkpoint was
+  /// taken: re-inserts the tick at its recorded (next_fire, ticket)
+  /// position without drawing anything; the chain then continues
+  /// normally (each tick re-schedules the next). Only meaningful on
+  /// backends with restore support (sim/restore.hpp).
+  static PeriodicTask restore(SimulatorBackend& sim, Time next_fire,
+                              EventTicket ticket, Time period, EventFn fn,
+                              ActorId actor = kExternalActor);
+
+  /// When a checkpoint is taken between ticks, these name the pending
+  /// tick: its absolute fire time and its scheduling ticket.
+  Time next_fire() const { return state_ ? state_->next_fire : 0.0; }
+  EventTicket ticket() const {
+    return state_ ? state_->ticket : EventTicket{};
+  }
+
+  /// Shared liveness flag plus the pending tick's identity; public so
+  /// the scheduling machinery in the implementation file can reference
+  /// the type.
   struct State {
     bool active = true;
+    Time next_fire = 0.0;
+    EventTicket ticket;
   };
 
  private:

@@ -23,6 +23,7 @@ struct ExecContext {
   std::size_t shard = ShardedSimulator::kNoShard;
   ActorId actor = kExternalActor;
   Time now = 0.0;
+  EventTicket last_ticket;
 };
 
 thread_local ExecContext* tls_ctx = nullptr;
@@ -82,6 +83,7 @@ void ShardedSimulator::schedule_at_for(ActorId actor, Time t, EventFn fn) {
     PPO_CHECK_MSG(t >= ctx->now, "cannot schedule into the past");
     Entry entry{t, ctx->actor, actor_seq_[ctx->actor]++, actor,
                 std::move(fn)};
+    ctx->last_ticket = EventTicket{entry.origin, entry.seq};
     if (dst == ctx->shard) {
       queues_[dst].push(std::move(entry));
     } else {
@@ -97,9 +99,44 @@ void ShardedSimulator::schedule_at_for(ActorId actor, Time t, EventFn fn) {
   } else {
     PPO_CHECK_MSG(!in_window_, "external scheduling during a window");
     PPO_CHECK_MSG(t >= now_, "cannot schedule into the past");
+    external_last_ticket_ = EventTicket{kExternalActor, external_seq_};
     queues_[dst].push(
         Entry{t, kExternalActor, external_seq_++, actor, std::move(fn)});
   }
+}
+
+EventTicket ShardedSimulator::last_ticket() const {
+  const ExecContext* ctx = tls_ctx;
+  return (ctx != nullptr && ctx->sim == this) ? ctx->last_ticket
+                                              : external_last_ticket_;
+}
+
+void ShardedSimulator::restore_state(
+    Time now, std::uint64_t events_base,
+    const std::vector<std::uint64_t>& actor_seqs,
+    std::uint64_t external_seq) {
+  PPO_CHECK_MSG(pending() == 0, "restore_state needs empty queues");
+  PPO_CHECK_MSG(std::isfinite(now), "restored clock must be finite");
+  PPO_CHECK_MSG(actor_seqs.size() == actor_seq_.size(),
+                "actor count mismatch between checkpoint and simulator");
+  now_ = now;
+  events_base_ = events_base;
+  actor_seq_ = actor_seqs;
+  external_seq_ = external_seq;
+  set_sim_time_context(now_);
+}
+
+void ShardedSimulator::restore_event(Time t, ActorId origin,
+                                     std::uint64_t seq, ActorId target,
+                                     EventFn fn) {
+  PPO_CHECK_MSG(!in_window_, "restore_event during a window");
+  // Events exactly at the checkpoint time are legal here: the sharded
+  // run_until is exclusive, so an event at `now` is still pending.
+  PPO_CHECK_MSG(std::isfinite(t) && t >= now_,
+                "restored events cannot lie before the checkpoint");
+  PPO_CHECK_MSG(target < options_.num_actors, "actor out of range");
+  PPO_CHECK_MSG(static_cast<bool>(fn), "event callback must be callable");
+  queues_[shard_of(target)].push(Entry{t, origin, seq, target, std::move(fn)});
 }
 
 void ShardedSimulator::run_shard_window(std::size_t shard, Time window_end) {
@@ -213,7 +250,7 @@ std::size_t ShardedSimulator::run_until(Time end) {
 }
 
 std::uint64_t ShardedSimulator::events_executed() const {
-  std::uint64_t total = 0;
+  std::uint64_t total = events_base_;
   for (const ShardStats& s : stats_) total += s.events;
   return total;
 }

@@ -127,6 +127,30 @@ class ShardedSimulator final : public SimulatorBackend {
   /// One entry per shard; read only between run_until calls.
   const std::vector<ShardStats>& shard_stats() const { return stats_; }
 
+  /// --- checkpoint/restore -------------------------------------------
+  /// Tickets carry (origin actor, per-origin seq) — the K-invariant
+  /// half of the canonical order, so a checkpoint written at shard
+  /// count K restores at any K' >= 1.
+  EventTicket last_ticket() const override;
+  const std::vector<std::uint64_t>& actor_seqs() const { return actor_seq_; }
+  std::uint64_t external_seq() const { return external_seq_; }
+
+  /// Overwrites the clock and sequence counters from a checkpoint.
+  /// Only valid on a freshly constructed simulator (empty queues);
+  /// `events_base` folds the pre-checkpoint event count into
+  /// events_executed() so counters stay continuous across a resume.
+  void restore_state(Time now, std::uint64_t events_base,
+                     const std::vector<std::uint64_t>& actor_seqs,
+                     std::uint64_t external_seq);
+
+  /// Re-inserts a pending event under its original canonical key
+  /// (time, origin, seq), routed to `target`'s shard under the
+  /// *current* shard count — the step that makes checkpoints
+  /// K-portable. Bypasses window/lookahead checks (restore runs
+  /// strictly between windows).
+  void restore_event(Time t, ActorId origin, std::uint64_t seq,
+                     ActorId target, EventFn fn);
+
  private:
   struct Entry {
     Time time = 0.0;
@@ -164,6 +188,11 @@ class ShardedSimulator final : public SimulatorBackend {
   /// its value stream is K-invariant.
   std::vector<std::uint64_t> actor_seq_;
   std::uint64_t external_seq_ = 0;  // origin counter for setup events
+  /// Ticket of the most recent schedule made outside event context;
+  /// in-context tickets live in the worker's ExecContext.
+  EventTicket external_last_ticket_;
+  /// Events executed before the checkpoint this run resumed from.
+  std::uint64_t events_base_ = 0;
   /// stats_[s] is written by shard s's worker during a window (events,
   /// mailbox_out, max_queue, busy) and by the coordinator at barriers
   /// (stall) — never both at once.

@@ -49,6 +49,22 @@ class Simulator final : public SimulatorBackend {
   /// Drops all pending events; the clock is unchanged.
   void clear();
 
+  /// --- checkpoint/restore -------------------------------------------
+  /// The serial backend identifies every event by a single global
+  /// sequence counter; tickets carry kExternalActor as origin.
+  EventTicket last_ticket() const override { return last_ticket_; }
+  std::uint64_t next_seq() const { return next_seq_; }
+
+  /// Overwrites clock and counters from a checkpoint. Only valid on a
+  /// freshly constructed (or clear()ed) simulator with an empty queue.
+  void restore_state(Time now, std::uint64_t next_seq,
+                     std::uint64_t executed);
+
+  /// Re-inserts a pending event at its original position in the
+  /// deterministic order: `seq` is the sequence number the event had
+  /// when first scheduled (must be < the restored next_seq).
+  void restore_event(Time t, std::uint64_t seq, EventFn fn);
+
   static constexpr std::size_t kDefaultEventBudget = 500'000'000;
 
  private:
@@ -69,6 +85,7 @@ class Simulator final : public SimulatorBackend {
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  EventTicket last_ticket_;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
 };
 

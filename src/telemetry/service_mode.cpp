@@ -1,15 +1,20 @@
 #include "telemetry/service_mode.hpp"
 
 #include <chrono>
+#include <cmath>
+#include <csignal>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
 #endif
 
 #include "churn/churn_model.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "experiments/adversary_study.hpp"
@@ -46,6 +51,67 @@ double wall_since(std::chrono::steady_clock::time_point start) {
                                        start)
       .count();
 }
+
+/// Set by the SIGINT/SIGTERM handler; the driver polls it at slice
+/// boundaries (async-signal-safe: the handler only stores a flag).
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void on_stop_signal(int) { g_stop_requested = 1; }
+
+/// Installs the graceful-drain handlers for the scope of one run and
+/// restores whatever was there before.
+struct SignalGuard {
+  explicit SignalGuard(bool arm) : armed_(arm) {
+    if (!armed_) return;
+    g_stop_requested = 0;
+    old_int_ = std::signal(SIGINT, on_stop_signal);
+    old_term_ = std::signal(SIGTERM, on_stop_signal);
+  }
+  ~SignalGuard() {
+    if (!armed_) return;
+    std::signal(SIGINT, old_int_);
+    std::signal(SIGTERM, old_term_);
+  }
+
+ private:
+  bool armed_ = false;
+  void (*old_int_)(int) = SIG_DFL;
+  void (*old_term_)(int) = SIG_DFL;
+};
+
+/// Workload identity for Header::config_hash: every option that
+/// shapes the trajectory prefix (graph, churn, protocol parameters,
+/// fault/adversary/observer arms, and the run_until slicing grid —
+/// the sharded backend's lockstep windows re-anchor per driver call,
+/// so a different slice is a different trajectory). Horizon, wall
+/// limit and the telemetry plane are deliberately excluded: a resumed
+/// run may run longer or with telemetry toggled. The shard count is
+/// also excluded — sharded checkpoints restore at any K.
+std::uint64_t config_hash(const ServiceModeOptions& opt) {
+  ckpt::Writer w;
+  w.u64(opt.nodes);
+  w.f64(opt.alpha);
+  w.u64(opt.seed);
+  w.f64(opt.slice);
+  w.f64(opt.loss);
+  w.f64(opt.adversary_fraction);
+  w.str(opt.adversary_attack);
+  w.b(opt.defended);
+  w.f64(opt.observer_coverage);
+  w.u64(opt.cache_size);
+  w.u64(opt.shuffle_length);
+  w.u64(opt.target_links);
+  w.f64(opt.pseudonym_lifetime);
+  return ckpt::fnv1a(w.buffer());
+}
+
+/// A validated resume candidate: structurally sound file whose header
+/// matched this run's backend, graph and config.
+struct ResumeCandidate {
+  std::string path;
+  ckpt::Header header;
+  std::string payload;
+};
 
 /// Uninstalls the live registry even on the exception paths.
 struct LiveMetricsGuard {
@@ -254,17 +320,89 @@ ServiceModeReport run_service_mode(const ServiceModeOptions& opt) {
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
+  SignalGuard signals(opt.handle_signals);
   SliceBaseline baseline;
   metrics::StreamingConnectivity connectivity;
   const std::size_t cores = opt.shards == 0 ? 1 : opt.shards;
 
+  // --- checkpoint plane -------------------------------------------------
+  const bool ckpt_armed = !opt.checkpoint_dir.empty();
+  const ckpt::BackendKind backend = opt.shards == 0
+                                        ? ckpt::BackendKind::kSerial
+                                        : ckpt::BackendKind::kSharded;
+  std::uint64_t graph_fp = 0;
+  std::uint64_t cfg_hash = 0;
+  if (ckpt_armed) {
+    std::error_code ec;
+    std::filesystem::create_directories(opt.checkpoint_dir, ec);
+    graph_fp = ckpt::fingerprint_graph(trust);
+    cfg_hash = config_hash(opt);
+  }
+
+  // Resume scan: newest file first, falling back past anything that
+  // fails validation (corrupt newest file after a crash mid-write is
+  // the expected case — the previous snapshot is still good). Files
+  // that fail payload-level restore are rejected the same way, one
+  // construction retry per candidate.
+  std::vector<ResumeCandidate> candidates;
+  if (ckpt_armed && opt.resume) {
+    const auto files = ckpt::list_checkpoints(opt.checkpoint_dir);
+    for (auto it = files.rbegin(); it != files.rend(); ++it) {
+      ckpt::LoadResult lr = ckpt::load_file(*it);
+      ckpt::Status st = lr.status;
+      if (st == ckpt::Status::kOk)
+        st = ckpt::check_compat(lr.header, backend, graph_fp, cfg_hash);
+      if (st != ckpt::Status::kOk) {
+        std::string why = *it + ": " + ckpt::status_name(st);
+        if (!lr.message.empty()) why += " — " + lr.message;
+        report.rejected_checkpoints.push_back(std::move(why));
+        continue;
+      }
+      candidates.push_back({*it, lr.header, std::move(lr.payload)});
+    }
+  }
+
+  const auto write_checkpoint = [&](auto& service, double sim_time) {
+    ckpt::Writer w;
+    service.save_checkpoint(w);
+    ckpt::Header h;
+    h.backend = backend;
+    h.shards_hint = static_cast<std::uint32_t>(opt.shards);
+    h.graph_fingerprint = graph_fp;
+    h.config_hash = cfg_hash;
+    h.seed = opt.seed;
+    h.sim_time = sim_time;
+    // Indexed by slice number: monotone, collision-free, and a resumed
+    // run that re-reaches the same boundary atomically replaces the
+    // file it restored from.
+    const auto index =
+        static_cast<std::uint64_t>(std::llround(sim_time / opt.slice));
+    std::string error;
+    if (ckpt::save_file(ckpt::checkpoint_path(opt.checkpoint_dir, index), h,
+                        w.buffer(), &error))
+      ++report.checkpoints_written;
+  };
+
   // Generic over the two backends: slice the run, refresh the
-  // registry between slices, stop at the horizon or the wall limit.
+  // registry between slices, stop at the horizon, the wall limit or a
+  // drain signal. A resumed run continues the same slicing grid
+  // (checkpoints land on slice boundaries), which is what keeps the
+  // sharded backend's lockstep windows bit-identical to an
+  // uninterrupted run.
   const auto drive = [&](auto& sim, auto& service,
                          const std::vector<sim::ShardedSimulator::ShardStats>*
-                             stats) {
-    service.start();
-    double target = 0.0;
+                             stats,
+                         double start_time, bool was_resumed) {
+    if (was_resumed) {
+      // Telemetry counters stay process-local: advance the baseline to
+      // the restored totals so the first slice reports its own delta.
+      baseline.events = sim.events_executed();
+      baseline.health = service.protocol_health();
+    } else {
+      service.start();
+    }
+    double target = start_time;
+    double next_ckpt = start_time + opt.checkpoint_every;
     for (;;) {
       bool final_slice = false;
       target += opt.slice;
@@ -279,13 +417,29 @@ ServiceModeReport run_service_mode(const ServiceModeOptions& opt) {
                        stats != nullptr ? *stats : kNone,
                        wall_since(wall_start), target, cores,
                        service.online_count(), service.overlay_edges().size());
+      if (ckpt_armed) service.prune_checkpoint_journal();
+      // Interval writes include one that lands on the horizon itself —
+      // that is the warm-start shape: run to the warmup horizon,
+      // snapshot, fork longer runs from it later.
+      if (ckpt_armed && opt.checkpoint_every > 0.0 &&
+          target >= next_ckpt - 1e-9) {
+        write_checkpoint(service, target);
+        while (next_ckpt <= target + 1e-9) next_ckpt += opt.checkpoint_every;
+      }
       if (final_slice) {
         report.horizon_reached = true;
         break;
       }
-      if (opt.wall_limit_seconds > 0.0 &&
-          wall_since(wall_start) >= opt.wall_limit_seconds)
+      const bool stop_signal = g_stop_requested != 0;
+      const bool wall_stop = opt.wall_limit_seconds > 0.0 &&
+                             wall_since(wall_start) >= opt.wall_limit_seconds;
+      if (stop_signal || wall_stop) {
+        // Graceful drain: the slice already completed, so this is a
+        // quiescent point — snapshot it so a --resume continues here.
+        if (ckpt_armed) write_checkpoint(service, target);
+        report.interrupted = stop_signal;
         break;
+      }
     }
     report.sim_time = target;
     report.events = sim.events_executed();
@@ -299,22 +453,62 @@ ServiceModeReport run_service_mode(const ServiceModeOptions& opt) {
     report.node_state_bytes = service.node_state_bytes();
   };
 
+  // Pops the next resume candidate and restores `service` from it.
+  // Returns the snapshot time, or a negative value when the payload
+  // was rejected (the caller reconstructs a fresh service and tries
+  // the next-older candidate) .
+  const auto try_restore = [&](auto& service) -> double {
+    ResumeCandidate cand = std::move(candidates.front());
+    candidates.erase(candidates.begin());
+    try {
+      ckpt::Reader r(cand.payload);
+      service.restore_from_checkpoint(r);
+      return cand.header.sim_time;
+    } catch (const ckpt::ParseError& e) {
+      report.rejected_checkpoints.push_back(cand.path + ": payload — " +
+                                            e.what());
+      return -1.0;
+    }
+  };
+
   if (opt.shards == 0) {
-    sim::Simulator sim;
-    overlay::OverlayService service(sim, trust, model, options,
-                                    Rng(opt.seed));
-    drive(sim, service, nullptr);
+    for (;;) {
+      sim::Simulator sim;
+      overlay::OverlayService service(sim, trust, model, options,
+                                      Rng(opt.seed));
+      if (ckpt_armed) service.enable_checkpointing();
+      double start_time = 0.0;
+      if (!candidates.empty()) {
+        start_time = try_restore(service);
+        if (start_time < 0.0) continue;  // fresh service, next candidate
+        report.resumed = true;
+        report.resumed_at = start_time;
+      }
+      drive(sim, service, nullptr, start_time, report.resumed);
+      break;
+    }
   } else {
-    sim::ShardedSimulator::Options so;
-    so.shards = opt.shards;
-    so.num_actors = opt.nodes;
-    so.lookahead = options.transport.min_latency;
-    so.profile = opt.profile;
-    sim::ShardedSimulator sim(so);
-    overlay::ShardedOverlayService service(sim, trust, model, options,
-                                           opt.seed);
-    drive(sim, service, &sim.shard_stats());
-    report.shard_stats = sim.shard_stats();
+    for (;;) {
+      sim::ShardedSimulator::Options so;
+      so.shards = opt.shards;
+      so.num_actors = opt.nodes;
+      so.lookahead = options.transport.min_latency;
+      so.profile = opt.profile;
+      sim::ShardedSimulator sim(so);
+      overlay::ShardedOverlayService service(sim, trust, model, options,
+                                             opt.seed);
+      if (ckpt_armed) service.enable_checkpointing();
+      double start_time = 0.0;
+      if (!candidates.empty()) {
+        start_time = try_restore(service);
+        if (start_time < 0.0) continue;
+        report.resumed = true;
+        report.resumed_at = start_time;
+      }
+      drive(sim, service, &sim.shard_stats(), start_time, report.resumed);
+      report.shard_stats = sim.shard_stats();
+      break;
+    }
   }
 
   report.wall_seconds = wall_since(wall_start);

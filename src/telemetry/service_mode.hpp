@@ -83,6 +83,23 @@ struct ServiceModeOptions {
   std::string telemetry_out;
   double sample_interval_seconds = 1.0;
   std::size_t ring_capacity = 600;
+
+  // --- checkpoint/restore (DESIGN.md §13) ---
+  /// Snapshot the full simulator state every this many sim-time
+  /// periods (rounded up to the next slice boundary). 0 = no periodic
+  /// checkpoints; a checkpoint_dir alone still arms exit snapshots.
+  double checkpoint_every = 0.0;
+  /// Directory for ckpt-*.ppoc files; empty = checkpointing off.
+  std::string checkpoint_dir;
+  /// Resume from the newest valid checkpoint in checkpoint_dir (falls
+  /// back to older files when the newest is corrupt; cold-starts when
+  /// none survive validation). The resumed trajectory is bit-identical
+  /// to an uninterrupted run.
+  bool resume = false;
+  /// Install SIGINT/SIGTERM handlers: on signal, finish the current
+  /// slice, write a final snapshot (when checkpointing is armed),
+  /// flush the telemetry ring tail, and return cleanly.
+  bool handle_signals = false;
 };
 
 struct ServiceModeReport {
@@ -109,6 +126,18 @@ struct ServiceModeReport {
   /// Final registry state (counters, gauges, streaming quantiles) —
   /// what the last /metrics scrape would have shown.
   obs::MetricsRegistry::Snapshot metrics;
+  // --- checkpoint/restore accounting ---
+  std::uint64_t checkpoints_written = 0;
+  /// True when the run restored from a checkpoint instead of
+  /// cold-starting.
+  bool resumed = false;
+  /// Sim time of the restored snapshot (0 when !resumed).
+  double resumed_at = 0.0;
+  /// Checkpoint files rejected during resume (corrupt/incompatible),
+  /// newest first — each entry is "file: status message".
+  std::vector<std::string> rejected_checkpoints;
+  /// True when a SIGINT/SIGTERM drain ended the run early.
+  bool interrupted = false;
 };
 
 /// Runs the sustained workload. Aborts (PPO_CHECK) when neither a

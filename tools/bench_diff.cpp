@@ -7,7 +7,12 @@
 // Rolling-history mode takes ONE report plus `--history <file>`: the
 // file is a JSONL ledger of compact per-commit snapshots ({commit,
 // artefact, schema_version, wall_seconds, peak_rss_bytes,
-// cell_seconds}). The candidate is compared against the fastest of
+// cell_seconds, warm_start}). Reports produced with --warm-start-dir
+// carry a `warm_start` block (runs forked from warmup snapshots vs
+// cold, and the wall seconds each side cost); ledger rows keep it, so
+// the history window can report the measured warm-start speedup of a
+// forked sweep against the fastest cold run on record.
+// The candidate is compared against the fastest of
 // the last N entries (`--last N`, default 10) for the same artefact —
 // the fastest, so a slow baseline commit cannot mask a real
 // regression — and its peak RSS against the leanest of the same
@@ -36,6 +41,7 @@
 // Intended for CI: run the reduced-scale bench, then diff against the
 // committed baseline (e.g. BENCH_fig3.json) so >20% slowdowns surface
 // in the job log before they land.
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -289,9 +295,26 @@ Json snapshot_of(const Json& doc, const std::string& commit) {
   if (doc.contains("peak_rss_bytes"))
     snap["peak_rss_bytes"] = doc.at("peak_rss_bytes").as_double();
   snap["cell_seconds"] = Json::array_of(cell_seconds(doc));
+  // Warm-start accounting rides along verbatim so the history window
+  // can compute forked-vs-cold speedup across commits.
+  if (doc.contains("warm_start") && doc.at("warm_start").is_object()) {
+    Json warm = Json::object();
+    for (const char* field :
+         {"warm_runs", "cold_runs", "warm_seconds", "cold_seconds"})
+      warm[field] = number_or_zero(doc.at("warm_start"), field);
+    snap["warm_start"] = std::move(warm);
+  }
   Json quantiles = quantiles_of(doc);
   if (!quantiles.members().empty()) snap["quantiles"] = std::move(quantiles);
   return snap;
+}
+
+/// Warm-start runs recorded in a report/ledger entry (0 when the run
+/// was cold or predates warm-start accounting).
+double warm_runs_of(const Json& doc) {
+  if (!doc.contains("warm_start") || !doc.at("warm_start").is_object())
+    return 0.0;
+  return number_or_zero(doc.at("warm_start"), "warm_runs");
 }
 
 std::vector<Json> load_history(const std::string& path) {
@@ -348,7 +371,12 @@ int run_history_mode(const Json& candidate, const std::string& history_path,
                             : 0.0;
     std::cout << "  " << field_or(*entry, "commit", "(untagged)") << ": "
               << wall << " s (" << percent(ratio_change(wall, cand_wall))
-              << " vs candidate)\n";
+              << " vs candidate)";
+    if (warm_runs_of(*entry) > 0.0)
+      std::cout << " [warm-start: "
+                << static_cast<std::uint64_t>(warm_runs_of(*entry))
+                << " forked runs]";
+    std::cout << "\n";
     if (wall <= 0.0) continue;
     if (best == nullptr || wall < best->at("wall_seconds").as_double())
       best = entry;
@@ -362,10 +390,43 @@ int run_history_mode(const Json& candidate, const std::string& history_path,
     if (change > threshold) {
       std::cout << "  REGRESSION: wall time up more than "
                 << percent(threshold) << " vs fastest recent run\n";
+      if (warm_runs_of(*best) > 0.0 && warm_runs_of(candidate) <= 0.0)
+        std::cout << "  note: fastest window entry was warm-started; a cold "
+                     "candidate pays the full warmup\n";
       regression = true;
     }
   } else {
     std::cout << "  (no comparable history — nothing to diff against)\n";
+  }
+
+  // Warm-start speedup, advisory: a candidate whose sweep forked its
+  // cells from warmup snapshots, measured against the fastest fully
+  // cold run in the window. The wall-time gate above is unaffected.
+  const double cand_warm_runs = warm_runs_of(candidate);
+  if (cand_warm_runs > 0.0 && cand_wall > 0.0) {
+    const Json& ws = candidate.at("warm_start");
+    std::cout << "  warm-start: "
+              << static_cast<std::uint64_t>(cand_warm_runs) << " forked + "
+              << static_cast<std::uint64_t>(number_or_zero(ws, "cold_runs"))
+              << " cold runs, restore wall "
+              << number_or_zero(ws, "warm_seconds") << " s\n";
+    const Json* cold = nullptr;
+    for (const Json* entry : window) {
+      if (warm_runs_of(*entry) > 0.0) continue;
+      const double wall = number_or_zero(*entry, "wall_seconds");
+      if (wall <= 0.0) continue;
+      if (cold == nullptr || wall < number_or_zero(*cold, "wall_seconds"))
+        cold = entry;
+    }
+    if (cold != nullptr) {
+      const double cold_wall = number_or_zero(*cold, "wall_seconds");
+      std::cout << "  warm-start speedup vs fastest cold run ("
+                << field_or(*cold, "commit", "(untagged)") << " at "
+                << cold_wall << " s): " << cold_wall / cand_wall << "x\n";
+    } else {
+      std::cout << "  (no cold history entry to measure warm-start speedup "
+                   "against)\n";
+    }
   }
 
   // Latency-quantile drift vs the fastest window entry, advisory:
